@@ -1,0 +1,154 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs its experiment once per iteration with a
+// reduced exploration budget (the full-budget runs are produced by
+// cmd/cpr-bench) and reports the headline quantities as custom metrics, so
+// `go test -bench=. -benchmem` prints the reproduction summary.
+package cpr_test
+
+import (
+	"testing"
+
+	"cpr/internal/bench"
+	"cpr/internal/core"
+)
+
+// benchBudget keeps one benchmark iteration tractable; shapes (who wins,
+// where reduction happens) are preserved at this scale.
+var benchBudget = core.Budget{MaxIterations: 6, ValidationIterations: 4}
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		steps, err := bench.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if steps[len(steps)-1].Total != 1 {
+			b.Fatalf("figure 1 should end with 1 concrete patch, got %d", steps[len(steps)-1].Total)
+		}
+		b.ReportMetric(float64(steps[0].Total), "initial-patches")
+		b.ReportMetric(float64(steps[len(steps)-1].Total), "final-patches")
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	opts := bench.RunOptions{Budget: benchBudget}
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table1(opts)
+		var better, ran, cegisCorrect float64
+		for _, r := range rows {
+			if r.NA || r.Err != nil {
+				continue
+			}
+			ran++
+			if r.CPR.ReductionRatio() > r.CEGISStats.ReductionRatio()+0.01 {
+				better++
+			}
+			if r.CEGISCorrect {
+				cegisCorrect++
+			}
+		}
+		b.ReportMetric(ran, "subjects")
+		b.ReportMetric(better, "cpr-better-reduction")
+		b.ReportMetric(cegisCorrect, "cegis-correct")
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	opts := bench.RunOptions{Budget: benchBudget}
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table2(opts)
+		var genP, genA, genE, corrE float64
+		for _, r := range rows {
+			genP += float64(r.GenProphet)
+			genA += float64(r.GenAngelix)
+			genE += float64(r.GenExtractFix)
+			corrE += float64(r.CorrExtractFix)
+		}
+		b.ReportMetric(genP, "prophet-generated")
+		b.ReportMetric(genA, "angelix-generated")
+		b.ReportMetric(genE, "extractfix-generated")
+		b.ReportMetric(corrE, "extractfix-correct")
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	opts := bench.RunOptions{Budget: benchBudget}
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table3(opts)
+		var ranked float64
+		for _, r := range rows {
+			if r.Err == nil && r.RankFound {
+				ranked++
+			}
+		}
+		b.ReportMetric(ranked, "correct-ranked")
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	opts := bench.RunOptions{Budget: benchBudget}
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table4(opts)
+		var top10, reductionSum float64
+		for _, r := range rows {
+			if r.Err != nil {
+				continue
+			}
+			if r.RankFound && r.Rank <= 10 {
+				top10++
+			}
+			reductionSum += r.CPR.ReductionRatio()
+		}
+		b.ReportMetric(top10, "top10-ranked")
+		b.ReportMetric(reductionSum/float64(len(rows))*100, "avg-reduction-%")
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	opts := bench.RunOptions{Budget: benchBudget}
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table5(opts)
+		var grow float64
+		// |P_init| must grow with the parameter range per subject.
+		for j := 1; j < len(rows); j++ {
+			if j%3 != 0 && rows[j].Err == nil && rows[j-1].Err == nil &&
+				rows[j].CPR.PInit > rows[j-1].CPR.PInit {
+				grow++
+			}
+		}
+		b.ReportMetric(grow, "range-growth-steps")
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	opts := bench.RunOptions{Budget: benchBudget}
+	for i := 0; i < b.N; i++ {
+		t1 := bench.Table1(opts)
+		t3 := bench.Table3(opts)
+		t4 := bench.Table4(opts)
+		agg := bench.Table6(t1, t3, t4)
+		b.ReportMetric(agg[0].PatchLocHit, "extractfix-patchloc-%")
+		b.ReportMetric(agg[2].BugLocHit, "svcomp-bugloc-%")
+	}
+}
+
+func BenchmarkAnytime(b *testing.B) {
+	s := bench.Find("Libtiff", "CVE-2016-3623")
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Anytime(s, []int{2, 10}, bench.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].PFinal-rows[1].PFinal), "extra-reduction")
+	}
+}
+
+func BenchmarkPathReduction(b *testing.B) {
+	subjects := []*bench.Subject{bench.Find("Libtiff", "CVE-2016-3623")}
+	for i := 0; i < b.N; i++ {
+		rows := bench.PathReductionAblation(subjects, bench.RunOptions{Budget: benchBudget})
+		if len(rows) > 0 {
+			b.ReportMetric(float64(rows[0].With.PathsSkipped), "paths-skipped")
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Command cpr-bench regenerates the tables and the figure of the paper's
+// evaluation on the re-encoded benchmark, printing measured values next to
+// the paper's reported ones.
+//
+//	cpr-bench -what all
+//	cpr-bench -what table1 -budget 40
+//	cpr-bench -what figure1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cpr"
+	"cpr/internal/bench"
+	"cpr/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cpr-bench: ")
+	var (
+		what   = flag.String("what", "all", "what to run: figure1, table1..table6, anytime, pathreduction, all")
+		budget = flag.Int("budget", 0, "override per-subject iteration budget (0 = subject defaults)")
+		quiet  = flag.Bool("q", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	opts := bench.RunOptions{}
+	if *budget > 0 {
+		opts.Budget = core.Budget{MaxIterations: *budget, ValidationIterations: 8}
+	}
+	if !*quiet {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	var t1, t3, t4 []bench.SubjectResult
+	run := func(name string) {
+		switch name {
+		case "figure1":
+			steps, err := bench.Figure1()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(bench.FormatFigure1(steps))
+		case "table1":
+			t1 = bench.Table1(opts)
+			fmt.Println(bench.FormatTable1(t1))
+		case "table2":
+			rows := bench.Table2(opts)
+			fmt.Println(bench.FormatTable2(rows))
+		case "table3":
+			t3 = bench.Table3(opts)
+			fmt.Println(bench.FormatCPRTable("Table 3: ManyBugs subjects", t3))
+		case "table4":
+			t4 = bench.Table4(opts)
+			fmt.Println(bench.FormatCPRTable("Table 4: SV-COMP logical errors", t4))
+		case "table5":
+			rows := bench.Table5(opts)
+			fmt.Println(bench.FormatTable5(rows))
+		case "table6":
+			if t1 == nil {
+				t1 = bench.Table1(opts)
+			}
+			if t3 == nil {
+				t3 = bench.Table3(opts)
+			}
+			if t4 == nil {
+				t4 = bench.Table4(opts)
+			}
+			fmt.Println(bench.FormatTable6(bench.Table6(t1, t3, t4)))
+		case "anytime":
+			s := cpr.FindSubject("Libtiff", "CVE-2016-3623")
+			rows, err := bench.Anytime(s, []int{2, 5, 10, 20, 40}, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Anytime (gradual correctness) on", s.ID())
+			for _, r := range rows {
+				fmt.Printf("  budget %3d iterations: |P_final| = %4d (%.0f%% reduction)\n",
+					r.Iterations, r.PFinal, r.Ratio*100)
+			}
+			fmt.Println()
+		case "pathreduction":
+			subjects := []*bench.Subject{
+				cpr.FindSubject("Libtiff", "CVE-2016-3623"),
+				cpr.FindSubject("Libtiff", "CVE-2016-10094"),
+				cpr.FindSubject("loops", "linear_search"),
+			}
+			rows := bench.PathReductionAblation(subjects, opts)
+			fmt.Println("Path-reduction ablation (§3.4): φE/φS with and without pruning")
+			for _, r := range rows {
+				fmt.Printf("  %-28s with: φE=%3d φS=%3d   without: φE=%3d φS=%3d\n",
+					r.Subject.ID(), r.With.PathsExplored, r.With.PathsSkipped,
+					r.Without.PathsExplored, r.Without.PathsSkipped)
+			}
+			fmt.Println()
+		default:
+			log.Fatalf("unknown -what %q", name)
+		}
+	}
+
+	if *what == "all" {
+		for _, name := range []string{"figure1", "table1", "table2", "table3", "table4", "table5", "table6", "anytime", "pathreduction"} {
+			run(name)
+		}
+		return
+	}
+	run(*what)
+}

@@ -1,0 +1,143 @@
+package cpr_test
+
+import (
+	"strings"
+	"testing"
+
+	"cpr"
+)
+
+const apiSubject = `
+void main(int x, int y) {
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    int c = 100 / y;
+    int d = c + x;
+}
+`
+
+func apiJob(t *testing.T) cpr.Job {
+	t.Helper()
+	prog, err := cpr.ParseProgram(apiSubject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := cpr.ParseSpec("(distinct y 0)", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cpr.Job{
+		Program:       prog,
+		Spec:          spec,
+		FailingInputs: []map[string]int64{{"x": 1, "y": 0}},
+		Components: cpr.Components{
+			Vars:         map[string]cpr.LangType{"x": cpr.TypeInt, "y": cpr.TypeInt},
+			Params:       []string{"b"},
+			ParamRange:   cpr.NewInterval(-10, 10),
+			MaxTemplates: 20,
+		},
+		InputBounds: map[string]cpr.Interval{
+			"x": cpr.NewInterval(-50, 50),
+			"y": cpr.NewInterval(-50, 50),
+		},
+		Budget: cpr.Budget{MaxIterations: 12, ValidationIterations: 6},
+	}
+}
+
+func TestPublicAPIRepair(t *testing.T) {
+	job := apiJob(t)
+	res, err := cpr.Repair(job, cpr.Options{})
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if res.Stats.PInit == 0 || len(res.Ranked) == 0 {
+		t.Fatalf("empty result: %+v", res.Stats)
+	}
+	dev, err := cpr.ParseSpec("(= y 0)", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank, found := cpr.CorrectPatchRank(res, dev, job.InputBounds)
+	if !found {
+		t.Fatalf("developer patch not covered; top: %v", cpr.FormatTopPatches(res, 5))
+	}
+	if rank > 10 {
+		t.Errorf("rank %d, want top-10", rank)
+	}
+	// Display helpers.
+	best := res.Ranked[0]
+	params, ok := best.AnyParams()
+	if !ok {
+		t.Fatal("no params for best patch")
+	}
+	text := cpr.PatchText(best, params)
+	if text == "" {
+		t.Fatal("empty patch text")
+	}
+	prog := job.Program
+	out := cpr.FormatProgram(prog, text)
+	if !strings.Contains(out, text) {
+		t.Fatalf("formatted program misses patch %q:\n%s", text, out)
+	}
+	crashed, err := cpr.RunPatched(prog, map[string]int64{"x": 1, "y": 0}, best.Expr, params)
+	if err != nil || crashed {
+		t.Fatalf("patched program still crashes on the failing input: %v %v", crashed, err)
+	}
+}
+
+func TestPublicAPICEGIS(t *testing.T) {
+	job := apiJob(t)
+	res, err := cpr.RepairCEGIS(job, cpr.CEGISOptions{})
+	if err != nil {
+		t.Fatalf("RepairCEGIS: %v", err)
+	}
+	if res.Stats.PInit == 0 {
+		t.Fatalf("CEGIS stats empty: %+v", res.Stats)
+	}
+}
+
+func TestPublicAPIFuzz(t *testing.T) {
+	prog, err := cpr.ParseProgram(apiSubject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	original, err := cpr.ParseSpec("false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp := cpr.FindFailingInput(prog, original, cpr.FuzzOptions{Seed: 3})
+	if camp.Failing == nil {
+		t.Fatalf("fuzzer found nothing in %d runs", camp.Runs)
+	}
+	if camp.Failing["y"] != 0 {
+		t.Fatalf("failing input %v should have y=0", camp.Failing)
+	}
+}
+
+func TestPublicAPISubjects(t *testing.T) {
+	if len(cpr.Subjects(cpr.SuiteExtractFix)) != 30 {
+		t.Fatal("extractfix catalog size")
+	}
+	s := cpr.FindSubject("loops", "sum")
+	if s == nil || s.Suite != cpr.SuiteSVCOMP {
+		t.Fatalf("FindSubject: %+v", s)
+	}
+	if _, err := s.Program(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSpecTyped(t *testing.T) {
+	f, err := cpr.ParseSpecTyped("(or flag (> n 0))", map[string]bool{"flag": true, "n": false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f == nil {
+		t.Fatal("nil term")
+	}
+	if _, err := cpr.ParseSpecTyped("(> flag 0)", map[string]bool{"flag": true}); err == nil {
+		t.Fatal("ill-sorted spec should fail to parse")
+	}
+}

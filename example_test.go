@@ -1,0 +1,117 @@
+package cpr_test
+
+import (
+	"fmt"
+
+	"cpr"
+)
+
+// ExampleParseSpec shows the SMT-LIB-style prefix syntax used for
+// specifications and patches.
+func ExampleParseSpec() {
+	spec, err := cpr.ParseSpec("(and (distinct y 0) (>= x 0))", "x", "y")
+	if err != nil {
+		panic(err)
+	}
+	// Ne canonicalizes its operand order (constants sort first).
+	fmt.Println(spec)
+	// Output: (and (distinct 0 y) (>= x 0))
+}
+
+// ExampleFormatProgram renders a subject program with a patch filled into
+// its hole.
+func ExampleFormatProgram() {
+	prog, err := cpr.ParseProgram(`
+void main(int y) {
+    if (__HOLE__) {
+        return;
+    }
+    int c = 10 / y;
+}`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(cpr.FormatProgram(prog, "y == 0"))
+	// Output:
+	// void main(int y) {
+	//     if (y == 0) {
+	//         return;
+	//     }
+	//     int c = 10 / y;
+	// }
+}
+
+// ExampleRepair runs a small end-to-end repair: the guard protecting a
+// division is synthesized from one failing input and the crash-freedom
+// specification.
+func ExampleRepair() {
+	prog, err := cpr.ParseProgram(`
+void main(int y) {
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    int c = 10 / y;
+}`)
+	if err != nil {
+		panic(err)
+	}
+	spec, err := cpr.ParseSpec("(distinct y 0)", "y")
+	if err != nil {
+		panic(err)
+	}
+	res, err := cpr.Repair(cpr.Job{
+		Program:       prog,
+		Spec:          spec,
+		FailingInputs: []map[string]int64{{"y": 0}},
+		Components: cpr.Components{
+			Vars:       map[string]cpr.LangType{"y": cpr.TypeInt},
+			Params:     []string{"b"},
+			ParamRange: cpr.NewInterval(-10, 10),
+			Cmp:        []cpr.Op{cpr.OpEq},
+			Bool:       []cpr.Op{},
+			Arith:      []cpr.Op{},
+		},
+		InputBounds: map[string]cpr.Interval{"y": cpr.NewInterval(-50, 50)},
+		Budget:      cpr.Budget{MaxIterations: 10, ValidationIterations: 4},
+	}, cpr.Options{})
+	if err != nil {
+		panic(err)
+	}
+	dev, err := cpr.ParseSpec("(= y 0)", "y")
+	if err != nil {
+		panic(err)
+	}
+	rank, found := cpr.CorrectPatchRank(res, dev, map[string]cpr.Interval{"y": cpr.NewInterval(-50, 50)})
+	fmt.Printf("correct patch found=%v rank=%d\n", found, rank)
+	best := res.Ranked[0]
+	params, _ := best.AnyParams()
+	fmt.Println(cpr.PatchText(best, params))
+	// Output:
+	// correct patch found=true rank=1
+	// y == 0
+}
+
+// ExampleLocalizeFault ranks suspicious statements from run spectra.
+func ExampleLocalizeFault() {
+	prog, err := cpr.ParseProgram(`
+void main(int y) {
+    int a = y + 1;
+    if (y == 0) {
+        int bad = 10 / y;
+    }
+}`)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := cpr.LocalizeFault(prog, []map[string]int64{
+		{"y": 0}, // failing
+		{"y": 3}, // passing
+		{"y": 7}, // passing
+	}, cpr.FaultOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("failing=%d passing=%d top line=%d\n", rep.Failing, rep.Passing, rep.Ranked[0].Pos.Line)
+	// Output: failing=1 passing=2 top line=5
+}

@@ -1,0 +1,75 @@
+// Fault localization: the paper assumes the fault location is given and
+// notes (§7) it can be derived from statistical fault localization. This
+// example shows that derivation: spectrum-based localization over failing
+// and passing runs pinpoints the buggy statement, which is where the
+// __HOLE__ would be placed for repair.
+//
+//	go run ./examples/faultloc
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"cpr"
+)
+
+// The buggy division hides inside one branch; the other statements are
+// executed by passing runs too.
+const subject = `
+void main(int mode, int size) {
+    int limit = size + 8;
+    if (mode == 2) {
+        int chunk = 256 / size;
+        int used = chunk + 1;
+    } else {
+        int safe = 256 / limit;
+        int used = safe + 1;
+    }
+    int done = limit * 2;
+}
+`
+
+func main() {
+	prog, err := cpr.ParseProgram(subject)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A mixed pool of failing and passing inputs (in practice these come
+	// from a test suite or a fuzzing campaign).
+	inputs := []map[string]int64{
+		{"mode": 2, "size": 0}, // failing: 256/0
+		{"mode": 2, "size": 0}, // failing again (different x would too)
+		{"mode": 2, "size": 4}, // passing through the buggy branch
+		{"mode": 1, "size": 0}, // passing through the safe branch
+		{"mode": 0, "size": 9}, // passing
+	}
+
+	for _, formula := range []cpr.FaultOptions{
+		{Formula: cpr.Ochiai},
+		{Formula: cpr.Tarantula},
+		{Formula: cpr.Jaccard},
+	} {
+		rep, err := cpr.LocalizeFault(prog, inputs, formula)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%v ranking (%d failing, %d passing runs):\n",
+			formula.Formula, rep.Failing, rep.Passing)
+		lines := strings.Split(subject, "\n")
+		for i, r := range rep.Ranked {
+			if i >= 4 {
+				break
+			}
+			src := ""
+			if r.Pos.Line-1 < len(lines) {
+				src = strings.TrimSpace(lines[r.Pos.Line-1])
+			}
+			fmt.Printf("  %2d. line %2d  score %.3f  %s\n", i+1, r.Pos.Line, r.Score, src)
+		}
+		fmt.Println()
+	}
+	fmt.Println("the top-ranked statement is where __HOLE__ goes for the repair job")
+}

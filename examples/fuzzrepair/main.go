@@ -1,0 +1,91 @@
+// Fuzz-then-repair: when no failing test is available, the paper (§3.2)
+// generates one with directed greybox fuzzing before concolic repair
+// starts. This example reproduces that pipeline: the bug hides behind a
+// narrow guard, the fuzzer finds a crash-exposing input, and CPR repairs
+// from it.
+//
+//	go run ./examples/fuzzrepair
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cpr"
+)
+
+const subject = `
+void main(int size, int mode) {
+    int buf[10];
+    if (mode >= 3) {
+        if (mode <= 5) {
+            if (__HOLE__) {
+                return;
+            }
+            __BUG__;
+            buf[size] = mode;
+        }
+    }
+}
+`
+
+func main() {
+	prog, err := cpr.ParseProgram(subject)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1: no failing test available — fuzz for one. The buggy
+	// original has no guard, i.e. the hole is the constant false.
+	original, err := cpr.ParseSpec("false")
+	if err != nil {
+		log.Fatal(err)
+	}
+	camp := cpr.FindFailingInput(prog, original, cpr.FuzzOptions{
+		Seed: 7,
+		InputBounds: map[string]cpr.Interval{
+			"size": cpr.NewInterval(-50, 50),
+			"mode": cpr.NewInterval(-50, 50),
+		},
+	})
+	if camp.Failing == nil {
+		log.Fatalf("fuzzer found no failing input in %d runs", camp.Runs)
+	}
+	fmt.Printf("fuzzer: failing input %v after %d runs (%d bug-location hits)\n\n",
+		camp.Failing, camp.Runs, camp.BugHits)
+
+	// Step 2: repair from the generated failing input.
+	spec, err := cpr.ParseSpec("(and (>= size 0) (< size 10))", "size")
+	if err != nil {
+		log.Fatal(err)
+	}
+	job := cpr.Job{
+		Program:       prog,
+		Spec:          spec,
+		FailingInputs: []map[string]int64{camp.Failing},
+		Components: cpr.Components{
+			Vars:         map[string]cpr.LangType{"size": cpr.TypeInt, "mode": cpr.TypeInt},
+			Params:       []string{"a", "b"},
+			ParamRange:   cpr.NewInterval(-10, 10),
+			Arith:        []cpr.Op{},
+			Cmp:          []cpr.Op{cpr.OpLt, cpr.OpGe},
+			Bool:         []cpr.Op{cpr.OpOr},
+			MaxTemplates: 40, // paper-scale pool
+		},
+		InputBounds: map[string]cpr.Interval{
+			"size": cpr.NewInterval(-50, 50),
+			"mode": cpr.NewInterval(-50, 50),
+		},
+		Budget: cpr.Budget{MaxIterations: 40},
+	}
+	res, err := cpr.Repair(job, cpr.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repair: |P| %d → %d (%.0f%% reduction), φE=%d φS=%d\n",
+		res.Stats.PInit, res.Stats.PFinal, res.Stats.ReductionRatio()*100,
+		res.Stats.PathsExplored, res.Stats.PathsSkipped)
+	for _, line := range cpr.FormatTopPatches(res, 5) {
+		fmt.Println("  " + line)
+	}
+}

@@ -1,0 +1,49 @@
+// Logical-error repair with assertion specifications (the paper's §5.3,
+// Table 4 scenario): the SV-COMP insertion-sort task has a wrong
+// comparison in its inner loop, and the specification is the sortedness
+// assertion itself — no crash involved.
+//
+//	go run ./examples/svcomp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cpr"
+)
+
+func main() {
+	for _, id := range [][2]string{
+		{"loops", "insertion_sort"},
+		{"recursive", "addition"},
+	} {
+		subject := cpr.FindSubject(id[0], id[1])
+		if subject == nil {
+			log.Fatalf("subject %v not found", id)
+		}
+		fmt.Printf("=== %s ===\n", subject.ID())
+		fmt.Printf("spec: %s   developer patch: %s\n", subject.SpecSrc, subject.DevPatch)
+
+		job, err := subject.Job(cpr.Budget{MaxIterations: 20, ValidationIterations: 6})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := cpr.Repair(job, cpr.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dev, err := subject.DevPatchTerm()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rank, found := cpr.CorrectPatchRank(res, dev, job.InputBounds)
+		fmt.Printf("|P| %d → %d (%.0f%%), φE=%d, correct patch found=%v rank=%d\n",
+			res.Stats.PInit, res.Stats.PFinal, res.Stats.ReductionRatio()*100,
+			res.Stats.PathsExplored, found, rank)
+		for _, line := range cpr.FormatTopPatches(res, 3) {
+			fmt.Println("  " + line)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module cpr
+
+go 1.22

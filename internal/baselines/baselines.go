@@ -1,0 +1,476 @@
+// Package baselines implements simplified re-creations of the three
+// repair tools the paper compares against in Table 2, each built around
+// the defining mechanism of the original:
+//
+//   - ProphetLite — test-driven enumerative repair with a learned-prior
+//     style ranking (Prophet, POPL'16): candidates are validated against
+//     a (small) test suite only, so overfitting patches pass.
+//   - AngelixLite — angelic-value specification inference (Angelix,
+//     ICSE'16): symbolic search for hole values that make the failing
+//     tests pass, then synthesis of an expression matching those values.
+//   - ExtractFixLite — crash-free-constraint repair (ExtractFix,
+//     TOSEM'21): the specification at the bug location is propagated to
+//     the patch location and a guard is synthesized that provably blocks
+//     every violating input.
+//
+// All three share CPR's synthesizer, executor, and solver so Table 2
+// compares strategies, not implementations.
+package baselines
+
+import (
+	"math/rand"
+
+	"cpr/internal/concolic"
+	"cpr/internal/core"
+	"cpr/internal/expr"
+	"cpr/internal/interval"
+	"cpr/internal/lang"
+	"cpr/internal/lang/interp"
+	"cpr/internal/patch"
+	"cpr/internal/smt"
+	"cpr/internal/synth"
+)
+
+// Result is a baseline outcome: at most one (top-ranked) concrete patch.
+type Result struct {
+	// Patch is the returned template (nil: no plausible patch found).
+	Patch *patch.Patch
+	// Params instantiate the template.
+	Params expr.Model
+	// Tried counts candidate evaluations.
+	Tried int
+}
+
+// Generated reports whether the tool produced a plausible patch.
+func (r Result) Generated() bool { return r.Patch != nil }
+
+// ConcreteExpr returns the parameter-instantiated patch expression.
+func (r Result) ConcreteExpr() *expr.Term {
+	if r.Patch == nil {
+		return nil
+	}
+	sub := make(map[string]*expr.Term, len(r.Params))
+	for k, v := range r.Params {
+		sub[k] = expr.Int(v)
+	}
+	return expr.Subst(r.Patch.Expr, sub)
+}
+
+// Options tunes the baselines.
+type Options struct {
+	// Seed drives test generation deterministically.
+	Seed int64
+	// Tests is the size of the generated test suite for ProphetLite
+	// (default 6 — the paper notes the developer suites are very limited).
+	Tests int
+	// MaxCandidates bounds candidate (template, params) evaluations
+	// (default 4000).
+	MaxCandidates int
+	// SMT configures the shared solver.
+	SMT smt.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tests == 0 {
+		o.Tests = 6
+	}
+	if o.MaxCandidates == 0 {
+		o.MaxCandidates = 4000
+	}
+	return o
+}
+
+func templatesFor(job core.Job) []*patch.Patch {
+	tpls := synth.Synthesize(job.Components, job.Program.HoleType)
+	return synth.BuildPool(tpls, job.Components).Patches
+}
+
+func inputBounds(job core.Job) map[string]interval.Interval {
+	b := make(map[string]interval.Interval)
+	for _, p := range job.Program.Inputs() {
+		if iv, ok := job.InputBounds[p.Name]; ok {
+			b[p.Name] = iv
+		} else {
+			b[p.Name] = smt.Int32Bounds
+		}
+		if p.Type == lang.TypeBool {
+			b[p.Name] = interval.New(0, 1)
+		}
+	}
+	return b
+}
+
+// specHolds evaluates the job's specification on a finished concrete run:
+// crash-free and σ true at every bug-location visit. It re-runs the
+// program concolically to obtain bug-site snapshots with concrete values.
+func specHolds(job core.Job, input map[string]int64, hole *expr.Term, params expr.Model) bool {
+	exec := concolic.Execute(job.Program, input, concolic.Options{Patch: hole, PatchParams: params})
+	if exec.Crashed() {
+		return false
+	}
+	if exec.Err != nil && exec.Err.Kind != interp.ErrAssumeViolated {
+		return false
+	}
+	for _, h := range exec.BugHits {
+		v, err := expr.EvalBool(job.Spec, h.Concrete)
+		if err != nil || !v {
+			return false
+		}
+	}
+	return true
+}
+
+// passingTests samples random inputs on which the unpatched program (the
+// hole behaving as the buggy original, false) terminates cleanly. Real
+// repair tools validate against the developer's passing tests; patches
+// must preserve behavior on them.
+func passingTests(job core.Job, seed int64, n int) []map[string]int64 {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	bounds := inputBounds(job)
+	var out []map[string]int64
+	for tries := 0; tries < n*20 && len(out) < n; tries++ {
+		in := make(map[string]int64)
+		for _, p := range job.Program.Inputs() {
+			iv := bounds[p.Name]
+			in[p.Name] = iv.Lo + rng.Int63n(iv.Hi-iv.Lo+1)
+		}
+		exec := concolic.Execute(job.Program, in, concolic.Options{Patch: neutralHole(job)})
+		if exec.Err == nil && !exec.Crashed() {
+			ok := true
+			for _, h := range exec.BugHits {
+				v, err := expr.EvalBool(job.Spec, h.Concrete)
+				if err != nil || !v {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, in)
+			}
+		}
+	}
+	return out
+}
+
+// neutralHole is the buggy original's stand-in for the hole: false for
+// guard holes, zero for expression holes.
+func neutralHole(job core.Job) *expr.Term {
+	if job.Program.HoleType == lang.TypeInt {
+		return expr.Int(0)
+	}
+	return expr.False()
+}
+
+// preservesOnPassing reports whether the candidate guard never fires on a
+// passing test (behavior preservation: firing would delete the passing
+// behavior). Integer holes are exempt (no guard semantics).
+func preservesOnPassing(job core.Job, hole *expr.Term, params expr.Model, passing []map[string]int64) bool {
+	if hole.Sort != expr.SortBool {
+		return true
+	}
+	for _, in := range passing {
+		exec := concolic.Execute(job.Program, in, concolic.Options{Patch: neutralHole(job)})
+		for _, h := range exec.HoleHits {
+			m := expr.Model{}
+			for k, v := range h.Concrete {
+				m[k] = v
+			}
+			for k, v := range params {
+				m[k] = v
+			}
+			fired, err := expr.EvalBool(hole, m)
+			if err != nil || fired {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ---- ProphetLite ----------------------------------------------------------
+
+// Prophet runs test-driven enumerative repair: candidates ranked by a
+// syntactic prior are validated against the failing inputs plus a few
+// generated passing tests. The first candidate passing all tests wins —
+// with a small suite this overfits exactly as Table 2 shows.
+func Prophet(job core.Job, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	pool := templatesFor(job)
+
+	// Build the test suite: the failing inputs plus passing tests whose
+	// behavior a patch must preserve (real suites assert outputs; firing
+	// the guard on them counts as a failure).
+	_ = rng
+	tests := append([]map[string]int64{}, job.FailingInputs...)
+	passing := passingTests(job, opts.Seed, opts.Tests-len(tests))
+	tests = append(tests, passing...)
+
+	// Prophet-style prior: smaller patches first, variable mentions help.
+	ranked := append([]*patch.Patch{}, pool...)
+	score := func(p *patch.Patch) int {
+		s := -p.Expr.Size() * 2
+		for _, v := range expr.Vars(p.Expr) {
+			if !isParam(p, v.Name) {
+				s += 3
+			}
+		}
+		return s
+	}
+	sortStable(ranked, func(a, b *patch.Patch) bool {
+		sa, sb := score(a), score(b)
+		if sa != sb {
+			return sa > sb
+		}
+		return a.ID < b.ID
+	})
+
+	res := Result{}
+	for _, p := range ranked {
+		// Enumerate parameter points (bounded).
+		ok := false
+		var goodParams expr.Model
+		p.Constraint.Points(func(pt []int64) bool {
+			if res.Tried >= opts.MaxCandidates {
+				return false
+			}
+			res.Tried++
+			params := expr.Model{}
+			for i, name := range p.Params {
+				params[name] = pt[i]
+			}
+			for _, tin := range tests {
+				if !specHolds(job, tin, p.Expr, params) {
+					return true // next candidate point
+				}
+			}
+			if !preservesOnPassing(job, p.Expr, params, passing) {
+				return true
+			}
+			ok, goodParams = true, params
+			return false
+		})
+		if len(p.Params) == 0 && !ok {
+			if res.Tried < opts.MaxCandidates {
+				res.Tried++
+				allPass := true
+				for _, tin := range tests {
+					if !specHolds(job, tin, p.Expr, expr.Model{}) {
+						allPass = false
+						break
+					}
+				}
+				if allPass && preservesOnPassing(job, p.Expr, expr.Model{}, passing) {
+					ok, goodParams = true, expr.Model{}
+				}
+			}
+		}
+		if ok {
+			res.Patch, res.Params = p, goodParams
+			return res, nil
+		}
+		if res.Tried >= opts.MaxCandidates {
+			break
+		}
+	}
+	return res, nil
+}
+
+// ---- AngelixLite ----------------------------------------------------------
+
+// Angelix infers angelic hole values: for each failing input it searches
+// uniform hole-direction assignments that make the run satisfy the
+// specification, records the hole-site states, and synthesizes an
+// expression matching the recorded values. With only failing tests, the
+// inferred specification is extremely weak — the paper reports zero
+// correct patches for this benchmark.
+func Angelix(job core.Job, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if job.Program.HoleType != lang.TypeBool {
+		return Result{}, core.ErrNoHole
+	}
+	pool := templatesFor(job)
+	solver := smt.NewSolver(opts.SMT)
+
+	// Phase 1: angelic forward search, uniform value per run.
+	type obligation struct {
+		snapshot expr.Model
+		value    bool
+	}
+	var obligations []obligation
+	for _, pin := range passingTests(job, opts.Seed, 4) {
+		exec := concolic.Execute(job.Program, pin, concolic.Options{Patch: expr.Bool(false)})
+		for _, h := range exec.HoleHits {
+			obligations = append(obligations, obligation{snapshot: h.Concrete, value: false})
+		}
+	}
+	for _, fi := range job.FailingInputs {
+		found := false
+		for _, v := range []bool{true, false} {
+			exec := concolic.Execute(job.Program, fi, concolic.Options{Patch: expr.Bool(v)})
+			if exec.Crashed() || (exec.Err != nil && exec.Err.Kind != interp.ErrAssumeViolated) {
+				continue
+			}
+			bad := false
+			for _, h := range exec.BugHits {
+				val, err := expr.EvalBool(job.Spec, h.Concrete)
+				if err != nil || !val {
+					bad = true
+					break
+				}
+			}
+			if bad {
+				continue
+			}
+			for _, h := range exec.HoleHits {
+				obligations = append(obligations, obligation{snapshot: h.Concrete, value: v})
+			}
+			found = true
+			break
+		}
+		if !found {
+			return Result{}, nil // no angelic values: repair fails
+		}
+	}
+
+	// Phase 2: synthesize an expression matching the angelic values.
+	res := Result{}
+	for _, p := range pool {
+		cons := []*expr.Term{p.ConstraintTerm()}
+		for _, ob := range obligations {
+			sub := make(map[string]*expr.Term, len(ob.snapshot))
+			for name, v := range ob.snapshot {
+				if !isParam(p, name) {
+					sub[name] = expr.Int(v)
+				}
+			}
+			inst := expr.Subst(p.Expr, sub)
+			cons = append(cons, expr.Eq(inst, expr.Bool(ob.value)))
+		}
+		res.Tried++
+		model, ok, err := solver.GetModel(expr.And(cons...), p.ParamBounds())
+		if err != nil {
+			continue
+		}
+		if ok {
+			params := expr.Model{}
+			for _, name := range p.Params {
+				params[name] = model[name]
+			}
+			res.Patch, res.Params = p, params
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// ---- ExtractFixLite -------------------------------------------------------
+
+// ExtractFix propagates the crash-free constraint to the patch location
+// and synthesizes a guard that provably blocks every violating input:
+// ∀X: ¬θ(X,A) ⇒ σ(X) over the input bounds. Candidates are verified with
+// the solver (CEGIS over the parameters), so generated patches guarantee
+// the specification — which is why the original tool tops Table 2.
+func ExtractFix(job core.Job, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if job.Program.HoleType != lang.TypeBool {
+		return Result{}, core.ErrNoHole
+	}
+	solver := smt.NewSolver(opts.SMT)
+	pool := templatesFor(job)
+	bounds := inputBounds(job)
+
+	// The crash-free constraint at the patch location: σ instantiated
+	// over the failing run's hole snapshot (the dominating path).
+	exec := concolic.Execute(job.Program, job.FailingInputs[0], concolic.Options{Patch: expr.False()})
+	if len(exec.HoleHits) == 0 {
+		return Result{}, nil
+	}
+	snap := exec.HoleHits[0].Snapshot
+	sigma := expr.Subst(job.Spec, snap)
+
+	res := Result{}
+	for _, p := range pool {
+		if p.Expr.IsConst() {
+			continue // a crash-free guard must not delete all behavior
+		}
+		psi := func(params map[string]*expr.Term) *expr.Term {
+			sub := make(map[string]*expr.Term, len(snap))
+			for name, v := range snap {
+				if !isParam(p, name) {
+					sub[name] = v
+				}
+			}
+			inst := expr.Subst(p.Expr, sub)
+			return expr.Subst(inst, params)
+		}
+		// CEGIS over A: find A with no counterexample input. The failing
+		// input must be caught by the guard, which seeds the constraint.
+		failSub := make(map[string]*expr.Term, len(job.FailingInputs[0]))
+		for name, v := range job.FailingInputs[0] {
+			failSub[name] = expr.Int(v)
+		}
+		side := []*expr.Term{p.ConstraintTerm(), expr.Subst(psi(nil), failSub)}
+		solved := false
+		var goodParams expr.Model
+		for iter := 0; iter < 96; iter++ {
+			res.Tried++
+			cand, ok, err := solver.GetModel(expr.And(side...), p.ParamBounds())
+			if err != nil || !ok {
+				break
+			}
+			params := expr.Model{}
+			paramSub := make(map[string]*expr.Term, len(p.Params))
+			for _, name := range p.Params {
+				params[name] = cand[name]
+				paramSub[name] = expr.Int(cand[name])
+			}
+			guard := psi(paramSub)
+			// Counterexample: input not caught by the guard yet violating σ.
+			cex, found, err := solver.GetModel(expr.And(expr.Not(guard), expr.Not(sigma)), bounds)
+			if err != nil {
+				break
+			}
+			if !found {
+				// Require the guard not to reject everything: some input
+				// must still pass it (crash-freedom with minimal
+				// functionality deletion).
+				_, alive, err2 := solver.GetModel(expr.And(expr.Not(guard), sigma), bounds)
+				if err2 == nil && alive {
+					solved, goodParams = true, params
+				}
+				break
+			}
+			// Require the guard to catch this violating input.
+			inputSub := make(map[string]*expr.Term, len(cex))
+			for name, v := range cex {
+				if !isParam(p, name) {
+					inputSub[name] = expr.Int(v)
+				}
+			}
+			side = append(side, expr.Subst(psi(nil), inputSub))
+		}
+		if solved {
+			res.Patch, res.Params = p, goodParams
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+func isParam(p *patch.Patch, name string) bool {
+	for _, q := range p.Params {
+		if q == name {
+			return true
+		}
+	}
+	return false
+}
+
+func sortStable(ps []*patch.Patch, less func(a, b *patch.Patch) bool) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && less(ps[j], ps[j-1]); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}

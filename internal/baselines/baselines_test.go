@@ -1,0 +1,175 @@
+package baselines
+
+import (
+	"testing"
+
+	"cpr/internal/core"
+	"cpr/internal/expr"
+	"cpr/internal/interval"
+	"cpr/internal/lang"
+	"cpr/internal/patch"
+	"cpr/internal/smt"
+	"cpr/internal/synth"
+)
+
+func divZeroJob() core.Job {
+	prog := lang.MustParse(`
+void main(int x, int y) {
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    int c = 100 / x;
+    int d = c / y;
+}`)
+	return core.Job{
+		Program: prog,
+		Spec: expr.And(
+			expr.Ne(expr.IntVar("x"), expr.Int(0)),
+			expr.Ne(expr.IntVar("y"), expr.Int(0)),
+		),
+		FailingInputs: []map[string]int64{{"x": 7, "y": 0}},
+		Components: synth.Components{
+			Vars:         map[string]lang.Type{"x": lang.TypeInt, "y": lang.TypeInt},
+			Params:       []string{"a", "b"},
+			ParamRange:   interval.New(-10, 10),
+			Cmp:          []expr.Op{expr.OpEq, expr.OpGe, expr.OpLt},
+			Bool:         []expr.Op{expr.OpOr},
+			Arith:        []expr.Op{},
+			MaxTemplates: 40,
+		},
+		InputBounds: map[string]interval.Interval{
+			"x": interval.New(-100, 100),
+			"y": interval.New(-100, 100),
+		},
+		Budget: core.Budget{MaxIterations: 10},
+	}
+}
+
+func devPatch() *expr.Term {
+	return expr.Or(
+		expr.Eq(expr.IntVar("x"), expr.Int(0)),
+		expr.Eq(expr.IntVar("y"), expr.Int(0)),
+	)
+}
+
+func isCorrect(t *testing.T, job core.Job, res Result) bool {
+	t.Helper()
+	if !res.Generated() {
+		return false
+	}
+	solver := smt.NewSolver(smt.Options{})
+	p := patch.New(1, res.ConcreteExpr(), nil)
+	ok, _, err := core.Covers(solver, p, devPatch(), job.InputBounds, 0)
+	if err != nil {
+		t.Fatalf("Covers: %v", err)
+	}
+	return ok
+}
+
+// TestProphetOverfits: with a small test suite ProphetLite returns a
+// plausible patch, typically not the correct one (Table 2: 2/30 correct).
+func TestProphetOverfits(t *testing.T) {
+	job := divZeroJob()
+	res, err := Prophet(job, Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("Prophet: %v", err)
+	}
+	if !res.Generated() {
+		t.Fatalf("Prophet produced no patch (tried %d)", res.Tried)
+	}
+	t.Logf("prophet patch: %v correct=%v", expr.CString(res.ConcreteExpr()), isCorrect(t, job, res))
+}
+
+// TestAngelixWeakSpec: angelic forward search with only failing tests
+// yields a patch fitting the inferred values — almost never the correct
+// one (Table 2: 0 correct).
+func TestAngelixWeakSpec(t *testing.T) {
+	job := divZeroJob()
+	res, err := Angelix(job, Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("Angelix: %v", err)
+	}
+	if !res.Generated() {
+		t.Fatalf("Angelix produced no patch (tried %d)", res.Tried)
+	}
+	if isCorrect(t, job, res) {
+		t.Log("note: Angelix found the correct patch on this subject (rare)")
+	}
+}
+
+// TestExtractFixSound: the crash-free-constraint tool must return a patch
+// that provably blocks every violating input.
+func TestExtractFixSound(t *testing.T) {
+	job := divZeroJob()
+	res, err := ExtractFix(job, Options{})
+	if err != nil {
+		t.Fatalf("ExtractFix: %v", err)
+	}
+	if !res.Generated() {
+		t.Fatalf("ExtractFix produced no patch (tried %d)", res.Tried)
+	}
+	// Soundness: ¬θ ∧ ¬σ must be unsatisfiable.
+	solver := smt.NewSolver(smt.Options{})
+	sigma := job.Spec
+	guard := res.ConcreteExpr()
+	sat, err := solver.IsSat(expr.And(expr.Not(guard), expr.Not(sigma)), job.InputBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat {
+		t.Fatalf("ExtractFix patch %v does not block all violations", expr.CString(guard))
+	}
+	t.Logf("extractfix patch: %v correct=%v", expr.CString(guard), isCorrect(t, job, res))
+}
+
+func TestBaselinesDeterministic(t *testing.T) {
+	job := divZeroJob()
+	a, err1 := Prophet(job, Options{Seed: 42})
+	b, err2 := Prophet(job, Options{Seed: 42})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("%v %v", err1, err2)
+	}
+	if (a.Patch == nil) != (b.Patch == nil) {
+		t.Fatal("nondeterministic generation")
+	}
+	if a.Patch != nil && a.Patch.Expr != b.Patch.Expr {
+		t.Fatalf("nondeterministic patch: %v vs %v", a.Patch.Expr, b.Patch.Expr)
+	}
+}
+
+func TestBaselinesOnIntHole(t *testing.T) {
+	prog := lang.MustParse(`
+int main(int x) {
+    int y = __HOLE__;
+    __BUG__;
+    assert(y == x + 1);
+    return y;
+}`)
+	job := core.Job{
+		Program:       prog,
+		Spec:          expr.Eq(expr.IntVar("y"), expr.Add(expr.IntVar("x"), expr.Int(1))),
+		FailingInputs: []map[string]int64{{"x": 3}},
+		Components: synth.Components{
+			Vars:   map[string]lang.Type{"x": lang.TypeInt},
+			Params: []string{"a"},
+			Arith:  []expr.Op{expr.OpAdd},
+		},
+		InputBounds: map[string]interval.Interval{"x": interval.New(-50, 50)},
+	}
+	// Angelix and ExtractFix support only boolean holes.
+	if _, err := Angelix(job, Options{}); err == nil {
+		t.Fatal("Angelix should reject integer holes")
+	}
+	if _, err := ExtractFix(job, Options{}); err == nil {
+		t.Fatal("ExtractFix should reject integer holes")
+	}
+	// Prophet works on any hole type.
+	res, err := Prophet(job, Options{Seed: 2})
+	if err != nil {
+		t.Fatalf("Prophet: %v", err)
+	}
+	if res.Generated() {
+		t.Logf("prophet int patch: %v", expr.CString(res.ConcreteExpr()))
+	}
+}

@@ -1,0 +1,843 @@
+package bench
+
+import (
+	"cpr/internal/core"
+	"cpr/internal/expr"
+	"cpr/internal/interval"
+)
+
+// extractFixSubjects re-encode the 30 security vulnerabilities of the
+// ExtractFix benchmark (Table 1/2). Each mini-C program preserves the bug
+// class of the original CVE (divide-by-zero, out-of-bounds access, missing
+// sanitization) and the shape of the developer fix (an inserted or
+// repaired guard at the patch location). The Paper fields carry the rows
+// of Table 1 verbatim for paper-vs-measured reporting.
+var extractFixSubjects = []*Subject{
+	{
+		Project: "Libtiff", BugID: "CVE-2016-5321", Suite: SuiteExtractFix,
+		// DumpModeDecode: the sample index s runs past the strip buffer
+		// unless sanitized. Developer fix: reject s > 7 (bit index).
+		Source: `
+void main(int s, int n) {
+    int strip[8];
+    assume(n >= 0);
+    assume(n < 100);
+    if (s >= 0) {
+        if (__HOLE__) {
+            return;
+        }
+        __BUG__;
+        strip[s] = n;
+    }
+}`,
+		SpecSrc:  "(and (>= s 0) (< s 8))",
+		DevPatch: "(> s 7)",
+		Failing:  []map[string]int64{{"s": 12, "n": 3}},
+		Cmp:      []expr.Op{expr.OpGt, expr.OpGe, expr.OpEq},
+		Bool:     []expr.Op{expr.OpOr},
+		Paper: PaperRow{
+			CEGISPInit: "174", CEGISPFinal: "174", CEGISRatio: "0%", CEGISPhiE: "17",
+			PInit: "174", PFinal: "104", Ratio: "40%", PhiE: "67", PhiS: "77", Rank: "2",
+		},
+	},
+	{
+		Project: "Libtiff", BugID: "CVE-2014-8128", Suite: SuiteExtractFix,
+		// tif_next: the run length td decoded from the input may exceed
+		// the row buffer.
+		Source: `
+void main(int td, int rows) {
+    int row[16];
+    assume(rows > 0);
+    assume(rows <= 16);
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    int i = 0;
+    while (i < td) {
+        row[i] = 1;
+        i = i + 1;
+    }
+}`,
+		SpecSrc:    "(<= td 16)",
+		DevPatch:   "(> td 16)",
+		Failing:    []map[string]int64{{"td": 40, "rows": 8}},
+		ParamRange: interval.New(-20, 20),
+		Cmp:        []expr.Op{expr.OpGt, expr.OpGe, expr.OpLt},
+		Bool:       []expr.Op{expr.OpOr},
+		Paper: PaperRow{
+			CEGISPInit: "260", CEGISPFinal: "260", CEGISRatio: "0%", CEGISPhiE: "0",
+			PInit: "260", PFinal: "260", Ratio: "0%", PhiE: "0", PhiS: "0", Rank: "1",
+		},
+	},
+	{
+		Project: "Libtiff", BugID: "CVE-2016-3186", Suite: SuiteExtractFix,
+		// gif2tiff: a read loop keeps writing past the buffer because its
+		// condition ignores the buffer capacity (condition repair).
+		Source: `
+int readbyte(int seed, int i) {
+    return (seed + i * 7) % 256;
+}
+void main(int seed, int count) {
+    int buf[12];
+    assume(count >= 0);
+    assume(count < 64);
+    int i = 0;
+    while (__HOLE__) {
+        __BUG__;
+        buf[i] = readbyte(seed, i);
+        i = i + 1;
+    }
+}`,
+		SpecSrc:      "(and (>= i 0) (< i 12))",
+		DevPatch:     "(and (< i count) (< i 12))",
+		Failing:      []map[string]int64{{"seed": 3, "count": 30}},
+		CompVars:     []string{"i", "count"},
+		ParamRange:   interval.New(-16, 16),
+		Cmp:          []expr.Op{expr.OpLt},
+		Bool:         []expr.Op{expr.OpAnd},
+		MaxTemplates: 30,
+		Paper: PaperRow{
+			CEGISPInit: "130", CEGISPFinal: "130", CEGISRatio: "0%", CEGISPhiE: "13",
+			PInit: "130", PFinal: "130", Ratio: "0%", PhiE: "13", PhiS: "1", Rank: "11",
+		},
+	},
+	{
+		Project: "Libtiff", BugID: "CVE-2016-5314", Suite: SuiteExtractFix,
+		// PixarLogDecode: decoded stride times rows overflows the output
+		// buffer; guard on the product's factors.
+		Source: `
+void main(int stride, int rows) {
+    int out[16];
+    assume(stride >= 1);
+    assume(rows >= 1);
+    int need = stride * rows;
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    int last = need - 1;
+    out[last] = 7;
+}`,
+		SpecSrc:      "(<= need 16)",
+		DevPatch:     "(> need 16)",
+		Failing:      []map[string]int64{{"stride": 5, "rows": 4}},
+		CompVars:     []string{"need", "stride", "rows"},
+		SpecVars:     []string{"need"},
+		ParamRange:   interval.New(-20, 20),
+		Cmp:          []expr.Op{expr.OpGt},
+		Bool:         []expr.Op{expr.OpOr},
+		MaxTemplates: 30,
+		Paper: PaperRow{
+			CEGISPInit: "199", CEGISPFinal: "198", CEGISRatio: "1%", CEGISPhiE: "10",
+			PInit: "199", PFinal: "197", Ratio: "1%", PhiE: "21", PhiS: "4", Rank: "2",
+		},
+	},
+	{
+		Project: "Libtiff", BugID: "CVE-2016-9273", Suite: SuiteExtractFix,
+		// TIFFNumberOfStrips: a crafted rowsperstrip of zero causes a
+		// divide-by-zero when computing the strip count.
+		Source: `
+void main(int length, int rps) {
+    assume(length >= 1);
+    assume(length <= 64);
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    int nstrips = (length + rps - 1) / rps;
+    int check = nstrips;
+}`,
+		SpecSrc:  "(distinct rps 0)",
+		DevPatch: "(= rps 0)",
+		Failing:  []map[string]int64{{"length": 32, "rps": 0}},
+		Cmp:      []expr.Op{expr.OpEq, expr.OpLt, expr.OpLe},
+		Bool:     []expr.Op{expr.OpOr},
+		Paper: PaperRow{
+			CEGISPInit: "260", CEGISPFinal: "260", CEGISRatio: "0%", CEGISPhiE: "5",
+			PInit: "260", PFinal: "141", Ratio: "46%", PhiE: "10", PhiS: "2", Rank: "8",
+		},
+	},
+	{
+		Project: "Libtiff", BugID: "bugzilla-2633", Suite: SuiteExtractFix,
+		// tiffcrop YCbCr subsampling: only 1, 2 and 4 are legal sampling
+		// factors; anything else walks off the sample tables.
+		Source: `
+void main(int h, int v) {
+    int table[5];
+    assume(h >= 0);
+    assume(v >= 0);
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    table[h] = 1;
+    table[v] = 2;
+}`,
+		SpecSrc:      "(and (<= h 4) (<= v 4))",
+		DevPatch:     "(or (> h 4) (> v 4))",
+		Failing:      []map[string]int64{{"h": 8, "v": 2}},
+		Params:       []string{"a"},
+		Cmp:          []expr.Op{expr.OpGt},
+		Bool:         []expr.Op{expr.OpOr},
+		MaxTemplates: 40,
+		Paper: PaperRow{
+			CEGISPInit: "130", CEGISPFinal: "130", CEGISRatio: "0%", CEGISPhiE: "66",
+			PInit: "130", PFinal: "130", Ratio: "0%", PhiE: "109", PhiS: "21", Rank: "8",
+		},
+	},
+	{
+		Project: "Libtiff", BugID: "CVE-2016-10094", Suite: SuiteExtractFix,
+		// tiff2pdf t2p_readwrite_pdf_image: the JPEG header copy needs
+		// count > 4; the developer patch compares against the constant 4
+		// (the Table 5 subject: the parameter range must contain 4).
+		Source: `
+void main(int count, int pos) {
+    int hdr[8];
+    assume(pos >= 0);
+    assume(pos < 8);
+    assume(count <= 12);
+    if (count > 0) {
+        if (__HOLE__) {
+            return;
+        }
+        __BUG__;
+        int idx = count - 5;
+        hdr[idx] = pos;
+    }
+}`,
+		SpecSrc:  "(and (>= (- count 5) 0) (< (- count 5) 8))",
+		DevPatch: "(<= count 4)",
+		Failing:  []map[string]int64{{"count": 2, "pos": 1}},
+		Cmp:      []expr.Op{expr.OpLe, expr.OpLt, expr.OpGe},
+		Bool:     []expr.Op{expr.OpOr},
+		Paper: PaperRow{
+			CEGISPInit: "130", CEGISPFinal: "130", CEGISRatio: "0%", CEGISPhiE: "23",
+			PInit: "130", PFinal: "77", Ratio: "41%", PhiE: "34", PhiS: "114", Rank: "6",
+		},
+	},
+	{
+		Project: "Libtiff", BugID: "CVE-2017-7601", Suite: SuiteExtractFix,
+		// tif_jpeg: bits-per-sample drives a shift; values above 16 shift
+		// out of range (modeled as a table of legal shift widths).
+		Source: `
+void main(int bps, int mode) {
+    int shifttab[17];
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    shifttab[bps] = mode;
+}`,
+		SpecSrc:      "(and (>= bps 0) (<= bps 16))",
+		DevPatch:     "(or (< bps 0) (> bps 16))",
+		Failing:      []map[string]int64{{"bps": 62, "mode": 0}},
+		CompVars:     []string{"bps"},
+		ParamRange:   interval.New(-16, 16),
+		Cmp:          []expr.Op{expr.OpLt, expr.OpGt},
+		Bool:         []expr.Op{expr.OpOr},
+		MaxTemplates: 30,
+		Paper: PaperRow{
+			CEGISPInit: "94", CEGISPFinal: "94", CEGISRatio: "0%", CEGISPhiE: "27",
+			PInit: "94", PFinal: "94", Ratio: "0%", PhiE: "78", PhiS: "107", Rank: "2",
+		},
+	},
+	{
+		Project: "Libtiff", BugID: "CVE-2016-3623", Suite: SuiteExtractFix,
+		// rgb2ycbcr cvtRaster: the paper's illustrative example — the
+		// horizontal/vertical subsampling factors divide the strip size.
+		Source: `
+void main(int h, int v) {
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    int cc = 512 / h;
+    int dd = cc / v;
+}`,
+		SpecSrc:      "(and (distinct h 0) (distinct v 0))",
+		DevPatch:     "(or (= h 0) (= v 0))",
+		Failing:      []map[string]int64{{"h": 7, "v": 0}},
+		Cmp:          []expr.Op{expr.OpEq, expr.OpGe, expr.OpLt},
+		Bool:         []expr.Op{expr.OpOr},
+		MaxTemplates: 40,
+		Paper: PaperRow{
+			CEGISPInit: "130", CEGISPFinal: "130", CEGISRatio: "0%", CEGISPhiE: "60",
+			PInit: "130", PFinal: "100", Ratio: "23%", PhiE: "102", PhiS: "21", Rank: "1",
+		},
+	},
+	{
+		Project: "Libtiff", BugID: "CVE-2017-7595", Suite: SuiteExtractFix,
+		// tif_jpeg JPEGSetupEncode: vertical sampling of zero divides the
+		// downsampled height.
+		Source: `
+void main(int height, int vs) {
+    assume(height >= 1);
+    assume(height <= 64);
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    int down = (height + vs - 1) / vs;
+    int rows = down + 1;
+}`,
+		SpecSrc:  "(distinct vs 0)",
+		DevPatch: "(= vs 0)",
+		Failing:  []map[string]int64{{"height": 16, "vs": 0}},
+		Cmp:      []expr.Op{expr.OpEq, expr.OpLe},
+		Bool:     []expr.Op{expr.OpOr},
+		Paper: PaperRow{
+			CEGISPInit: "130", CEGISPFinal: "130", CEGISRatio: "0%", CEGISPhiE: "10",
+			PInit: "130", PFinal: "130", Ratio: "0%", PhiE: "18", PhiS: "31", Rank: "1",
+		},
+	},
+	{
+		Project: "Libtiff", BugID: "bugzilla-2611", Suite: SuiteExtractFix,
+		// tiffmedian: the histogram loop index is driven by a color value
+		// that may exceed the histogram size (condition repair).
+		Source: `
+void main(int color, int limit) {
+    int hist[10];
+    assume(color >= 0);
+    assume(color <= 20);
+    assume(limit >= 0);
+    assume(limit <= 20);
+    int j = color;
+    while (__HOLE__) {
+        __BUG__;
+        hist[j] = hist[j] + 1;
+        j = j + 1;
+    }
+}`,
+		SpecSrc:      "(and (>= j 0) (< j 10))",
+		DevPatch:     "(and (< j limit) (< j 10))",
+		Failing:      []map[string]int64{{"color": 4, "limit": 14}},
+		CompVars:     []string{"j", "limit"},
+		Params:       []string{"a"},
+		ParamRange:   interval.New(-12, 12),
+		Cmp:          []expr.Op{expr.OpLt},
+		Bool:         []expr.Op{expr.OpAnd},
+		MaxTemplates: 30,
+		Paper: PaperRow{
+			CEGISPInit: "130", CEGISPFinal: "130", CEGISRatio: "0%", CEGISPhiE: "61",
+			PInit: "130", PFinal: "112", Ratio: "14%", PhiE: "87", PhiS: "15", Rank: "1",
+		},
+	},
+	{
+		Project: "Binutils", BugID: "CVE-2018-10372", Suite: SuiteExtractFix,
+		// readelf process_cu_tu_index: the section count read from the
+		// file must fit the table; otherwise the pointer walk overflows.
+		Source: `
+void main(int ncols, int nused) {
+    int table[24];
+    assume(nused >= 0);
+    assume(nused <= 24);
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    int end = ncols * 2;
+    table[end] = nused;
+}`,
+		SpecSrc:      "(and (>= (* ncols 2) 0) (< (* ncols 2) 24))",
+		DevPatch:     "(or (< ncols 0) (>= ncols 12))",
+		Failing:      []map[string]int64{{"ncols": 15, "nused": 4}},
+		CompVars:     []string{"ncols"},
+		Params:       []string{"a"},
+		Consts:       []int64{0},
+		ParamRange:   interval.New(-16, 16),
+		MaxTemplates: 30,
+		Cmp:          []expr.Op{expr.OpLt, expr.OpGe},
+		Bool:         []expr.Op{expr.OpOr},
+		Paper: PaperRow{
+			CEGISPInit: "74", CEGISPFinal: "74", CEGISRatio: "0%", CEGISPhiE: "9",
+			PInit: "74", PFinal: "39", Ratio: "47%", PhiE: "25", PhiS: "1", Rank: "33",
+		},
+	},
+	{
+		Project: "Binutils", BugID: "CVE-2017-15025", Suite: SuiteExtractFix,
+		// dwarf2.c decode_line_info: a line range of zero divides the
+		// special-opcode decoding.
+		Source: `
+void main(int opcode, int range) {
+    assume(opcode >= 0);
+    assume(opcode <= 255);
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    int adv = opcode / range;
+    int line = adv + 1;
+}`,
+		SpecSrc:  "(distinct range 0)",
+		DevPatch: "(= range 0)",
+		Failing:  []map[string]int64{{"opcode": 13, "range": 0}},
+		Cmp:      []expr.Op{expr.OpEq, expr.OpLt},
+		Bool:     []expr.Op{expr.OpOr},
+		Paper: PaperRow{
+			CEGISPInit: "130", CEGISPFinal: "130", CEGISRatio: "0%", CEGISPhiE: "0",
+			PInit: "130", PFinal: "130", Ratio: "0%", PhiE: "0", PhiS: "0", Rank: "6",
+		},
+	},
+	{
+		Project: "Libxml2", BugID: "CVE-2016-1834", Suite: SuiteExtractFix,
+		// xmlStrncat: a negative length wraps the copy size (modeled as a
+		// negative index walk).
+		Source: `
+void main(int len, int add) {
+    int buf[20];
+    assume(add >= 0);
+    assume(add <= 10);
+    int total = len + add;
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    buf[total] = 1;
+}`,
+		SpecSrc:      "(and (>= total 0) (< total 20))",
+		DevPatch:     "(or (< total 0) (>= total 20))",
+		Failing:      []map[string]int64{{"len": -6, "add": 2}},
+		CompVars:     []string{"total"},
+		Params:       []string{"a"},
+		Consts:       []int64{0},
+		SpecVars:     []string{"total"},
+		ParamRange:   interval.New(-20, 20),
+		Cmp:          []expr.Op{expr.OpLt, expr.OpGe},
+		Bool:         []expr.Op{expr.OpOr},
+		MaxTemplates: 40,
+		Paper: PaperRow{
+			CEGISPInit: "260", CEGISPFinal: "260", CEGISRatio: "0%", CEGISPhiE: "6",
+			PInit: "260", PFinal: "260", Ratio: "0%", PhiE: "22", PhiS: "0", Rank: "12",
+		},
+	},
+	{
+		Project: "Libxml2", BugID: "CVE-2016-1838", Suite: SuiteExtractFix,
+		// xmlParserPrintFileContextInternal: the context window end runs
+		// past the buffer length.
+		Source: `
+void main(int cur, int n) {
+    int content[16];
+    assume(cur >= 0);
+    assume(n >= 0);
+    int last = cur + n;
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    content[last] = 0;
+}`,
+		SpecSrc:      "(< last 16)",
+		DevPatch:     "(>= last 16)",
+		Failing:      []map[string]int64{{"cur": 10, "n": 9}},
+		CompVars:     []string{"cur", "n", "last"},
+		SpecVars:     []string{"last"},
+		ParamRange:   interval.New(-16, 16),
+		Cmp:          []expr.Op{expr.OpGe},
+		Bool:         []expr.Op{expr.OpOr},
+		MaxTemplates: 20,
+		Paper: PaperRow{
+			CEGISPInit: "199", CEGISPFinal: "199", CEGISRatio: "0%", CEGISPhiE: "4",
+			PInit: "199", PFinal: "199", Ratio: "0%", PhiE: "4", PhiS: "0", Rank: "10",
+		},
+	},
+	{
+		Project: "Libxml2", BugID: "CVE-2016-1839", Suite: SuiteExtractFix,
+		// xmlDictComputeFastQKey: the prefix length walks backwards below
+		// the start of the name buffer.
+		Source: `
+void main(int plen, int seed) {
+    int name[12];
+    assume(seed >= 0);
+    assume(seed <= 5);
+    assume(plen <= 12);
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    int idx = plen - 1;
+    int k = name[idx] + seed;
+}`,
+		SpecSrc:  "(and (>= (- plen 1) 0) (< (- plen 1) 12))",
+		DevPatch: "(< plen 1)",
+		Failing:  []map[string]int64{{"plen": 0, "seed": 2}},
+		CompVars: []string{"plen"},
+		Params:   []string{"a"},
+		Cmp:      []expr.Op{expr.OpLt, expr.OpGt},
+		Bool:     []expr.Op{expr.OpOr},
+		Paper: PaperRow{
+			CEGISPInit: "65", CEGISPFinal: "65", CEGISRatio: "0%", CEGISPhiE: "0",
+			PInit: "65", PFinal: "65", Ratio: "0%", PhiE: "0", PhiS: "0", Rank: "14",
+		},
+	},
+	{
+		Project: "Libxml2", BugID: "CVE-2012-5134", Suite: SuiteExtractFix,
+		// xmlParseAttValueComplex: when the value is empty, the trailing
+		// quote trim decrements the length below zero.
+		Source: `
+void main(int len, int quoted) {
+    int val[8];
+    assume(quoted >= 0);
+    assume(quoted <= 1);
+    assume(len >= 0);
+    assume(len <= 8);
+    if (quoted == 1) {
+        if (__HOLE__) {
+            return;
+        }
+        __BUG__;
+        int last = len - 1;
+        val[last] = 0;
+    }
+}`,
+		SpecSrc:  "(>= (- len 1) 0)",
+		DevPatch: "(<= len 0)",
+		Failing:  []map[string]int64{{"len": 0, "quoted": 1}},
+		Cmp:      []expr.Op{expr.OpLe, expr.OpEq, expr.OpGt},
+		Bool:     []expr.Op{expr.OpOr},
+		Paper: PaperRow{
+			CEGISPInit: "260", CEGISPFinal: "260", CEGISRatio: "0%", CEGISPhiE: "44",
+			PInit: "260", PFinal: "134", Ratio: "48%", PhiE: "80", PhiS: "271", Rank: "7",
+		},
+	},
+	{
+		Project: "Libxml2", BugID: "CVE-2017-5969", Suite: SuiteExtractFix,
+		// xmlDumpElementContent: a NULL content node for an empty DTD
+		// declaration is dereferenced (modeled as a validity flag).
+		Source: `
+void main(int ctype, int depth) {
+    int node[4];
+    assume(depth >= 0);
+    assume(depth <= 3);
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    int slot = ctype;
+    node[slot] = depth;
+}`,
+		SpecSrc:      "(and (>= ctype 0) (< ctype 4))",
+		DevPatch:     "(or (< ctype 0) (> ctype 3))",
+		Failing:      []map[string]int64{{"ctype": -3, "depth": 1}},
+		CompVars:     []string{"ctype"},
+		Params:       []string{"a"},
+		Consts:       []int64{0},
+		Cmp:          []expr.Op{expr.OpLt, expr.OpGt, expr.OpEq},
+		Bool:         []expr.Op{expr.OpOr},
+		MaxTemplates: 30,
+		Paper: PaperRow{
+			CEGISPInit: "260", CEGISPFinal: "260", CEGISRatio: "0%", CEGISPhiE: "0",
+			PInit: "260", PFinal: "154", Ratio: "41%", PhiE: "21", PhiS: "2", Rank: "1",
+		},
+	},
+	{
+		Project: "Libjpeg", BugID: "CVE-2018-14498", Suite: SuiteExtractFix,
+		// rdbmp get_8bit_row: a colormap index read from the file exceeds
+		// the map size.
+		Source: `
+void main(int cidx, int maplen) {
+    int cmap[16];
+    assume(cidx >= 0);
+    assume(maplen >= 1);
+    assume(maplen <= 16);
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    int v = cmap[cidx];
+    int w = v + 1;
+}`,
+		SpecSrc:  "(and (>= cidx 0) (< cidx 16))",
+		DevPatch: "(>= cidx maplen)",
+		Failing:  []map[string]int64{{"cidx": 30, "maplen": 8}},
+		Cmp:      []expr.Op{expr.OpGe, expr.OpLt},
+		Bool:     []expr.Op{expr.OpOr},
+		Paper: PaperRow{
+			CEGISPInit: "260", CEGISPFinal: "260", CEGISRatio: "0%", CEGISPhiE: "42",
+			PInit: "260", PFinal: "128", Ratio: "51%", PhiE: "78", PhiS: "108", Rank: "2",
+		},
+	},
+	{
+		Project: "Libjpeg", BugID: "CVE-2018-19664", Suite: SuiteExtractFix,
+		// djpeg: output color space conversion with quantization reads a
+		// table indexed by the component count.
+		Source: `
+void main(int ncomp, int quant) {
+    int limit[5];
+    assume(quant >= 0);
+    assume(quant <= 1);
+    if (quant == 1) {
+        if (__HOLE__) {
+            return;
+        }
+        __BUG__;
+        limit[ncomp] = 255;
+    }
+}`,
+		SpecSrc:      "(and (>= ncomp 0) (< ncomp 5))",
+		DevPatch:     "(or (< ncomp 1) (> ncomp 4))",
+		Failing:      []map[string]int64{{"ncomp": 9, "quant": 1}},
+		CompVars:     []string{"ncomp"},
+		Params:       []string{"a"},
+		Consts:       []int64{1},
+		Cmp:          []expr.Op{expr.OpLt, expr.OpGt},
+		Bool:         []expr.Op{expr.OpOr},
+		MaxTemplates: 30,
+		Paper: PaperRow{
+			CEGISPInit: "130", CEGISPFinal: "130", CEGISRatio: "0%", CEGISPhiE: "43",
+			PInit: "130", PFinal: "130", Ratio: "0%", PhiE: "84", PhiS: "26", Rank: "1",
+		},
+	},
+	{
+		Project: "Libjpeg", BugID: "CVE-2017-15232", Suite: SuiteExtractFix,
+		// jquant2 post-processing: with zero output rows the row pointer
+		// is NULL; modeled as a row count that must stay positive.
+		Source: `
+void main(int rows, int width) {
+    assume(width >= 1);
+    assume(width <= 32);
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    int per = width / rows;
+    int check = per;
+}`,
+		SpecSrc:      "(> rows 0)",
+		DevPatch:     "(<= rows 0)",
+		Failing:      []map[string]int64{{"rows": 0, "width": 16}},
+		ParamRange:   interval.New(-30, 30),
+		Cmp:          []expr.Op{expr.OpLe, expr.OpEq, expr.OpGe, expr.OpLt, expr.OpGt, expr.OpNe},
+		Bool:         []expr.Op{expr.OpOr, expr.OpAnd},
+		MaxTemplates: 28,
+		Paper: PaperRow{
+			CEGISPInit: "955", CEGISPFinal: "955", CEGISRatio: "0%", CEGISPhiE: "0",
+			PInit: "955", PFinal: "955", Ratio: "0%", PhiE: "0", PhiS: "0", Rank: "26",
+		},
+	},
+	{
+		Project: "Libjpeg", BugID: "CVE-2012-2806", Suite: SuiteExtractFix,
+		// jdmarker get_sof: a component index beyond MAX_COMPS_IN_SCAN
+		// overruns the component-info array.
+		Source: `
+void main(int ci, int nf) {
+    int comp[10];
+    assume(nf >= 1);
+    assume(nf <= 10);
+    if (ci >= 0) {
+        if (__HOLE__) {
+            return;
+        }
+        __BUG__;
+        comp[ci] = nf;
+    }
+}`,
+		SpecSrc:    "(and (>= ci 0) (< ci 10))",
+		DevPatch:   "(>= ci 10)",
+		Failing:    []map[string]int64{{"ci": 13, "nf": 3}},
+		ParamRange: interval.New(-12, 12),
+		Cmp:        []expr.Op{expr.OpGe, expr.OpGt, expr.OpEq},
+		Bool:       []expr.Op{expr.OpOr},
+		Paper: PaperRow{
+			CEGISPInit: "260", CEGISPFinal: "259", CEGISRatio: "0%", CEGISPhiE: "68",
+			PInit: "260", PFinal: "145", Ratio: "44%", PhiE: "110", PhiS: "3", Rank: "3",
+		},
+	},
+	{
+		Project: "FFmpeg", BugID: "CVE-2017-9992", Suite: SuiteExtractFix,
+		Unsupported: "test driver crashed the concolic engine in the original experiment (reported N/A in Table 1)",
+		Paper: PaperRow{
+			CEGISPInit: "N/A", CEGISPFinal: "N/A", CEGISRatio: "N/A", CEGISPhiE: "N/A",
+			PInit: "N/A", PFinal: "N/A", Ratio: "N/A", PhiE: "N/A", PhiS: "N/A", Rank: "N/A",
+		},
+	},
+	{
+		Project: "FFmpeg", BugID: "Bugzilla-1404", Suite: SuiteExtractFix,
+		Unsupported: "test driver crashed the concolic engine in the original experiment (reported N/A in Table 1)",
+		Paper: PaperRow{
+			CEGISPInit: "N/A", CEGISPFinal: "N/A", CEGISRatio: "N/A", CEGISPhiE: "N/A",
+			PInit: "N/A", PFinal: "N/A", Ratio: "N/A", PhiE: "N/A", PhiS: "N/A", Rank: "N/A",
+		},
+	},
+	{
+		Project: "Jasper", BugID: "CVE-2016-8691", Suite: SuiteExtractFix,
+		// jpc_dec: a horizontal step of zero divides the component grid
+		// width (the Table 5 parameter-range subject).
+		Source: `
+void main(int width, int hstep) {
+    assume(width >= 1);
+    assume(width <= 64);
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    int cols = (width + hstep - 1) / hstep;
+    int check = cols;
+}`,
+		SpecSrc:  "(distinct hstep 0)",
+		DevPatch: "(= hstep 0)",
+		Failing:  []map[string]int64{{"width": 10, "hstep": 0}},
+		Cmp:      []expr.Op{expr.OpEq, expr.OpLt, expr.OpLe},
+		Bool:     []expr.Op{expr.OpOr},
+		Paper: PaperRow{
+			CEGISPInit: "260", CEGISPFinal: "260", CEGISRatio: "0%", CEGISPhiE: "72",
+			PInit: "260", PFinal: "96", Ratio: "63%", PhiE: "69", PhiS: "7", Rank: "1",
+		},
+	},
+	{
+		Project: "Jasper", BugID: "CVE-2016-9387", Suite: SuiteExtractFix,
+		// jpc_dec_process_siz: an oversized delta makes the tile height
+		// negative, later used as an allocation size.
+		Source: `
+void main(int ystart, int yend) {
+    int tile[12];
+    assume(ystart >= 0);
+    assume(yend <= 11);
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    int h = yend - ystart;
+    tile[h] = 1;
+}`,
+		SpecSrc:      "(and (>= (- yend ystart) 0) (< (- yend ystart) 12))",
+		DevPatch:     "(< yend ystart)",
+		Failing:      []map[string]int64{{"ystart": 9, "yend": 2}},
+		Cmp:          []expr.Op{expr.OpLt},
+		Bool:         []expr.Op{expr.OpOr},
+		MaxTemplates: 10,
+		Paper: PaperRow{
+			CEGISPInit: "65", CEGISPFinal: "65", CEGISRatio: "0%", CEGISPhiE: "54",
+			PInit: "65", PFinal: "17", Ratio: "74%", PhiE: "111", PhiS: "1", Rank: "✗",
+		},
+	},
+	{
+		Project: "Coreutils", BugID: "Bugzilla-26545", Suite: SuiteExtractFix,
+		// shred: the block size computation loses the remainder for
+		// odd sizes, over-reading the tail buffer.
+		Source: `
+void main(int size, int bsize) {
+    int tail[8];
+    assume(bsize >= 1);
+    assume(bsize <= 8);
+    assume(size >= 0);
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    int rem = size % bsize;
+    tail[rem + bsize - 1] = 1;
+}`,
+		SpecSrc:      "(< (+ (rem size bsize) bsize) 9)",
+		DevPatch:     "(> bsize 4)",
+		Failing:      []map[string]int64{{"size": 13, "bsize": 7}},
+		ParamRange:   interval.New(-30, 30),
+		Cmp:          []expr.Op{expr.OpGt, expr.OpGe, expr.OpLt, expr.OpLe, expr.OpEq, expr.OpNe},
+		Bool:         []expr.Op{expr.OpOr, expr.OpAnd},
+		MaxTemplates: 30,
+		Paper: PaperRow{
+			CEGISPInit: "1025", CEGISPFinal: "1025", CEGISRatio: "0%", CEGISPhiE: "74",
+			PInit: "1025", PFinal: "949", Ratio: "7%", PhiE: "119", PhiS: "2", Rank: "25",
+		},
+	},
+	{
+		Project: "Coreutils", BugID: "GNUBug-25003", Suite: SuiteExtractFix,
+		// split -n: the chunk start for the last chunk may pass the file
+		// end when the size is not divisible.
+		Source: `
+void main(int fsize, int chunks) {
+    int file[16];
+    assume(chunks >= 1);
+    assume(chunks <= 8);
+    assume(fsize >= 0);
+    assume(fsize <= 16);
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    int per = fsize / chunks;
+    int start = per * chunks;
+    file[start] = 1;
+}`,
+		SpecSrc:    "(< (* (div fsize chunks) chunks) 16)",
+		DevPatch:   "(>= fsize 16)",
+		Failing:    []map[string]int64{{"fsize": 16, "chunks": 2}},
+		ParamRange: interval.New(-20, 20),
+		Cmp:        []expr.Op{expr.OpGe, expr.OpGt, expr.OpEq},
+		Bool:       []expr.Op{expr.OpOr},
+		Paper: PaperRow{
+			CEGISPInit: "199", CEGISPFinal: "198", CEGISRatio: "1%", CEGISPhiE: "114",
+			PInit: "199", PFinal: "172", Ratio: "14%", PhiE: "196", PhiS: "0", Rank: "6",
+		},
+	},
+	{
+		Project: "Coreutils", BugID: "GNUBug-25023", Suite: SuiteExtractFix,
+		// pr: the column separator length is subtracted from the width
+		// without checking it fits.
+		Source: `
+void main(int width, int sep) {
+    int line[8];
+    assume(sep >= 0);
+    assume(sep <= 4);
+    assume(width >= 0);
+    assume(width <= 8);
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    int cols = width - sep - 1;
+    line[cols] = 1;
+}`,
+		SpecSrc:      "(>= (- (- width sep) 1) 0)",
+		DevPatch:     "(<= width sep)",
+		Failing:      []map[string]int64{{"width": 2, "sep": 3}},
+		Cmp:          []expr.Op{expr.OpLe},
+		Bool:         []expr.Op{expr.OpOr},
+		MaxTemplates: 10,
+		Paper: PaperRow{
+			CEGISPInit: "64", CEGISPFinal: "64", CEGISRatio: "0%", CEGISPhiE: "32",
+			PInit: "64", PFinal: "64", Ratio: "0%", PhiE: "1", PhiS: "2", Rank: "7",
+		},
+	},
+	{
+		Project: "Coreutils", BugID: "Bugzilla-19784", Suite: SuiteExtractFix,
+		// make-prime-list: the sieve loop index squared overflows the
+		// sieve bound (modeled with a squared index guard).
+		Source: `
+void main(int p, int bound) {
+    int sieve[30];
+    assume(bound >= 1);
+    assume(bound <= 30);
+    assume(p >= 2);
+    assume(p <= 10);
+    int sq = p * p;
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    sieve[sq] = 1;
+}`,
+		SpecSrc:      "(< sq 30)",
+		DevPatch:     "(> sq 29)",
+		Failing:      []map[string]int64{{"p": 6, "bound": 20}},
+		CompVars:     []string{"sq", "p"},
+		SpecVars:     []string{"sq"},
+		Params:       []string{"a"},
+		ParamRange:   interval.New(-36, 36),
+		Cmp:          []expr.Op{expr.OpGt, expr.OpGe},
+		Bool:         []expr.Op{expr.OpOr},
+		MaxTemplates: 30,
+		Paper: PaperRow{
+			CEGISPInit: "-", CEGISPFinal: "-", CEGISRatio: "-", CEGISPhiE: "-",
+			PInit: "770", PFinal: "770", Ratio: "0%", PhiE: "6", PhiS: "0", Rank: "38",
+		},
+	},
+}
+
+func init() {
+	for _, s := range extractFixSubjects {
+		if s.Budget.MaxIterations == 0 {
+			s.Budget = core.Budget{MaxIterations: 40, ValidationIterations: 8}
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"cpr/internal/core"
+	"cpr/internal/expr"
+	"cpr/internal/interval"
+)
+
+// manyBugsSubjects re-encode the 5 ManyBugs defects of Table 3: general
+// (non-security) errors repaired from failing tests, demonstrating CPR as
+// a general-purpose test-guided repair tool.
+var manyBugsSubjects = []*Subject{
+	{
+		Project: "Libtiff", BugID: "ee65c74", Suite: SuiteManyBugs,
+		// tif_dirwrite: the offset written for a directory entry must
+		// stay word-aligned; the buggy guard accepted odd offsets.
+		Source: `
+void main(int off, int count) {
+    assume(count >= 0);
+    assume(count <= 8);
+    int aligned = off % 2;
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    assert(aligned == 0);
+}`,
+		SpecSrc:      "(= aligned 0)",
+		DevPatch:     "(distinct aligned 0)",
+		Failing:      []map[string]int64{{"off": 7, "count": 2}},
+		CompVars:     []string{"aligned", "off"},
+		SpecVars:     []string{"aligned"},
+		Cmp:          []expr.Op{expr.OpNe, expr.OpEq},
+		Consts:       []int64{0},
+		Bool:         []expr.Op{expr.OpOr},
+		MaxTemplates: 12,
+		Paper: PaperRow{
+			PInit: "6", PFinal: "6", Ratio: "0%", PhiE: "29", PhiS: "90", Rank: "1",
+		},
+	},
+	{
+		Project: "Libtiff", BugID: "865f7b2", Suite: SuiteManyBugs,
+		// tif_jpeg cleanup: the downsampled buffer release ran for the
+		// wrong component count.
+		Source: `
+void main(int ncomp, int alloc) {
+    int bufs[6];
+    assume(alloc >= 0);
+    assume(alloc <= 6);
+    int i = 0;
+    while (__HOLE__) {
+        __BUG__;
+        bufs[i] = 0;
+        i = i + 1;
+    }
+}`,
+		SpecSrc:      "(and (>= i 0) (< i 6))",
+		DevPatch:     "(and (< i ncomp) (< i 6))",
+		Failing:      []map[string]int64{{"ncomp": 9, "alloc": 4}},
+		CompVars:     []string{"i", "ncomp"},
+		Params:       []string{"a"},
+		Cmp:          []expr.Op{expr.OpLt},
+		Bool:         []expr.Op{expr.OpAnd},
+		MaxTemplates: 30,
+		Paper: PaperRow{
+			PInit: "130", PFinal: "130", Ratio: "0%", PhiE: "24", PhiS: "68", Rank: "5",
+		},
+	},
+	{
+		Project: "Libtiff", BugID: "7d6e298", Suite: SuiteManyBugs,
+		// tiff2ps: the page height must use the rounded-up strip count;
+		// an integer expression repair (the hole is a RHS).
+		Source: `
+int main(int length, int rps) {
+    assume(rps >= 1);
+    assume(rps <= 10);
+    assume(length >= 0);
+    assume(length <= 50);
+    int strips = (length + __HOLE__) / rps;
+    __BUG__;
+    int expected = (length + rps - 1) / rps;
+    assert(strips == expected);
+    return strips;
+}`,
+		SpecSrc:      "(= strips (div (+ length (- rps 1)) rps))",
+		DevPatch:     "(- rps 1)",
+		SpecVars:     []string{"strips"},
+		Failing:      []map[string]int64{{"length": 13, "rps": 5}},
+		Params:       []string{},
+		Consts:       []int64{1},
+		Arith:        []expr.Op{expr.OpSub},
+		MaxTemplates: 8,
+		Budget:       core.Budget{MaxIterations: 12, ValidationIterations: 6},
+		Paper: PaperRow{
+			PInit: "4", PFinal: "2", Ratio: "50%", PhiE: "7", PhiS: "7", Rank: "1",
+		},
+	},
+	{
+		Project: "gzip", BugID: "884ef6d16c", Suite: SuiteManyBugs,
+		// gzip deflate: the hash chain cut-off must compare against the
+		// remaining lookahead, not the window size.
+		Source: `
+void main(int lookahead, int match) {
+    int window[32];
+    assume(match >= 0);
+    assume(lookahead >= 0);
+    assume(lookahead <= 32);
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    int end = match + lookahead;
+    window[end] = 1;
+}`,
+		SpecSrc:      "(< (+ match lookahead) 32)",
+		DevPatch:     "(>= (+ match lookahead) 32)",
+		Failing:      []map[string]int64{{"lookahead": 20, "match": 15}},
+		Params:       []string{"a"},
+		Consts:       []int64{32},
+		ParamRange:   interval.New(-34, 34),
+		Arith:        []expr.Op{expr.OpAdd},
+		Cmp:          []expr.Op{expr.OpGe, expr.OpLt},
+		Bool:         []expr.Op{expr.OpOr},
+		MaxTemplates: 60,
+		Paper: PaperRow{
+			PInit: "4821", PFinal: "4821", Ratio: "0%", PhiE: "11", PhiS: "0", Rank: "36",
+		},
+	},
+	{
+		Project: "gzip", BugID: "f17cbd13a1", Suite: SuiteManyBugs,
+		// gzip get_istat: stdin decompression must reject member counts
+		// other than one (a boolean flag comparison repair).
+		Source: `
+void main(bool tostdout, int members) {
+    assume(members >= 0);
+    assume(members <= 4);
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    assert(members == 1);
+}`,
+		SpecSrc:      "(= members 1)",
+		DevPatch:     "(distinct members 1)",
+		Failing:      []map[string]int64{{"tostdout": 1, "members": 3}},
+		Params:       []string{"a"},
+		Consts:       []int64{1},
+		Cmp:          []expr.Op{expr.OpNe},
+		Bool:         []expr.Op{expr.OpOr},
+		MaxTemplates: 6,
+		Paper: PaperRow{
+			PInit: "2", PFinal: "2", Ratio: "0%", PhiE: "0", PhiS: "1", Rank: "1",
+		},
+	},
+}
+
+func init() {
+	for _, s := range manyBugsSubjects {
+		if s.Budget.MaxIterations == 0 {
+			s.Budget = core.Budget{MaxIterations: 30, ValidationIterations: 8}
+		}
+	}
+}

@@ -1,0 +1,356 @@
+package bench
+
+import (
+	"cpr/internal/core"
+	"cpr/internal/expr"
+	"cpr/internal/interval"
+)
+
+// svcompSubjects re-encode the 10 SV-COMP verification tasks of Table 4:
+// programs with reachable assertion violations whose repair is a logical
+// change before the assertion (not a weakening of the assertion itself).
+// The specification is extracted directly from the included assertion, as
+// in the paper (§5).
+var svcompSubjects = []*Subject{
+	{
+		Project: "loops", BugID: "insertion_sort", Suite: SuiteSVCOMP,
+		// The inner shift loop must move elements strictly greater than
+		// the key; the buggy comparison breaks the sort order.
+		Source: `
+void main(int x0, int x1, int x2) {
+    int a[3];
+    a[0] = x0;
+    a[1] = x1;
+    a[2] = x2;
+    int i = 1;
+    while (i < 3) {
+        int key = a[i];
+        int j = i - 1;
+        while (j >= 0) {
+            int cur = a[j];
+            if (__HOLE__) {
+                a[j + 1] = cur;
+                j = j - 1;
+            } else {
+                break;
+            }
+        }
+        a[j + 1] = key;
+        i = i + 1;
+    }
+    int r0 = a[0];
+    int r1 = a[1];
+    int r2 = a[2];
+    __BUG__;
+    assert(r0 <= r1 && r1 <= r2);
+}`,
+		SpecSrc:  "(and (<= r0 r1) (<= r1 r2))",
+		DevPatch: "(> cur key)",
+		Failing:  []map[string]int64{{"x0": 3, "x1": 1, "x2": 2}},
+		CompVars: []string{"cur", "key", "j"},
+		SpecVars: []string{"r0", "r1", "r2"},
+		Cmp:      []expr.Op{expr.OpGt, expr.OpGe, expr.OpLt},
+		Bool:     []expr.Op{expr.OpAnd},
+		InputLo:  -20, InputHi: 20,
+		Paper: PaperRow{PInit: "260", PFinal: "132", Ratio: "49%", PhiE: "120", PhiS: "0", Rank: "1"},
+	},
+	{
+		Project: "loops", BugID: "linear_search", Suite: SuiteSVCOMP,
+		// The scan loop must stop at the array length; the buggy bound
+		// reads one element past the end.
+		Source: `
+void main(int x0, int x1, int x2, int x3, int q) {
+    int a[4];
+    a[0] = x0;
+    a[1] = x1;
+    a[2] = x2;
+    a[3] = x3;
+    int i = 0;
+    int found = 0 - 1;
+    while (__HOLE__) {
+        __BUG__;
+        int cur = a[i];
+        if (cur == q) {
+            found = i;
+            break;
+        }
+        i = i + 1;
+    }
+    assert(found < 4);
+}`,
+		SpecSrc:  "(and (>= i 0) (< i 4))",
+		DevPatch: "(< i 4)",
+		Failing:  []map[string]int64{{"x0": 5, "x1": 6, "x2": 7, "x3": 8, "q": 9}},
+		CompVars: []string{"i", "q", "found"},
+		Cmp:      []expr.Op{expr.OpLt, expr.OpLe},
+		Bool:     []expr.Op{expr.OpAnd},
+		InputLo:  -20, InputHi: 20,
+		Paper: PaperRow{PInit: "260", PFinal: "127", Ratio: "51%", PhiE: "109", PhiS: "17", Rank: "1"},
+	},
+	{
+		Project: "loops", BugID: "string", Suite: SuiteSVCOMP,
+		// Lexicographic comparison of two 2-character strings: the
+		// second-character comparison is wrong.
+		Source: `
+void main(int c0, int c1, int d0, int d1) {
+    int cmp = 0;
+    if (c0 < d0) {
+        cmp = 0 - 1;
+    }
+    if (c0 > d0) {
+        cmp = 1;
+    }
+    if (cmp == 0) {
+        if (__HOLE__) {
+            cmp = 0 - 1;
+        }
+    }
+    __BUG__;
+    assert(cmp != 0 - 1 || c0 < d0 || c1 < d1);
+}`,
+		SpecSrc:      "(or (distinct cmp (- 1)) (< c0 d0) (< c1 d1))",
+		DevPatch:     "(< c1 d1)",
+		Failing:      []map[string]int64{{"c0": 4, "c1": 9, "d0": 4, "d1": 2}},
+		CompVars:     []string{"c0", "c1", "d0", "d1"},
+		SpecVars:     []string{"cmp"},
+		Cmp:          []expr.Op{expr.OpLt, expr.OpLe, expr.OpGt},
+		Bool:         []expr.Op{expr.OpOr, expr.OpAnd},
+		MaxTemplates: 40,
+		InputLo:      -20, InputHi: 20,
+		Paper: PaperRow{PInit: "676", PFinal: "676", Ratio: "0%", PhiE: "37", PhiS: "0", Rank: "2"},
+	},
+	{
+		Project: "loops", BugID: "eureka", Suite: SuiteSVCOMP,
+		// The distance initialization is repaired, but the assertion only
+		// bounds it from above — too weak to discriminate (the paper
+		// reports 0% reduction here, correct patch still ranked 3).
+		Source: `
+int main(int w, int n) {
+    assume(n >= 1);
+    assume(n <= 8);
+    assume(w >= 0);
+    assume(w <= 20);
+    int dist = __HOLE__;
+    __BUG__;
+    assert(dist <= w);
+    return dist;
+}`,
+		SpecSrc:      "(<= dist w)",
+		DevPatch:     "w",
+		Failing:      []map[string]int64{{"w": 5, "n": 3}},
+		CompVars:     []string{"w", "n"},
+		SpecVars:     []string{"dist"},
+		Params:       []string{"a"},
+		Arith:        []expr.Op{expr.OpSub},
+		MaxTemplates: 8, // the paper's pool is tiny (|P| = 29)
+		InputLo:      -20, InputHi: 20,
+		Paper: PaperRow{PInit: "29", PFinal: "29", Ratio: "0%", PhiE: "107", PhiS: "27", Rank: "3"},
+	},
+	{
+		Project: "loops-crafted-1", BugID: "nested_delay", Suite: SuiteSVCOMP,
+		// The inner loop must run m times per outer iteration; the buggy
+		// bound lets it run away.
+		Source: `
+void main(int n, int m) {
+    assume(n >= 0);
+    assume(n <= 5);
+    assume(m >= 0);
+    assume(m <= 5);
+    int steps = 0;
+    int i = 0;
+    while (i < n) {
+        int j = 0;
+        while (__HOLE__) {
+            steps = steps + 1;
+            j = j + 1;
+            if (j > 10) {
+                break;
+            }
+        }
+        i = i + 1;
+    }
+    __BUG__;
+    assert(steps <= 25);
+}`,
+		SpecSrc:  "(<= steps 25)",
+		DevPatch: "(< j m)",
+		Failing:  []map[string]int64{{"n": 4, "m": 2}},
+		CompVars: []string{"j", "m", "i", "n"},
+		SpecVars: []string{"steps"},
+		Cmp:      []expr.Op{expr.OpLt},
+		Bool:     []expr.Op{expr.OpAnd},
+		InputLo:  0, InputHi: 10,
+		Paper: PaperRow{PInit: "260", PFinal: "117", Ratio: "55%", PhiE: "9", PhiS: "8", Rank: "4"},
+	},
+	{
+		Project: "loops", BugID: "sum", Suite: SuiteSVCOMP,
+		// Gauss sum of 0..n−1: the loop bound decides the closed form.
+		Source: `
+int main(int n) {
+    assume(n >= 0);
+    assume(n <= 10);
+    int s = 0;
+    int i = 0;
+    while (__HOLE__) {
+        s = s + i;
+        i = i + 1;
+        if (i > 20) {
+            break;
+        }
+    }
+    __BUG__;
+    assert(2 * s == n * (n - 1));
+    return s;
+}`,
+		SpecSrc:  "(= (* 2 s) (* n (- n 1)))",
+		DevPatch: "(< i n)",
+		Failing:  []map[string]int64{{"n": 4}},
+		CompVars: []string{"i", "n", "s"},
+		Cmp:      []expr.Op{expr.OpLt, expr.OpLe},
+		Bool:     []expr.Op{expr.OpAnd},
+		InputLo:  0, InputHi: 10,
+		Paper: PaperRow{PInit: "260", PFinal: "236", Ratio: "9%", PhiE: "116", PhiS: "0", Rank: "1"},
+	},
+	{
+		Project: "array-examples", BugID: "bubble_sort", Suite: SuiteSVCOMP,
+		// The swap condition is inverted relative to the sort order.
+		Source: `
+void main(int x0, int x1, int x2) {
+    int a[3];
+    a[0] = x0;
+    a[1] = x1;
+    a[2] = x2;
+    int pass = 0;
+    while (pass < 2) {
+        int k = 0;
+        while (k < 2) {
+            int u = a[k];
+            int w = a[k + 1];
+            if (__HOLE__) {
+                a[k] = w;
+                a[k + 1] = u;
+            }
+            k = k + 1;
+        }
+        pass = pass + 1;
+    }
+    int r0 = a[0];
+    int r1 = a[1];
+    int r2 = a[2];
+    __BUG__;
+    assert(r0 <= r1 && r1 <= r2);
+}`,
+		SpecSrc:  "(and (<= r0 r1) (<= r1 r2))",
+		DevPatch: "(> u w)",
+		Failing:  []map[string]int64{{"x0": 9, "x1": 4, "x2": 6}},
+		CompVars: []string{"u", "w", "k"},
+		SpecVars: []string{"r0", "r1", "r2"},
+		Cmp:      []expr.Op{expr.OpGt, expr.OpGe, expr.OpLt},
+		Bool:     []expr.Op{expr.OpAnd},
+		InputLo:  -20, InputHi: 20,
+		Paper: PaperRow{PInit: "260", PFinal: "144", Ratio: "45%", PhiE: "34", PhiS: "19", Rank: "2"},
+	},
+	{
+		Project: "array-examples", BugID: "unique_list", Suite: SuiteSVCOMP,
+		// Insert the second value only when it is not a duplicate; the
+		// tiny pool (the paper reports |P| = 5) contains the boolean flag
+		// and its negation plus the trivial guards.
+		Source: `
+void main(int v0, int v1) {
+    int list[2];
+    list[0] = v0;
+    int n = 1;
+    bool dup = v1 == v0;
+    if (__HOLE__) {
+        list[n] = v1;
+        n = n + 1;
+    }
+    int l0 = list[0];
+    int l1 = list[1];
+    __BUG__;
+    assert(n == 1 || l0 != l1);
+}`,
+		SpecSrc:      "(or (= n 1) (distinct l0 l1))",
+		DevPatch:     "(not dup)",
+		Failing:      []map[string]int64{{"v0": 3, "v1": 3}},
+		CompVars:     []string{},
+		CompBoolVars: []string{"dup"},
+		SpecVars:     []string{"l0", "l1"},
+		Params:       []string{},
+		Cmp:          []expr.Op{},
+		Bool:         []expr.Op{expr.OpNot},
+		InputLo:      -20, InputHi: 20,
+		Paper: PaperRow{PInit: "5", PFinal: "4", Ratio: "20%", PhiE: "134", PhiS: "11", Rank: "1"},
+	},
+	{
+		Project: "array-examples", BugID: "standard_run", Suite: SuiteSVCOMP,
+		// The initialization loop must cover exactly the array; the
+		// assertion checks the final index.
+		Source: `
+void main(int d) {
+    int a[4];
+    int i = 0;
+    while (__HOLE__) {
+        a[i] = d;
+        i = i + 1;
+        if (i > 8) {
+            break;
+        }
+    }
+    __BUG__;
+    assert(i == 4);
+}`,
+		SpecSrc:  "(= i 4)",
+		DevPatch: "(< i 4)",
+		Failing:  []map[string]int64{{"d": 1}},
+		CompVars: []string{"i", "d"},
+		Cmp:      []expr.Op{expr.OpLt, expr.OpLe, expr.OpNe},
+		Bool:     []expr.Op{expr.OpAnd},
+		InputLo:  -20, InputHi: 20,
+		Paper: PaperRow{PInit: "260", PFinal: "126", Ratio: "52%", PhiE: "68", PhiS: "41", Rank: "1"},
+	},
+	{
+		Project: "recursive", BugID: "addition", Suite: SuiteSVCOMP,
+		// Peano addition by recursion: the second argument of the
+		// recursive adder is repaired (an integer expression hole).
+		Source: `
+int add(int p, int q) {
+    if (q == 0) {
+        return p;
+    }
+    if (q > 0) {
+        return add(p + 1, q - 1);
+    }
+    return add(p - 1, q + 1);
+}
+int main(int x, int y) {
+    assume(x >= 0);
+    assume(x <= 10);
+    assume(y >= 0 - 10);
+    assume(y <= 10);
+    int r = add(x, __HOLE__);
+    __BUG__;
+    assert(r == x + y);
+    return r;
+}`,
+		SpecSrc:  "(= r (+ x y))",
+		DevPatch: "y",
+		Failing:  []map[string]int64{{"x": 3, "y": 2}},
+		CompVars: []string{"x", "y"},
+		Params:   []string{"a"},
+		Arith:    []expr.Op{expr.OpAdd, expr.OpSub},
+		InputLo:  -10, InputHi: 10,
+		Paper: PaperRow{PInit: "38", PFinal: "14", Ratio: "63%", PhiE: "138", PhiS: "1", Rank: "4"},
+	},
+}
+
+func init() {
+	for _, s := range svcompSubjects {
+		if s.Budget.MaxIterations == 0 {
+			s.Budget = core.Budget{MaxIterations: 30, ValidationIterations: 8}
+		}
+		if s.ParamRange == (interval.Interval{}) {
+			s.ParamRange = interval.New(-10, 10)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"cpr/internal/core"
+)
+
+// fastBudget keeps table tests quick; cmd/cpr-bench runs the full budgets.
+var fastBudget = core.Budget{MaxIterations: 6, ValidationIterations: 4}
+
+func TestFigure1ReproducesPaperCounts(t *testing.T) {
+	steps, err := Figure1()
+	if err != nil {
+		t.Fatalf("Figure1: %v", err)
+	}
+	if len(steps) != 5 {
+		t.Fatalf("steps: %d", len(steps))
+	}
+	wantTotals := []int64{69, 46, 12, 1, 1}
+	for i, w := range wantTotals {
+		if steps[i].Total != w {
+			t.Errorf("step %s total %d, want %d", steps[i].Label, steps[i].Total, w)
+		}
+	}
+	if !steps[4].Skipped {
+		t.Error("step V (P4) must be skipped by path reduction")
+	}
+	out := FormatFigure1(steps)
+	if !strings.Contains(out, "step V") || !strings.Contains(out, "skipped") {
+		t.Errorf("format output incomplete:\n%s", out)
+	}
+}
+
+func TestTable5ParameterRanges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table run in -short mode")
+	}
+	rows := Table5(RunOptions{Budget: fastBudget})
+	if len(rows) != 6 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	// Grouped per subject: [0..2] Jasper, [3..5] Libtiff.
+	jasper := rows[:3]
+	for i := 1; i < 3; i++ {
+		if jasper[i].Err != nil {
+			t.Fatalf("jasper range %v: %v", jasper[i].Range, jasper[i].Err)
+		}
+		if jasper[i].CPR.PInit <= jasper[i-1].CPR.PInit {
+			t.Errorf("wider range should grow |P_init|: %d then %d",
+				jasper[i-1].CPR.PInit, jasper[i].CPR.PInit)
+		}
+	}
+	// Libtiff with range [-1, 1] cannot express the needed constant 4.
+	libtiff := rows[3:]
+	if libtiff[0].RankFound {
+		t.Errorf("range [-1,1] should not contain the correct patch (needs 4)")
+	}
+	if libtiff[1].Err == nil && !libtiff[1].RankFound {
+		t.Errorf("range [-10,10] should contain the correct patch")
+	}
+	t.Log("\n" + FormatTable5(rows))
+}
+
+func TestTable3ManyBugs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table run in -short mode")
+	}
+	rows := Table3(RunOptions{Budget: fastBudget})
+	if len(rows) != 5 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	found := 0
+	for _, r := range rows {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Subject.ID(), r.Err)
+			continue
+		}
+		if r.RankFound {
+			found++
+		}
+	}
+	// The paper generates correct patches for all five subjects; with the
+	// reduced test budget we still require most to rank.
+	if found < 3 {
+		t.Errorf("correct patch ranked for only %d/5 ManyBugs subjects", found)
+	}
+	t.Log("\n" + FormatCPRTable("Table 3: ManyBugs", rows))
+}
+
+func TestTable6Aggregation(t *testing.T) {
+	rows := []SubjectResult{
+		{CPR: core.Stats{InputsGenerated: 10, PatchLocHits: 8, BugLocHits: 4}},
+		{CPR: core.Stats{InputsGenerated: 10, PatchLocHits: 6, BugLocHits: 6}},
+	}
+	agg := Table6(rows, nil, nil)
+	if agg[0].Benchmark != "ExtractFix" || agg[0].PatchLocHit != 70 || agg[0].BugLocHit != 50 {
+		t.Fatalf("aggregate wrong: %+v", agg[0])
+	}
+	if agg[1].PatchLocHit != 0 {
+		t.Fatalf("empty suite should aggregate to zero: %+v", agg[1])
+	}
+	out := FormatTable6(agg)
+	if !strings.Contains(out, "74.36%") {
+		t.Errorf("paper reference missing:\n%s", out)
+	}
+}
+
+func TestAnytimeMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table run in -short mode")
+	}
+	s := Find("Libtiff", "CVE-2016-3623")
+	rows, err := Anytime(s, []int{2, 10}, RunOptions{})
+	if err != nil {
+		t.Fatalf("Anytime: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	if rows[1].PFinal > rows[0].PFinal {
+		t.Errorf("gradual correctness violated: %d → %d", rows[0].PFinal, rows[1].PFinal)
+	}
+}
+
+func TestPathReductionAblationRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table run in -short mode")
+	}
+	rows := PathReductionAblation([]*Subject{Find("Libtiff", "CVE-2016-3623")}, RunOptions{Budget: fastBudget})
+	if len(rows) != 1 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	if rows[0].With.PathsSkipped == 0 {
+		t.Errorf("path reduction skipped nothing: %+v", rows[0].With)
+	}
+}

@@ -1,0 +1,772 @@
+// Package concolic implements concolic execution of mini-C programs: a
+// concrete run that maintains symbolic shadow state over the program
+// inputs and the patch output, recording the path constraint.
+//
+// This is the paper's core machinery (§3.4): every branch on a symbolic
+// condition contributes a path-constraint element; the patch location
+// evaluates to a fresh symbol ρ!out whose concrete value comes from the
+// currently selected patch, so one execution supports reasoning about the
+// entire patch pool (the first-order encoding of §1); the hole and bug
+// locations snapshot the symbolic state, which is how patch formulas ψρ
+// and instantiated specifications σ are later constructed.
+//
+// Nonlinear operations between two symbolic values (x·y, x/y, x%y) pin the
+// right operand to its concrete value and record the pin in the path
+// constraint, in the DART/CUTE tradition, keeping all solver queries
+// quasi-linear.
+package concolic
+
+import (
+	"fmt"
+
+	"cpr/internal/expr"
+	"cpr/internal/lang"
+	"cpr/internal/lang/interp"
+)
+
+// CVal is a concolic value: a concrete scalar (or array) plus an optional
+// symbolic shadow term over input symbols and patch-output symbols. A nil
+// Sym means the value is the concrete constant.
+type CVal struct {
+	Type lang.Type
+	I    int64
+	Sym  *expr.Term
+	Arr  []CVal // array cells (scalar CVals); indices must concretize, cells stay symbolic
+}
+
+func (v CVal) symbolic() *expr.Term {
+	if v.Sym != nil {
+		return v.Sym
+	}
+	if v.Type == lang.TypeBool {
+		return expr.Bool(v.I != 0)
+	}
+	return expr.Int(v.I)
+}
+
+func (v CVal) isSymbolic() bool { return v.Sym != nil }
+
+// Branch is one element of the path constraint.
+type Branch struct {
+	// Cond is the constraint as taken by the concrete execution (already
+	// oriented: the negation has been applied for false branches).
+	Cond *expr.Term
+	// Site is the source position of the branch.
+	Site lang.Pos
+	// OnPatch reports whether the condition mentions a patch-output
+	// symbol (flipping such branches explores the patch's influence).
+	OnPatch bool
+	// Pin marks concretization constraints (DART-style operand pinning);
+	// pins are not flipped during generational search.
+	Pin bool
+}
+
+// HoleHit records one evaluation of __HOLE__.
+type HoleHit struct {
+	// Out is the fresh symbol standing for the patch output.
+	Out *expr.Term
+	// Snapshot maps in-scope scalar variable names to their symbolic
+	// values at the hit; ψρ instantiates patch expressions over it.
+	Snapshot map[string]*expr.Term
+	// Concrete is the corresponding concrete state (patch evaluation).
+	Concrete expr.Model
+	// AtBranch is the number of path-constraint elements recorded before
+	// this hit; a flip at depth ≥ AtBranch keeps the hit in its prefix.
+	AtBranch int
+}
+
+// BugHit records one execution of a __BUG__ marker.
+type BugHit struct {
+	// Snapshot maps in-scope scalar variable names to their symbolic
+	// values at the marker; specifications are instantiated over it.
+	Snapshot map[string]*expr.Term
+	// Concrete is the corresponding concrete state.
+	Concrete expr.Model
+	// AtBranch is the number of path-constraint elements recorded before
+	// this hit.
+	AtBranch int
+}
+
+// Execution is the result of a concolic run.
+type Execution struct {
+	// Input is the concrete input the program ran on.
+	Input map[string]int64
+	// Branches is the path constraint in execution order.
+	Branches []Branch
+	// HoleHits and BugHits record patch/bug location events in order.
+	HoleHits []HoleHit
+	BugHits  []BugHit
+	// Err is nil for clean termination; assume violations and crashes are
+	// reported with interp's error kinds.
+	Err *interp.RuntimeError
+	// Ret is main's return value when it returned one.
+	Ret *CVal
+	// Steps counts executed statements.
+	Steps int
+}
+
+// HitPatch reports whether the patch location was exercised.
+func (e *Execution) HitPatch() bool { return len(e.HoleHits) > 0 }
+
+// HitBug reports whether the bug location was exercised.
+func (e *Execution) HitBug() bool { return len(e.BugHits) > 0 }
+
+// Crashed reports whether the run ended in an observable bug.
+func (e *Execution) Crashed() bool { return e.Err != nil && e.Err.IsCrash() }
+
+// PathConstraint returns the conjunction of all branch conditions.
+func (e *Execution) PathConstraint() *expr.Term {
+	conds := make([]*expr.Term, len(e.Branches))
+	for i, b := range e.Branches {
+		conds[i] = b.Cond
+	}
+	return expr.And(conds...)
+}
+
+// Options configures a concolic run.
+type Options struct {
+	// Patch is the concrete patch expression evaluated at __HOLE__, over
+	// program variables and parameters. Nil: reaching the hole errors.
+	Patch *expr.Term
+	// PatchParams provides parameter values for Patch.
+	PatchParams expr.Model
+	// MaxSteps bounds executed statements (default 1 << 20).
+	MaxSteps int
+	// MaxBranches bounds recorded path-constraint elements (default 4096);
+	// beyond it the run continues concretely without recording.
+	MaxBranches int
+}
+
+// Execute runs prog concolically on the given input.
+func Execute(prog *lang.Program, input map[string]int64, opts Options) *Execution {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 1 << 20
+	}
+	if opts.MaxBranches == 0 {
+		opts.MaxBranches = 4096
+	}
+	vm := &vm{prog: prog, opts: opts, exec: &Execution{Input: input}}
+	args := make([]CVal, len(prog.Main.Params))
+	for i, p := range prog.Main.Params {
+		v, ok := input[p.Name]
+		if !ok {
+			vm.exec.Err = &interp.RuntimeError{Kind: interp.ErrMissingInput, Pos: prog.Main.Pos, Msg: p.Name}
+			return vm.exec
+		}
+		// Inputs are the symbolic sources; their symbols are their names.
+		args[i] = CVal{Type: p.Type, I: v, Sym: langVar(p.Name, p.Type)}
+	}
+	ret, sig := vm.call(prog.Main, args)
+	vm.exec.Steps = vm.steps
+	switch sig.kind {
+	case sigError:
+		vm.exec.Err = sig.err
+	case sigReturn:
+		if prog.Main.Ret != lang.TypeVoid {
+			vm.exec.Ret = &ret
+		}
+	}
+	return vm.exec
+}
+
+func langVar(name string, t lang.Type) *expr.Term {
+	if t == lang.TypeBool {
+		return expr.BoolVar(name)
+	}
+	return expr.IntVar(name)
+}
+
+type sigKind uint8
+
+const (
+	sigNone sigKind = iota
+	sigReturn
+	sigBreak
+	sigContinue
+	sigError
+)
+
+type signal struct {
+	kind sigKind
+	err  *interp.RuntimeError
+}
+
+var noSignal = signal{}
+
+func errSignal(kind interp.ErrKind, pos lang.Pos, msg string) signal {
+	return signal{kind: sigError, err: &interp.RuntimeError{Kind: kind, Pos: pos, Msg: msg}}
+}
+
+type env struct {
+	vars   map[string]*CVal
+	parent *env
+}
+
+func (e *env) lookup(name string) *CVal {
+	for cur := e; cur != nil; cur = cur.parent {
+		if v, ok := cur.vars[name]; ok {
+			return v
+		}
+	}
+	return nil
+}
+
+type vm struct {
+	prog  *lang.Program
+	opts  Options
+	exec  *Execution
+	steps int
+	holes int // fresh patch-output counter
+}
+
+// record appends a path-constraint element unless the branch budget is
+// exhausted or the condition is trivially concrete.
+func (vm *vm) record(cond *expr.Term, site lang.Pos, pin bool) {
+	if cond.IsConst() {
+		return
+	}
+	if len(vm.exec.Branches) >= vm.opts.MaxBranches {
+		return
+	}
+	vm.exec.Branches = append(vm.exec.Branches, Branch{
+		Cond:    cond,
+		Site:    site,
+		OnPatch: mentionsPatchOut(cond),
+		Pin:     pin,
+	})
+}
+
+// PatchOutPrefix names the fresh symbols standing for patch outputs.
+const PatchOutPrefix = "patch!out!"
+
+func mentionsPatchOut(t *expr.Term) bool {
+	if t.Op == expr.OpVar {
+		return len(t.Name) > len(PatchOutPrefix) && t.Name[:len(PatchOutPrefix)] == PatchOutPrefix
+	}
+	for _, a := range t.Args {
+		if mentionsPatchOut(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// branch records the condition of a control-flow decision oriented by the
+// concretely taken direction.
+func (vm *vm) branch(cond CVal, site lang.Pos) bool {
+	taken := cond.I != 0
+	if cond.isSymbolic() {
+		c := cond.Sym
+		if !taken {
+			c = expr.Not(c)
+		}
+		vm.record(c, site, false)
+	}
+	return taken
+}
+
+func (vm *vm) call(fn *lang.Func, args []CVal) (CVal, signal) {
+	e := &env{vars: make(map[string]*CVal, len(fn.Params))}
+	for i, p := range fn.Params {
+		v := args[i]
+		e.vars[p.Name] = &v
+	}
+	ret, sig := vm.execBlock(fn.Body, e)
+	switch sig.kind {
+	case sigReturn:
+		return ret, sig
+	case sigError:
+		return CVal{}, sig
+	case sigNone:
+		if fn.Ret == lang.TypeVoid {
+			return CVal{}, signal{kind: sigReturn}
+		}
+		return CVal{}, errSignal(interp.ErrNoReturn, fn.Pos, fn.Name)
+	default:
+		return CVal{}, errSignal(interp.ErrNoReturn, fn.Pos, "break/continue escaped function body")
+	}
+}
+
+func (vm *vm) execBlock(b *lang.BlockStmt, parent *env) (CVal, signal) {
+	e := &env{vars: make(map[string]*CVal), parent: parent}
+	for _, s := range b.Stmts {
+		ret, sig := vm.execStmt(s, e)
+		if sig.kind != sigNone {
+			return ret, sig
+		}
+	}
+	return CVal{}, noSignal
+}
+
+func (vm *vm) tick(pos lang.Pos) signal {
+	vm.steps++
+	if vm.steps > vm.opts.MaxSteps {
+		return errSignal(interp.ErrStepLimit, pos, "")
+	}
+	return noSignal
+}
+
+func (vm *vm) execStmt(s lang.Stmt, e *env) (CVal, signal) {
+	if sig := vm.tick(s.Position()); sig.kind != sigNone {
+		return CVal{}, sig
+	}
+	switch st := s.(type) {
+	case *lang.DeclStmt:
+		var v CVal
+		switch {
+		case st.Type == lang.TypeArray:
+			arr := make([]CVal, st.Size)
+			for i := range arr {
+				arr[i] = CVal{Type: lang.TypeInt}
+			}
+			for i, el := range st.ArrayLit {
+				ev, sig := vm.evalExpr(el, e)
+				if sig.kind != sigNone {
+					return CVal{}, sig
+				}
+				arr[i] = CVal{Type: lang.TypeInt, I: ev.I, Sym: ev.Sym}
+			}
+			v = CVal{Type: lang.TypeArray, Arr: arr}
+		case st.Init != nil:
+			ev, sig := vm.evalExpr(st.Init, e)
+			if sig.kind != sigNone {
+				return CVal{}, sig
+			}
+			v = CVal{Type: st.Type, I: ev.I, Sym: ev.Sym}
+		default:
+			v = CVal{Type: st.Type}
+		}
+		e.vars[st.Name] = &v
+		return CVal{}, noSignal
+	case *lang.AssignStmt:
+		val, sig := vm.evalExpr(st.Value, e)
+		if sig.kind != sigNone {
+			return CVal{}, sig
+		}
+		switch tgt := st.Target.(type) {
+		case *lang.VarRef:
+			slot := e.lookup(tgt.Name)
+			slot.I, slot.Sym = val.I, val.Sym
+		case *lang.IndexExpr:
+			arr, idx, sig := vm.evalIndex(tgt, e)
+			if sig.kind != sigNone {
+				return CVal{}, sig
+			}
+			arr[idx] = CVal{Type: lang.TypeInt, I: val.I, Sym: val.Sym}
+		}
+		return CVal{}, noSignal
+	case *lang.IfStmt:
+		cond, sig := vm.evalExpr(st.Cond, e)
+		if sig.kind != sigNone {
+			return CVal{}, sig
+		}
+		if vm.branch(cond, st.Pos) {
+			return vm.execBlock(st.Then, e)
+		}
+		if st.Else != nil {
+			return vm.execStmt(st.Else, e)
+		}
+		return CVal{}, noSignal
+	case *lang.WhileStmt:
+		for {
+			if sig := vm.tick(st.Pos); sig.kind != sigNone {
+				return CVal{}, sig
+			}
+			cond, sig := vm.evalExpr(st.Cond, e)
+			if sig.kind != sigNone {
+				return CVal{}, sig
+			}
+			if !vm.branch(cond, st.Pos) {
+				return CVal{}, noSignal
+			}
+			ret, sig2 := vm.execBlock(st.Body, e)
+			switch sig2.kind {
+			case sigBreak:
+				return CVal{}, noSignal
+			case sigNone, sigContinue:
+			default:
+				return ret, sig2
+			}
+		}
+	case *lang.ForStmt:
+		fe := &env{vars: make(map[string]*CVal), parent: e}
+		if st.Init != nil {
+			if _, sig := vm.execStmt(st.Init, fe); sig.kind != sigNone {
+				return CVal{}, sig
+			}
+		}
+		for {
+			if sig := vm.tick(st.Pos); sig.kind != sigNone {
+				return CVal{}, sig
+			}
+			if st.Cond != nil {
+				cond, sig := vm.evalExpr(st.Cond, fe)
+				if sig.kind != sigNone {
+					return CVal{}, sig
+				}
+				if !vm.branch(cond, st.Pos) {
+					return CVal{}, noSignal
+				}
+			}
+			ret, sig := vm.execBlock(st.Body, fe)
+			switch sig.kind {
+			case sigBreak:
+				return CVal{}, noSignal
+			case sigNone, sigContinue:
+			default:
+				return ret, sig
+			}
+			if st.Post != nil {
+				if _, sig := vm.execStmt(st.Post, fe); sig.kind != sigNone {
+					return CVal{}, sig
+				}
+			}
+		}
+	case *lang.ReturnStmt:
+		if st.Value == nil {
+			return CVal{}, signal{kind: sigReturn}
+		}
+		v, sig := vm.evalExpr(st.Value, e)
+		if sig.kind != sigNone {
+			return CVal{}, sig
+		}
+		return v, signal{kind: sigReturn}
+	case *lang.BreakStmt:
+		return CVal{}, signal{kind: sigBreak}
+	case *lang.ContinueStmt:
+		return CVal{}, signal{kind: sigContinue}
+	case *lang.AssertStmt:
+		cond, sig := vm.evalExpr(st.Cond, e)
+		if sig.kind != sigNone {
+			return CVal{}, sig
+		}
+		if !vm.branch(cond, st.Pos) {
+			return CVal{}, errSignal(interp.ErrAssertFail, st.Pos, "")
+		}
+		return CVal{}, noSignal
+	case *lang.AssumeStmt:
+		cond, sig := vm.evalExpr(st.Cond, e)
+		if sig.kind != sigNone {
+			return CVal{}, sig
+		}
+		if !vm.branch(cond, st.Pos) {
+			return CVal{}, errSignal(interp.ErrAssumeViolated, st.Pos, "")
+		}
+		return CVal{}, noSignal
+	case *lang.BugStmt:
+		vm.exec.BugHits = append(vm.exec.BugHits, BugHit{
+			Snapshot: symbolicSnapshot(e),
+			Concrete: concreteSnapshot(e),
+			AtBranch: len(vm.exec.Branches),
+		})
+		return CVal{}, noSignal
+	case *lang.ExprStmt:
+		_, sig := vm.evalExpr(st.X, e)
+		return CVal{}, sig
+	case *lang.BlockStmt:
+		return vm.execBlock(st, e)
+	}
+	panic(fmt.Sprintf("concolic: unknown statement %T", s))
+}
+
+// symbolicSnapshot captures the symbolic values of all scalar variables in
+// scope (innermost declaration wins).
+func symbolicSnapshot(e *env) map[string]*expr.Term {
+	snap := make(map[string]*expr.Term)
+	for cur := e; cur != nil; cur = cur.parent {
+		for name, v := range cur.vars {
+			if _, shadowed := snap[name]; shadowed {
+				continue
+			}
+			if v.Type == lang.TypeInt || v.Type == lang.TypeBool {
+				snap[name] = v.symbolic()
+			}
+		}
+	}
+	return snap
+}
+
+func concreteSnapshot(e *env) expr.Model {
+	snap := expr.Model{}
+	for cur := e; cur != nil; cur = cur.parent {
+		for name, v := range cur.vars {
+			if _, shadowed := snap[name]; shadowed {
+				continue
+			}
+			if v.Type == lang.TypeInt || v.Type == lang.TypeBool {
+				snap[name] = v.I
+			}
+		}
+	}
+	return snap
+}
+
+func (vm *vm) evalIndex(ix *lang.IndexExpr, e *env) ([]CVal, int64, signal) {
+	ref := ix.Array.(*lang.VarRef)
+	arrV := e.lookup(ref.Name)
+	idx, sig := vm.evalExpr(ix.Index, e)
+	if sig.kind != sigNone {
+		return nil, 0, sig
+	}
+	n := int64(len(arrV.Arr))
+	inBounds := idx.I >= 0 && idx.I < n
+	if idx.isSymbolic() {
+		// The bounds check is an implicit branch; flipping it lets the
+		// explorer generate out-of-bounds (bug-reaching) inputs.
+		c := expr.And(expr.Ge(idx.Sym, expr.Int(0)), expr.Lt(idx.Sym, expr.Int(n)))
+		if !inBounds {
+			c = expr.Not(c)
+		}
+		vm.record(c, ix.Pos, false)
+	}
+	if !inBounds {
+		return nil, 0, errSignal(interp.ErrOutOfBounds, ix.Pos,
+			fmt.Sprintf("index %d of array %q with length %d", idx.I, ref.Name, len(arrV.Arr)))
+	}
+	if idx.isSymbolic() {
+		// Array cells are concrete: pin the index so the symbolic state
+		// stays consistent with the concrete lookup.
+		vm.record(expr.Eq(idx.Sym, expr.Int(idx.I)), ix.Pos, true)
+	}
+	return arrV.Arr, idx.I, noSignal
+}
+
+func (vm *vm) evalExpr(ex lang.Expr, e *env) (CVal, signal) {
+	switch x := ex.(type) {
+	case *lang.IntLit:
+		return CVal{Type: lang.TypeInt, I: x.Val}, noSignal
+	case *lang.BoolLit:
+		v := int64(0)
+		if x.Val {
+			v = 1
+		}
+		return CVal{Type: lang.TypeBool, I: v}, noSignal
+	case *lang.VarRef:
+		return *e.lookup(x.Name), noSignal
+	case *lang.IndexExpr:
+		arr, idx, sig := vm.evalIndex(x, e)
+		if sig.kind != sigNone {
+			return CVal{}, sig
+		}
+		return arr[idx], noSignal
+	case *lang.HoleExpr:
+		return vm.evalHole(x, e)
+	case *lang.UnaryExpr:
+		v, sig := vm.evalExpr(x.X, e)
+		if sig.kind != sigNone {
+			return CVal{}, sig
+		}
+		if x.Op == lang.Not {
+			out := CVal{Type: lang.TypeBool, I: 1 - v.I}
+			if v.isSymbolic() {
+				out.Sym = expr.Not(v.Sym)
+			}
+			return out, noSignal
+		}
+		out := CVal{Type: lang.TypeInt, I: -v.I}
+		if v.isSymbolic() {
+			out.Sym = expr.Neg(v.Sym)
+		}
+		return out, noSignal
+	case *lang.BinaryExpr:
+		return vm.evalBinary(x, e)
+	case *lang.CallExpr:
+		fn := vm.prog.Funcs[x.Name]
+		args := make([]CVal, len(x.Args))
+		for i, a := range x.Args {
+			v, sig := vm.evalExpr(a, e)
+			if sig.kind != sigNone {
+				return CVal{}, sig
+			}
+			args[i] = v
+		}
+		ret, sig := vm.call(fn, args)
+		if sig.kind == sigError {
+			return CVal{}, sig
+		}
+		return ret, noSignal
+	}
+	panic(fmt.Sprintf("concolic: unknown expression %T", ex))
+}
+
+// evalHole evaluates the patch location: the symbolic value is a fresh
+// patch-output symbol; the concrete value comes from the selected patch.
+func (vm *vm) evalHole(h *lang.HoleExpr, e *env) (CVal, signal) {
+	if vm.opts.Patch == nil {
+		return CVal{}, errSignal(interp.ErrPatch, h.Pos, "no patch provided for __HOLE__")
+	}
+	concrete := concreteSnapshot(e)
+	model := expr.Model{}
+	for k, v := range concrete {
+		model[k] = v
+	}
+	for k, v := range vm.opts.PatchParams {
+		model[k] = v
+	}
+	val, err := expr.Eval(vm.opts.Patch, model)
+	if err != nil {
+		return CVal{}, errSignal(interp.ErrPatch, h.Pos, err.Error())
+	}
+	ty := lang.TypeBool
+	if vm.opts.Patch.Sort == expr.SortInt {
+		ty = lang.TypeInt
+	} else if val != 0 {
+		val = 1
+	}
+	out := expr.Var(fmt.Sprintf("%s%d", PatchOutPrefix, vm.holes), sortOf(ty))
+	vm.holes++
+	vm.exec.HoleHits = append(vm.exec.HoleHits, HoleHit{
+		Out:      out,
+		Snapshot: symbolicSnapshot(e),
+		Concrete: concrete,
+		AtBranch: len(vm.exec.Branches),
+	})
+	return CVal{Type: ty, I: val, Sym: out}, noSignal
+}
+
+func sortOf(t lang.Type) expr.Sort {
+	if t == lang.TypeBool {
+		return expr.SortBool
+	}
+	return expr.SortInt
+}
+
+func (vm *vm) evalBinary(x *lang.BinaryExpr, e *env) (CVal, signal) {
+	// Short-circuit booleans branch on the left operand, in the concolic
+	// tradition: a && b is control flow, not a pure expression.
+	if x.Op == lang.AndAnd || x.Op == lang.OrOr {
+		l, sig := vm.evalExpr(x.L, e)
+		if sig.kind != sigNone {
+			return CVal{}, sig
+		}
+		lTrue := vm.branch(l, x.Pos)
+		if x.Op == lang.AndAnd && !lTrue {
+			return CVal{Type: lang.TypeBool, I: 0}, noSignal
+		}
+		if x.Op == lang.OrOr && lTrue {
+			return CVal{Type: lang.TypeBool, I: 1}, noSignal
+		}
+		r, sig := vm.evalExpr(x.R, e)
+		if sig.kind != sigNone {
+			return CVal{}, sig
+		}
+		out := CVal{Type: lang.TypeBool, I: 0}
+		if r.I != 0 {
+			out.I = 1
+		}
+		out.Sym = r.Sym
+		return out, noSignal
+	}
+	l, sig := vm.evalExpr(x.L, e)
+	if sig.kind != sigNone {
+		return CVal{}, sig
+	}
+	r, sig := vm.evalExpr(x.R, e)
+	if sig.kind != sigNone {
+		return CVal{}, sig
+	}
+	switch x.Op {
+	case lang.Plus, lang.Minus, lang.Star:
+		out := CVal{Type: lang.TypeInt}
+		switch x.Op {
+		case lang.Plus:
+			out.I = l.I + r.I
+		case lang.Minus:
+			out.I = l.I - r.I
+		case lang.Star:
+			out.I = l.I * r.I
+		}
+		if l.isSymbolic() || r.isSymbolic() {
+			ls, rs := l.symbolic(), r.symbolic()
+			if x.Op == lang.Star && l.isSymbolic() && r.isSymbolic() {
+				// DART-style concretization: pin the right operand.
+				vm.record(expr.Eq(rs, expr.Int(r.I)), x.Pos, true)
+				rs = expr.Int(r.I)
+			}
+			switch x.Op {
+			case lang.Plus:
+				out.Sym = expr.Add(ls, rs)
+			case lang.Minus:
+				out.Sym = expr.Sub(ls, rs)
+			case lang.Star:
+				out.Sym = expr.Mul(ls, rs)
+			}
+		}
+		return out, noSignal
+	case lang.Slash, lang.Percent:
+		// The zero check is an implicit branch (crash reachability).
+		if r.isSymbolic() {
+			c := expr.Ne(r.Sym, expr.Int(0))
+			if r.I == 0 {
+				c = expr.Not(c)
+			}
+			vm.record(c, x.Pos, false)
+		}
+		if r.I == 0 {
+			kind := interp.ErrDivZero
+			if x.Op == lang.Percent {
+				kind = interp.ErrRemZero
+			}
+			return CVal{}, errSignal(kind, x.Pos, "")
+		}
+		out := CVal{Type: lang.TypeInt}
+		if x.Op == lang.Slash {
+			out.I = l.I / r.I
+		} else {
+			out.I = l.I % r.I
+		}
+		if l.isSymbolic() || r.isSymbolic() {
+			rs := r.symbolic()
+			if r.isSymbolic() {
+				// Pin symbolic divisors (keeps queries linear).
+				vm.record(expr.Eq(r.Sym, expr.Int(r.I)), x.Pos, true)
+				rs = expr.Int(r.I)
+			}
+			if x.Op == lang.Slash {
+				out.Sym = expr.Div(l.symbolic(), rs)
+			} else {
+				out.Sym = expr.Rem(l.symbolic(), rs)
+			}
+		}
+		return out, noSignal
+	case lang.Eq, lang.NotEq, lang.Less, lang.LessEq, lang.Greater, lang.GreaterEq:
+		out := CVal{Type: lang.TypeBool}
+		var conc bool
+		switch x.Op {
+		case lang.Eq:
+			conc = l.I == r.I
+		case lang.NotEq:
+			conc = l.I != r.I
+		case lang.Less:
+			conc = l.I < r.I
+		case lang.LessEq:
+			conc = l.I <= r.I
+		case lang.Greater:
+			conc = l.I > r.I
+		case lang.GreaterEq:
+			conc = l.I >= r.I
+		}
+		if conc {
+			out.I = 1
+		}
+		if l.isSymbolic() || r.isSymbolic() {
+			ls, rs := l.symbolic(), r.symbolic()
+			switch x.Op {
+			case lang.Eq:
+				out.Sym = expr.Eq(ls, rs)
+			case lang.NotEq:
+				out.Sym = expr.Ne(ls, rs)
+			case lang.Less:
+				out.Sym = expr.Lt(ls, rs)
+			case lang.LessEq:
+				out.Sym = expr.Le(ls, rs)
+			case lang.Greater:
+				out.Sym = expr.Gt(ls, rs)
+			case lang.GreaterEq:
+				out.Sym = expr.Ge(ls, rs)
+			}
+		}
+		return out, noSignal
+	}
+	panic(fmt.Sprintf("concolic: unknown binary op %v", x.Op))
+}

@@ -1,0 +1,108 @@
+package concolic
+
+import (
+	"cpr/internal/expr"
+)
+
+// Flip is one candidate new path produced by generational search (SAGE,
+// [10] in the paper): the prefix of a parent execution's path constraint
+// with the branch at Depth negated. Branches on patch-output symbols are
+// flipped — that is how the explorer probes the patch's influence on
+// control flow. Pins (concretization constraints) are flipped too, at a
+// ranking penalty: negating a pin asks the solver for a different
+// concrete value of the concretized operand, which is how the explorer
+// escapes DART-style concretization and keeps enumerating partitions.
+type Flip struct {
+	// Prefix is the conjunction of branch conditions before Depth,
+	// including pins, in path order.
+	Prefix []*expr.Term
+	// Negated is the negation of the branch condition at Depth.
+	Negated *expr.Term
+	// Depth is the index of the flipped branch in the parent's Branches.
+	Depth int
+	// OnPatch reports whether the flipped branch mentions a patch output.
+	OnPatch bool
+	// HoleHits are the parent's hole hits that lie within the prefix;
+	// their snapshots instantiate patch formulas for the child path.
+	HoleHits []HoleHit
+	// PinFlip marks the negation of a concretization constraint (a new
+	// concrete value is requested rather than a new branch direction).
+	PinFlip bool
+	// ParentHitPatch and ParentHitBug describe the parent execution; the
+	// explorer's ranking heuristic (§3.4) prefers children of executions
+	// that exercised the patch and bug locations.
+	ParentHitPatch bool
+	ParentHitBug   bool
+}
+
+// Constraint returns Prefix ∧ Negated as a single term.
+func (f Flip) Constraint() *expr.Term {
+	return expr.And(append(append([]*expr.Term{}, f.Prefix...), f.Negated)...)
+}
+
+// Score ranks the flip for the exploration queue: children of executions
+// that exercised the bug location rank highest, then the patch location,
+// then deeper flips (which stay close to the failing path).
+func (f Flip) Score() int {
+	s := 0
+	if f.ParentHitBug {
+		s += 200
+	}
+	if f.ParentHitPatch {
+		s += 100
+	}
+	if f.OnPatch {
+		s += 50
+	}
+	if f.PinFlip {
+		s -= 150 // value re-enumeration explores after structural flips
+	}
+	return s + f.Depth
+}
+
+// Flips enumerates the generational-search children of an execution,
+// negating every branch at depth ≥ bound (the SAGE bound prevents
+// re-deriving the parent's own ancestors). Pin negations request fresh
+// concrete values for concretized operands.
+func Flips(exec *Execution, bound int) []Flip {
+	var out []Flip
+	for i := bound; i < len(exec.Branches); i++ {
+		b := exec.Branches[i]
+		prefix := make([]*expr.Term, 0, i)
+		for _, pb := range exec.Branches[:i] {
+			prefix = append(prefix, pb.Cond)
+		}
+		var holes []HoleHit
+		for _, h := range exec.HoleHits {
+			if h.AtBranch <= i {
+				holes = append(holes, h)
+			}
+		}
+		out = append(out, Flip{
+			Prefix:         prefix,
+			Negated:        expr.Not(b.Cond),
+			Depth:          i,
+			OnPatch:        b.OnPatch,
+			PinFlip:        b.Pin,
+			HoleHits:       holes,
+			ParentHitPatch: exec.HitPatch(),
+			ParentHitBug:   exec.HitBug(),
+		})
+	}
+	return out
+}
+
+// PathKey returns a stable fingerprint of a path constraint prefix, used
+// by the explorer to avoid re-solving the same candidate path twice.
+func PathKey(terms []*expr.Term) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, t := range terms {
+		h ^= t.Hash()
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,656 @@
+// Package core implements the paper's primary contribution: the concolic
+// program repair algorithm (Algorithm 1), the patch-pool reduction
+// (Algorithm 2), the patch-feasibility-aware input generation of §3.4
+// (PickNewInput with path reduction), and the patch ranking of §3.5.3.
+//
+// The repair loop co-explores the input space and the patch space: each
+// iteration picks a (input, patch) pair whose path is feasible for at
+// least one pool patch, executes it concolically, and reduces the pool
+// against the user-provided specification on the explored partition.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"cpr/internal/concolic"
+	"cpr/internal/expr"
+	"cpr/internal/interval"
+	"cpr/internal/lang"
+	"cpr/internal/lang/interp"
+	"cpr/internal/mc"
+	"cpr/internal/patch"
+	"cpr/internal/smt"
+	"cpr/internal/synth"
+)
+
+// Job describes one repair task.
+type Job struct {
+	// Program is the buggy program with a __HOLE__ at the patch location
+	// and __BUG__ markers at the bug location.
+	Program *lang.Program
+	// Spec is the user-provided specification σ: a boolean term over the
+	// program variables in scope at the bug location. It must hold
+	// whenever the bug location is reached.
+	Spec *expr.Term
+	// FailingInputs are error-exposing inputs (at least one); the paper
+	// obtains them from exploits, failing tests, or directed fuzzing.
+	FailingInputs []map[string]int64
+	// PassingInputs optionally seed the exploration with passing tests
+	// (the paper's §8: CPR "applies to test-suite based repair, by using
+	// failing / passing tests to drive concolic path exploration"). They
+	// widen the explored input space but are not used for validation.
+	PassingInputs []map[string]int64
+	// Components is the synthesis language for the patch pool.
+	Components synth.Components
+	// InputBounds bound the program inputs during exploration; variables
+	// absent from the map default to the 32-bit range.
+	InputBounds map[string]interval.Interval
+	// Budget is the anytime budget.
+	Budget Budget
+}
+
+// Budget bounds the repair loop deterministically (wall-clock budgets in
+// the paper map to iteration budgets here for reproducibility).
+type Budget struct {
+	// MaxIterations bounds main-loop concolic executions (default 100).
+	MaxIterations int
+	// ValidationIterations bounds the pinned-input exploration used to
+	// validate the initial pool against each failing input (default 8).
+	ValidationIterations int
+}
+
+func (b Budget) withDefaults() Budget {
+	if b.MaxIterations == 0 {
+		b.MaxIterations = 100
+	}
+	if b.ValidationIterations == 0 {
+		b.ValidationIterations = 8
+	}
+	return b
+}
+
+// Options tunes the engine.
+type Options struct {
+	// SMT configures the solver.
+	SMT smt.Options
+	// DisablePathReduction turns off the §3.4 pruning (ablation): every
+	// flip is solved without consulting the patch pool first.
+	DisablePathReduction bool
+	// SplitMode selects the parameter-region split (ablation; default is
+	// the paper's 3ⁿ−1 grid).
+	SplitMode interval.SplitMode
+	// MaxQueue caps the exploration frontier (default 512).
+	MaxQueue int
+	// MaxStepsPerRun bounds one concolic execution (default 1 << 18).
+	MaxStepsPerRun int
+	// ModelCountRanking enables the §3.5.3 fine-tuning: ranking evidence
+	// is scaled by the (approximate) proportion of the partition's inputs
+	// whose control flow the patch affects, so patches that fire on most
+	// of a partition (functionality-deletion behavior) gain less.
+	ModelCountRanking bool
+	// Queue selects the exploration frontier policy (ablation of the
+	// §3.4 input ranking; default QueueRanked).
+	Queue QueuePolicy
+}
+
+// QueuePolicy orders the exploration frontier.
+type QueuePolicy uint8
+
+// Queue policies.
+const (
+	// QueueRanked prefers inputs whose parents exercised the bug and
+	// patch locations (the paper's heuristic).
+	QueueRanked QueuePolicy = iota
+	// QueueFIFO explores in generation order (breadth-first).
+	QueueFIFO
+)
+
+func (o Options) withDefaults() Options {
+	if o.MaxQueue == 0 {
+		o.MaxQueue = 512
+	}
+	if o.MaxStepsPerRun == 0 {
+		o.MaxStepsPerRun = 1 << 18
+	}
+	return o
+}
+
+// Stats are the measurements reported in the paper's tables.
+type Stats struct {
+	// PInit and PFinal are concrete patch-pool sizes (|P_init|, |P_final|).
+	PInit, PFinal int64
+	// PoolInit and PoolFinal are abstract (template) pool sizes.
+	PoolInit, PoolFinal int
+	// PathsExplored is φE: concolic executions in the main loop.
+	PathsExplored int
+	// PathsSkipped is φS: candidate paths pruned because no pool patch
+	// could exercise them (the paper's path reduction).
+	PathsSkipped int
+	// InputsGenerated counts generated inputs (excluding seeds);
+	// PatchLocHits/BugLocHits count generated inputs whose execution hit
+	// the patch/bug location (Table 6 ratios).
+	InputsGenerated, PatchLocHits, BugLocHits int
+	// Refinements counts successful parameter-constraint refinements;
+	// Removals counts discarded patches.
+	Refinements, Removals int
+}
+
+// ReductionRatio is 1 − PFinal/PInit (the tables' Ratio column).
+func (s Stats) ReductionRatio() float64 {
+	if s.PInit == 0 {
+		return 0
+	}
+	return 1 - float64(s.PFinal)/float64(s.PInit)
+}
+
+// Result is the outcome of a repair run.
+type Result struct {
+	// Pool is the final reduced pool.
+	Pool *patch.Pool
+	// Ranked is the pool in ranking order (§3.5.3).
+	Ranked []*patch.Patch
+	// Stats are the run's measurements.
+	Stats Stats
+}
+
+// ErrNoHole is returned for programs without a patch location.
+var ErrNoHole = errors.New("core: program has no __HOLE__ patch location")
+
+// ErrNoFailingInput is returned when the job provides no failing input.
+var ErrNoFailingInput = errors.New("core: job has no failing input (generate one with the fuzzer)")
+
+// Repair runs concolic program repair on the job (Algorithm 1).
+func Repair(job Job, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	job.Budget = job.Budget.withDefaults()
+	if job.Program.HolePos == nil {
+		return nil, ErrNoHole
+	}
+	if len(job.FailingInputs) == 0 {
+		return nil, ErrNoFailingInput
+	}
+	if job.Spec == nil {
+		job.Spec = expr.True()
+	}
+
+	// Phase 1: patch pool construction (§3.3).
+	templates := synth.Synthesize(job.Components, job.Program.HoleType)
+	pool := synth.BuildPool(templates, job.Components)
+	for _, p := range pool.Patches {
+		p.Constraint.Mode = opts.SplitMode
+	}
+	eng := &engine{
+		job:    job,
+		opts:   opts,
+		solver: smt.NewSolver(opts.SMT),
+		pool:   pool,
+	}
+	eng.refiner = &patch.Refiner{Solver: eng.solver, InputBounds: eng.inputBounds()}
+	stats := &Stats{PoolInit: pool.Size()}
+
+	// Phase 1b: validate the pool against each failing input by
+	// exploring the patch dimension with the input pinned (the paper's
+	// controlled symbolic execution for initial test cases).
+	for _, fi := range job.FailingInputs {
+		var vstats Stats
+		eng.explore([]map[string]int64{fi}, eng.pinnedBounds(fi), job.Budget.ValidationIterations, &vstats, true)
+		stats.PathsExplored += vstats.PathsExplored
+		stats.PathsSkipped += vstats.PathsSkipped
+		if pool.Size() == 0 {
+			break
+		}
+	}
+	stats.PInit = pool.CountConcrete()
+	stats.PoolInit = pool.Size()
+
+	// Phases 2+3: the repair loop over the full input space, seeded by
+	// the failing tests and any passing tests.
+	if pool.Size() > 0 {
+		seeds := append(append([]map[string]int64{}, job.FailingInputs...), job.PassingInputs...)
+		eng.explore(seeds, eng.inputBounds(), job.Budget.MaxIterations, stats, false)
+	}
+
+	stats.PFinal = pool.CountConcrete()
+	stats.PoolFinal = pool.Size()
+	stats.Refinements = eng.refinements
+	stats.Removals = eng.removals
+	return &Result{Pool: pool, Ranked: pool.Ranked(), Stats: *stats}, nil
+}
+
+// engine carries the mutable repair state.
+type engine struct {
+	job     Job
+	opts    Options
+	solver  *smt.Solver
+	refiner *patch.Refiner
+	pool    *patch.Pool
+
+	refinements int
+	removals    int
+	delCache    map[int]delEntry
+	seq         int
+}
+
+type delEntry struct {
+	count int64
+	val   bool
+}
+
+func (e *engine) inputBounds() map[string]interval.Interval {
+	b := make(map[string]interval.Interval)
+	for _, p := range e.job.Program.Inputs() {
+		if iv, ok := e.job.InputBounds[p.Name]; ok {
+			b[p.Name] = iv
+		} else {
+			b[p.Name] = smt.Int32Bounds
+		}
+		if p.Type == lang.TypeBool {
+			b[p.Name] = interval.New(0, 1)
+		}
+	}
+	return b
+}
+
+func (e *engine) pinnedBounds(input map[string]int64) map[string]interval.Interval {
+	b := make(map[string]interval.Interval)
+	for _, p := range e.job.Program.Inputs() {
+		b[p.Name] = interval.Point(input[p.Name])
+	}
+	return b
+}
+
+// workItem is a queued (input, patch) pair (the t, ρ of PickNewInput).
+type workItem struct {
+	input   map[string]int64
+	patchID int
+	params  expr.Model
+	score   int
+	bound   int // generational-search bound for children
+	seq     int
+	seed    bool
+}
+
+// explore runs the repair loop over the given input bounds: Algorithm 1's
+// while loop, with PickNewInput realized as a ranked frontier of flips
+// whose patch feasibility has been established (path reduction, §3.4).
+func (e *engine) explore(seeds []map[string]int64, bounds map[string]interval.Interval, maxIter int, stats *Stats, validation bool) {
+	e.refiner.InputBounds = bounds
+	seen := make(map[uint64]bool) // explored path prefixes in this phase
+	var queue []workItem
+	push := func(it workItem) {
+		if len(queue) >= e.opts.MaxQueue {
+			// Drop the worst item to make room.
+			sort.SliceStable(queue, func(i, j int) bool { return less(queue[i], queue[j]) })
+			if !less(it, queue[len(queue)-1]) {
+				return
+			}
+			queue = queue[:len(queue)-1]
+		}
+		queue = append(queue, it)
+	}
+	for _, s := range seeds {
+		ranked := e.pool.Ranked()
+		if len(ranked) == 0 {
+			return
+		}
+		p := ranked[0]
+		params, ok := p.AnyParams()
+		if !ok {
+			continue
+		}
+		e.seq++
+		push(workItem{input: s, patchID: p.ID, params: params, score: 1 << 20, bound: 0, seq: e.seq, seed: true})
+	}
+
+	cmp := less
+	if e.opts.Queue == QueueFIFO {
+		cmp = lessFIFO
+	}
+	for iter := 0; iter < maxIter && len(queue) > 0 && e.pool.Size() > 0; iter++ {
+		// Pop the best item under the queue policy.
+		best := 0
+		for i := 1; i < len(queue); i++ {
+			if cmp(queue[i], queue[best]) {
+				best = i
+			}
+		}
+		item := queue[best]
+		queue = append(queue[:best], queue[best+1:]...)
+
+		// The pool may have changed since the item was pushed: re-resolve
+		// the patch choice.
+		pt, params, ok := e.resolvePatch(item)
+		if !ok {
+			stats.PathsSkipped++
+			continue
+		}
+		exec := concolic.Execute(e.job.Program, item.input, concolic.Options{
+			Patch:       pt.Expr,
+			PatchParams: params,
+			MaxSteps:    e.opts.MaxStepsPerRun,
+		})
+		if exec.Err != nil && !exec.Crashed() && exec.Err.Kind != interp.ErrAssumeViolated {
+			// Engine-level failure (step limit, patch evaluation error):
+			// the path contributes nothing.
+			continue
+		}
+		stats.PathsExplored++
+		if !item.seed {
+			stats.InputsGenerated++
+			if exec.HitPatch() {
+				stats.PatchLocHits++
+			}
+			if exec.HitBug() {
+				stats.BugLocHits++
+			}
+		}
+		if exec.HitPatch() {
+			e.reduce(exec, stats, validation)
+		}
+		// Generational search children.
+		for _, flip := range concolic.Flips(exec, item.bound) {
+			key := concolic.PathKey(append(append([]*expr.Term{}, flip.Prefix...), flip.Negated))
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			child, ok := e.pickNewInput(flip, bounds)
+			if !ok {
+				stats.PathsSkipped++
+				continue
+			}
+			e.seq++
+			child.seq = e.seq
+			push(child)
+		}
+	}
+}
+
+func less(a, b workItem) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return a.seq < b.seq
+}
+
+func lessFIFO(a, b workItem) bool { return a.seq < b.seq }
+
+// resolvePatch returns the patch and parameters to execute a work item
+// with, re-validating against the current pool.
+func (e *engine) resolvePatch(item workItem) (*patch.Patch, expr.Model, bool) {
+	for _, p := range e.pool.Patches {
+		if p.ID != item.patchID {
+			continue
+		}
+		if len(p.Params) == 0 {
+			return p, expr.Model{}, true
+		}
+		if p.Constraint.Contains(p.ParamPoint(item.params)) {
+			return p, item.params, true
+		}
+		if m, ok := p.AnyParams(); ok {
+			return p, m, true
+		}
+		return nil, nil, false
+	}
+	// The chosen patch is gone; fall back to the best available.
+	ranked := e.pool.Ranked()
+	if len(ranked) == 0 {
+		return nil, nil, false
+	}
+	p := ranked[0]
+	m, ok := p.AnyParams()
+	if !ok {
+		return nil, nil, false
+	}
+	return p, m, true
+}
+
+// pickNewInput implements the path-reduction step of §3.4: a flip is only
+// queued if some pool patch admits the flipped path; the satisfying model
+// provides both the new input t and the patch ρ (with parameter values).
+func (e *engine) pickNewInput(flip concolic.Flip, bounds map[string]interval.Interval) (workItem, bool) {
+	cons := flip.Constraint()
+	inputNames := e.job.Program.Inputs()
+
+	buildItem := func(model expr.Model, p *patch.Patch) workItem {
+		in := make(map[string]int64, len(inputNames))
+		for _, prm := range inputNames {
+			in[prm.Name] = model[prm.Name]
+		}
+		params := expr.Model{}
+		for _, name := range p.Params {
+			params[name] = model[name]
+		}
+		return workItem{
+			input:   in,
+			patchID: p.ID,
+			params:  params,
+			score:   flip.Score(),
+			bound:   flip.Depth + 1,
+		}
+	}
+
+	needsPatch := len(flip.HoleHits) > 0
+	if !needsPatch || e.opts.DisablePathReduction {
+		// No patch constraint applies to the prefix (or the ablation is
+		// on): solve the path alone and attach the best-ranked patch.
+		model, ok, err := e.solver.GetModel(cons, bounds)
+		if err != nil || !ok {
+			return workItem{}, false
+		}
+		ranked := e.pool.Ranked()
+		if len(ranked) == 0 {
+			return workItem{}, false
+		}
+		p := ranked[0]
+		params, ok := p.AnyParams()
+		if !ok {
+			return workItem{}, false
+		}
+		it := buildItem(model, p)
+		for k, v := range params {
+			it.params[k] = v
+		}
+		it.patchID = p.ID
+		return it, true
+	}
+
+	for _, p := range e.pool.Ranked() {
+		psi := e.patchFormula(p, flip.HoleHits)
+		query := expr.And(cons, psi, p.ConstraintTerm())
+		b := e.boundsWithParams(bounds, p)
+		model, ok, err := e.solver.GetModel(query, b)
+		if err != nil {
+			continue // solver budget on this patch; try the next
+		}
+		if ok {
+			return buildItem(model, p), true
+		}
+	}
+	return workItem{}, false
+}
+
+func (e *engine) patchFormula(p *patch.Patch, hits []concolic.HoleHit) *expr.Term {
+	psis := make([]*expr.Term, len(hits))
+	for i, h := range hits {
+		psis[i] = p.Formula(h.Out, h.Snapshot)
+	}
+	return expr.And(psis...)
+}
+
+func (e *engine) boundsWithParams(bounds map[string]interval.Interval, p *patch.Patch) map[string]interval.Interval {
+	b := make(map[string]interval.Interval, len(bounds)+len(p.Params))
+	for k, v := range bounds {
+		b[k] = v
+	}
+	for k, v := range p.ParamBounds() {
+		b[k] = v
+	}
+	return b
+}
+
+// reduce is Algorithm 2: for every pool patch compatible with the explored
+// path, refine its parameter constraint against the specification (when
+// the bug location was exercised) and update the ranking.
+func (e *engine) reduce(exec *concolic.Execution, stats *Stats, validation bool) {
+	phi := exec.PathConstraint()
+	hitBug := exec.HitBug()
+	sigma := e.instantiateSpec(exec)
+
+	var removed []int
+	for _, p := range e.pool.Patches {
+		psi := e.patchFormula(p, exec.HoleHits)
+		pi := expr.And(phi, psi, p.ConstraintTerm())
+		b := e.boundsWithParams(e.refiner.InputBounds, p)
+		sat, err := e.solver.IsSat(pi, b)
+		if err != nil || !sat {
+			continue // cannot reason about ρ on this path
+		}
+		if hitBug {
+			refined, err := e.refiner.Refine(phi, psi, sigma, p, p.Constraint)
+			if err != nil {
+				continue // refinement budget: leave the patch untouched
+			}
+			if refined.IsEmpty() {
+				removed = append(removed, p.ID)
+				e.removals++
+				continue
+			}
+			if refined.Count() != p.Constraint.Count() {
+				e.refinements++
+			}
+			refined.Mode = e.opts.SplitMode
+			p.Constraint = refined
+		}
+		if !validation {
+			e.updateRanking(p, hitBug, exec)
+		}
+	}
+	for _, id := range removed {
+		e.pool.Remove(id)
+	}
+}
+
+// instantiateSpec conjoins σ over the symbolic snapshots of every bug-
+// location hit. Crashes that bypass the marker (e.g. a crash inside the
+// patch expression) contribute an unsatisfiable σ so the offending
+// parameters are removed.
+func (e *engine) instantiateSpec(exec *concolic.Execution) *expr.Term {
+	var parts []*expr.Term
+	for _, h := range exec.BugHits {
+		parts = append(parts, instantiate(e.job.Spec, h.Snapshot))
+	}
+	if exec.Crashed() && len(exec.BugHits) == 0 {
+		// Crash before/without the marker: every input on this path
+		// violates crash-freedom.
+		parts = append(parts, expr.False())
+	}
+	return expr.And(parts...)
+}
+
+func instantiate(spec *expr.Term, snapshot map[string]*expr.Term) *expr.Term {
+	sub := make(map[string]*expr.Term, len(snapshot))
+	for name, val := range snapshot {
+		sub[name] = val
+	}
+	return expr.Subst(spec, sub)
+}
+
+// updateRanking implements §3.5.3: compatible patches gain evidence, more
+// when the bug location was exercised; functionality-deleting patches
+// (tautologies or contradictions under the current parameter constraint)
+// are deprioritized rather than removed. With ModelCountRanking the
+// evidence is further scaled by the proportion of the partition's inputs
+// the patch fires on (the paper's model-counting fine-tuning).
+func (e *engine) updateRanking(p *patch.Patch, hitBug bool, exec *concolic.Execution) {
+	inc := 1.0
+	if hitBug {
+		inc = 3.0
+	}
+	if e.isDeletionLike(p) {
+		p.Deletions++
+		inc *= 0.25
+	}
+	if e.opts.ModelCountRanking && p.Expr.Sort == expr.SortBool && len(exec.HoleHits) > 0 {
+		inc *= e.firingDamp(p, exec)
+	}
+	p.Score += inc
+}
+
+// firingDamp estimates the fraction of the partition on which the patch
+// guard fires (diverting control flow) and damps the ranking evidence
+// toward 0.25 as the fraction approaches 1: a guard that fires everywhere
+// behaves like functionality deletion even if it is not a tautology.
+func (e *engine) firingDamp(p *patch.Patch, exec *concolic.Execution) float64 {
+	params, ok := p.AnyParams()
+	if !ok {
+		return 1
+	}
+	sub := make(map[string]*expr.Term, len(params))
+	for name, v := range params {
+		sub[name] = expr.Int(v)
+	}
+	fire := expr.Subst(p.Formula(expr.Bool(true), exec.HoleHits[0].Snapshot), sub)
+	frac, err := mc.Fraction(expr.And(exec.PathConstraint(), fire), e.mcBounds(exec), mc.Options{Seed: 1, Samples: 400})
+	if err != nil {
+		return 1
+	}
+	return 1 - 0.75*frac
+}
+
+// mcBounds supplies sampling bounds for the model counter: the inputs'
+// exploration bounds plus boolean patch outputs.
+func (e *engine) mcBounds(exec *concolic.Execution) map[string]interval.Interval {
+	b := make(map[string]interval.Interval, len(e.refiner.InputBounds)+len(exec.HoleHits))
+	for k, v := range e.refiner.InputBounds {
+		b[k] = v
+	}
+	for _, h := range exec.HoleHits {
+		b[h.Out.Name] = interval.New(0, 1)
+	}
+	return b
+}
+
+// isDeletionLike checks whether the patch forces its guard to a constant
+// for every admissible parameter vector.
+func (e *engine) isDeletionLike(p *patch.Patch) bool {
+	if p.Expr.Sort != expr.SortBool {
+		return false
+	}
+	if p.Expr.IsConst() {
+		return true
+	}
+	if e.delCache == nil {
+		e.delCache = make(map[int]delEntry)
+	}
+	cnt := p.Constraint.Count()
+	if ent, ok := e.delCache[p.ID]; ok && ent.count == cnt {
+		return ent.val
+	}
+	b := e.boundsWithParams(e.refiner.InputBounds, p)
+	t := expr.And(p.ConstraintTerm(), expr.Not(p.Expr))
+	f := expr.And(p.ConstraintTerm(), p.Expr)
+	tautology, err1 := e.solver.IsSat(t, b)
+	contradiction, err2 := e.solver.IsSat(f, b)
+	val := false
+	if err1 == nil && err2 == nil {
+		val = !tautology || !contradiction
+	}
+	e.delCache[p.ID] = delEntry{count: cnt, val: val}
+	return val
+}
+
+// FormatTopPatches renders the top-n ranked patches for reports.
+func FormatTopPatches(res *Result, n int) []string {
+	out := make([]string, 0, n)
+	for i, p := range res.Ranked {
+		if i >= n {
+			break
+		}
+		out = append(out, fmt.Sprintf("#%d score=%.2f  %s", i+1, p.Score, p.String()))
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math/rand"
+
+	"cpr/internal/expr"
+	"cpr/internal/interval"
+	"cpr/internal/patch"
+	"cpr/internal/smt"
+)
+
+// Covers decides whether an abstract patch covers the developer patch:
+// whether some admissible parameter vector A ∈ Tρ makes θρ(·, A)
+// semantically equivalent to dev over the input bounds. This is the
+// "syntactically or semantically equivalent with the developer patch"
+// check behind the tables' Correct? and Rank columns.
+//
+// The ∃A ∀X alternation is solved CEGIS-style: candidate parameter
+// vectors are proposed from Tρ and refuted by counterexample inputs,
+// which are accumulated as agreement constraints on A.
+func Covers(solver *smt.Solver, p *patch.Patch, dev *expr.Term, inputBounds map[string]interval.Interval, maxIter int) (bool, expr.Model, error) {
+	if p.Expr.Sort != dev.Sort {
+		return false, nil, nil
+	}
+	if maxIter == 0 {
+		maxIter = 32
+	}
+	// Fast path for small parameter regions: filter candidate parameter
+	// vectors on a deterministic input sample (an equivalent vector agrees
+	// everywhere, so sampling never rejects it), then confirm the
+	// survivors with a single validity query each.
+	const enumLimit = 1024
+	if len(p.Params) > 0 && p.Constraint.Count() <= enumLimit {
+		return coversByEnumeration(solver, p, dev, inputBounds)
+	}
+	paramBounds := p.ParamBounds()
+	side := []*expr.Term{p.ConstraintTerm()}
+	for i := 0; i < maxIter; i++ {
+		cand, ok, err := solver.GetModel(expr.And(side...), paramBounds)
+		if err != nil {
+			return false, nil, err
+		}
+		if !ok {
+			return false, nil, nil // no candidate parameters remain
+		}
+		params := expr.Model{}
+		sub := make(map[string]*expr.Term, len(p.Params))
+		for _, name := range p.Params {
+			params[name] = cand[name]
+			sub[name] = expr.Int(cand[name])
+		}
+		inst := expr.Subst(p.Expr, sub)
+		diff := expr.Ne(inst, dev)
+		cex, found, err := solver.GetModel(diff, inputBounds)
+		if err != nil {
+			return false, nil, err
+		}
+		if !found {
+			return true, params, nil // equivalent for these parameters
+		}
+		// Require agreement on the counterexample input.
+		inputSub := make(map[string]*expr.Term, len(cex))
+		for name, v := range cex {
+			if _, isParam := params[name]; !isParam {
+				inputSub[name] = constOfSort(devVarSort(dev, p.Expr, name), v)
+			}
+		}
+		devAt := expr.Subst(dev, inputSub)
+		instAt := expr.Subst(p.Expr, inputSub)
+		side = append(side, expr.Eq(instAt, devAt))
+	}
+	return false, nil, nil // budget exhausted: treat as not covering
+}
+
+// coversByEnumeration enumerates the (small) parameter region, filters
+// vectors by agreement with dev on a deterministic input sample, and
+// confirms each survivor with one validity query.
+func coversByEnumeration(solver *smt.Solver, p *patch.Patch, dev *expr.Term, inputBounds map[string]interval.Interval) (bool, expr.Model, error) {
+	// Input variables of both expressions, minus the parameters.
+	varSet := map[string]expr.Sort{}
+	for _, v := range append(expr.Vars(dev), expr.Vars(p.Expr)...) {
+		if !p.IsParam(v.Name) {
+			varSet[v.Name] = v.Sort
+		}
+	}
+	// Deterministic sample: zeros, small values, bound corners, random.
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]expr.Model, 0, 64)
+	base := []int64{0, 1, -1, 2, -2, 5, -5}
+	for _, v := range base {
+		m := expr.Model{}
+		for name := range varSet {
+			m[name] = v
+		}
+		samples = append(samples, m)
+	}
+	for i := 0; i < 48; i++ {
+		m := expr.Model{}
+		for name, sort := range varSet {
+			if sort == expr.SortBool {
+				m[name] = int64(rng.Intn(2))
+				continue
+			}
+			iv, ok := inputBounds[name]
+			if !ok {
+				iv = interval.New(-100, 100)
+			}
+			m[name] = iv.Lo + rng.Int63n(iv.Hi-iv.Lo+1)
+		}
+		samples = append(samples, m)
+	}
+
+	var found bool
+	var foundParams expr.Model
+	var solverErr error
+	p.Constraint.Points(func(pt []int64) bool {
+		params := expr.Model{}
+		sub := map[string]*expr.Term{}
+		for i, name := range p.Params {
+			params[name] = pt[i]
+			sub[name] = expr.Int(pt[i])
+		}
+		inst := expr.Subst(p.Expr, sub)
+		for _, m := range samples {
+			a, err1 := expr.Eval(inst, m)
+			b, err2 := expr.Eval(dev, m)
+			if err1 != nil || err2 != nil {
+				return true // partial expressions (division): skip sample filter point
+			}
+			if p.Expr.Sort == expr.SortBool {
+				if (a != 0) != (b != 0) {
+					return true // disagreement: next parameter vector
+				}
+			} else if a != b {
+				return true
+			}
+		}
+		ok, err := solver.Valid(expr.Eq(inst, dev), inputBounds)
+		if err != nil {
+			solverErr = err
+			return true
+		}
+		if ok {
+			found, foundParams = true, params
+			return false
+		}
+		return true
+	})
+	if found {
+		return true, foundParams, nil
+	}
+	return false, nil, solverErr
+}
+
+func devVarSort(dev, tpl *expr.Term, name string) expr.Sort {
+	for _, v := range expr.Vars(dev) {
+		if v.Name == name {
+			return v.Sort
+		}
+	}
+	for _, v := range expr.Vars(tpl) {
+		if v.Name == name {
+			return v.Sort
+		}
+	}
+	return expr.SortInt
+}
+
+func constOfSort(s expr.Sort, v int64) *expr.Term {
+	if s == expr.SortBool {
+		return expr.Bool(v != 0)
+	}
+	return expr.Int(v)
+}
+
+// CorrectPatchRank returns the 1-based rank of the first ranked patch that
+// covers the developer patch, or found=false when none does.
+func CorrectPatchRank(solver *smt.Solver, ranked []*patch.Patch, dev *expr.Term, inputBounds map[string]interval.Interval) (int, bool) {
+	for i, p := range ranked {
+		ok, _, err := Covers(solver, p, dev, inputBounds, 0)
+		if err != nil {
+			continue
+		}
+		if ok {
+			return i + 1, true
+		}
+	}
+	return 0, false
+}
+
+// PoolContainsCorrect reports whether any pool patch covers the developer
+// patch (regardless of rank).
+func PoolContainsCorrect(solver *smt.Solver, pool *patch.Pool, dev *expr.Term, inputBounds map[string]interval.Interval) bool {
+	_, ok := CorrectPatchRank(solver, pool.Ranked(), dev, inputBounds)
+	return ok
+}

@@ -1,0 +1,167 @@
+package expr
+
+import "fmt"
+
+// Model assigns integer values to variables. Boolean variables use 0 for
+// false and 1 for true.
+type Model map[string]int64
+
+// Clone returns a copy of the model.
+func (m Model) Clone() Model {
+	c := make(Model, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// EvalError reports a run-time error during evaluation, such as division by
+// zero or an unbound variable.
+type EvalError struct {
+	Term *Term
+	Msg  string
+}
+
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("expr: eval %s: %s", e.Term, e.Msg)
+}
+
+// Eval evaluates t under m. Boolean results are 0 or 1. It returns an
+// *EvalError for division or remainder by zero and for variables absent
+// from m.
+func Eval(t *Term, m Model) (int64, error) {
+	switch t.Op {
+	case OpIntConst, OpBoolConst:
+		return t.Val, nil
+	case OpVar:
+		v, ok := m[t.Name]
+		if !ok {
+			return 0, &EvalError{t, "unbound variable " + t.Name}
+		}
+		return v, nil
+	case OpAdd:
+		var sum int64
+		for _, a := range t.Args {
+			v, err := Eval(a, m)
+			if err != nil {
+				return 0, err
+			}
+			sum += v
+		}
+		return sum, nil
+	case OpSub:
+		a, b, err := eval2(t, m)
+		if err != nil {
+			return 0, err
+		}
+		return a - b, nil
+	case OpMul:
+		a, b, err := eval2(t, m)
+		if err != nil {
+			return 0, err
+		}
+		return a * b, nil
+	case OpDiv:
+		a, b, err := eval2(t, m)
+		if err != nil {
+			return 0, err
+		}
+		if b == 0 {
+			return 0, &EvalError{t, "division by zero"}
+		}
+		return a / b, nil
+	case OpRem:
+		a, b, err := eval2(t, m)
+		if err != nil {
+			return 0, err
+		}
+		if b == 0 {
+			return 0, &EvalError{t, "remainder by zero"}
+		}
+		return a % b, nil
+	case OpNeg:
+		v, err := Eval(t.Args[0], m)
+		if err != nil {
+			return 0, err
+		}
+		return -v, nil
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		a, b, err := eval2(t, m)
+		if err != nil {
+			return 0, err
+		}
+		return b2i(cmpConst(t.Op, a, b)), nil
+	case OpAnd:
+		for _, a := range t.Args {
+			v, err := Eval(a, m)
+			if err != nil {
+				return 0, err
+			}
+			if v == 0 {
+				return 0, nil
+			}
+		}
+		return 1, nil
+	case OpOr:
+		for _, a := range t.Args {
+			v, err := Eval(a, m)
+			if err != nil {
+				return 0, err
+			}
+			if v != 0 {
+				return 1, nil
+			}
+		}
+		return 0, nil
+	case OpNot:
+		v, err := Eval(t.Args[0], m)
+		if err != nil {
+			return 0, err
+		}
+		return b2i(v == 0), nil
+	case OpImplies:
+		a, b, err := eval2(t, m)
+		if err != nil {
+			return 0, err
+		}
+		return b2i(a == 0 || b != 0), nil
+	case OpIte:
+		c, err := Eval(t.Args[0], m)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return Eval(t.Args[1], m)
+		}
+		return Eval(t.Args[2], m)
+	}
+	return 0, &EvalError{t, "unknown operator"}
+}
+
+// EvalBool evaluates a boolean term under m.
+func EvalBool(t *Term, m Model) (bool, error) {
+	if t.Sort != SortBool {
+		return false, &EvalError{t, "not a boolean term"}
+	}
+	v, err := Eval(t, m)
+	return v != 0, err
+}
+
+func eval2(t *Term, m Model) (int64, int64, error) {
+	a, err := Eval(t.Args[0], m)
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := Eval(t.Args[1], m)
+	if err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,280 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseError reports a syntax error while parsing an s-expression.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("expr: parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// Parse parses a term in SMT-LIB-style prefix syntax, the same syntax the
+// String method emits. Variable sorts are taken from vars; identifiers not
+// present in vars are an error, which keeps component definitions honest.
+//
+//	t, err := Parse("(and (> x 3) (<= y 5))", map[string]Sort{"x": SortInt, "y": SortInt})
+func Parse(src string, vars map[string]Sort) (t *Term, err error) {
+	p := &sexprParser{src: src, vars: vars}
+	// The simplifying constructors panic on ill-sorted operands; surface
+	// those as parse errors rather than crashing the caller.
+	defer func() {
+		if r := recover(); r != nil {
+			t, err = nil, &ParseError{p.pos, fmt.Sprint(r)}
+		}
+	}()
+	t, err = p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, &ParseError{p.pos, "trailing input"}
+	}
+	return t, nil
+}
+
+type sexprParser struct {
+	src  string
+	pos  int
+	vars map[string]Sort
+}
+
+func (p *sexprParser) errf(format string, args ...interface{}) error {
+	return &ParseError{p.pos, fmt.Sprintf(format, args...)}
+}
+
+func (p *sexprParser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ';' { // comment to end of line
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+			continue
+		}
+		if !unicode.IsSpace(rune(c)) {
+			return
+		}
+		p.pos++
+	}
+}
+
+func isAtomChar(c byte) bool {
+	return !unicode.IsSpace(rune(c)) && c != '(' && c != ')' && c != ';'
+}
+
+func (p *sexprParser) atom() (string, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isAtomChar(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("expected atom")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *sexprParser) parseTerm() (*Term, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, p.errf("unexpected end of input")
+	}
+	if p.src[p.pos] != '(' {
+		return p.parseAtomTerm()
+	}
+	p.pos++ // consume '('
+	p.skipSpace()
+	head, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	var args []*Term
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return nil, p.errf("unterminated list")
+		}
+		if p.src[p.pos] == ')' {
+			p.pos++
+			break
+		}
+		a, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	return p.apply(head, args)
+}
+
+func (p *sexprParser) parseAtomTerm() (*Term, error) {
+	a, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	switch a {
+	case "true":
+		return True(), nil
+	case "false":
+		return False(), nil
+	}
+	if v, err := strconv.ParseInt(a, 10, 64); err == nil {
+		return Int(v), nil
+	}
+	if sort, ok := p.vars[a]; ok {
+		return Var(a, sort), nil
+	}
+	return nil, p.errf("unknown identifier %q", a)
+}
+
+func (p *sexprParser) apply(head string, args []*Term) (*Term, error) {
+	need := func(n int) error {
+		if len(args) != n {
+			return p.errf("%s expects %d arguments, got %d", head, n, len(args))
+		}
+		return nil
+	}
+	needAtLeast := func(n int) error {
+		if len(args) < n {
+			return p.errf("%s expects at least %d arguments, got %d", head, n, len(args))
+		}
+		return nil
+	}
+	switch head {
+	case "+":
+		if err := needAtLeast(1); err != nil {
+			return nil, err
+		}
+		return Add(args...), nil
+	case "-":
+		switch len(args) {
+		case 1:
+			return Neg(args[0]), nil
+		case 2:
+			return Sub(args[0], args[1]), nil
+		default:
+			return nil, p.errf("- expects 1 or 2 arguments, got %d", len(args))
+		}
+	case "*":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Mul(args[0], args[1]), nil
+	case "div":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Div(args[0], args[1]), nil
+	case "rem", "mod":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Rem(args[0], args[1]), nil
+	case "=":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Eq(args[0], args[1]), nil
+	case "distinct", "!=":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Ne(args[0], args[1]), nil
+	case "<":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Lt(args[0], args[1]), nil
+	case "<=":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Le(args[0], args[1]), nil
+	case ">":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Gt(args[0], args[1]), nil
+	case ">=":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Ge(args[0], args[1]), nil
+	case "and":
+		return And(args...), nil
+	case "or":
+		return Or(args...), nil
+	case "not":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return Not(args[0]), nil
+	case "=>", "implies":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Implies(args[0], args[1]), nil
+	case "ite":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		return Ite(args[0], args[1], args[2]), nil
+	}
+	return nil, p.errf("unknown operator %q", head)
+}
+
+// MustParse is Parse but panics on error; intended for tests and
+// package-internal tables.
+func MustParse(src string, vars map[string]Sort) *Term {
+	t, err := Parse(src, vars)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// IntVarsFrom builds a Sort map declaring every listed name as an integer
+// variable; a convenience for Parse call sites.
+func IntVarsFrom(names ...string) map[string]Sort {
+	m := make(map[string]Sort, len(names))
+	for _, n := range names {
+		m[n] = SortInt
+	}
+	return m
+}
+
+// FormatModel renders a model deterministically for logs and tests.
+func FormatModel(m Model) string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sortStrings(names)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%d", n, m[n])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// String renders the term in SMT-LIB-style prefix notation, e.g.
+// (and (> x 3) (<= y 5)).
+func (t *Term) String() string {
+	var b strings.Builder
+	writeSExpr(&b, t)
+	return b.String()
+}
+
+func writeSExpr(b *strings.Builder, t *Term) {
+	switch t.Op {
+	case OpIntConst:
+		if t.Val < 0 {
+			fmt.Fprintf(b, "(- %d)", -t.Val)
+		} else {
+			b.WriteString(strconv.FormatInt(t.Val, 10))
+		}
+	case OpBoolConst:
+		if t.Val == 1 {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+	case OpVar:
+		b.WriteString(t.Name)
+	case OpNeg:
+		b.WriteString("(- ")
+		writeSExpr(b, t.Args[0])
+		b.WriteByte(')')
+	default:
+		b.WriteByte('(')
+		b.WriteString(t.Op.String())
+		for _, a := range t.Args {
+			b.WriteByte(' ')
+			writeSExpr(b, a)
+		}
+		b.WriteByte(')')
+	}
+}
+
+// precedence levels for the C-style printer, higher binds tighter.
+func cPrec(op Op) int {
+	switch op {
+	case OpOr:
+		return 1
+	case OpAnd:
+		return 2
+	case OpImplies:
+		return 1 // printed as a disjunction-level construct
+	case OpEq, OpNe:
+		return 3
+	case OpLt, OpLe, OpGt, OpGe:
+		return 4
+	case OpAdd, OpSub:
+		return 5
+	case OpMul, OpDiv, OpRem:
+		return 6
+	case OpNot, OpNeg:
+		return 7
+	default:
+		return 8
+	}
+}
+
+func cOpSym(op Op) string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpRem:
+		return "%"
+	case OpEq:
+		return "=="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "&&"
+	case OpOr:
+		return "||"
+	}
+	return op.String()
+}
+
+// CString renders the term in C-like infix syntax, the form in which
+// patches are presented to users, e.g. x == a || y == b.
+func CString(t *Term) string {
+	var b strings.Builder
+	writeC(&b, t, 0)
+	return b.String()
+}
+
+func writeC(b *strings.Builder, t *Term, parent int) {
+	p := cPrec(t.Op)
+	paren := p < parent
+	switch t.Op {
+	case OpIntConst:
+		if t.Val < 0 && parent > 5 {
+			fmt.Fprintf(b, "(%d)", t.Val)
+		} else {
+			b.WriteString(strconv.FormatInt(t.Val, 10))
+		}
+		return
+	case OpBoolConst:
+		if t.Val == 1 {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+		return
+	case OpVar:
+		b.WriteString(t.Name)
+		return
+	case OpNot:
+		b.WriteByte('!')
+		writeC(b, t.Args[0], p+1)
+		return
+	case OpNeg:
+		b.WriteByte('-')
+		writeC(b, t.Args[0], p+1)
+		return
+	case OpIte:
+		b.WriteByte('(')
+		writeC(b, t.Args[0], 0)
+		b.WriteString(" ? ")
+		writeC(b, t.Args[1], 0)
+		b.WriteString(" : ")
+		writeC(b, t.Args[2], 0)
+		b.WriteByte(')')
+		return
+	case OpImplies:
+		if paren {
+			b.WriteByte('(')
+		}
+		b.WriteByte('!')
+		writeC(b, t.Args[0], 8)
+		b.WriteString(" || ")
+		writeC(b, t.Args[1], p)
+		if paren {
+			b.WriteByte(')')
+		}
+		return
+	}
+	// Render canonical linear comparisons (Σ cᵢ·aᵢ ⋈ k with mixed signs,
+	// as Simplify produces) in natural form: negative-coefficient terms
+	// move to the right-hand side, so a + -x <= -1 prints as a <= x - 1.
+	if isLinearCmp(t) {
+		if s, ok := naturalCmp(t); ok {
+			if paren {
+				b.WriteString("(" + s + ")")
+			} else {
+				b.WriteString(s)
+			}
+			return
+		}
+	}
+	if paren {
+		b.WriteByte('(')
+	}
+	sym := cOpSym(t.Op)
+	for i, a := range t.Args {
+		if i > 0 {
+			b.WriteByte(' ')
+			b.WriteString(sym)
+			b.WriteByte(' ')
+		}
+		childParent := p
+		if i > 0 && (t.Op == OpSub || t.Op == OpDiv || t.Op == OpRem) {
+			childParent = p + 1 // left-associative: parenthesize right child
+		}
+		writeC(b, a, childParent)
+	}
+	if paren {
+		b.WriteByte(')')
+	}
+}
+
+func isLinearCmp(t *Term) bool {
+	switch t.Op {
+	case OpLe, OpLt, OpGe, OpGt:
+		return true
+	case OpEq, OpNe:
+		return t.Args[0].Sort == SortInt
+	}
+	return false
+}
+
+// naturalCmp rebalances a linear comparison for display. It returns
+// ok=false when the expression is not linear (leaving the generic printer
+// to handle it).
+func naturalCmp(t *Term) (string, bool) {
+	diff := Linearize(Sub(t.Args[0], t.Args[1]))
+	var lhs, rhs []string
+	appendTerm := func(side *[]string, coef int64, atom *Term) {
+		var s string
+		switch {
+		case coef == 1:
+			s = cAtomString(atom)
+		default:
+			s = fmt.Sprintf("%d * %s", coef, cAtomString(atom))
+		}
+		*side = append(*side, s)
+	}
+	for _, a := range diff.SortedAtoms() {
+		c := diff.Coeff[a]
+		if c > 0 {
+			appendTerm(&lhs, c, a)
+		} else {
+			appendTerm(&rhs, -c, a)
+		}
+	}
+	k := -diff.Const // lhs ⋈ rhs + k
+	join := func(parts []string, k int64) string {
+		if len(parts) == 0 {
+			return strconv.FormatInt(k, 10)
+		}
+		s := strings.Join(parts, " + ")
+		if k > 0 {
+			s += " + " + strconv.FormatInt(k, 10)
+		} else if k < 0 {
+			s += " - " + strconv.FormatInt(-k, 10)
+		}
+		return s
+	}
+	op := t.Op
+	left, right := join(lhs, 0), join(rhs, k)
+	if len(lhs) == 0 && len(rhs) > 0 {
+		// Flip so variables sit on the left: 0 ⋈ rhs + k  ⇒  rhs ⋙ −k.
+		left, right = join(rhs, 0), strconv.FormatInt(-k, 10)
+		switch op {
+		case OpLe:
+			op = OpGe
+		case OpLt:
+			op = OpGt
+		case OpGe:
+			op = OpLe
+		case OpGt:
+			op = OpLt
+		}
+	}
+	return left + " " + cOpSym(op) + " " + right, true
+}
+
+// cAtomString renders a linearization atom (variable or product chain).
+func cAtomString(t *Term) string {
+	var b strings.Builder
+	writeC(&b, t, 6)
+	return b.String()
+}

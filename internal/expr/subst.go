@@ -1,0 +1,162 @@
+package expr
+
+import "sort"
+
+// Subst replaces every variable that appears as a key of sub with its
+// mapped term, rebuilding (and thereby re-simplifying) the result
+// bottom-up. Variables absent from sub are left untouched.
+func Subst(t *Term, sub map[string]*Term) *Term {
+	if len(sub) == 0 {
+		return t
+	}
+	cache := make(map[*Term]*Term)
+	return substCached(t, sub, cache)
+}
+
+func substCached(t *Term, sub map[string]*Term, cache map[*Term]*Term) *Term {
+	if r, ok := cache[t]; ok {
+		return r
+	}
+	var r *Term
+	switch t.Op {
+	case OpIntConst, OpBoolConst:
+		r = t
+	case OpVar:
+		if repl, ok := sub[t.Name]; ok {
+			if repl.Sort != t.Sort {
+				panic("expr: Subst: sort mismatch for variable " + t.Name)
+			}
+			r = repl
+		} else {
+			r = t
+		}
+	default:
+		args := make([]*Term, len(t.Args))
+		changed := false
+		for i, a := range t.Args {
+			args[i] = substCached(a, sub, cache)
+			if args[i] != a {
+				changed = true
+			}
+		}
+		if !changed {
+			r = t
+		} else {
+			r = Rebuild(t.Op, args)
+		}
+	}
+	cache[t] = r
+	return r
+}
+
+// Rebuild reconstructs a term with the given operator and arguments using
+// the simplifying constructors.
+func Rebuild(op Op, args []*Term) *Term {
+	switch op {
+	case OpAdd:
+		return Add(args...)
+	case OpSub:
+		return Sub(args[0], args[1])
+	case OpMul:
+		return Mul(args[0], args[1])
+	case OpDiv:
+		return Div(args[0], args[1])
+	case OpRem:
+		return Rem(args[0], args[1])
+	case OpNeg:
+		return Neg(args[0])
+	case OpEq:
+		return Eq(args[0], args[1])
+	case OpNe:
+		return Ne(args[0], args[1])
+	case OpLt:
+		return Lt(args[0], args[1])
+	case OpLe:
+		return Le(args[0], args[1])
+	case OpGt:
+		return Gt(args[0], args[1])
+	case OpGe:
+		return Ge(args[0], args[1])
+	case OpAnd:
+		return And(args...)
+	case OpOr:
+		return Or(args...)
+	case OpNot:
+		return Not(args[0])
+	case OpImplies:
+		return Implies(args[0], args[1])
+	case OpIte:
+		return Ite(args[0], args[1], args[2])
+	}
+	panic("expr: Rebuild: cannot rebuild operator " + op.String())
+}
+
+// Vars returns the free variables of t, sorted by name.
+func Vars(t *Term) []*Term {
+	set := make(map[*Term]bool)
+	collectVars(t, set)
+	out := make([]*Term, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// VarNames returns the names of the free variables of t, sorted.
+func VarNames(t *Term) []string {
+	vs := Vars(t)
+	names := make([]string, len(vs))
+	for i, v := range vs {
+		names[i] = v.Name
+	}
+	return names
+}
+
+func collectVars(t *Term, set map[*Term]bool) {
+	if t.Op == OpVar {
+		set[t] = true
+		return
+	}
+	for _, a := range t.Args {
+		collectVars(a, set)
+	}
+}
+
+// ContainsVar reports whether variable name occurs free in t.
+func ContainsVar(t *Term, name string) bool {
+	if t.Op == OpVar {
+		return t.Name == name
+	}
+	for _, a := range t.Args {
+		if ContainsVar(a, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsOp reports whether any subterm of t has operator op.
+func ContainsOp(t *Term, op Op) bool {
+	if t.Op == op {
+		return true
+	}
+	for _, a := range t.Args {
+		if ContainsOp(a, op) {
+			return true
+		}
+	}
+	return false
+}
+
+// Rename returns t with every variable renamed through f. Variables for
+// which f returns the empty string keep their name.
+func Rename(t *Term, f func(string) string) *Term {
+	sub := make(map[string]*Term)
+	for _, v := range Vars(t) {
+		if n := f(v.Name); n != "" && n != v.Name {
+			sub[v.Name] = Var(n, v.Sort)
+		}
+	}
+	return Subst(t, sub)
+}

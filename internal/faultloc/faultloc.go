@@ -1,0 +1,183 @@
+// Package faultloc implements spectrum-based statistical fault
+// localization. The paper's repair jobs receive the fault (patch) location
+// as an input and note (§7) that it "can be derived from statistical fault
+// localization" — this package provides that derivation: it executes the
+// buggy program on failing and passing inputs, collects statement
+// spectra, and ranks statements by suspiciousness.
+//
+// Three classic formulas are provided: Ochiai (the default), Tarantula,
+// and Jaccard.
+package faultloc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cpr/internal/expr"
+	"cpr/internal/lang"
+	"cpr/internal/lang/interp"
+)
+
+// Formula selects the suspiciousness metric.
+type Formula uint8
+
+// Supported metrics.
+const (
+	Ochiai Formula = iota
+	Tarantula
+	Jaccard
+)
+
+func (f Formula) String() string {
+	switch f {
+	case Ochiai:
+		return "ochiai"
+	case Tarantula:
+		return "tarantula"
+	case Jaccard:
+		return "jaccard"
+	default:
+		return fmt.Sprintf("Formula(%d)", uint8(f))
+	}
+}
+
+// Options configures a localization run.
+type Options struct {
+	// Formula is the suspiciousness metric (default Ochiai).
+	Formula Formula
+	// Original fills the hole for programs that have one (nil otherwise).
+	Original *expr.Term
+	// MaxSteps bounds each execution.
+	MaxSteps int
+}
+
+// Ranked is one statement with its suspiciousness.
+type Ranked struct {
+	Pos lang.Pos
+	// Score is the suspiciousness in [0, 1].
+	Score float64
+	// FailCov and PassCov count covering failing/passing runs.
+	FailCov, PassCov int
+}
+
+// Report is the outcome of a localization run.
+type Report struct {
+	// Ranked lists statements by descending suspiciousness; ties break by
+	// source position for determinism.
+	Ranked []Ranked
+	// Failing and Passing count the classified executions.
+	Failing, Passing int
+}
+
+// Top returns the n most suspicious positions.
+func (r *Report) Top(n int) []lang.Pos {
+	out := make([]lang.Pos, 0, n)
+	for i, e := range r.Ranked {
+		if i >= n {
+			break
+		}
+		out = append(out, e.Pos)
+	}
+	return out
+}
+
+// RankOf returns the 1-based rank of pos (0 if unranked).
+func (r *Report) RankOf(pos lang.Pos) int {
+	for i, e := range r.Ranked {
+		if e.Pos == pos {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Localize executes the program on every input, classifies runs as
+// failing (crash) or passing, and ranks covered statements. Inputs whose
+// runs end in an assume violation are discarded.
+func Localize(prog *lang.Program, inputs []map[string]int64, opts Options) (*Report, error) {
+	failCov := map[lang.Pos]int{}
+	passCov := map[lang.Pos]int{}
+	rep := &Report{}
+	for _, in := range inputs {
+		out := interp.Run(prog, in, interp.Options{
+			MaxSteps:        opts.MaxSteps,
+			Hole:            opts.Original,
+			CollectCoverage: true,
+		})
+		if out.Err != nil && out.Err.Kind == interp.ErrAssumeViolated {
+			continue
+		}
+		if out.Err != nil && !out.Crashed() {
+			return nil, fmt.Errorf("faultloc: run on %v: %v", in, out.Err)
+		}
+		cov := failCov
+		if out.Crashed() {
+			rep.Failing++
+		} else {
+			rep.Passing++
+			cov = passCov
+		}
+		for pos := range out.Coverage {
+			cov[pos]++
+		}
+	}
+	if rep.Failing == 0 {
+		return nil, fmt.Errorf("faultloc: no failing execution among %d inputs", len(inputs))
+	}
+
+	seen := map[lang.Pos]bool{}
+	for pos := range failCov {
+		seen[pos] = true
+	}
+	for pos := range passCov {
+		seen[pos] = true
+	}
+	for pos := range seen {
+		ef, ep := failCov[pos], passCov[pos]
+		nf := rep.Failing - ef
+		score := suspiciousness(opts.Formula, ef, ep, nf, rep.Passing-ep)
+		rep.Ranked = append(rep.Ranked, Ranked{Pos: pos, Score: score, FailCov: ef, PassCov: ep})
+	}
+	sort.Slice(rep.Ranked, func(i, j int) bool {
+		a, b := rep.Ranked[i], rep.Ranked[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Col < b.Pos.Col
+	})
+	return rep, nil
+}
+
+func suspiciousness(f Formula, ef, ep, nf, np int) float64 {
+	switch f {
+	case Tarantula:
+		if ef+nf == 0 {
+			return 0
+		}
+		failRatio := float64(ef) / float64(ef+nf)
+		passRatio := 0.0
+		if ep+np > 0 {
+			passRatio = float64(ep) / float64(ep+np)
+		}
+		if failRatio+passRatio == 0 {
+			return 0
+		}
+		return failRatio / (failRatio + passRatio)
+	case Jaccard:
+		den := float64(ef + nf + ep)
+		if den == 0 {
+			return 0
+		}
+		return float64(ef) / den
+	default: // Ochiai
+		den := math.Sqrt(float64((ef + nf) * (ef + ep)))
+		if den == 0 {
+			return 0
+		}
+		return float64(ef) / den
+	}
+}

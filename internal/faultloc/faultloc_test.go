@@ -1,0 +1,115 @@
+package faultloc
+
+import (
+	"testing"
+
+	"cpr/internal/lang"
+)
+
+// The faulty division sits inside the guarded branch: failing runs cover
+// it, passing runs mostly do not.
+const subject = `
+void main(int x, int y) {
+    int a = x + 1;
+    if (y == 0) {
+        int boom = 100 / y;
+    } else {
+        int fine = 100 / y;
+    }
+    int z = a * 2;
+}
+`
+
+func inputs() []map[string]int64 {
+	return []map[string]int64{
+		{"x": 1, "y": 0},  // failing
+		{"x": 2, "y": 0},  // failing
+		{"x": 1, "y": 3},  // passing
+		{"x": 5, "y": -2}, // passing
+		{"x": 0, "y": 7},  // passing
+	}
+}
+
+func TestLocalizeOchiai(t *testing.T) {
+	prog := lang.MustParse(subject)
+	rep, err := Localize(prog, inputs(), Options{})
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if rep.Failing != 2 || rep.Passing != 3 {
+		t.Fatalf("classified %d/%d, want 2/3", rep.Failing, rep.Passing)
+	}
+	// The buggy division (line 5) must rank at the top.
+	top := rep.Ranked[0]
+	if top.Pos.Line != 5 {
+		for _, r := range rep.Ranked {
+			t.Logf("%v score=%.3f ef=%d ep=%d", r.Pos, r.Score, r.FailCov, r.PassCov)
+		}
+		t.Fatalf("top-ranked line %d, want 5", top.Pos.Line)
+	}
+	if top.Score != 1.0 {
+		t.Fatalf("top score %v, want 1.0 (covered by all failing, no passing)", top.Score)
+	}
+	// The else-branch division is covered only by passing runs: score 0.
+	if r := rep.RankOf(lang.Pos{Line: 7, Col: 9}); r == 1 {
+		t.Fatal("passing-only statement ranked first")
+	}
+}
+
+func TestFormulasAgreeOnExtremes(t *testing.T) {
+	prog := lang.MustParse(subject)
+	for _, f := range []Formula{Ochiai, Tarantula, Jaccard} {
+		rep, err := Localize(prog, inputs(), Options{Formula: f})
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if rep.Ranked[0].Pos.Line != 5 {
+			t.Errorf("%v: top line %d, want 5", f, rep.Ranked[0].Pos.Line)
+		}
+	}
+}
+
+func TestLocalizeNeedsFailingRun(t *testing.T) {
+	prog := lang.MustParse(subject)
+	_, err := Localize(prog, []map[string]int64{{"x": 1, "y": 5}}, Options{})
+	if err == nil {
+		t.Fatal("expected error without failing runs")
+	}
+}
+
+func TestLocalizeSkipsAssumeViolations(t *testing.T) {
+	prog := lang.MustParse(`
+void main(int x) {
+    assume(x >= 0);
+    int b = 10 / x;
+}`)
+	rep, err := Localize(prog, []map[string]int64{
+		{"x": -5}, // assume violated: discarded
+		{"x": 0},  // failing
+		{"x": 2},  // passing
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failing != 1 || rep.Passing != 1 {
+		t.Fatalf("classified %d/%d, want 1/1", rep.Failing, rep.Passing)
+	}
+}
+
+func TestTopAndRankOf(t *testing.T) {
+	prog := lang.MustParse(subject)
+	rep, err := Localize(prog, inputs(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := rep.Top(2)
+	if len(top) != 2 {
+		t.Fatalf("Top(2): %v", top)
+	}
+	if rep.RankOf(top[0]) != 1 || rep.RankOf(top[1]) != 2 {
+		t.Fatal("RankOf inconsistent with Top")
+	}
+	if rep.RankOf(lang.Pos{Line: 999, Col: 1}) != 0 {
+		t.Fatal("unranked position should be 0")
+	}
+}

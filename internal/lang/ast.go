@@ -1,0 +1,264 @@
+package lang
+
+// Type is a mini-C type.
+type Type uint8
+
+// The mini-C types. TypeArray is an array of int.
+const (
+	TypeVoid Type = iota
+	TypeInt
+	TypeBool
+	TypeArray
+)
+
+// String returns the C spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeBool:
+		return "bool"
+	case TypeArray:
+		return "int[]"
+	default:
+		return "?"
+	}
+}
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	// Position returns the source position of the expression.
+	Position() Pos
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	stmtNode()
+	// Position returns the source position of the statement.
+	Position() Pos
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	Val int64
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	Pos Pos
+	Val bool
+}
+
+// VarRef references a variable or parameter by name.
+type VarRef struct {
+	Pos  Pos
+	Name string
+}
+
+// IndexExpr is a[i].
+type IndexExpr struct {
+	Pos   Pos
+	Array Expr
+	Index Expr
+}
+
+// UnaryExpr is !e or -e.
+type UnaryExpr struct {
+	Pos Pos
+	Op  Kind // Not or Minus
+	X   Expr
+}
+
+// BinaryExpr is a binary operation. && and || short-circuit.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   Kind
+	L, R Expr
+}
+
+// CallExpr calls a user-defined function.
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// HoleExpr is the patch location __HOLE__. Its type is declared by the
+// repair job (boolean guard or integer expression).
+type HoleExpr struct {
+	Pos Pos
+}
+
+func (*IntLit) exprNode()     {}
+func (*BoolLit) exprNode()    {}
+func (*VarRef) exprNode()     {}
+func (*IndexExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*CallExpr) exprNode()   {}
+func (*HoleExpr) exprNode()   {}
+
+// Position implementations.
+func (e *IntLit) Position() Pos     { return e.Pos }
+func (e *BoolLit) Position() Pos    { return e.Pos }
+func (e *VarRef) Position() Pos     { return e.Pos }
+func (e *IndexExpr) Position() Pos  { return e.Pos }
+func (e *UnaryExpr) Position() Pos  { return e.Pos }
+func (e *BinaryExpr) Position() Pos { return e.Pos }
+func (e *CallExpr) Position() Pos   { return e.Pos }
+func (e *HoleExpr) Position() Pos   { return e.Pos }
+
+// DeclStmt declares a scalar (with optional initializer) or a fixed-size
+// int array (zero-initialized, or with element initializers).
+type DeclStmt struct {
+	Pos      Pos
+	Name     string
+	Type     Type // TypeInt, TypeBool, or TypeArray
+	Size     int  // array length for TypeArray
+	Init     Expr // scalar initializer, may be nil
+	ArrayLit []Expr
+}
+
+// AssignStmt assigns to a variable or array element.
+type AssignStmt struct {
+	Pos    Pos
+	Target Expr // *VarRef or *IndexExpr
+	Value  Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt, or nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ForStmt is for(init; cond; post) body. Init and Post may be nil.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // *DeclStmt or *AssignStmt
+	Cond Expr // may be nil (infinite)
+	Post Stmt // *AssignStmt
+	Body *BlockStmt
+}
+
+// ReturnStmt returns from a function; Value is nil for void returns.
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+// AssertStmt checks a condition; failure is the observable bug.
+type AssertStmt struct {
+	Pos  Pos
+	Cond Expr
+}
+
+// AssumeStmt constrains the input space; failing an assume silently
+// abandons the execution (the path is infeasible, not buggy).
+type AssumeStmt struct {
+	Pos  Pos
+	Cond Expr
+}
+
+// BugStmt is the __BUG__ marker: the location where buggy behavior is
+// observable.
+type BugStmt struct{ Pos Pos }
+
+// ExprStmt evaluates a call for its side effects.
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// BlockStmt is a { ... } block with its own scope.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+func (*DeclStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*AssertStmt) stmtNode()   {}
+func (*AssumeStmt) stmtNode()   {}
+func (*BugStmt) stmtNode()      {}
+func (*ExprStmt) stmtNode()     {}
+func (*BlockStmt) stmtNode()    {}
+
+// Position implementations.
+func (s *DeclStmt) Position() Pos     { return s.Pos }
+func (s *AssignStmt) Position() Pos   { return s.Pos }
+func (s *IfStmt) Position() Pos       { return s.Pos }
+func (s *WhileStmt) Position() Pos    { return s.Pos }
+func (s *ForStmt) Position() Pos      { return s.Pos }
+func (s *ReturnStmt) Position() Pos   { return s.Pos }
+func (s *BreakStmt) Position() Pos    { return s.Pos }
+func (s *ContinueStmt) Position() Pos { return s.Pos }
+func (s *AssertStmt) Position() Pos   { return s.Pos }
+func (s *AssumeStmt) Position() Pos   { return s.Pos }
+func (s *BugStmt) Position() Pos      { return s.Pos }
+func (s *ExprStmt) Position() Pos     { return s.Pos }
+func (s *BlockStmt) Position() Pos    { return s.Pos }
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type Type // TypeInt, TypeBool, or TypeArray
+}
+
+// Func is a function definition.
+type Func struct {
+	Pos    Pos
+	Name   string
+	Params []Param
+	Ret    Type
+	Body   *BlockStmt
+}
+
+// Program is a parsed compilation unit. Main is the entry point; its
+// parameters are the program inputs.
+type Program struct {
+	Funcs map[string]*Func
+	Order []string // declaration order, for deterministic printing
+	Main  *Func
+	// HolePos is the position of the unique __HOLE__ expression, if any.
+	HolePos *Pos
+	// HoleType is the hole's type as resolved by Check from its context
+	// (TypeBool for guard repair, TypeInt for expression repair); TypeVoid
+	// when the program has no hole.
+	HoleType Type
+	// BugPositions are the positions of __BUG__ markers.
+	BugPositions []Pos
+}
+
+// Inputs returns main's parameters: the symbolic inputs of the program.
+func (p *Program) Inputs() []Param {
+	if p.Main == nil {
+		return nil
+	}
+	return p.Main.Params
+}

@@ -1,0 +1,325 @@
+package lang
+
+import "fmt"
+
+// TypeError reports a semantic error with its position.
+type TypeError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *TypeError) Error() string {
+	return fmt.Sprintf("lang: %s: %s", e.Pos, e.Msg)
+}
+
+// Check type-checks the program, resolving the hole's type into
+// prog.HoleType. It enforces that main's parameters (the program inputs)
+// are scalars, and that the hole appears only in positions whose expected
+// type is known (a condition or the right-hand side of an assignment).
+func Check(prog *Program) error {
+	c := &checker{prog: prog}
+	for _, name := range prog.Order {
+		if err := c.checkFunc(prog.Funcs[name]); err != nil {
+			return err
+		}
+	}
+	for _, p := range prog.Main.Params {
+		if p.Type != TypeInt && p.Type != TypeBool {
+			return &TypeError{prog.Main.Pos, fmt.Sprintf("main parameter %q must be a scalar input", p.Name)}
+		}
+	}
+	return nil
+}
+
+// HoleType is resolved into the Program during Check.
+type scope struct {
+	vars   map[string]Type
+	parent *scope
+}
+
+func (s *scope) lookup(name string) (Type, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if t, ok := cur.vars[name]; ok {
+			return t, true
+		}
+	}
+	return TypeVoid, false
+}
+
+func (s *scope) declare(name string, t Type) bool {
+	if _, ok := s.vars[name]; ok {
+		return false
+	}
+	s.vars[name] = t
+	return true
+}
+
+type checker struct {
+	prog *Program
+	fn   *Func
+	loop int
+}
+
+func (c *checker) errf(pos Pos, format string, args ...interface{}) error {
+	return &TypeError{pos, fmt.Sprintf(format, args...)}
+}
+
+func (c *checker) checkFunc(fn *Func) error {
+	c.fn = fn
+	sc := &scope{vars: make(map[string]Type)}
+	for _, p := range fn.Params {
+		if !sc.declare(p.Name, p.Type) {
+			return c.errf(fn.Pos, "duplicate parameter %q", p.Name)
+		}
+	}
+	return c.checkBlock(fn.Body, sc)
+}
+
+func (c *checker) checkBlock(b *BlockStmt, parent *scope) error {
+	sc := &scope{vars: make(map[string]Type), parent: parent}
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s, sc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt, sc *scope) error {
+	switch st := s.(type) {
+	case *DeclStmt:
+		if st.Type == TypeArray {
+			for _, e := range st.ArrayLit {
+				if err := c.checkExprType(e, TypeInt, sc); err != nil {
+					return err
+				}
+			}
+		} else if st.Init != nil {
+			if err := c.checkExprType(st.Init, st.Type, sc); err != nil {
+				return err
+			}
+		}
+		if !sc.declare(st.Name, st.Type) {
+			return c.errf(st.Pos, "redeclaration of %q", st.Name)
+		}
+		return nil
+	case *AssignStmt:
+		var want Type
+		switch tgt := st.Target.(type) {
+		case *VarRef:
+			t, ok := sc.lookup(tgt.Name)
+			if !ok {
+				return c.errf(tgt.Pos, "undefined variable %q", tgt.Name)
+			}
+			if t == TypeArray {
+				return c.errf(tgt.Pos, "cannot assign whole array %q", tgt.Name)
+			}
+			want = t
+		case *IndexExpr:
+			if err := c.checkIndex(tgt, sc); err != nil {
+				return err
+			}
+			want = TypeInt
+		default:
+			return c.errf(st.Pos, "invalid assignment target")
+		}
+		return c.checkExprType(st.Value, want, sc)
+	case *IfStmt:
+		if err := c.checkExprType(st.Cond, TypeBool, sc); err != nil {
+			return err
+		}
+		if err := c.checkBlock(st.Then, sc); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkStmt(st.Else, sc)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.checkExprType(st.Cond, TypeBool, sc); err != nil {
+			return err
+		}
+		c.loop++
+		defer func() { c.loop-- }()
+		return c.checkBlock(st.Body, sc)
+	case *ForStmt:
+		inner := &scope{vars: make(map[string]Type), parent: sc}
+		if st.Init != nil {
+			if err := c.checkStmt(st.Init, inner); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := c.checkExprType(st.Cond, TypeBool, inner); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := c.checkStmt(st.Post, inner); err != nil {
+				return err
+			}
+		}
+		c.loop++
+		defer func() { c.loop-- }()
+		return c.checkBlock(st.Body, inner)
+	case *ReturnStmt:
+		if c.fn.Ret == TypeVoid {
+			if st.Value != nil {
+				return c.errf(st.Pos, "void function %q returns a value", c.fn.Name)
+			}
+			return nil
+		}
+		if st.Value == nil {
+			return c.errf(st.Pos, "function %q must return %v", c.fn.Name, c.fn.Ret)
+		}
+		return c.checkExprType(st.Value, c.fn.Ret, sc)
+	case *BreakStmt:
+		if c.loop == 0 {
+			return c.errf(st.Pos, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loop == 0 {
+			return c.errf(st.Pos, "continue outside loop")
+		}
+		return nil
+	case *AssertStmt:
+		return c.checkExprType(st.Cond, TypeBool, sc)
+	case *AssumeStmt:
+		return c.checkExprType(st.Cond, TypeBool, sc)
+	case *BugStmt:
+		return nil
+	case *ExprStmt:
+		_, err := c.typeOf(st.X, sc)
+		return err
+	case *BlockStmt:
+		return c.checkBlock(st, sc)
+	}
+	return c.errf(s.Position(), "unknown statement")
+}
+
+func (c *checker) checkIndex(ix *IndexExpr, sc *scope) error {
+	ref, ok := ix.Array.(*VarRef)
+	if !ok {
+		return c.errf(ix.Pos, "indexing requires an array variable")
+	}
+	t, found := sc.lookup(ref.Name)
+	if !found {
+		return c.errf(ref.Pos, "undefined variable %q", ref.Name)
+	}
+	if t != TypeArray {
+		return c.errf(ix.Pos, "%q is not an array", ref.Name)
+	}
+	return c.checkExprType(ix.Index, TypeInt, sc)
+}
+
+// checkExprType checks e against an expected type, which also resolves
+// the hole's type from context.
+func (c *checker) checkExprType(e Expr, want Type, sc *scope) error {
+	if h, ok := e.(*HoleExpr); ok {
+		if want != TypeInt && want != TypeBool {
+			return c.errf(h.Pos, "__HOLE__ cannot have type %v", want)
+		}
+		if c.prog.HoleType != TypeVoid && c.prog.HoleType != want {
+			return c.errf(h.Pos, "__HOLE__ used at conflicting types")
+		}
+		c.prog.HoleType = want
+		return nil
+	}
+	got, err := c.typeOf(e, sc)
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return c.errf(e.Position(), "type mismatch: got %v, want %v", got, want)
+	}
+	return nil
+}
+
+func (c *checker) typeOf(e Expr, sc *scope) (Type, error) {
+	switch ex := e.(type) {
+	case *IntLit:
+		return TypeInt, nil
+	case *BoolLit:
+		return TypeBool, nil
+	case *HoleExpr:
+		return TypeVoid, c.errf(ex.Pos, "__HOLE__ in a position with no expected type (use it as a condition or assignment right-hand side)")
+	case *VarRef:
+		t, ok := sc.lookup(ex.Name)
+		if !ok {
+			return TypeVoid, c.errf(ex.Pos, "undefined variable %q", ex.Name)
+		}
+		return t, nil
+	case *IndexExpr:
+		if err := c.checkIndex(ex, sc); err != nil {
+			return TypeVoid, err
+		}
+		return TypeInt, nil
+	case *UnaryExpr:
+		if ex.Op == Not {
+			if err := c.checkExprType(ex.X, TypeBool, sc); err != nil {
+				return TypeVoid, err
+			}
+			return TypeBool, nil
+		}
+		if err := c.checkExprType(ex.X, TypeInt, sc); err != nil {
+			return TypeVoid, err
+		}
+		return TypeInt, nil
+	case *BinaryExpr:
+		switch ex.Op {
+		case Plus, Minus, Star, Slash, Percent:
+			if err := c.checkExprType(ex.L, TypeInt, sc); err != nil {
+				return TypeVoid, err
+			}
+			if err := c.checkExprType(ex.R, TypeInt, sc); err != nil {
+				return TypeVoid, err
+			}
+			return TypeInt, nil
+		case Less, LessEq, Greater, GreaterEq:
+			if err := c.checkExprType(ex.L, TypeInt, sc); err != nil {
+				return TypeVoid, err
+			}
+			if err := c.checkExprType(ex.R, TypeInt, sc); err != nil {
+				return TypeVoid, err
+			}
+			return TypeBool, nil
+		case Eq, NotEq:
+			lt, err := c.typeOf(ex.L, sc)
+			if err != nil {
+				return TypeVoid, err
+			}
+			if lt == TypeArray {
+				return TypeVoid, c.errf(ex.Pos, "cannot compare arrays")
+			}
+			if err := c.checkExprType(ex.R, lt, sc); err != nil {
+				return TypeVoid, err
+			}
+			return TypeBool, nil
+		case AndAnd, OrOr:
+			if err := c.checkExprType(ex.L, TypeBool, sc); err != nil {
+				return TypeVoid, err
+			}
+			if err := c.checkExprType(ex.R, TypeBool, sc); err != nil {
+				return TypeVoid, err
+			}
+			return TypeBool, nil
+		}
+		return TypeVoid, c.errf(ex.Pos, "unknown binary operator %v", ex.Op)
+	case *CallExpr:
+		fn, ok := c.prog.Funcs[ex.Name]
+		if !ok {
+			return TypeVoid, c.errf(ex.Pos, "undefined function %q", ex.Name)
+		}
+		if len(ex.Args) != len(fn.Params) {
+			return TypeVoid, c.errf(ex.Pos, "%q expects %d arguments, got %d", ex.Name, len(fn.Params), len(ex.Args))
+		}
+		for i, a := range ex.Args {
+			if err := c.checkExprType(a, fn.Params[i].Type, sc); err != nil {
+				return TypeVoid, err
+			}
+		}
+		return fn.Ret, nil
+	}
+	return TypeVoid, c.errf(e.Position(), "unknown expression")
+}

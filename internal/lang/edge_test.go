@@ -1,0 +1,143 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBracelessBodies(t *testing.T) {
+	src := `
+void main(int x) {
+    if (x > 0)
+        x = x - 1;
+    else
+        x = x + 1;
+    while (x > 10)
+        x = x - 2;
+    for (x = 0; x < 3; x = x + 1)
+        x = x + 0;
+}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	out := Format(prog, "")
+	// Braceless bodies are wrapped into blocks by the parser.
+	if !strings.Contains(out, "if (x > 0) {") || !strings.Contains(out, "} else {") {
+		t.Fatalf("braceless if mis-parsed:\n%s", out)
+	}
+}
+
+func TestParseForVariants(t *testing.T) {
+	cases := []string{
+		`void main(int x) { for (;;) { break; } }`,
+		`void main(int x) { for (; x < 3;) { x = x + 1; } }`,
+		`void main(int x) { for (x = 0; ; x = x + 1) { if (x > 2) { break; } } }`,
+		`void main(int x) { for (int i = 0; i < 2; i = i + 1) { continue; } }`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+}
+
+func TestParseDeepNesting(t *testing.T) {
+	src := `
+int f(int a) { return a; }
+void main(int x) {
+    if (x > 0) {
+        if (x > 1) {
+            if (x > 2) {
+                int y = f(f(f(x)));
+                assert(y == x);
+            }
+        }
+    }
+}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	out := Format(prog, "")
+	if _, err := Parse(out); err != nil {
+		t.Fatalf("re-Parse: %v\n%s", err, out)
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := Parse("void main(int x) {\n    int y = ;\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("want SyntaxError, got %T", err)
+	}
+	if se.Pos.Line != 2 {
+		t.Fatalf("error line %d, want 2", se.Pos.Line)
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Fatalf("position missing from message: %v", err)
+	}
+}
+
+func TestParseMoreErrors(t *testing.T) {
+	cases := []string{
+		`void main(int x) { x(); }`,                                // call of non-function
+		`void main(int x) { int a[0]; }`,                           // zero-size array
+		`void main(int x) { int a[2] = {1, 2, 3}; }`,               // too many initializers
+		`void main(int x) { bool a[2]; }`,                          // bool arrays unsupported
+		`void main(int x) { x = 1 }`,                               // missing semicolon
+		`void main(int x) { return; } void main() {}`,              // duplicate function
+		`int f() { return 1; }`,                                    // no main
+		`void main(void v) {}`,                                     // void parameter
+		`void main(int x) { 1 + 2; }`,                              // non-call expression statement
+		`void main(int x) { continue; }`,                           // continue outside loop
+		`void main(int x) { int a[2]; a = 3; }`,                    // whole-array assignment
+		`void main(int x) { if (__HOLE__) { } if (__HOLE__) { } }`, // two holes
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestFormatReturnAndCalls(t *testing.T) {
+	src := `
+int g(int a, int b) { return a % b; }
+void side(int n) { int q = n; }
+int main(int x) {
+    side(x);
+    bool p = true;
+    if (!p) { return 0 - 1; }
+    return g(x, 3);
+}`
+	prog := MustParse(src)
+	out := Format(prog, "")
+	for _, want := range []string{"side(x);", "return g(x, 3);", "!p"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if _, err := Parse(out); err != nil {
+		t.Fatalf("re-Parse: %v", err)
+	}
+}
+
+func TestTokenStrings(t *testing.T) {
+	if KwHole.String() != "__HOLE__" || LBracket.String() != "[" {
+		t.Fatal("token spellings wrong")
+	}
+	tok := Token{Kind: IDENT, Text: "foo"}
+	if tok.String() != `"foo"` {
+		t.Fatalf("token string %q", tok.String())
+	}
+	if (Pos{3, 7}).String() != "3:7" {
+		t.Fatal("pos string wrong")
+	}
+	if TypeArray.String() != "int[]" || Kind(250).String() == "" {
+		t.Fatal("type/kind strings wrong")
+	}
+}

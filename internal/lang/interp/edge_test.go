@@ -1,0 +1,120 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"cpr/internal/lang"
+)
+
+func TestArrayPartialInit(t *testing.T) {
+	out := run(t, `
+int main(int x) {
+    int a[4] = {7};
+    return a[0] + a[1] + a[2] + a[3];
+}`, map[string]int64{"x": 0}, Options{})
+	if out.Err != nil || out.Ret.I != 7 {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestDefaultValues(t *testing.T) {
+	out := run(t, `
+int main(int x) {
+    int i;
+    bool b;
+    if (b) { return 100; }
+    return i;
+}`, map[string]int64{"x": 0}, Options{})
+	if out.Err != nil || out.Ret.I != 0 {
+		t.Fatalf("zero defaults violated: %+v", out)
+	}
+}
+
+func TestForBreakContinue(t *testing.T) {
+	out := run(t, `
+int main(int n) {
+    int s = 0;
+    for (int i = 0; i < 10; i = i + 1) {
+        if (i == 2) { continue; }
+        if (i == n) { break; }
+        s = s + i;
+    }
+    return s;
+}`, map[string]int64{"n": 5}, Options{})
+	// 0+1+3+4 = 8
+	if out.Err != nil || out.Ret.I != 8 {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestVoidCallStatement(t *testing.T) {
+	out := run(t, `
+void bump(int a[]) { a[0] = a[0] + 1; }
+int main(int x) {
+    int a[1] = {5};
+    bump(a);
+    bump(a);
+    return a[0];
+}`, map[string]int64{"x": 0}, Options{})
+	if out.Err != nil || out.Ret.I != 7 {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestErrorRendering(t *testing.T) {
+	prog := lang.MustParse(`void main(int x) { int a[2]; a[x] = 1; }`)
+	out := Run(prog, map[string]int64{"x": 9}, Options{})
+	if out.Err == nil {
+		t.Fatal("expected OOB")
+	}
+	msg := out.Err.Error()
+	if !strings.Contains(msg, "out of bounds") || !strings.Contains(msg, "index 9") {
+		t.Fatalf("error message: %q", msg)
+	}
+	if ErrDivZero.String() == "" || ErrNone.String() != "no error" {
+		t.Fatal("ErrKind strings")
+	}
+}
+
+func TestCoverageCollection(t *testing.T) {
+	prog := lang.MustParse(`
+void main(int x) {
+    if (x > 0) {
+        int a = 1;
+    } else {
+        int b = 2;
+    }
+}`)
+	out := Run(prog, map[string]int64{"x": 5}, Options{CollectCoverage: true})
+	if out.Err != nil || len(out.Coverage) == 0 {
+		t.Fatalf("coverage empty: %+v", out)
+	}
+	// The else-branch statement must not be covered.
+	covered4 := false
+	for pos := range out.Coverage {
+		if pos.Line == 6 {
+			covered4 = true
+		}
+	}
+	if covered4 {
+		t.Fatal("else branch covered on then-path")
+	}
+	// Without the option, no coverage is allocated.
+	out = Run(prog, map[string]int64{"x": 5}, Options{})
+	if out.Coverage != nil {
+		t.Fatal("coverage allocated without option")
+	}
+}
+
+func TestDeepRecursionHitsStepLimit(t *testing.T) {
+	out := run(t, `
+int down(int n) {
+    if (n <= 0) { return 0; }
+    return down(n - 1);
+}
+int main(int n) { return down(n); }`, map[string]int64{"n": 1 << 20}, Options{MaxSteps: 5000})
+	if out.Err == nil || out.Err.Kind != ErrStepLimit {
+		t.Fatalf("got %+v", out)
+	}
+}

@@ -1,0 +1,566 @@
+// Package interp is the concrete interpreter for the mini-C language: it
+// runs programs on concrete inputs with a C-like run-time error model
+// (division by zero, out-of-bounds indexing, assertion failure). The
+// fuzzer and the repair validators execute subjects through this package;
+// the concolic engine in package concolic mirrors its semantics with
+// symbolic shadow state.
+package interp
+
+import (
+	"fmt"
+
+	"cpr/internal/expr"
+	"cpr/internal/lang"
+)
+
+// ErrKind classifies run-time errors.
+type ErrKind uint8
+
+// Run-time error kinds. AssumeViolated is not a bug: the execution is
+// silently infeasible.
+const (
+	ErrNone ErrKind = iota
+	ErrDivZero
+	ErrRemZero
+	ErrOutOfBounds
+	ErrAssertFail
+	ErrAssumeViolated
+	ErrNoReturn
+	ErrStepLimit
+	ErrMissingInput
+	ErrPatch // the injected patch expression failed to evaluate
+)
+
+func (k ErrKind) String() string {
+	switch k {
+	case ErrDivZero:
+		return "division by zero"
+	case ErrRemZero:
+		return "remainder by zero"
+	case ErrOutOfBounds:
+		return "array index out of bounds"
+	case ErrAssertFail:
+		return "assertion failure"
+	case ErrAssumeViolated:
+		return "assumption violated"
+	case ErrNoReturn:
+		return "function fell off the end without returning a value"
+	case ErrStepLimit:
+		return "step limit exceeded"
+	case ErrMissingInput:
+		return "missing input"
+	case ErrPatch:
+		return "patch evaluation failed"
+	default:
+		return "no error"
+	}
+}
+
+// RuntimeError is a run-time error with its source position.
+type RuntimeError struct {
+	Kind ErrKind
+	Pos  lang.Pos
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("interp: %s: %s: %s", e.Pos, e.Kind, e.Msg)
+	}
+	return fmt.Sprintf("interp: %s: %s", e.Pos, e.Kind)
+}
+
+// IsCrash reports whether the error is an observable bug (as opposed to an
+// infeasible assumption or an engine limit).
+func (e *RuntimeError) IsCrash() bool {
+	switch e.Kind {
+	case ErrDivZero, ErrRemZero, ErrOutOfBounds, ErrAssertFail:
+		return true
+	}
+	return false
+}
+
+// Value is a mini-C run-time value.
+type Value struct {
+	Type lang.Type
+	I    int64   // scalar value (bools are 0/1)
+	Arr  []int64 // array backing store, shared by reference
+}
+
+// Options configures a run.
+type Options struct {
+	// MaxSteps bounds executed statements (default 1 << 20).
+	MaxSteps int
+	// Hole is the expression evaluated at __HOLE__, over program variable
+	// names and patch parameters. Nil means the program must not reach the
+	// hole (reaching it is an ErrPatch).
+	Hole *expr.Term
+	// HoleParams provides values for patch parameters in Hole.
+	HoleParams expr.Model
+	// CollectCoverage records executed statement positions in
+	// Outcome.Coverage (used by spectrum-based fault localization).
+	CollectCoverage bool
+}
+
+// Outcome is the result of a run.
+type Outcome struct {
+	// Ret is main's return value; nil for void main or erroneous runs.
+	Ret *Value
+	// HitPatch reports whether the hole was evaluated.
+	HitPatch bool
+	// HitBug reports whether a __BUG__ marker was executed.
+	HitBug bool
+	// Err is nil for clean termination.
+	Err *RuntimeError
+	// Steps is the number of executed statements.
+	Steps int
+	// Coverage holds executed statement positions when
+	// Options.CollectCoverage is set.
+	Coverage map[lang.Pos]bool
+}
+
+// Crashed reports whether the run ended in an observable bug.
+func (o Outcome) Crashed() bool { return o.Err != nil && o.Err.IsCrash() }
+
+// Run executes prog's main with the given inputs (one per main parameter).
+func Run(prog *lang.Program, inputs map[string]int64, opts Options) Outcome {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 1 << 20
+	}
+	in := &interp{prog: prog, opts: opts}
+	if opts.CollectCoverage {
+		in.coverage = make(map[lang.Pos]bool)
+	}
+	args := make([]Value, len(prog.Main.Params))
+	for i, p := range prog.Main.Params {
+		v, ok := inputs[p.Name]
+		if !ok {
+			return Outcome{Err: &RuntimeError{ErrMissingInput, prog.Main.Pos, p.Name}}
+		}
+		args[i] = Value{Type: p.Type, I: v}
+	}
+	ret, sig := in.call(prog.Main, args)
+	out := Outcome{HitPatch: in.hitPatch, HitBug: in.hitBug, Steps: in.steps, Coverage: in.coverage}
+	switch sig.kind {
+	case sigError:
+		out.Err = sig.err
+	case sigReturn:
+		if prog.Main.Ret != lang.TypeVoid {
+			out.Ret = &ret
+		}
+	}
+	return out
+}
+
+type sigKind uint8
+
+const (
+	sigNone sigKind = iota
+	sigReturn
+	sigBreak
+	sigContinue
+	sigError
+)
+
+type signal struct {
+	kind sigKind
+	err  *RuntimeError
+}
+
+var noSignal = signal{}
+
+func errSignal(kind ErrKind, pos lang.Pos, msg string) signal {
+	return signal{kind: sigError, err: &RuntimeError{kind, pos, msg}}
+}
+
+type env struct {
+	vars   map[string]*Value
+	parent *env
+}
+
+func (e *env) lookup(name string) *Value {
+	for cur := e; cur != nil; cur = cur.parent {
+		if v, ok := cur.vars[name]; ok {
+			return v
+		}
+	}
+	return nil
+}
+
+type interp struct {
+	prog     *lang.Program
+	opts     Options
+	steps    int
+	hitPatch bool
+	hitBug   bool
+	coverage map[lang.Pos]bool
+}
+
+func (in *interp) call(fn *lang.Func, args []Value) (Value, signal) {
+	e := &env{vars: make(map[string]*Value, len(fn.Params))}
+	for i, p := range fn.Params {
+		v := args[i]
+		e.vars[p.Name] = &v
+	}
+	ret, sig := in.execBlock(fn.Body, e)
+	switch sig.kind {
+	case sigReturn:
+		return ret, sig
+	case sigError:
+		return Value{}, sig
+	case sigNone:
+		if fn.Ret == lang.TypeVoid {
+			return Value{}, signal{kind: sigReturn}
+		}
+		return Value{}, errSignal(ErrNoReturn, fn.Pos, fn.Name)
+	default:
+		return Value{}, errSignal(ErrNoReturn, fn.Pos, "break/continue escaped function body")
+	}
+}
+
+func (in *interp) execBlock(b *lang.BlockStmt, parent *env) (Value, signal) {
+	e := &env{vars: make(map[string]*Value), parent: parent}
+	for _, s := range b.Stmts {
+		ret, sig := in.execStmt(s, e)
+		if sig.kind != sigNone {
+			return ret, sig
+		}
+	}
+	return Value{}, noSignal
+}
+
+func (in *interp) tick(pos lang.Pos) signal {
+	in.steps++
+	if in.steps > in.opts.MaxSteps {
+		return errSignal(ErrStepLimit, pos, "")
+	}
+	return noSignal
+}
+
+func (in *interp) execStmt(s lang.Stmt, e *env) (Value, signal) {
+	if sig := in.tick(s.Position()); sig.kind != sigNone {
+		return Value{}, sig
+	}
+	if in.coverage != nil {
+		in.coverage[s.Position()] = true
+	}
+	switch st := s.(type) {
+	case *lang.DeclStmt:
+		var v Value
+		switch {
+		case st.Type == lang.TypeArray:
+			arr := make([]int64, st.Size)
+			for i, el := range st.ArrayLit {
+				ev, sig := in.evalExpr(el, e)
+				if sig.kind != sigNone {
+					return Value{}, sig
+				}
+				arr[i] = ev.I
+			}
+			v = Value{Type: lang.TypeArray, Arr: arr}
+		case st.Init != nil:
+			ev, sig := in.evalExpr(st.Init, e)
+			if sig.kind != sigNone {
+				return Value{}, sig
+			}
+			v = Value{Type: st.Type, I: ev.I}
+		default:
+			v = Value{Type: st.Type}
+		}
+		e.vars[st.Name] = &v
+		return Value{}, noSignal
+	case *lang.AssignStmt:
+		val, sig := in.evalExpr(st.Value, e)
+		if sig.kind != sigNone {
+			return Value{}, sig
+		}
+		switch tgt := st.Target.(type) {
+		case *lang.VarRef:
+			slot := e.lookup(tgt.Name)
+			slot.I = val.I
+		case *lang.IndexExpr:
+			arr, idx, sig := in.evalIndex(tgt, e)
+			if sig.kind != sigNone {
+				return Value{}, sig
+			}
+			arr[idx] = val.I
+		}
+		return Value{}, noSignal
+	case *lang.IfStmt:
+		cond, sig := in.evalExpr(st.Cond, e)
+		if sig.kind != sigNone {
+			return Value{}, sig
+		}
+		if cond.I != 0 {
+			return in.execBlock(st.Then, e)
+		}
+		if st.Else != nil {
+			return in.execStmt(st.Else, e)
+		}
+		return Value{}, noSignal
+	case *lang.WhileStmt:
+		for {
+			if sig := in.tick(st.Pos); sig.kind != sigNone {
+				return Value{}, sig
+			}
+			cond, sig := in.evalExpr(st.Cond, e)
+			if sig.kind != sigNone {
+				return Value{}, sig
+			}
+			if cond.I == 0 {
+				return Value{}, noSignal
+			}
+			ret, sig := in.execBlock(st.Body, e)
+			switch sig.kind {
+			case sigBreak:
+				return Value{}, noSignal
+			case sigNone, sigContinue:
+			default:
+				return ret, sig
+			}
+		}
+	case *lang.ForStmt:
+		fe := &env{vars: make(map[string]*Value), parent: e}
+		if st.Init != nil {
+			if _, sig := in.execStmt(st.Init, fe); sig.kind != sigNone {
+				return Value{}, sig
+			}
+		}
+		for {
+			if sig := in.tick(st.Pos); sig.kind != sigNone {
+				return Value{}, sig
+			}
+			if st.Cond != nil {
+				cond, sig := in.evalExpr(st.Cond, fe)
+				if sig.kind != sigNone {
+					return Value{}, sig
+				}
+				if cond.I == 0 {
+					return Value{}, noSignal
+				}
+			}
+			ret, sig := in.execBlock(st.Body, fe)
+			switch sig.kind {
+			case sigBreak:
+				return Value{}, noSignal
+			case sigNone, sigContinue:
+			default:
+				return ret, sig
+			}
+			if st.Post != nil {
+				if _, sig := in.execStmt(st.Post, fe); sig.kind != sigNone {
+					return Value{}, sig
+				}
+			}
+		}
+	case *lang.ReturnStmt:
+		if st.Value == nil {
+			return Value{}, signal{kind: sigReturn}
+		}
+		v, sig := in.evalExpr(st.Value, e)
+		if sig.kind != sigNone {
+			return Value{}, sig
+		}
+		return v, signal{kind: sigReturn}
+	case *lang.BreakStmt:
+		return Value{}, signal{kind: sigBreak}
+	case *lang.ContinueStmt:
+		return Value{}, signal{kind: sigContinue}
+	case *lang.AssertStmt:
+		cond, sig := in.evalExpr(st.Cond, e)
+		if sig.kind != sigNone {
+			return Value{}, sig
+		}
+		if cond.I == 0 {
+			return Value{}, errSignal(ErrAssertFail, st.Pos, "")
+		}
+		return Value{}, noSignal
+	case *lang.AssumeStmt:
+		cond, sig := in.evalExpr(st.Cond, e)
+		if sig.kind != sigNone {
+			return Value{}, sig
+		}
+		if cond.I == 0 {
+			return Value{}, errSignal(ErrAssumeViolated, st.Pos, "")
+		}
+		return Value{}, noSignal
+	case *lang.BugStmt:
+		in.hitBug = true
+		return Value{}, noSignal
+	case *lang.ExprStmt:
+		_, sig := in.evalExpr(st.X, e)
+		return Value{}, sig
+	case *lang.BlockStmt:
+		return in.execBlock(st, e)
+	}
+	panic(fmt.Sprintf("interp: unknown statement %T", s))
+}
+
+func (in *interp) evalIndex(ix *lang.IndexExpr, e *env) ([]int64, int64, signal) {
+	ref := ix.Array.(*lang.VarRef)
+	arrV := e.lookup(ref.Name)
+	idx, sig := in.evalExpr(ix.Index, e)
+	if sig.kind != sigNone {
+		return nil, 0, sig
+	}
+	if idx.I < 0 || idx.I >= int64(len(arrV.Arr)) {
+		return nil, 0, errSignal(ErrOutOfBounds, ix.Pos,
+			fmt.Sprintf("index %d of array %q with length %d", idx.I, ref.Name, len(arrV.Arr)))
+	}
+	return arrV.Arr, idx.I, noSignal
+}
+
+func (in *interp) evalExpr(ex lang.Expr, e *env) (Value, signal) {
+	switch x := ex.(type) {
+	case *lang.IntLit:
+		return Value{Type: lang.TypeInt, I: x.Val}, noSignal
+	case *lang.BoolLit:
+		v := int64(0)
+		if x.Val {
+			v = 1
+		}
+		return Value{Type: lang.TypeBool, I: v}, noSignal
+	case *lang.VarRef:
+		return *e.lookup(x.Name), noSignal
+	case *lang.IndexExpr:
+		arr, idx, sig := in.evalIndex(x, e)
+		if sig.kind != sigNone {
+			return Value{}, sig
+		}
+		return Value{Type: lang.TypeInt, I: arr[idx]}, noSignal
+	case *lang.HoleExpr:
+		return in.evalHole(x, e)
+	case *lang.UnaryExpr:
+		v, sig := in.evalExpr(x.X, e)
+		if sig.kind != sigNone {
+			return Value{}, sig
+		}
+		if x.Op == lang.Not {
+			return Value{Type: lang.TypeBool, I: 1 - v.I}, noSignal
+		}
+		return Value{Type: lang.TypeInt, I: -v.I}, noSignal
+	case *lang.BinaryExpr:
+		return in.evalBinary(x, e)
+	case *lang.CallExpr:
+		fn := in.prog.Funcs[x.Name]
+		args := make([]Value, len(x.Args))
+		for i, a := range x.Args {
+			v, sig := in.evalExpr(a, e)
+			if sig.kind != sigNone {
+				return Value{}, sig
+			}
+			args[i] = v
+		}
+		ret, sig := in.call(fn, args)
+		if sig.kind == sigError {
+			return Value{}, sig
+		}
+		return ret, noSignal
+	}
+	panic(fmt.Sprintf("interp: unknown expression %T", ex))
+}
+
+// evalHole evaluates the injected patch expression over a snapshot of the
+// scalar variables in scope plus the patch parameter values.
+func (in *interp) evalHole(h *lang.HoleExpr, e *env) (Value, signal) {
+	in.hitPatch = true
+	if in.opts.Hole == nil {
+		return Value{}, errSignal(ErrPatch, h.Pos, "no patch provided for __HOLE__")
+	}
+	model := expr.Model{}
+	for name, v := range in.opts.HoleParams {
+		model[name] = v
+	}
+	for cur := e; cur != nil; cur = cur.parent {
+		for name, v := range cur.vars {
+			if _, shadowed := model[name]; shadowed {
+				continue
+			}
+			if v.Type == lang.TypeInt || v.Type == lang.TypeBool {
+				model[name] = v.I
+			}
+		}
+	}
+	val, err := expr.Eval(in.opts.Hole, model)
+	if err != nil {
+		return Value{}, errSignal(ErrPatch, h.Pos, err.Error())
+	}
+	ty := lang.TypeBool
+	if in.opts.Hole.Sort == expr.SortInt {
+		ty = lang.TypeInt
+	} else if val != 0 {
+		val = 1
+	}
+	return Value{Type: ty, I: val}, noSignal
+}
+
+func (in *interp) evalBinary(x *lang.BinaryExpr, e *env) (Value, signal) {
+	// Short-circuit booleans first.
+	if x.Op == lang.AndAnd || x.Op == lang.OrOr {
+		l, sig := in.evalExpr(x.L, e)
+		if sig.kind != sigNone {
+			return Value{}, sig
+		}
+		if x.Op == lang.AndAnd && l.I == 0 {
+			return Value{Type: lang.TypeBool, I: 0}, noSignal
+		}
+		if x.Op == lang.OrOr && l.I != 0 {
+			return Value{Type: lang.TypeBool, I: 1}, noSignal
+		}
+		r, sig := in.evalExpr(x.R, e)
+		if sig.kind != sigNone {
+			return Value{}, sig
+		}
+		v := int64(0)
+		if r.I != 0 {
+			v = 1
+		}
+		return Value{Type: lang.TypeBool, I: v}, noSignal
+	}
+	l, sig := in.evalExpr(x.L, e)
+	if sig.kind != sigNone {
+		return Value{}, sig
+	}
+	r, sig := in.evalExpr(x.R, e)
+	if sig.kind != sigNone {
+		return Value{}, sig
+	}
+	b := func(v bool) (Value, signal) {
+		i := int64(0)
+		if v {
+			i = 1
+		}
+		return Value{Type: lang.TypeBool, I: i}, noSignal
+	}
+	switch x.Op {
+	case lang.Plus:
+		return Value{Type: lang.TypeInt, I: l.I + r.I}, noSignal
+	case lang.Minus:
+		return Value{Type: lang.TypeInt, I: l.I - r.I}, noSignal
+	case lang.Star:
+		return Value{Type: lang.TypeInt, I: l.I * r.I}, noSignal
+	case lang.Slash:
+		if r.I == 0 {
+			return Value{}, errSignal(ErrDivZero, x.Pos, "")
+		}
+		return Value{Type: lang.TypeInt, I: l.I / r.I}, noSignal
+	case lang.Percent:
+		if r.I == 0 {
+			return Value{}, errSignal(ErrRemZero, x.Pos, "")
+		}
+		return Value{Type: lang.TypeInt, I: l.I % r.I}, noSignal
+	case lang.Eq:
+		return b(l.I == r.I)
+	case lang.NotEq:
+		return b(l.I != r.I)
+	case lang.Less:
+		return b(l.I < r.I)
+	case lang.LessEq:
+		return b(l.I <= r.I)
+	case lang.Greater:
+		return b(l.I > r.I)
+	case lang.GreaterEq:
+		return b(l.I >= r.I)
+	}
+	panic(fmt.Sprintf("interp: unknown binary op %v", x.Op))
+}

@@ -1,0 +1,228 @@
+package interp
+
+import (
+	"testing"
+
+	"cpr/internal/expr"
+	"cpr/internal/lang"
+)
+
+func run(t *testing.T, src string, inputs map[string]int64, opts Options) Outcome {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return Run(prog, inputs, opts)
+}
+
+func TestArithmeticAndReturn(t *testing.T) {
+	out := run(t, `int main(int x) { return x * 2 + 1; }`, map[string]int64{"x": 20}, Options{})
+	if out.Err != nil || out.Ret == nil || out.Ret.I != 41 {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestDivByZeroCrash(t *testing.T) {
+	out := run(t, `int main(int x) { return 10 / x; }`, map[string]int64{"x": 0}, Options{})
+	if !out.Crashed() || out.Err.Kind != ErrDivZero {
+		t.Fatalf("got %+v", out)
+	}
+	out = run(t, `int main(int x) { return 10 % x; }`, map[string]int64{"x": 0}, Options{})
+	if !out.Crashed() || out.Err.Kind != ErrRemZero {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestCDivisionSemantics(t *testing.T) {
+	out := run(t, `int main(int x) { return x / 2; }`, map[string]int64{"x": -7}, Options{})
+	if out.Ret.I != -3 {
+		t.Fatalf("-7/2 = %d, want -3 (C truncation)", out.Ret.I)
+	}
+	out = run(t, `int main(int x) { return x % 2; }`, map[string]int64{"x": -7}, Options{})
+	if out.Ret.I != -1 {
+		t.Fatalf("-7%%2 = %d, want -1", out.Ret.I)
+	}
+}
+
+func TestArraysAndBounds(t *testing.T) {
+	src := `
+int main(int i) {
+    int a[3] = {10, 20, 30};
+    a[1] = a[1] + 5;
+    return a[i];
+}`
+	out := run(t, src, map[string]int64{"i": 1}, Options{})
+	if out.Err != nil || out.Ret.I != 25 {
+		t.Fatalf("got %+v", out)
+	}
+	out = run(t, src, map[string]int64{"i": 3}, Options{})
+	if !out.Crashed() || out.Err.Kind != ErrOutOfBounds {
+		t.Fatalf("got %+v", out)
+	}
+	out = run(t, src, map[string]int64{"i": -1}, Options{})
+	if !out.Crashed() || out.Err.Kind != ErrOutOfBounds {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestArraysPassedByReference(t *testing.T) {
+	src := `
+void fill(int a[], int v) {
+    a[0] = v;
+}
+int main(int x) {
+    int a[2];
+    fill(a, x);
+    return a[0];
+}`
+	out := run(t, src, map[string]int64{"x": 9}, Options{})
+	if out.Err != nil || out.Ret.I != 9 {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestLoopsAndControlFlow(t *testing.T) {
+	src := `
+int main(int n) {
+    int s = 0;
+    for (int i = 1; i <= n; i = i + 1) {
+        if (i == 3) { continue; }
+        if (i > 5) { break; }
+        s = s + i;
+    }
+    int j = 0;
+    while (j < 3) {
+        s = s + 100;
+        j = j + 1;
+    }
+    return s;
+}`
+	// 1+2+4+5 = 12, + 300 = 312
+	out := run(t, src, map[string]int64{"n": 10}, Options{})
+	if out.Err != nil || out.Ret.I != 312 {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	src := `
+int fib(int n) {
+    if (n <= 1) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+int main(int n) { return fib(n); }`
+	out := run(t, src, map[string]int64{"n": 10}, Options{})
+	if out.Err != nil || out.Ret.I != 55 {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestAssertAssume(t *testing.T) {
+	out := run(t, `void main(int x) { assert(x > 0); }`, map[string]int64{"x": -1}, Options{})
+	if !out.Crashed() || out.Err.Kind != ErrAssertFail {
+		t.Fatalf("got %+v", out)
+	}
+	out = run(t, `void main(int x) { assume(x > 0); assert(false); }`, map[string]int64{"x": -1}, Options{})
+	if out.Crashed() || out.Err == nil || out.Err.Kind != ErrAssumeViolated {
+		t.Fatalf("assume violation must not be a crash: %+v", out)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	out := run(t, `void main(int x) { while (true) { x = x + 1; } }`, map[string]int64{"x": 0}, Options{MaxSteps: 1000})
+	if out.Err == nil || out.Err.Kind != ErrStepLimit {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestMissingInput(t *testing.T) {
+	out := run(t, `void main(int x) { }`, nil, Options{})
+	if out.Err == nil || out.Err.Kind != ErrMissingInput {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestNoReturn(t *testing.T) {
+	out := run(t, `int main(int x) { if (x > 0) { return 1; } }`, map[string]int64{"x": -1}, Options{})
+	if out.Err == nil || out.Err.Kind != ErrNoReturn {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The division must not execute when the guard is false.
+	src := `void main(int x) { bool ok = x != 0 && 10 / x > 1; assert(!ok || x != 0); }`
+	out := run(t, src, map[string]int64{"x": 0}, Options{})
+	if out.Err != nil {
+		t.Fatalf("short-circuit failed: %+v", out)
+	}
+}
+
+func TestHoleEvaluation(t *testing.T) {
+	src := `
+void main(int x, int y) {
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    int c = 10 / y;
+    assert(c >= 0 || c < 0);
+}`
+	prog := lang.MustParse(src)
+	// Patch: y == b with b = 0 → guard true when y == 0.
+	hole := expr.Eq(expr.IntVar("y"), expr.IntVar("b"))
+	out := Run(prog, map[string]int64{"x": 7, "y": 0}, Options{Hole: hole, HoleParams: expr.Model{"b": 0}})
+	if out.Err != nil {
+		t.Fatalf("patched run crashed: %+v", out)
+	}
+	if !out.HitPatch || out.HitBug {
+		t.Fatalf("hit flags wrong: %+v", out)
+	}
+	// Same input without an effective patch: crash at the division.
+	out = Run(prog, map[string]int64{"x": 7, "y": 0}, Options{Hole: expr.False()})
+	if !out.Crashed() || out.Err.Kind != ErrDivZero || !out.HitBug {
+		t.Fatalf("unpatched run: %+v", out)
+	}
+}
+
+func TestHoleMissing(t *testing.T) {
+	prog := lang.MustParse(`void main(int x) { if (__HOLE__) { return; } }`)
+	out := Run(prog, map[string]int64{"x": 1}, Options{})
+	if out.Err == nil || out.Err.Kind != ErrPatch {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestIntHole(t *testing.T) {
+	src := `
+int main(int x) {
+    int y = __HOLE__;
+    return y + 1;
+}`
+	prog := lang.MustParse(src)
+	if prog.HoleType != lang.TypeInt {
+		t.Fatalf("hole type %v", prog.HoleType)
+	}
+	hole := expr.Add(expr.IntVar("x"), expr.IntVar("a"))
+	out := Run(prog, map[string]int64{"x": 10}, Options{Hole: hole, HoleParams: expr.Model{"a": 5}})
+	if out.Err != nil || out.Ret.I != 16 {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestHolePatchCrash(t *testing.T) {
+	prog := lang.MustParse(`void main(int x) { if (__HOLE__) { return; } }`)
+	hole := expr.Gt(expr.Div(expr.Int(1), expr.IntVar("x")), expr.Int(0))
+	out := Run(prog, map[string]int64{"x": 0}, Options{Hole: hole})
+	if out.Err == nil || out.Err.Kind != ErrPatch {
+		t.Fatalf("patch division by zero not reported: %+v", out)
+	}
+}
+
+func TestBoolInput(t *testing.T) {
+	out := run(t, `int main(bool b) { if (b) { return 1; } return 0; }`, map[string]int64{"b": 1}, Options{})
+	if out.Err != nil || out.Ret.I != 1 {
+		t.Fatalf("got %+v", out)
+	}
+}

@@ -1,0 +1,197 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleSrc = `
+// LibTIFF-style divide-by-zero subject.
+int roundup(int x, int m) {
+    if (m == 0) { return x; }
+    return ((x + m - 1) / m) * m;
+}
+
+void main(int width, int height, int horiz, int vert) {
+    int rwidth = roundup(width, horiz);
+    int rheight = roundup(height, vert);
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    int cc = rwidth * rheight + 2 * ((rwidth * rheight) / (horiz * vert));
+    assert(cc >= 0);
+}
+`
+
+func TestParseSample(t *testing.T) {
+	prog, err := Parse(sampleSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if prog.Main == nil || len(prog.Main.Params) != 4 {
+		t.Fatalf("main params: %+v", prog.Main)
+	}
+	if prog.HolePos == nil {
+		t.Fatal("hole not recorded")
+	}
+	if prog.HoleType != TypeBool {
+		t.Fatalf("hole type %v, want bool", prog.HoleType)
+	}
+	if len(prog.BugPositions) != 1 {
+		t.Fatalf("bug positions: %v", prog.BugPositions)
+	}
+	if len(prog.Order) != 2 || prog.Order[0] != "roundup" {
+		t.Fatalf("order: %v", prog.Order)
+	}
+}
+
+func TestParseArrayAndLoops(t *testing.T) {
+	src := `
+int sum(int a[], int n) {
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        s = s + a[i];
+    }
+    return s;
+}
+void main(int x) {
+    int a[3] = {1, 2, 3};
+    a[0] = x;
+    int s = sum(a, 3);
+    while (s > 10) {
+        s = s - 1;
+        if (s == 12) { continue; }
+        if (s < 0) { break; }
+    }
+    assert(s <= 10);
+}
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`void main() { x = 1; }`, "undefined variable"},
+		{`void main() { int x = true; }`, "type mismatch"},
+		{`void main() { if (1) { } }`, "type mismatch"},
+		{`void main() { break; }`, "break outside loop"},
+		{`int main() { }`, ""}, // parses; missing return is a runtime issue
+		{`void f() {}`, "no main"},
+		{`void main() { int x; int x; }`, "redeclaration"},
+		{`void main(int a[]) { }`, "must be a scalar"},
+		{`void main() { foo(); }`, "undefined function"},
+		{`int f(int x) { return x; } void main() { int y = f(); }`, "expects 1 arguments"},
+		{`void main() { int x = __HOLE__ + __HOLE__; }`, ""}, // multiple holes rejected (message varies)
+		{`void main() { return 5; }`, "void function"},
+		{`void main() { int a[2]; bool b = a[0] == a; }`, ""}, // array compare rejected
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if c.want == "" {
+			if c.src == `int main() { }` && err != nil {
+				t.Errorf("Parse(%q) unexpectedly failed: %v", c.src, err)
+			}
+			// Others just need to fail with any message.
+			if c.src != `int main() { }` && err == nil {
+				t.Errorf("Parse(%q) unexpectedly succeeded", c.src)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error %v, want containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"void main() { int x = 1 & 2; }", "void main() { /* foo "} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	prog := MustParse(sampleSrc)
+	out := Format(prog, "")
+	// Formatted source must re-parse to an equivalent program.
+	prog2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-Parse of formatted source: %v\n%s", err, out)
+	}
+	out2 := Format(prog2, "")
+	if out != out2 {
+		t.Fatalf("format not idempotent:\n%s\n----\n%s", out, out2)
+	}
+	if !strings.Contains(out, "__HOLE__") {
+		t.Fatalf("hole missing from output:\n%s", out)
+	}
+	patched := Format(prog, "horiz * vert != 0")
+	if !strings.Contains(patched, "if (horiz * vert != 0) {") {
+		t.Fatalf("patched text missing:\n%s", patched)
+	}
+}
+
+func TestFormatArrayAndFor(t *testing.T) {
+	src := `
+void main(int x) {
+    int a[3] = {1, 2, x};
+    bool ok = true;
+    for (int i = 0; i < 3; i = i + 1) {
+        a[i] = a[i] * 2;
+    }
+    if (ok) {
+        assert(a[0] == 2);
+    } else if (x > 0) {
+        assume(x < 5);
+    } else {
+        __BUG__;
+    }
+}
+`
+	prog := MustParse(src)
+	out := Format(prog, "")
+	if _, err := Parse(out); err != nil {
+		t.Fatalf("re-Parse: %v\n%s", err, out)
+	}
+	for _, want := range []string{"int a[3] = {1, 2, x};", "for (int i = 0; i < 3; i = i + 1) {", "} else if (x > 0) {", "__BUG__;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCommentsAndPrecedence(t *testing.T) {
+	src := `
+/* block
+   comment */
+void main(int x) {
+    int y = 1 + 2 * x; // line comment
+    int z = (1 + 2) * x;
+    bool p = x > 0 && x < 10 || x == -5;
+    assert(p || y != z);
+}
+`
+	prog := MustParse(src)
+	out := Format(prog, "")
+	if !strings.Contains(out, "1 + 2 * x") || !strings.Contains(out, "(1 + 2) * x") {
+		t.Fatalf("precedence printing wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "x > 0 && x < 10 || x == -5") {
+		t.Fatalf("bool precedence printing wrong:\n%s", out)
+	}
+}
+
+func TestInputsAccessor(t *testing.T) {
+	prog := MustParse(`void main(int a, bool flag) { assume(flag || a > 0); }`)
+	ins := prog.Inputs()
+	if len(ins) != 2 || ins[0].Name != "a" || ins[1].Type != TypeBool {
+		t.Fatalf("Inputs: %+v", ins)
+	}
+}

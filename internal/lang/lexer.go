@@ -1,0 +1,208 @@
+package lang
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// SyntaxError reports a lexing or parsing error with its position.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("lang: %s: %s", e.Pos, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errf(format string, args ...interface{}) error {
+	return &SyntaxError{Pos{l.line, l.col}, fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.off >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.off], true
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return nil
+		}
+		switch {
+		case unicode.IsSpace(rune(c)):
+			l.advance()
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '/':
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '*':
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.src[l.off] == '*' && l.off+1 < len(l.src) && l.src[l.off+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errf("unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentCont(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// next returns the next token.
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := Pos{l.line, l.col}
+	c, ok := l.peekByte()
+	if !ok {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for {
+			c, ok := l.peekByte()
+			if !ok || !isIdentCont(c) {
+				break
+			}
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if k, ok := keywords[text]; ok {
+			return Token{Kind: k, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: pos}, nil
+	case unicode.IsDigit(rune(c)):
+		start := l.off
+		for {
+			c, ok := l.peekByte()
+			if !ok || !unicode.IsDigit(rune(c)) {
+				break
+			}
+			l.advance()
+		}
+		return Token{Kind: NUMBER, Text: l.src[start:l.off], Pos: pos}, nil
+	}
+	l.advance()
+	two := func(nextByte byte, withKind, aloneKind Kind) (Token, error) {
+		if n, ok := l.peekByte(); ok && n == nextByte {
+			l.advance()
+			return Token{Kind: withKind, Pos: pos}, nil
+		}
+		return Token{Kind: aloneKind, Pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return Token{Kind: LParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: RParen, Pos: pos}, nil
+	case '{':
+		return Token{Kind: LBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: RBrace, Pos: pos}, nil
+	case '[':
+		return Token{Kind: LBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: RBracket, Pos: pos}, nil
+	case ',':
+		return Token{Kind: Comma, Pos: pos}, nil
+	case ';':
+		return Token{Kind: Semicolon, Pos: pos}, nil
+	case '+':
+		return Token{Kind: Plus, Pos: pos}, nil
+	case '-':
+		return Token{Kind: Minus, Pos: pos}, nil
+	case '*':
+		return Token{Kind: Star, Pos: pos}, nil
+	case '/':
+		return Token{Kind: Slash, Pos: pos}, nil
+	case '%':
+		return Token{Kind: Percent, Pos: pos}, nil
+	case '=':
+		return two('=', Eq, Assign)
+	case '<':
+		return two('=', LessEq, Less)
+	case '>':
+		return two('=', GreaterEq, Greater)
+	case '!':
+		return two('=', NotEq, Not)
+	case '&':
+		if n, ok := l.peekByte(); ok && n == '&' {
+			l.advance()
+			return Token{Kind: AndAnd, Pos: pos}, nil
+		}
+		return Token{}, &SyntaxError{pos, "unexpected '&' (use '&&')"}
+	case '|':
+		if n, ok := l.peekByte(); ok && n == '|' {
+			l.advance()
+			return Token{Kind: OrOr, Pos: pos}, nil
+		}
+		return Token{}, &SyntaxError{pos, "unexpected '|' (use '||')"}
+	}
+	return Token{}, &SyntaxError{pos, fmt.Sprintf("unexpected character %q", c)}
+}
+
+// lexAll tokenizes the whole source.
+func lexAll(src string) ([]Token, error) {
+	l := newLexer(src)
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,639 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses a mini-C compilation unit and type-checks it.
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse but panics on error; for tests and subject tables.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+	prog *Program
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) peek() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(tok Token, format string, args ...interface{}) error {
+	return &SyntaxError{tok.Pos, fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, p.errf(t, "expected %q, found %s", k.String(), t)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) accept(k Kind) bool {
+	if p.cur().Kind == k {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{Funcs: make(map[string]*Func)}
+	p.prog = prog
+	for p.cur().Kind != EOF {
+		fn, err := p.parseFunc()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := prog.Funcs[fn.Name]; dup {
+			return nil, p.errf(Token{Pos: fn.Pos}, "duplicate function %q", fn.Name)
+		}
+		prog.Funcs[fn.Name] = fn
+		prog.Order = append(prog.Order, fn.Name)
+	}
+	if main, ok := prog.Funcs["main"]; ok {
+		prog.Main = main
+	} else {
+		return nil, &SyntaxError{Pos{1, 1}, "program has no main function"}
+	}
+	return prog, nil
+}
+
+func (p *parser) parseType() (Type, error) {
+	switch p.cur().Kind {
+	case KwInt:
+		p.advance()
+		return TypeInt, nil
+	case KwBool:
+		p.advance()
+		return TypeBool, nil
+	case KwVoid:
+		p.advance()
+		return TypeVoid, nil
+	}
+	return TypeVoid, p.errf(p.cur(), "expected type, found %s", p.cur())
+}
+
+func (p *parser) parseFunc() (*Func, error) {
+	start := p.cur()
+	ret, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	var params []Param
+	if p.cur().Kind != RParen {
+		for {
+			pt, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if pt == TypeVoid {
+				return nil, p.errf(p.cur(), "void parameter")
+			}
+			pn, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			if p.accept(LBracket) {
+				if _, err := p.expect(RBracket); err != nil {
+					return nil, err
+				}
+				if pt != TypeInt {
+					return nil, p.errf(pn, "only int arrays are supported")
+				}
+				pt = TypeArray
+			}
+			params = append(params, Param{Name: pn.Text, Type: pt})
+			if !p.accept(Comma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &Func{Pos: start.Pos, Name: name.Text, Params: params, Ret: ret, Body: body}, nil
+}
+
+func (p *parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{Pos: lb.Pos}
+	for p.cur().Kind != RBrace {
+		if p.cur().Kind == EOF {
+			return nil, p.errf(p.cur(), "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	p.advance() // consume '}'
+	return blk, nil
+}
+
+// parseStmtOrBlock parses either a block or a single statement wrapped in
+// a block (for brace-less if/while bodies).
+func (p *parser) parseStmtOrBlock() (*BlockStmt, error) {
+	if p.cur().Kind == LBrace {
+		return p.parseBlock()
+	}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &BlockStmt{Pos: s.Position(), Stmts: []Stmt{s}}, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case KwInt, KwBool:
+		return p.parseDecl()
+	case KwIf:
+		return p.parseIf()
+	case KwWhile:
+		p.advance()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmtOrBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Pos: tok.Pos, Cond: cond, Body: body}, nil
+	case KwFor:
+		return p.parseFor()
+	case KwReturn:
+		p.advance()
+		var val Expr
+		if p.cur().Kind != Semicolon {
+			var err error
+			val, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Pos: tok.Pos, Value: val}, nil
+	case KwBreak:
+		p.advance()
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: tok.Pos}, nil
+	case KwContinue:
+		p.advance()
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: tok.Pos}, nil
+	case KwAssert, KwAssume:
+		p.advance()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		if tok.Kind == KwAssert {
+			return &AssertStmt{Pos: tok.Pos, Cond: cond}, nil
+		}
+		return &AssumeStmt{Pos: tok.Pos, Cond: cond}, nil
+	case KwBug:
+		p.advance()
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		p.prog.BugPositions = append(p.prog.BugPositions, tok.Pos)
+		return &BugStmt{Pos: tok.Pos}, nil
+	case LBrace:
+		return p.parseBlock()
+	}
+	return p.parseSimpleStmt(true)
+}
+
+// parseSimpleStmt parses an assignment or a call statement; when wantSemi
+// is true a terminating semicolon is required (false inside for headers).
+func (p *parser) parseSimpleStmt(wantSemi bool) (Stmt, error) {
+	tok := p.cur()
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	var stmt Stmt
+	if p.accept(Assign) {
+		switch lhs.(type) {
+		case *VarRef, *IndexExpr:
+		default:
+			return nil, p.errf(tok, "invalid assignment target")
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt = &AssignStmt{Pos: tok.Pos, Target: lhs, Value: val}
+	} else {
+		if _, ok := lhs.(*CallExpr); !ok {
+			return nil, p.errf(tok, "expression statement must be a call")
+		}
+		stmt = &ExprStmt{Pos: tok.Pos, X: lhs}
+	}
+	if wantSemi {
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseDecl() (Stmt, error) {
+	tok := p.advance() // int or bool
+	ty := TypeInt
+	if tok.Kind == KwBool {
+		ty = TypeBool
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	d := &DeclStmt{Pos: tok.Pos, Name: name.Text, Type: ty}
+	if p.accept(LBracket) {
+		if ty != TypeInt {
+			return nil, p.errf(tok, "only int arrays are supported")
+		}
+		sz, err := p.expect(NUMBER)
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(sz.Text)
+		if err != nil || n <= 0 {
+			return nil, p.errf(sz, "invalid array size %q", sz.Text)
+		}
+		if _, err := p.expect(RBracket); err != nil {
+			return nil, err
+		}
+		d.Type = TypeArray
+		d.Size = n
+		if p.accept(Assign) {
+			if _, err := p.expect(LBrace); err != nil {
+				return nil, err
+			}
+			for p.cur().Kind != RBrace {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				d.ArrayLit = append(d.ArrayLit, e)
+				if !p.accept(Comma) {
+					break
+				}
+			}
+			if _, err := p.expect(RBrace); err != nil {
+				return nil, err
+			}
+			if len(d.ArrayLit) > n {
+				return nil, p.errf(tok, "too many initializers for array of size %d", n)
+			}
+		}
+	} else if p.accept(Assign) {
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = init
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	tok := p.advance() // if
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmtOrBlock()
+	if err != nil {
+		return nil, err
+	}
+	var els Stmt
+	if p.accept(KwElse) {
+		if p.cur().Kind == KwIf {
+			els, err = p.parseIf()
+		} else {
+			els, err = p.parseStmtOrBlock()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &IfStmt{Pos: tok.Pos, Cond: cond, Then: then, Else: els}, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	tok := p.advance() // for
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	f := &ForStmt{Pos: tok.Pos}
+	if p.cur().Kind != Semicolon {
+		var err error
+		if p.cur().Kind == KwInt || p.cur().Kind == KwBool {
+			f.Init, err = p.parseDecl() // consumes the semicolon
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			f.Init, err = p.parseSimpleStmt(false)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Semicolon); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.advance()
+	}
+	if p.cur().Kind != Semicolon {
+		var err error
+		f.Cond, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != RParen {
+		var err error
+		f.Post, err = p.parseSimpleStmt(false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmtOrBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+// ---- expressions (precedence climbing) ----------------------------------
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == OrOr {
+		op := p.advance()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Pos: op.Pos, Op: OrOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == AndAnd {
+		op := p.advance()
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Pos: op.Pos, Op: AndAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case Eq, NotEq, Less, LessEq, Greater, GreaterEq:
+		op := p.advance()
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Pos: op.Pos, Op: op.Kind, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == Plus || p.cur().Kind == Minus {
+		op := p.advance()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Pos: op.Pos, Op: op.Kind, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == Star || p.cur().Kind == Slash || p.cur().Kind == Percent {
+		op := p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Pos: op.Pos, Op: op.Kind, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	tok := p.cur()
+	if tok.Kind == Not || tok.Kind == Minus {
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: tok.Pos, Op: tok.Kind, X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == LBracket {
+		lb := p.advance()
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBracket); err != nil {
+			return nil, err
+		}
+		e = &IndexExpr{Pos: lb.Pos, Array: e, Index: idx}
+	}
+	return e, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case NUMBER:
+		p.advance()
+		v, err := strconv.ParseInt(tok.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf(tok, "invalid integer literal %q", tok.Text)
+		}
+		return &IntLit{Pos: tok.Pos, Val: v}, nil
+	case KwTrue:
+		p.advance()
+		return &BoolLit{Pos: tok.Pos, Val: true}, nil
+	case KwFalse:
+		p.advance()
+		return &BoolLit{Pos: tok.Pos, Val: false}, nil
+	case KwHole:
+		p.advance()
+		if p.prog.HolePos != nil {
+			return nil, p.errf(tok, "multiple __HOLE__ expressions (one fault location at a time)")
+		}
+		pos := tok.Pos
+		p.prog.HolePos = &pos
+		return &HoleExpr{Pos: tok.Pos}, nil
+	case IDENT:
+		p.advance()
+		if p.cur().Kind == LParen {
+			p.advance()
+			var args []Expr
+			if p.cur().Kind != RParen {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.accept(Comma) {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(RParen); err != nil {
+				return nil, err
+			}
+			return &CallExpr{Pos: tok.Pos, Name: tok.Text, Args: args}, nil
+		}
+		return &VarRef{Pos: tok.Pos, Name: tok.Text}, nil
+	case LParen:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf(tok, "unexpected token %s in expression", tok)
+}

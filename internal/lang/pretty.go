@@ -1,0 +1,231 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the program back to mini-C source. The hole renders as
+// __HOLE__ unless holeText is non-empty, in which case that text is
+// printed in its place — this is how patched programs are displayed.
+func Format(prog *Program, holeText string) string {
+	p := &printer{hole: holeText}
+	for i, name := range prog.Order {
+		if i > 0 {
+			p.b.WriteByte('\n')
+		}
+		p.printFunc(prog.Funcs[name])
+	}
+	return p.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+	hole   string
+}
+
+func (p *printer) line(format string, args ...interface{}) {
+	p.b.WriteString(strings.Repeat("    ", p.indent))
+	fmt.Fprintf(&p.b, format, args...)
+	p.b.WriteByte('\n')
+}
+
+func (p *printer) printFunc(fn *Func) {
+	params := make([]string, len(fn.Params))
+	for i, pr := range fn.Params {
+		if pr.Type == TypeArray {
+			params[i] = fmt.Sprintf("int %s[]", pr.Name)
+		} else {
+			params[i] = fmt.Sprintf("%s %s", pr.Type, pr.Name)
+		}
+	}
+	p.line("%s %s(%s) {", fn.Ret, fn.Name, strings.Join(params, ", "))
+	p.indent++
+	for _, s := range fn.Body.Stmts {
+		p.printStmt(s)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) printStmt(s Stmt) {
+	switch st := s.(type) {
+	case *DeclStmt:
+		switch {
+		case st.Type == TypeArray && len(st.ArrayLit) > 0:
+			elems := make([]string, len(st.ArrayLit))
+			for i, e := range st.ArrayLit {
+				elems[i] = p.exprString(e, 0)
+			}
+			p.line("int %s[%d] = {%s};", st.Name, st.Size, strings.Join(elems, ", "))
+		case st.Type == TypeArray:
+			p.line("int %s[%d];", st.Name, st.Size)
+		case st.Init != nil:
+			p.line("%s %s = %s;", st.Type, st.Name, p.exprString(st.Init, 0))
+		default:
+			p.line("%s %s;", st.Type, st.Name)
+		}
+	case *AssignStmt:
+		p.line("%s = %s;", p.exprString(st.Target, 0), p.exprString(st.Value, 0))
+	case *IfStmt:
+		p.printIf(st, "")
+	case *WhileStmt:
+		p.line("while (%s) {", p.exprString(st.Cond, 0))
+		p.indent++
+		for _, b := range st.Body.Stmts {
+			p.printStmt(b)
+		}
+		p.indent--
+		p.line("}")
+	case *ForStmt:
+		init, post := "", ""
+		if st.Init != nil {
+			init = p.simpleStmtString(st.Init)
+		}
+		cond := ""
+		if st.Cond != nil {
+			cond = p.exprString(st.Cond, 0)
+		}
+		if st.Post != nil {
+			post = p.simpleStmtString(st.Post)
+		}
+		p.line("for (%s; %s; %s) {", init, cond, post)
+		p.indent++
+		for _, b := range st.Body.Stmts {
+			p.printStmt(b)
+		}
+		p.indent--
+		p.line("}")
+	case *ReturnStmt:
+		if st.Value != nil {
+			p.line("return %s;", p.exprString(st.Value, 0))
+		} else {
+			p.line("return;")
+		}
+	case *BreakStmt:
+		p.line("break;")
+	case *ContinueStmt:
+		p.line("continue;")
+	case *AssertStmt:
+		p.line("assert(%s);", p.exprString(st.Cond, 0))
+	case *AssumeStmt:
+		p.line("assume(%s);", p.exprString(st.Cond, 0))
+	case *BugStmt:
+		p.line("__BUG__;")
+	case *ExprStmt:
+		p.line("%s;", p.exprString(st.X, 0))
+	case *BlockStmt:
+		p.line("{")
+		p.indent++
+		for _, b := range st.Stmts {
+			p.printStmt(b)
+		}
+		p.indent--
+		p.line("}")
+	}
+}
+
+func (p *printer) printIf(st *IfStmt, prefix string) {
+	p.line("%sif (%s) {", prefix, p.exprString(st.Cond, 0))
+	p.indent++
+	for _, b := range st.Then.Stmts {
+		p.printStmt(b)
+	}
+	p.indent--
+	switch els := st.Else.(type) {
+	case nil:
+		p.line("}")
+	case *IfStmt:
+		p.printIf(els, "} else ")
+	case *BlockStmt:
+		p.line("} else {")
+		p.indent++
+		for _, b := range els.Stmts {
+			p.printStmt(b)
+		}
+		p.indent--
+		p.line("}")
+	}
+}
+
+func (p *printer) simpleStmtString(s Stmt) string {
+	switch st := s.(type) {
+	case *DeclStmt:
+		if st.Init != nil {
+			return fmt.Sprintf("%s %s = %s", st.Type, st.Name, p.exprString(st.Init, 0))
+		}
+		return fmt.Sprintf("%s %s", st.Type, st.Name)
+	case *AssignStmt:
+		return fmt.Sprintf("%s = %s", p.exprString(st.Target, 0), p.exprString(st.Value, 0))
+	}
+	return ""
+}
+
+// operator precedence for printing; higher binds tighter.
+func prec(op Kind) int {
+	switch op {
+	case OrOr:
+		return 1
+	case AndAnd:
+		return 2
+	case Eq, NotEq:
+		return 3
+	case Less, LessEq, Greater, GreaterEq:
+		return 4
+	case Plus, Minus:
+		return 5
+	case Star, Slash, Percent:
+		return 6
+	}
+	return 7
+}
+
+func opString(op Kind) string { return op.String() }
+
+func (p *printer) exprString(e Expr, parent int) string {
+	switch ex := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", ex.Val)
+	case *BoolLit:
+		if ex.Val {
+			return "true"
+		}
+		return "false"
+	case *VarRef:
+		return ex.Name
+	case *HoleExpr:
+		if p.hole != "" {
+			if parent > 0 {
+				return "(" + p.hole + ")"
+			}
+			return p.hole
+		}
+		return "__HOLE__"
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", p.exprString(ex.Array, 7), p.exprString(ex.Index, 0))
+	case *UnaryExpr:
+		op := "!"
+		if ex.Op == Minus {
+			op = "-"
+		}
+		return op + p.exprString(ex.X, 7)
+	case *BinaryExpr:
+		pr := prec(ex.Op)
+		s := fmt.Sprintf("%s %s %s",
+			p.exprString(ex.L, pr),
+			opString(ex.Op),
+			p.exprString(ex.R, pr+1))
+		if pr < parent {
+			return "(" + s + ")"
+		}
+		return s
+	case *CallExpr:
+		args := make([]string, len(ex.Args))
+		for i, a := range ex.Args {
+			args[i] = p.exprString(a, 0)
+		}
+		return fmt.Sprintf("%s(%s)", ex.Name, strings.Join(args, ", "))
+	}
+	return "?"
+}

@@ -1,0 +1,120 @@
+// Package lang implements the mini-C language that subject programs are
+// written in: lexer, parser, AST, type checker, and pretty printer.
+//
+// The language is a small imperative subset of C — int (32-bit semantics)
+// and bool scalars, fixed-size int arrays, functions with recursion,
+// if/while/for control flow — extended with the repair-specific forms of
+// the paper: the patch location __HOLE__ (an expression hole the repair
+// system fills), the bug-location marker __BUG__, and assert/assume.
+// Program inputs are the parameters of main.
+package lang
+
+import "fmt"
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Kind classifies tokens.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+
+	// Keywords.
+	KwInt
+	KwBool
+	KwVoid
+	KwTrue
+	KwFalse
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwBreak
+	KwContinue
+	KwAssert
+	KwAssume
+	KwHole // __HOLE__
+	KwBug  // __BUG__
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Comma
+	Semicolon
+	Assign
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Eq
+	NotEq
+	Less
+	LessEq
+	Greater
+	GreaterEq
+	AndAnd
+	OrOr
+	Not
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", IDENT: "identifier", NUMBER: "number",
+	KwInt: "int", KwBool: "bool", KwVoid: "void", KwTrue: "true", KwFalse: "false",
+	KwIf: "if", KwElse: "else", KwWhile: "while", KwFor: "for",
+	KwReturn: "return", KwBreak: "break", KwContinue: "continue",
+	KwAssert: "assert", KwAssume: "assume", KwHole: "__HOLE__", KwBug: "__BUG__",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}", LBracket: "[", RBracket: "]",
+	Comma: ",", Semicolon: ";", Assign: "=",
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Eq: "==", NotEq: "!=", Less: "<", LessEq: "<=", Greater: ">", GreaterEq: ">=",
+	AndAnd: "&&", OrOr: "||", Not: "!",
+}
+
+// String returns the spelling of the token kind.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+var keywords = map[string]Kind{
+	"int": KwInt, "bool": KwBool, "void": KwVoid,
+	"true": KwTrue, "false": KwFalse,
+	"if": KwIf, "else": KwElse, "while": KwWhile, "for": KwFor,
+	"return": KwReturn, "break": KwBreak, "continue": KwContinue,
+	"assert": KwAssert, "assume": KwAssume,
+	"__HOLE__": KwHole, "__BUG__": KwBug,
+}
+
+// Token is a lexical token.
+type Token struct {
+	Kind Kind
+	Text string // identifier spelling or number literal
+	Pos  Pos
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, NUMBER:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Kind.String())
+	}
+}

@@ -1,0 +1,182 @@
+// Package mc provides model counting over bounded integer domains: exact
+// counting by enumeration for small boxes and hash-based approximate
+// counting for larger ones. The paper (§3.5.3) suggests model counting to
+// fine-tune patch ranking by the proportion of a path's inputs that a
+// patch insertion affects.
+package mc
+
+import (
+	"math/rand"
+
+	"cpr/internal/expr"
+	"cpr/internal/interval"
+)
+
+// Options tunes the counters.
+type Options struct {
+	// ExactLimit is the largest domain size counted exactly (default 1 << 16).
+	ExactLimit int64
+	// Samples is the sample count for approximate counting (default 2000).
+	Samples int
+	// Seed drives the sampler deterministically.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.ExactLimit == 0 {
+		o.ExactLimit = 1 << 16
+	}
+	if o.Samples == 0 {
+		o.Samples = 2000
+	}
+	return o
+}
+
+// Count estimates the number of models of f over the given variable
+// bounds. Exact is true when the result is an exact count (small domain
+// enumeration); otherwise the count is a sampled estimate.
+func Count(f *expr.Term, bounds map[string]interval.Interval, opts Options) (count int64, exact bool, err error) {
+	opts = opts.withDefaults()
+	vars := expr.Vars(f)
+	names := make([]string, 0, len(vars))
+	var total int64 = 1
+	enumerable := true
+	for _, v := range vars {
+		if v.Sort != expr.SortInt {
+			names = append(names, v.Name)
+			if total <= opts.ExactLimit {
+				total *= 2
+			}
+			continue
+		}
+		iv, ok := bounds[v.Name]
+		if !ok {
+			iv = interval.New(-(1 << 31), 1<<31-1)
+		}
+		names = append(names, v.Name)
+		c := iv.Count()
+		if c == 0 {
+			return 0, true, nil
+		}
+		if total > opts.ExactLimit/c {
+			enumerable = false
+		}
+		total *= c
+		if total > opts.ExactLimit {
+			enumerable = false
+		}
+	}
+	if len(names) == 0 {
+		v, e := expr.EvalBool(f, expr.Model{})
+		if e != nil {
+			return 0, false, e
+		}
+		if v {
+			return 1, true, nil
+		}
+		return 0, true, nil
+	}
+	if enumerable {
+		n, e := exactCount(f, names, bounds)
+		return n, true, e
+	}
+	n, e := sampleCount(f, names, bounds, opts)
+	return n, false, e
+}
+
+func domainOf(name string, f *expr.Term, bounds map[string]interval.Interval) interval.Interval {
+	for _, v := range expr.Vars(f) {
+		if v.Name == name && v.Sort == expr.SortBool {
+			return interval.New(0, 1)
+		}
+	}
+	if iv, ok := bounds[name]; ok {
+		return iv
+	}
+	return interval.New(-(1 << 31), 1<<31-1)
+}
+
+func exactCount(f *expr.Term, names []string, bounds map[string]interval.Interval) (int64, error) {
+	m := expr.Model{}
+	var n int64
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(names) {
+			v, err := expr.EvalBool(f, m)
+			if err != nil {
+				return err
+			}
+			if v {
+				n++
+			}
+			return nil
+		}
+		iv := domainOf(names[i], f, bounds)
+		for x := iv.Lo; ; x++ {
+			m[names[i]] = x
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+			if x == iv.Hi {
+				break
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func sampleCount(f *expr.Term, names []string, bounds map[string]interval.Interval, opts Options) (int64, error) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	hits := 0
+	var volume float64 = 1
+	for _, name := range names {
+		iv := domainOf(name, f, bounds)
+		volume *= float64(iv.Count())
+	}
+	m := expr.Model{}
+	for i := 0; i < opts.Samples; i++ {
+		for _, name := range names {
+			iv := domainOf(name, f, bounds)
+			span := iv.Hi - iv.Lo + 1
+			if span <= 0 { // full 64-bit style range
+				m[name] = rng.Int63()
+			} else {
+				m[name] = iv.Lo + rng.Int63n(span)
+			}
+		}
+		v, err := expr.EvalBool(f, m)
+		if err != nil {
+			return 0, err
+		}
+		if v {
+			hits++
+		}
+	}
+	return int64(volume * float64(hits) / float64(opts.Samples)), nil
+}
+
+// Fraction estimates the fraction of the domain satisfying f, in [0, 1].
+func Fraction(f *expr.Term, bounds map[string]interval.Interval, opts Options) (float64, error) {
+	opts = opts.withDefaults()
+	count, exact, err := Count(f, bounds, opts)
+	if err != nil {
+		return 0, err
+	}
+	var volume float64 = 1
+	for _, v := range expr.Vars(f) {
+		volume *= float64(domainOf(v.Name, f, bounds).Count())
+	}
+	if volume == 0 {
+		return 0, nil
+	}
+	_ = exact
+	fr := float64(count) / volume
+	if fr > 1 {
+		fr = 1
+	}
+	return fr, nil
+}

@@ -1,0 +1,102 @@
+package mc
+
+import (
+	"testing"
+
+	"cpr/internal/expr"
+	"cpr/internal/interval"
+)
+
+func TestExactCount(t *testing.T) {
+	x := expr.IntVar("x")
+	bounds := map[string]interval.Interval{"x": interval.New(-10, 10)}
+	n, exact, err := Count(expr.Ge(x, expr.Int(0)), bounds, Options{})
+	if err != nil || !exact || n != 11 {
+		t.Fatalf("got n=%d exact=%v err=%v, want 11 exact", n, exact, err)
+	}
+	// Two variables.
+	y := expr.IntVar("y")
+	bounds["y"] = interval.New(0, 4)
+	f := expr.And(expr.Ge(x, expr.Int(0)), expr.Lt(y, expr.Int(2)))
+	n, exact, err = Count(f, bounds, Options{})
+	if err != nil || !exact || n != 11*2 {
+		t.Fatalf("got n=%d exact=%v err=%v, want 22 exact", n, exact, err)
+	}
+}
+
+func TestCountBooleans(t *testing.T) {
+	p := expr.BoolVar("p")
+	n, exact, err := Count(expr.Or(p, expr.Not(p)), nil, Options{})
+	if err != nil || !exact || n != 2 {
+		t.Fatalf("got %d %v %v", n, exact, err)
+	}
+	n, exact, err = Count(expr.And(p, expr.Not(p)), nil, Options{})
+	if err != nil || !exact || n != 0 {
+		t.Fatalf("got %d %v %v", n, exact, err)
+	}
+}
+
+func TestCountClosed(t *testing.T) {
+	n, exact, err := Count(expr.True(), nil, Options{})
+	if err != nil || !exact || n != 1 {
+		t.Fatalf("got %d %v %v", n, exact, err)
+	}
+	n, _, _ = Count(expr.False(), nil, Options{})
+	if n != 0 {
+		t.Fatalf("false should have 0 models, got %d", n)
+	}
+}
+
+func TestApproximateCount(t *testing.T) {
+	x := expr.IntVar("x")
+	bounds := map[string]interval.Interval{"x": interval.New(0, 1<<20-1)}
+	// Half the domain: x < 2^19.
+	n, exact, err := Count(expr.Lt(x, expr.Int(1<<19)), bounds, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact {
+		t.Fatal("domain too large for exact counting")
+	}
+	want := float64(int64(1) << 19)
+	if f := float64(n); f < want*0.85 || f > want*1.15 {
+		t.Fatalf("estimate %d too far from %v", n, want)
+	}
+}
+
+func TestFraction(t *testing.T) {
+	x := expr.IntVar("x")
+	bounds := map[string]interval.Interval{"x": interval.New(1, 10)}
+	f, err := Fraction(expr.Le(x, expr.Int(5)), bounds, Options{})
+	if err != nil || f != 0.5 {
+		t.Fatalf("fraction %v, want 0.5 (err %v)", f, err)
+	}
+	f, err = Fraction(expr.Le(x, expr.Int(100)), bounds, Options{})
+	if err != nil || f != 1 {
+		t.Fatalf("fraction %v, want 1", f)
+	}
+}
+
+func TestEmptyDomain(t *testing.T) {
+	x := expr.IntVar("x")
+	bounds := map[string]interval.Interval{"x": interval.Empty()}
+	n, exact, err := Count(expr.Ge(x, expr.Int(0)), bounds, Options{})
+	if err != nil || !exact || n != 0 {
+		t.Fatalf("got %d %v %v", n, exact, err)
+	}
+}
+
+func TestDeterministicSampling(t *testing.T) {
+	x := expr.IntVar("x")
+	y := expr.IntVar("y")
+	bounds := map[string]interval.Interval{
+		"x": interval.New(0, 1<<20),
+		"y": interval.New(0, 1<<20),
+	}
+	f := expr.Lt(expr.Add(x, y), expr.Int(1<<20))
+	a, _, err1 := Count(f, bounds, Options{Seed: 7})
+	b, _, err2 := Count(f, bounds, Options{Seed: 7})
+	if err1 != nil || err2 != nil || a != b {
+		t.Fatalf("nondeterministic: %d vs %d (%v %v)", a, b, err1, err2)
+	}
+}

@@ -1,0 +1,111 @@
+package patch
+
+import (
+	"errors"
+	"fmt"
+
+	"cpr/internal/expr"
+	"cpr/internal/interval"
+	"cpr/internal/smt"
+)
+
+// Refiner implements the abstract-patch refinement of the paper's §4
+// (Algorithm 3): counterexample-guided shrinking of the parameter
+// constraint Tρ until the specification holds for every admissible
+// parameter vector on the current path.
+type Refiner struct {
+	// Solver answers the satisfiability queries.
+	Solver *smt.Solver
+	// InputBounds bound the program input symbols X (and any auxiliary
+	// symbols such as patch outputs default to the solver's 32-bit range).
+	InputBounds map[string]interval.Interval
+	// MaxCounterexamples bounds refinement iterations per call
+	// (default 4096); exceeding it returns ErrRefineBudget.
+	MaxCounterexamples int
+}
+
+// ErrRefineBudget is returned when refinement exceeds its iteration cap.
+var ErrRefineBudget = errors.New("patch: refinement budget exhausted")
+
+// Refine is Algorithm 3. Inputs: the path constraint φ (over X and patch
+// outputs), the instantiated patch formula ψρ (over X, A, patch outputs),
+// the instantiated specification σ (over X and patch outputs), the patch
+// (whose Params name the region dimensions), and the region Tρ to refine.
+//
+// It returns the refined region. An empty region means the patch cannot
+// be repaired for this path and must be discarded ("return False").
+//
+//	ωpass1 = φ ∧ σ             sat?  (the path can satisfy σ at all)
+//	ωpass2 = φ ∧ ψρ ∧ Tρ ∧ σ   unsat with ωpass1 sat ⇒ discard
+//	ωfail  = φ ∧ ψρ ∧ Tρ ∧ ¬σ  each model yields a counterexample
+//	                           parameter point, removed via Split;
+//	                           iterate until unsat, then Merge.
+func (r *Refiner) Refine(phi, psi, sigma *expr.Term, p *Patch, region interval.Region) (interval.Region, error) {
+	maxCex := r.MaxCounterexamples
+	if maxCex == 0 {
+		maxCex = 4096
+	}
+	bounds := r.boundsWith(p, region)
+
+	// Removal of non-refinable constraints (Algorithm 3 lines 1-7).
+	pass1, err := r.Solver.IsSat(expr.And(phi, sigma), r.InputBounds)
+	if err != nil {
+		return interval.Region{}, fmt.Errorf("refine ωpass1: %w", err)
+	}
+	if pass1 {
+		pass2, err := r.Solver.IsSat(expr.And(phi, psi, region.ToTerm(p.Params), sigma), bounds)
+		if err != nil {
+			return interval.Region{}, fmt.Errorf("refine ωpass2: %w", err)
+		}
+		if !pass2 {
+			return interval.EmptyRegion(region.Dim), nil
+		}
+	}
+
+	// Counterexample exploration (lines 8-31). Each model of ωfail is one
+	// parameter vector admitting a specification violation; Split removes
+	// it (3ⁿ−1 regions per removal) and the loop continues on the refined
+	// region, which is exactly the recursion of Algorithm 3 unrolled:
+	// sub-regions incompatible with φ ∧ ψρ never produce counterexamples
+	// and are kept as-is (line 24).
+	cur := region
+	for i := 0; i < maxCex; i++ {
+		if cur.IsEmpty() {
+			return cur, nil
+		}
+		if i > 0 && i%16 == 0 {
+			// Point removal fragments the region (up to 3ⁿ−1 boxes per
+			// counterexample); periodic merging keeps ToTerm formulas and
+			// split costs linear instead of quadratic.
+			cur = cur.Merge()
+		}
+		fail := expr.And(phi, psi, cur.ToTerm(p.Params), expr.Not(sigma))
+		model, found, err := r.Solver.GetModel(fail, r.boundsWith(p, cur))
+		if err != nil {
+			return interval.Region{}, fmt.Errorf("refine ωfail: %w", err)
+		}
+		if !found {
+			// No more violations: merge contiguous regions and return.
+			return cur.Merge(), nil
+		}
+		cur = cur.SubtractPoint(p.ParamPoint(model))
+	}
+	return interval.Region{}, ErrRefineBudget
+}
+
+// boundsWith merges the input bounds with the hull of the region's
+// parameter dimensions.
+func (r *Refiner) boundsWith(p *Patch, region interval.Region) map[string]interval.Interval {
+	bounds := make(map[string]interval.Interval, len(r.InputBounds)+len(p.Params))
+	for k, v := range r.InputBounds {
+		bounds[k] = v
+	}
+	for i, name := range p.Params {
+		hull := interval.Empty()
+		for _, b := range region.Boxes {
+			hull = hull.Hull(b[i])
+		}
+		bounds[name] = hull
+	}
+	return bounds
+}

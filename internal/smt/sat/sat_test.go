@@ -1,0 +1,323 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func lit(v int) Lit  { return MkLit(v, false) }
+func nlit(v int) Lit { return MkLit(v, true) }
+
+func TestLitEncoding(t *testing.T) {
+	l := MkLit(5, false)
+	if l.Var() != 5 || l.Neg() {
+		t.Fatalf("positive literal wrong: %v", l)
+	}
+	n := l.Not()
+	if n.Var() != 5 || !n.Neg() || n.Not() != l {
+		t.Fatalf("negation wrong: %v", n)
+	}
+	if l.String() != "v5" || n.String() != "¬v5" {
+		t.Fatalf("String: %q %q", l, n)
+	}
+}
+
+func TestTrivial(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	if !s.AddClause(lit(a)) {
+		t.Fatal("unit clause rejected")
+	}
+	if s.Solve() != Sat {
+		t.Fatal("single unit should be sat")
+	}
+	if !s.Model()[a] {
+		t.Fatal("model should set a true")
+	}
+	if s.AddClause(nlit(a)) {
+		t.Fatal("adding ¬a should signal unsatisfiability")
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("a ∧ ¬a should be unsat")
+	}
+	// Once unsat, stays unsat.
+	if s.Solve() != Unsat {
+		t.Fatal("solver should remain unsat")
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	s.NewVar()
+	if s.AddClause() {
+		t.Fatal("empty clause should report false")
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("empty clause should make solver unsat")
+	}
+}
+
+func TestTautologyAndDup(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	if !s.AddClause(lit(a), nlit(a)) {
+		t.Fatal("tautology rejected")
+	}
+	if !s.AddClause(lit(b), lit(b), lit(b)) {
+		t.Fatal("duplicate-literal clause rejected")
+	}
+	if s.Solve() != Sat || !s.Model()[b] {
+		t.Fatal("should be sat with b true")
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// PHP(n+1, n): n+1 pigeons into n holes is unsatisfiable.
+	for _, n := range []int{3, 4, 5} {
+		s := New()
+		vars := make([][]int, n+1)
+		for p := 0; p <= n; p++ {
+			vars[p] = make([]int, n)
+			for h := 0; h < n; h++ {
+				vars[p][h] = s.NewVar()
+			}
+		}
+		for p := 0; p <= n; p++ {
+			c := make([]Lit, n)
+			for h := 0; h < n; h++ {
+				c[h] = lit(vars[p][h])
+			}
+			s.AddClause(c...)
+		}
+		for h := 0; h < n; h++ {
+			for p1 := 0; p1 <= n; p1++ {
+				for p2 := p1 + 1; p2 <= n; p2++ {
+					s.AddClause(nlit(vars[p1][h]), nlit(vars[p2][h]))
+				}
+			}
+		}
+		if got := s.Solve(); got != Unsat {
+			t.Fatalf("PHP(%d,%d) = %v, want unsat", n+1, n, got)
+		}
+	}
+}
+
+func TestGraphColoring(t *testing.T) {
+	// C5 (odd cycle) is 3-colorable but not 2-colorable.
+	solveCycle := func(n, colors int) Status {
+		s := New()
+		v := make([][]int, n)
+		for i := range v {
+			v[i] = make([]int, colors)
+			for c := range v[i] {
+				v[i][c] = s.NewVar()
+			}
+		}
+		for i := range v {
+			cl := make([]Lit, colors)
+			for c := range v[i] {
+				cl[c] = lit(v[i][c])
+			}
+			s.AddClause(cl...)
+			for c := range v[i] {
+				j := (i + 1) % n
+				s.AddClause(nlit(v[i][c]), nlit(v[j][c]))
+			}
+		}
+		return s.Solve()
+	}
+	if solveCycle(5, 2) != Unsat {
+		t.Fatal("C5 should not be 2-colorable")
+	}
+	if solveCycle(5, 3) != Sat {
+		t.Fatal("C5 should be 3-colorable")
+	}
+}
+
+// bruteForce decides satisfiability of a CNF by enumeration.
+func bruteForce(nVars int, cnf [][]Lit) bool {
+	for m := 0; m < 1<<nVars; m++ {
+		ok := true
+		for _, cl := range cnf {
+			sat := false
+			for _, l := range cl {
+				val := m>>l.Var()&1 == 1
+				if val != l.Neg() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func modelSatisfies(model []bool, cnf [][]Lit) bool {
+	for _, cl := range cnf {
+		sat := false
+		for _, l := range cl {
+			if model[l.Var()] != l.Neg() {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRandomDifferential checks the CDCL solver against brute force on
+// random 3-CNF instances around the phase-transition density.
+func TestRandomDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 400; iter++ {
+		nVars := 3 + r.Intn(10)
+		nClauses := 1 + r.Intn(5*nVars)
+		cnf := make([][]Lit, nClauses)
+		for i := range cnf {
+			width := 1 + r.Intn(3)
+			cl := make([]Lit, width)
+			for j := range cl {
+				cl[j] = MkLit(r.Intn(nVars), r.Intn(2) == 0)
+			}
+			cnf[i] = cl
+		}
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		okAdd := true
+		for _, cl := range cnf {
+			if !s.AddClause(cl...) {
+				okAdd = false
+			}
+		}
+		got := s.Solve()
+		if !okAdd && got != Unsat {
+			t.Fatalf("iter %d: AddClause signalled unsat but Solve=%v", iter, got)
+		}
+		want := bruteForce(nVars, cnf)
+		if (got == Sat) != want {
+			t.Fatalf("iter %d: solver=%v brute=%v cnf=%v", iter, got, want, cnf)
+		}
+		if got == Sat && !modelSatisfies(s.Model(), cnf) {
+			t.Fatalf("iter %d: model does not satisfy formula", iter)
+		}
+	}
+}
+
+// TestIncremental adds clauses between Solve calls, as the SMT layer does.
+func TestIncremental(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	s := New()
+	nVars := 8
+	for v := 0; v < nVars; v++ {
+		s.NewVar()
+	}
+	var cnf [][]Lit
+	for round := 0; round < 60; round++ {
+		width := 1 + r.Intn(3)
+		cl := make([]Lit, width)
+		for j := range cl {
+			cl[j] = MkLit(r.Intn(nVars), r.Intn(2) == 0)
+		}
+		cnf = append(cnf, cl)
+		s.AddClause(cl...)
+		got := s.Solve()
+		want := bruteForce(nVars, cnf)
+		if (got == Sat) != want {
+			t.Fatalf("round %d: solver=%v brute=%v", round, got, want)
+		}
+		if got == Sat && !modelSatisfies(s.Model(), cnf) {
+			t.Fatalf("round %d: bad model", round)
+		}
+		if got == Unsat {
+			return // stays unsat; nothing more to check
+		}
+	}
+}
+
+func TestMaxConflictsBudget(t *testing.T) {
+	// A hard instance with a tiny budget should return Unknown.
+	n := 8
+	s := New()
+	vars := make([][]int, n+1)
+	for p := 0; p <= n; p++ {
+		vars[p] = make([]int, n)
+		for h := 0; h < n; h++ {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p <= n; p++ {
+		c := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			c[h] = lit(vars[p][h])
+		}
+		s.AddClause(c...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(nlit(vars[p1][h]), nlit(vars[p2][h]))
+			}
+		}
+	}
+	s.MaxConflicts = 10
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("budgeted solve = %v, want unknown", got)
+	}
+}
+
+func TestStatsProgress(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(lit(a), lit(b))
+	s.AddClause(nlit(a), lit(c))
+	s.AddClause(nlit(b), nlit(c))
+	if s.Solve() != Sat {
+		t.Fatal("expected sat")
+	}
+	if s.Statist.Decisions == 0 && s.Statist.Propagations == 0 {
+		t.Fatal("stats not recorded")
+	}
+}
+
+func BenchmarkPigeonhole7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n := 7
+		s := New()
+		vars := make([][]int, n+1)
+		for p := 0; p <= n; p++ {
+			vars[p] = make([]int, n)
+			for h := 0; h < n; h++ {
+				vars[p][h] = s.NewVar()
+			}
+		}
+		for p := 0; p <= n; p++ {
+			c := make([]Lit, n)
+			for h := 0; h < n; h++ {
+				c[h] = lit(vars[p][h])
+			}
+			s.AddClause(c...)
+		}
+		for h := 0; h < n; h++ {
+			for p1 := 0; p1 <= n; p1++ {
+				for p2 := p1 + 1; p2 <= n; p2++ {
+					s.AddClause(nlit(vars[p1][h]), nlit(vars[p2][h]))
+				}
+			}
+		}
+		if s.Solve() != Unsat {
+			b.Fatal("wrong answer")
+		}
+	}
+}

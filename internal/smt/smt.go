@@ -1,0 +1,365 @@
+// Package smt decides satisfiability of quantifier-free formulas over
+// booleans and bounded integers, and produces models. It is the solver the
+// repair system runs every query through: path constraints, patch
+// formulas, parameter boxes, and specifications.
+//
+// Architecture (lazy DPLL(T)):
+//
+//  1. simplify the formula (canonical linear atoms, package expr),
+//  2. purify: eliminate integer ite, div, and rem by fresh variables with
+//     guarded defining constraints,
+//  3. Tseitin-encode the boolean skeleton over theory atoms,
+//  4. CDCL search (package sat) proposes a skeleton model,
+//  5. the conjunction of asserted theory literals goes to the LIA
+//     procedure (package lia); theory conflicts come back as blocking
+//     clauses until the loop converges.
+//
+// Every integer variable is bounded; DefaultBounds (32-bit by default)
+// applies to variables without explicit bounds, mirroring the C int
+// semantics of the subject programs.
+package smt
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"cpr/internal/expr"
+	"cpr/internal/interval"
+	"cpr/internal/smt/lia"
+	"cpr/internal/smt/sat"
+)
+
+// Int32Bounds is the default domain of integer variables: 32-bit C int.
+var Int32Bounds = interval.New(-2147483648, 2147483647)
+
+// Status is the solver verdict.
+type Status int8
+
+// Verdicts.
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// Result carries a verdict and, when Sat, a model covering the formula's
+// variables and every variable with explicit bounds.
+type Result struct {
+	Status Status
+	Model  expr.Model
+}
+
+// Options configures a Solver.
+type Options struct {
+	// DefaultBounds is the domain for integer variables with no explicit
+	// bounds. Zero value means Int32Bounds.
+	DefaultBounds interval.Interval
+	// LIA tunes the arithmetic procedure.
+	LIA lia.Options
+	// MaxTheoryRounds bounds skeleton/theory iterations (default 10000).
+	MaxTheoryRounds int
+	// MaxConflicts bounds SAT conflicts per query (0 = unbounded).
+	MaxConflicts uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.DefaultBounds == (interval.Interval{}) {
+		o.DefaultBounds = Int32Bounds
+	}
+	if o.MaxTheoryRounds == 0 {
+		o.MaxTheoryRounds = 10000
+	}
+	return o
+}
+
+// Stats accumulates query counts across a Solver's lifetime.
+type Stats struct {
+	Queries      uint64
+	TheoryRounds uint64
+	SatAnswers   uint64
+	UnsatAnswers uint64
+}
+
+// Solver answers satisfiability queries. The zero value is not usable;
+// construct with NewSolver. Solvers are not safe for concurrent use.
+type Solver struct {
+	opts  Options
+	stats Stats
+}
+
+// NewSolver returns a Solver with the given options.
+func NewSolver(opts Options) *Solver {
+	return &Solver{opts: opts.withDefaults()}
+}
+
+// Stats returns accumulated counters.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// ErrBudget is returned when a resource limit is exceeded.
+var ErrBudget = errors.New("smt: resource budget exhausted")
+
+const auxPrefix = "!aux"
+
+// Check decides f. Explicit variable bounds may be supplied (nil is fine);
+// unbounded integer variables get DefaultBounds. The model covers the
+// formula's variables plus all variables in bounds.
+func (s *Solver) Check(f *expr.Term, bounds map[string]interval.Interval) (Result, error) {
+	if f.Sort != expr.SortBool {
+		return Result{}, fmt.Errorf("smt: Check: formula has sort %v, want Bool", f.Sort)
+	}
+	s.stats.Queries++
+	f = expr.Simplify(f)
+
+	// Purify div/rem/ite, then re-simplify so new atoms are canonical.
+	pur := &purifier{}
+	g := pur.purify(f)
+	if len(pur.defs) > 0 {
+		g = expr.And(append([]*expr.Term{g}, pur.defs...)...)
+	}
+	g = expr.Simplify(g)
+
+	switch {
+	case g.IsTrue():
+		m := expr.Model{}
+		fillModel(m, nil, bounds, s.opts.DefaultBounds)
+		s.stats.SatAnswers++
+		return Result{Status: Sat, Model: m}, nil
+	case g.IsFalse():
+		s.stats.UnsatAnswers++
+		return Result{Status: Unsat}, nil
+	}
+
+	enc := newEncoder()
+	root := enc.encode(g)
+	enc.sat.MaxConflicts = s.opts.MaxConflicts
+	if !enc.sat.AddClause(root) {
+		s.stats.UnsatAnswers++
+		return Result{Status: Unsat}, nil
+	}
+
+	// Assemble bounds for all integer variables of the purified formula.
+	allBounds := make(map[string]interval.Interval)
+	for _, v := range expr.Vars(g) {
+		if v.Sort == expr.SortInt {
+			allBounds[v.Name] = s.opts.DefaultBounds
+		}
+	}
+	for name, iv := range bounds {
+		allBounds[name] = iv
+	}
+
+	for round := 0; round < s.opts.MaxTheoryRounds; round++ {
+		s.stats.TheoryRounds++
+		switch enc.sat.Solve() {
+		case sat.Unsat:
+			s.stats.UnsatAnswers++
+			return Result{Status: Unsat}, nil
+		case sat.Unknown:
+			return Result{Status: Unknown}, ErrBudget
+		}
+		model := enc.sat.Model()
+
+		// Assert only a support set of theory literals: a subset that by
+		// itself forces the formula true under the skeleton model (a
+		// cheap prime-implicant extraction). Smaller assertion sets mean
+		// cheaper LIA calls and far more general blocking clauses.
+		support := enc.support(g, model)
+		prob := lia.Problem{Bounds: allBounds}
+		var asserted []sat.Lit
+		for _, sl := range support {
+			c, err := atomToConstraint(sl.atom, sl.positive)
+			if err != nil {
+				return Result{}, err
+			}
+			prob.Cons = append(prob.Cons, c)
+			asserted = append(asserted, sat.MkLit(enc.atomVar[sl.atom], !sl.positive))
+		}
+		res, err := lia.Solve(prob, s.opts.LIA)
+		if err != nil {
+			if errors.Is(err, lia.ErrBudget) {
+				return Result{Status: Unknown}, fmt.Errorf("%w: %v", ErrBudget, err)
+			}
+			return Result{}, err
+		}
+		if res.Status == lia.Sat {
+			m := expr.Model{}
+			for name, v := range res.Model {
+				if !strings.HasPrefix(name, auxPrefix) {
+					m[name] = v
+				}
+			}
+			for name, v := range enc.boolVar {
+				if model[v] {
+					m[name] = 1
+				} else {
+					m[name] = 0
+				}
+			}
+			fillModel(m, g, bounds, s.opts.DefaultBounds)
+			s.stats.SatAnswers++
+			return Result{Status: Sat, Model: m}, nil
+		}
+		// Theory conflict: block this support set.
+		block := make([]sat.Lit, len(asserted))
+		for i, l := range asserted {
+			block[i] = l.Not()
+		}
+		if !enc.sat.AddClause(block...) {
+			s.stats.UnsatAnswers++
+			return Result{Status: Unsat}, nil
+		}
+	}
+	return Result{Status: Unknown}, fmt.Errorf("%w: theory rounds exceeded", ErrBudget)
+}
+
+// fillModel ensures every bounded variable has a value.
+func fillModel(m expr.Model, g *expr.Term, bounds map[string]interval.Interval, def interval.Interval) {
+	for name, iv := range bounds {
+		if _, ok := m[name]; !ok {
+			m[name] = clamp(0, iv)
+		}
+	}
+	if g != nil {
+		for _, v := range expr.Vars(g) {
+			if _, ok := m[v.Name]; !ok && !strings.HasPrefix(v.Name, auxPrefix) {
+				m[v.Name] = clamp(0, def)
+			}
+		}
+	}
+}
+
+func clamp(pref int64, iv interval.Interval) int64 {
+	if pref < iv.Lo {
+		return iv.Lo
+	}
+	if pref > iv.Hi {
+		return iv.Hi
+	}
+	return pref
+}
+
+// IsSat reports whether f is satisfiable.
+func (s *Solver) IsSat(f *expr.Term, bounds map[string]interval.Interval) (bool, error) {
+	res, err := s.Check(f, bounds)
+	if err != nil {
+		return false, err
+	}
+	return res.Status == Sat, nil
+}
+
+// GetModel returns a model of f, or ok=false when unsatisfiable.
+func (s *Solver) GetModel(f *expr.Term, bounds map[string]interval.Interval) (expr.Model, bool, error) {
+	res, err := s.Check(f, bounds)
+	if err != nil {
+		return nil, false, err
+	}
+	if res.Status != Sat {
+		return nil, false, nil
+	}
+	return res.Model, true, nil
+}
+
+// Valid reports whether f holds for every assignment (within bounds):
+// it checks that ¬f is unsatisfiable.
+func (s *Solver) Valid(f *expr.Term, bounds map[string]interval.Interval) (bool, error) {
+	res, err := s.Check(expr.Not(f), bounds)
+	if err != nil {
+		return false, err
+	}
+	return res.Status == Unsat, nil
+}
+
+// atomToConstraint translates a canonical atom (≤, =, ≠ between a linear
+// combination and a constant) into a lia constraint, honoring polarity.
+func atomToConstraint(atom *expr.Term, positive bool) (lia.Constraint, error) {
+	op := atom.Op
+	lhs, rhs := atom.Args[0], atom.Args[1]
+	diff := expr.Linearize(expr.Sub(lhs, rhs))
+	k := -diff.Const
+	var terms []lia.Term
+	for _, a := range diff.SortedAtoms() {
+		vars, err := monoVars(a)
+		if err != nil {
+			return lia.Constraint{}, err
+		}
+		terms = append(terms, lia.Term{Coef: diff.Coeff[a], Vars: vars})
+	}
+	// Normalize op to Le/Eq/Ne under polarity.
+	switch op {
+	case expr.OpLt:
+		op, k = expr.OpLe, k-1
+	case expr.OpGt: // Σ > k ⇔ ¬(Σ ≤ k)
+		op, positive = expr.OpLe, !positive
+	case expr.OpGe: // Σ ≥ k ⇔ ¬(Σ ≤ k−1)
+		op, k, positive = expr.OpLe, k-1, !positive
+	}
+	switch op {
+	case expr.OpLe:
+		if positive {
+			return lia.Constraint{Terms: terms, K: k, Rel: lia.RelLe}, nil
+		}
+		// ¬(Σ ≤ k) ⇔ −Σ ≤ −k−1
+		neg := make([]lia.Term, len(terms))
+		for i, t := range terms {
+			neg[i] = lia.Term{Coef: -t.Coef, Vars: t.Vars}
+		}
+		return lia.Constraint{Terms: neg, K: -k - 1, Rel: lia.RelLe}, nil
+	case expr.OpEq:
+		rel := lia.RelEq
+		if !positive {
+			rel = lia.RelNe
+		}
+		return lia.Constraint{Terms: terms, K: k, Rel: rel}, nil
+	case expr.OpNe:
+		rel := lia.RelNe
+		if !positive {
+			rel = lia.RelEq
+		}
+		return lia.Constraint{Terms: terms, K: k, Rel: rel}, nil
+	}
+	return lia.Constraint{}, fmt.Errorf("smt: unsupported atom operator %v", atom.Op)
+}
+
+// monoVars decomposes a multiplicative atom into its variable multiset.
+func monoVars(t *expr.Term) ([]string, error) {
+	switch t.Op {
+	case expr.OpVar:
+		return []string{t.Name}, nil
+	case expr.OpMul:
+		l, err := monoVars(t.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		r, err := monoVars(t.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		vs := append(l, r...)
+		insertionSort(vs)
+		return vs, nil
+	case expr.OpNeg:
+		return nil, fmt.Errorf("smt: unexpected negation inside monomial %v", t)
+	default:
+		return nil, fmt.Errorf("smt: term %v is not linearizable (op %v)", t, t.Op)
+	}
+}
+
+func insertionSort(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
