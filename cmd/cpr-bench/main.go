@@ -22,13 +22,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cpr-bench: ")
 	var (
-		what   = flag.String("what", "all", "what to run: figure1, table1..table6, anytime, pathreduction, all")
-		budget = flag.Int("budget", 0, "override per-subject iteration budget (0 = subject defaults)")
-		quiet  = flag.Bool("q", false, "suppress progress lines")
+		what    = flag.String("what", "all", "what to run: figure1, table1..table6, anytime, pathreduction, all")
+		budget  = flag.Int("budget", 0, "override per-subject iteration budget (0 = subject defaults)")
+		timeout = flag.Duration("timeout", 0, "per-subject wall-clock cap (0 = unbounded); hung subjects become timeout rows")
+		quiet   = flag.Bool("q", false, "suppress progress lines")
 	)
 	flag.Parse()
 
-	opts := bench.RunOptions{}
+	opts := bench.RunOptions{SubjectTimeout: *timeout}
 	if *budget > 0 {
 		opts.Budget = core.Budget{MaxIterations: *budget, ValidationIterations: 8}
 	}

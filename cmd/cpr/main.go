@@ -50,6 +50,7 @@ func main() {
 		inLo     = flag.Int64("input-lo", -100, "input bound (lower) for exploration")
 		inHi     = flag.Int64("input-hi", 100, "input bound (upper) for exploration")
 		budget   = flag.Int("budget", 40, "repair-loop iteration budget")
+		timeout  = flag.Duration("timeout", 0, "wall-clock repair budget (0 = unbounded); on expiry the best-so-far pool is printed")
 		top      = flag.Int("top", 5, "ranked patches to print")
 		cegis    = flag.Bool("cegis", false, "also run the CEGIS baseline for comparison")
 		fuzz     = flag.Bool("fuzz", false, "fuzz for a failing input when -failing is not given")
@@ -82,7 +83,7 @@ func main() {
 		if s.Unsupported != "" {
 			log.Fatalf("subject is not runnable: %s", s.Unsupported)
 		}
-		job, err := s.Job(cpr.Budget{MaxIterations: *budget})
+		job, err := s.Job(cpr.Budget{MaxIterations: *budget, MaxDuration: *timeout})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -172,10 +173,17 @@ func runJob(job cpr.Job, dev *cpr.Term, top int, withCEGIS bool) {
 		log.Fatal(err)
 	}
 	st := res.Stats
+	if st.TimedOut {
+		fmt.Println("wall-clock budget expired: showing the best-so-far (anytime) pool")
+	}
 	fmt.Printf("patch space: %d → %d concrete patches (%.0f%% reduction)\n",
 		st.PInit, st.PFinal, st.ReductionRatio()*100)
 	fmt.Printf("paths explored: %d, skipped: %d, refinements: %d, removals: %d\n",
 		st.PathsExplored, st.PathsSkipped, st.Refinements, st.Removals)
+	if n := st.SolverUnknowns + st.SolverPanics + st.ExecPanics + st.FlipsDropped; n > 0 {
+		fmt.Printf("degraded: solver unknowns %d, solver panics %d, exec panics %d, flips requeued %d / dropped %d\n",
+			st.SolverUnknowns, st.SolverPanics, st.ExecPanics, st.FlipsRequeued, st.FlipsDropped)
+	}
 	if dev != nil {
 		if rank, ok := cpr.CorrectPatchRank(res, dev, job.InputBounds); ok {
 			fmt.Printf("developer patch covered at rank %d\n", rank)

@@ -26,6 +26,7 @@ package cpr
 
 import (
 	"cpr/internal/bench"
+	"cpr/internal/cancel"
 	"cpr/internal/cegis"
 	"cpr/internal/core"
 	"cpr/internal/expr"
@@ -44,8 +45,13 @@ type (
 	// Job describes one repair task: program, specification, failing
 	// inputs, synthesis components, input bounds, and budget.
 	Job = core.Job
-	// Budget bounds the anytime repair loop deterministically.
+	// Budget bounds the anytime repair loop: deterministic iteration
+	// budgets plus an optional wall-clock MaxDuration/Deadline. On expiry
+	// Repair returns the best-so-far pool with Stats.TimedOut set.
 	Budget = core.Budget
+	// CancelToken cooperatively winds a repair run down from the outside
+	// (e.g. a signal handler); install it in Options.Cancel.
+	CancelToken = cancel.Token
 	// Options tunes the repair engine.
 	Options = core.Options
 	// Result is a ranked pool of surviving abstract patches plus stats.
@@ -152,6 +158,12 @@ func ParseSpecTyped(src string, vars map[string]bool) (*Term, error) {
 
 // NewInterval returns the closed interval [lo, hi] for bounds maps.
 func NewInterval(lo, hi int64) Interval { return interval.New(lo, hi) }
+
+// NewCancelToken returns a fresh cancellation token. Install it in
+// Options.Cancel (or FuzzOptions.Cancel / CEGISOptions.Cancel) and call
+// its Cancel method to wind the run down; the run then returns its
+// best-so-far result with Stats.TimedOut set.
+func NewCancelToken() *CancelToken { return cancel.New() }
 
 // FindFailingInput fuzzes the program (with the hole filled by original,
 // which may be nil for hole-free programs) for a crash-exposing input —

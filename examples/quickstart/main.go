@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"cpr"
 )
@@ -53,7 +54,10 @@ func main() {
 			"x": cpr.NewInterval(-100, 100),
 			"y": cpr.NewInterval(-100, 100),
 		},
-		Budget: cpr.Budget{MaxIterations: 60},
+		// Repair is an anytime algorithm: besides the iteration budget, a
+		// wall-clock MaxDuration caps the run. On expiry the best-so-far
+		// pool comes back with Stats.TimedOut set — never an error.
+		Budget: cpr.Budget{MaxIterations: 60, MaxDuration: 30 * time.Second},
 	}
 
 	// ModelCountRanking enables the paper's §3.5.3 fine-tuning: guards that
@@ -65,9 +69,19 @@ func main() {
 	}
 
 	st := res.Stats
+	if st.TimedOut {
+		fmt.Println("run DEGRADED: wall-clock budget expired, showing the best-so-far pool")
+	} else {
+		fmt.Println("run completed within its budget")
+	}
 	fmt.Printf("patch space: %d → %d concrete patches (%.0f%% reduction)\n",
 		st.PInit, st.PFinal, st.ReductionRatio()*100)
-	fmt.Printf("paths explored: %d, skipped by path reduction: %d\n\n", st.PathsExplored, st.PathsSkipped)
+	fmt.Printf("paths explored: %d, skipped by path reduction: %d\n", st.PathsExplored, st.PathsSkipped)
+	if n := st.SolverUnknowns + st.SolverPanics + st.ExecPanics + st.FlipsDropped; n > 0 {
+		fmt.Printf("degraded work: %d solver unknowns, %d solver panics, %d exec panics, %d flips dropped\n",
+			st.SolverUnknowns, st.SolverPanics, st.ExecPanics, st.FlipsDropped)
+	}
+	fmt.Println()
 
 	fmt.Println("top patches:")
 	for _, line := range cpr.FormatTopPatches(res, 5) {

@@ -232,7 +232,16 @@ func (s *Subject) Job(budget core.Budget) (core.Job, error) {
 		inputBounds[p.Name] = s.inputRange()
 	}
 	if budget.MaxIterations == 0 {
+		// Fall back to the subject's iteration defaults but keep any
+		// caller-supplied wall-clock cap.
+		dur, dl := budget.MaxDuration, budget.Deadline
 		budget = s.Budget
+		if dur > 0 {
+			budget.MaxDuration = dur
+		}
+		if !dl.IsZero() {
+			budget.Deadline = dl
+		}
 	}
 	return core.Job{
 		Program:       prog,

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"cpr/internal/baselines"
 	"cpr/internal/cegis"
@@ -18,6 +19,10 @@ type RunOptions struct {
 	// per-subject defaults). Benchmarks use small budgets; cmd/cpr-bench
 	// runs the defaults.
 	Budget core.Budget
+	// SubjectTimeout caps each subject's wall-clock time (0 = unbounded).
+	// A subject that hits it is reported as a "timeout" row with its
+	// best-so-far stats, not dropped from the table.
+	SubjectTimeout time.Duration
 	// Core tunes the CPR engine; CEGIS tunes the baseline.
 	Core  core.Options
 	CEGIS cegis.Options
@@ -33,11 +38,27 @@ func (o RunOptions) progress(format string, args ...interface{}) {
 	}
 }
 
+// Row statuses.
+const (
+	StatusOK = "ok"
+	// StatusTimeout marks a subject that hit SubjectTimeout (or its own
+	// wall-clock budget); its stats are the best-so-far anytime result.
+	StatusTimeout = "timeout"
+	// StatusError marks a subject whose run returned an error; StatusPanic
+	// one whose run panicked (recovered — the suite continues).
+	StatusError = "error"
+	StatusPanic = "panic"
+)
+
 // SubjectResult is one measured row (CPR side).
 type SubjectResult struct {
 	Subject *Subject
 	NA      bool
 	Err     error
+	// Status classifies the row: StatusOK, StatusTimeout, StatusError, or
+	// StatusPanic. A crashed or hung subject stays in the table as a row
+	// with this status instead of aborting the suite.
+	Status string
 
 	CPR        core.Stats
 	Rank       int
@@ -48,9 +69,40 @@ type SubjectResult struct {
 	CEGISGenerated, CEGISCorrect bool
 }
 
+// subjectBudget applies the per-subject wall-clock cap on top of the
+// subject's own budget (the tighter of the two wins).
+func subjectBudget(b core.Budget, opts RunOptions) core.Budget {
+	if opts.SubjectTimeout > 0 && (b.MaxDuration == 0 || opts.SubjectTimeout < b.MaxDuration) {
+		b.MaxDuration = opts.SubjectTimeout
+	}
+	return b
+}
+
+// safeRepair isolates one subject run: a panic anywhere below becomes an
+// error row instead of killing the whole table.
+func safeRepair(job core.Job, opts core.Options) (res *core.Result, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err, panicked = nil, fmt.Errorf("bench: subject run panicked: %v", r), true
+		}
+	}()
+	res, err = core.Repair(job, opts)
+	return res, err, false
+}
+
+func safeCEGIS(job core.Job, opts cegis.Options) (res *cegis.Result, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err, panicked = nil, fmt.Errorf("bench: cegis run panicked: %v", r), true
+		}
+	}()
+	res, err = cegis.Repair(job, opts)
+	return res, err, false
+}
+
 // runCPR executes CPR on a subject and computes the correct-patch rank.
 func runCPR(s *Subject, opts RunOptions) SubjectResult {
-	out := SubjectResult{Subject: s}
+	out := SubjectResult{Subject: s, Status: StatusOK}
 	if s.Unsupported != "" {
 		out.NA = true
 		return out
@@ -58,17 +110,27 @@ func runCPR(s *Subject, opts RunOptions) SubjectResult {
 	job, err := s.Job(opts.Budget)
 	if err != nil {
 		out.Err = err
+		out.Status = StatusError
 		return out
 	}
-	res, err := core.Repair(job, opts.Core)
+	job.Budget = subjectBudget(job.Budget, opts)
+	res, err, panicked := safeRepair(job, opts.Core)
 	if err != nil {
 		out.Err = err
+		out.Status = StatusError
+		if panicked {
+			out.Status = StatusPanic
+		}
 		return out
 	}
 	out.CPR = res.Stats
+	if res.Stats.TimedOut {
+		out.Status = StatusTimeout
+	}
 	dev, err := s.DevPatchTerm()
 	if err != nil {
 		out.Err = err
+		out.Status = StatusError
 		return out
 	}
 	solver := smt.NewSolver(opts.Core.SMT)
@@ -83,9 +145,10 @@ func runCEGIS(s *Subject, opts RunOptions, out *SubjectResult) {
 		out.Err = err
 		return
 	}
-	res, err := cegis.Repair(job, opts.CEGIS)
+	job.Budget = subjectBudget(job.Budget, opts)
+	res, err, _ := safeCEGIS(job, opts.CEGIS)
 	if err != nil {
-		return // unsupported hole type etc.: leave zero stats
+		return // unsupported hole type, panic, etc.: leave zero stats
 	}
 	out.CEGISStats = res.Stats
 	if res.Patch != nil {
@@ -144,15 +207,19 @@ func cprCell(r SubjectResult) string {
 		return "N/A"
 	}
 	if r.Err != nil {
-		return "error: " + r.Err.Error()
+		return r.Status + ": " + r.Err.Error()
 	}
 	rank := "✗"
 	if r.RankFound {
 		rank = fmt.Sprintf("%d", r.Rank)
 	}
-	return fmt.Sprintf("|P| %d→%d (%.0f%%) φE=%d φS=%d rank=%s",
+	cell := fmt.Sprintf("|P| %d→%d (%.0f%%) φE=%d φS=%d rank=%s",
 		r.CPR.PInit, r.CPR.PFinal, r.CPR.ReductionRatio()*100,
 		r.CPR.PathsExplored, r.CPR.PathsSkipped, rank)
+	if r.Status == StatusTimeout {
+		cell += " [timeout: best-so-far]"
+	}
+	return cell
 }
 
 func cegisCell(r SubjectResult) string {
@@ -180,8 +247,12 @@ func FormatTable1(rows []SubjectResult) string {
 			continue
 		}
 		if r.Err != nil {
-			fmt.Fprintf(&b, "%-4d %-30s | error: %v\n", i+1, s.ID(), r.Err)
+			fmt.Fprintf(&b, "%-4d %-30s | %s: %v\n", i+1, s.ID(), r.Status, r.Err)
 			continue
+		}
+		note := ""
+		if r.Status == StatusTimeout {
+			note = " [timeout]"
 		}
 		cc := "✗"
 		if r.CEGISCorrect {
@@ -191,12 +262,12 @@ func FormatTable1(rows []SubjectResult) string {
 		if r.RankFound {
 			rank = fmt.Sprintf("%d", r.Rank)
 		}
-		fmt.Fprintf(&b, "%-4d %-30s | %d→%d %.0f%% φE=%d %s (%s→%s %s φE=%s) | %d→%d %.0f%% φE=%d φS=%d rank=%s (%s→%s %s φE=%s φS=%s rank=%s)\n",
+		fmt.Fprintf(&b, "%-4d %-30s | %d→%d %.0f%% φE=%d %s (%s→%s %s φE=%s) | %d→%d %.0f%% φE=%d φS=%d rank=%s (%s→%s %s φE=%s φS=%s rank=%s)%s\n",
 			i+1, s.ID(),
 			r.CEGISStats.PInit, r.CEGISStats.PFinal, r.CEGISStats.ReductionRatio()*100, r.CEGISStats.PathsExplored, cc,
 			s.Paper.CEGISPInit, s.Paper.CEGISPFinal, s.Paper.CEGISRatio, s.Paper.CEGISPhiE,
 			r.CPR.PInit, r.CPR.PFinal, r.CPR.ReductionRatio()*100, r.CPR.PathsExplored, r.CPR.PathsSkipped, rank,
-			s.Paper.PInit, s.Paper.PFinal, s.Paper.Ratio, s.Paper.PhiE, s.Paper.PhiS, s.Paper.Rank)
+			s.Paper.PInit, s.Paper.PFinal, s.Paper.Ratio, s.Paper.PhiE, s.Paper.PhiS, s.Paper.Rank, note)
 	}
 	b.WriteString(summarizeFindings(rows))
 	return b.String()
@@ -209,18 +280,22 @@ func FormatCPRTable(title string, rows []SubjectResult) string {
 	for i, r := range rows {
 		s := r.Subject
 		if r.Err != nil {
-			fmt.Fprintf(&b, "%-4d %-34s error: %v\n", i+1, s.ID(), r.Err)
+			fmt.Fprintf(&b, "%-4d %-34s %s: %v\n", i+1, s.ID(), r.Status, r.Err)
 			continue
 		}
 		rank := "✗"
 		if r.RankFound {
 			rank = fmt.Sprintf("%d", r.Rank)
 		}
-		fmt.Fprintf(&b, "%-4d %-34s |P| %d→%d %.0f%% φE=%d φS=%d rank=%s (%s→%s %s φE=%s φS=%s rank=%s)\n",
+		note := ""
+		if r.Status == StatusTimeout {
+			note = " [timeout]"
+		}
+		fmt.Fprintf(&b, "%-4d %-34s |P| %d→%d %.0f%% φE=%d φS=%d rank=%s (%s→%s %s φE=%s φS=%s rank=%s)%s\n",
 			i+1, s.ID(),
 			r.CPR.PInit, r.CPR.PFinal, r.CPR.ReductionRatio()*100,
 			r.CPR.PathsExplored, r.CPR.PathsSkipped, rank,
-			s.Paper.PInit, s.Paper.PFinal, s.Paper.Ratio, s.Paper.PhiE, s.Paper.PhiS, s.Paper.Rank)
+			s.Paper.PInit, s.Paper.PFinal, s.Paper.Ratio, s.Paper.PhiE, s.Paper.PhiS, s.Paper.Rank, note)
 	}
 	return b.String()
 }

@@ -1,0 +1,121 @@
+// Package cancel provides the lightweight cancellation/deadline token the
+// repair system threads through every long-running loop: the repair loop
+// (core), solver queries (smt, sat, lia), concolic and concrete execution
+// (concolic, interp), the CEGIS baseline, the fuzzer, and the benchmark
+// driver.
+//
+// The token is context.Context-shaped but deliberately smaller: it carries
+// only a wall-clock deadline and a cooperative cancel flag, it is nil-safe
+// (a nil *Token never expires, so plumbing through optional paths costs
+// nothing), and checking it is a couple of atomic loads plus at most one
+// time.Now() call — cheap enough for per-iteration checks in solver inner
+// loops.
+//
+// Tokens form a chain: a child derived with WithTimeout/WithDeadline
+// expires when its own deadline passes or when any ancestor expires. The
+// repair engine derives one token per Repair call from the job's Budget
+// and hands solver queries further-derived per-query tokens.
+package cancel
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrCancelled is reported by Err after an explicit Cancel.
+var ErrCancelled = errors.New("cancel: cancelled")
+
+// ErrDeadline is reported by Err after the deadline passed.
+var ErrDeadline = errors.New("cancel: deadline exceeded")
+
+// Token is a cancellation/deadline token. The zero value (and nil) never
+// expires; construct limited tokens with New, WithTimeout, or
+// WithDeadline. Cancel and Expired are safe for concurrent use.
+type Token struct {
+	parent      *Token
+	deadline    time.Time
+	hasDeadline bool
+	cancelled   atomic.Bool
+}
+
+// New returns a token with no deadline. It expires only via Cancel (or a
+// parent's expiry once derived from).
+func New() *Token { return &Token{} }
+
+// WithDeadline derives a token that expires at t (or when parent expires,
+// whichever is first). A nil parent is allowed.
+func WithDeadline(parent *Token, t time.Time) *Token {
+	return &Token{parent: parent, deadline: t, hasDeadline: true}
+}
+
+// WithTimeout derives a token that expires d from now (or when parent
+// expires, whichever is first). A nil parent is allowed.
+func WithTimeout(parent *Token, d time.Duration) *Token {
+	return WithDeadline(parent, time.Now().Add(d))
+}
+
+// Cancel marks the token (and, transitively, every token derived from it)
+// expired. Safe to call from another goroutine and more than once.
+func (t *Token) Cancel() {
+	if t != nil {
+		t.cancelled.Store(true)
+	}
+}
+
+// Expired reports whether the token, or any ancestor, has been cancelled
+// or passed its deadline. A nil token never expires.
+func (t *Token) Expired() bool {
+	now := time.Time{} // lazily fetched: most checks need no clock read
+	for cur := t; cur != nil; cur = cur.parent {
+		if cur.cancelled.Load() {
+			return true
+		}
+		if cur.hasDeadline {
+			if now.IsZero() {
+				now = time.Now()
+			}
+			if !now.Before(cur.deadline) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Err returns nil while the token is live, ErrCancelled after an explicit
+// Cancel anywhere in the chain, and ErrDeadline after a deadline expiry.
+func (t *Token) Err() error {
+	var deadlined bool
+	now := time.Time{}
+	for cur := t; cur != nil; cur = cur.parent {
+		if cur.cancelled.Load() {
+			return ErrCancelled
+		}
+		if cur.hasDeadline {
+			if now.IsZero() {
+				now = time.Now()
+			}
+			if !now.Before(cur.deadline) {
+				deadlined = true
+			}
+		}
+	}
+	if deadlined {
+		return ErrDeadline
+	}
+	return nil
+}
+
+// Deadline returns the earliest deadline in the chain, and whether one is
+// set at all.
+func (t *Token) Deadline() (time.Time, bool) {
+	var earliest time.Time
+	var ok bool
+	for cur := t; cur != nil; cur = cur.parent {
+		if cur.hasDeadline && (!ok || cur.deadline.Before(earliest)) {
+			earliest, ok = cur.deadline, true
+		}
+	}
+	return earliest, ok
+}

@@ -1,0 +1,92 @@
+package cancel
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTokenNeverExpires(t *testing.T) {
+	var tok *Token
+	if tok.Expired() {
+		t.Fatal("nil token expired")
+	}
+	if err := tok.Err(); err != nil {
+		t.Fatalf("nil token Err = %v", err)
+	}
+	if _, ok := tok.Deadline(); ok {
+		t.Fatal("nil token has a deadline")
+	}
+	tok.Cancel() // must not panic
+}
+
+func TestCancelPropagatesToChildren(t *testing.T) {
+	root := New()
+	child := WithTimeout(root, time.Hour)
+	grandchild := WithTimeout(child, time.Hour)
+	if grandchild.Expired() {
+		t.Fatal("fresh token expired")
+	}
+	root.Cancel()
+	if !child.Expired() || !grandchild.Expired() {
+		t.Fatal("cancel did not propagate to descendants")
+	}
+	if !errors.Is(grandchild.Err(), ErrCancelled) {
+		t.Fatalf("Err = %v, want ErrCancelled", grandchild.Err())
+	}
+	// Cancelling a child must not expire the parent.
+	root2 := New()
+	child2 := WithTimeout(root2, time.Hour)
+	child2.Cancel()
+	if root2.Expired() {
+		t.Fatal("child cancel expired the parent")
+	}
+}
+
+func TestDeadlineExpiry(t *testing.T) {
+	tok := WithDeadline(nil, time.Now().Add(-time.Second))
+	if !tok.Expired() {
+		t.Fatal("past deadline not expired")
+	}
+	if !errors.Is(tok.Err(), ErrDeadline) {
+		t.Fatalf("Err = %v, want ErrDeadline", tok.Err())
+	}
+	live := WithTimeout(nil, time.Hour)
+	if live.Expired() {
+		t.Fatal("future deadline already expired")
+	}
+}
+
+func TestEarliestDeadlineWins(t *testing.T) {
+	far := time.Now().Add(time.Hour)
+	near := time.Now().Add(time.Minute)
+	tok := WithDeadline(WithDeadline(nil, far), near)
+	d, ok := tok.Deadline()
+	if !ok || !d.Equal(near) {
+		t.Fatalf("Deadline = %v %v, want %v", d, ok, near)
+	}
+	// Same result when the nearer deadline is the ancestor's.
+	tok = WithDeadline(WithDeadline(nil, near), far)
+	d, ok = tok.Deadline()
+	if !ok || !d.Equal(near) {
+		t.Fatalf("Deadline = %v %v, want %v", d, ok, near)
+	}
+}
+
+// TestConcurrentCancel exercises the race detector: Cancel from one
+// goroutine while others poll Expired.
+func TestConcurrentCancel(t *testing.T) {
+	tok := WithTimeout(New(), time.Hour)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !tok.Expired() {
+			}
+		}()
+	}
+	tok.Cancel()
+	wg.Wait()
+}

@@ -13,6 +13,7 @@ package cegis
 import (
 	"errors"
 
+	"cpr/internal/cancel"
 	"cpr/internal/concolic"
 	"cpr/internal/core"
 	"cpr/internal/expr"
@@ -36,6 +37,9 @@ type Options struct {
 	RefinementIterations int
 	// MaxStepsPerRun bounds one concolic execution.
 	MaxStepsPerRun int
+	// Cancel, when non-nil, winds the baseline down cooperatively; it is
+	// combined with the job's MaxDuration/Deadline like core.Repair.
+	Cancel *cancel.Token
 }
 
 // Stats mirrors the CEGIS columns of Table 1.
@@ -49,6 +53,12 @@ type Stats struct {
 	// Candidates counts proposed concrete patches; Counterexamples counts
 	// verification failures.
 	Candidates, Counterexamples int
+	// TimedOut reports a wall-clock/cancellation wind-down; the Result is
+	// then the best-so-far state, not an error.
+	TimedOut bool
+	// SolverUnknowns counts degraded solver answers (budget, deadline,
+	// panic); ExecPanics counts recovered subject-execution panics.
+	SolverUnknowns, ExecPanics int
 }
 
 // ReductionRatio is 1 − PFinal/PInit.
@@ -122,6 +132,15 @@ func Repair(job core.Job, opts Options) (*Result, error) {
 	if opts.MaxStepsPerRun == 0 {
 		opts.MaxStepsPerRun = 1 << 18
 	}
+	tok := opts.Cancel
+	if budget.MaxDuration > 0 {
+		tok = cancel.WithTimeout(tok, budget.MaxDuration)
+	}
+	if !budget.Deadline.IsZero() {
+		tok = cancel.WithDeadline(tok, budget.Deadline)
+	}
+	opts.Cancel = tok
+	opts.SMT.Cancel = tok
 
 	solver := smt.NewSolver(opts.SMT)
 	templates := synth.Synthesize(job.Components, job.Program.HoleType)
@@ -140,13 +159,22 @@ func Repair(job core.Job, opts Options) (*Result, error) {
 	}
 	rounds := 0
 	for idx, p := range pool.Patches {
+		if tok.Expired() {
+			break
+		}
 		var blocked []*expr.Term // constraints on A from counterexamples
 		for rounds < opts.RefinementIterations {
+			if tok.Expired() {
+				break
+			}
 			rounds++
 			stats.Candidates++
 			cand, ok, err := solver.GetModel(expr.And(append([]*expr.Term{p.ConstraintTerm()}, blocked...)...), p.ParamBounds())
 			if err != nil {
-				return nil, err
+				// Degraded candidate proposal (budget/deadline/panic): this
+				// template is inconclusive; move to the next one.
+				stats.SolverUnknowns++
+				break
 			}
 			if !ok {
 				remaining[idx] = 0
@@ -158,11 +186,13 @@ func Repair(job core.Job, opts Options) (*Result, error) {
 			}
 			cex, err := verify(solver, job, obs, p, params, bounds)
 			if err != nil {
-				return nil, err
+				stats.SolverUnknowns++
+				continue // inconclusive verification round
 			}
 			if cex == nil {
 				remaining[idx] = countFeasible(p, blocked)
 				stats.PFinal = sumExcept(remaining, -1)
+				stats.TimedOut = tok.Expired()
 				return &Result{Patch: p, Params: params, Stats: stats}, nil
 			}
 			stats.Counterexamples++
@@ -174,6 +204,7 @@ func Repair(job core.Job, opts Options) (*Result, error) {
 		}
 	}
 	stats.PFinal = sumExcept(remaining, -1)
+	stats.TimedOut = tok.Expired()
 	return &Result{Stats: stats}, nil
 }
 
@@ -253,12 +284,21 @@ func explorePaths(job core.Job, solver *smt.Solver, bounds map[string]interval.I
 	seen := make(map[uint64]bool)
 	var obs []pathObs
 	for iter := 0; iter < opts.ExplorationIterations && len(queue) > 0; iter++ {
+		if opts.Cancel.Expired() {
+			stats.TimedOut = true
+			return obs
+		}
 		it := queue[0]
 		queue = queue[1:]
-		exec := concolic.Execute(job.Program, it.input, concolic.Options{
+		exec, panicked := safeExecute(job.Program, it.input, concolic.Options{
 			Patch:    it.guard,
 			MaxSteps: opts.MaxStepsPerRun,
+			Stop:     opts.Cancel.Expired,
 		})
+		if panicked {
+			stats.ExecPanics++
+			continue
+		}
 		if exec.Err != nil && !exec.Crashed() && exec.Err.Kind != interp.ErrAssumeViolated {
 			continue
 		}
@@ -276,7 +316,11 @@ func explorePaths(job core.Job, solver *smt.Solver, bounds map[string]interval.I
 			}
 			seen[key] = true
 			model, ok, err := solver.GetModel(flip.Constraint(), bounds)
-			if err != nil || !ok {
+			if err != nil {
+				stats.SolverUnknowns++
+				continue
+			}
+			if !ok {
 				continue
 			}
 			in := make(map[string]int64)
@@ -298,6 +342,17 @@ func explorePaths(job core.Job, solver *smt.Solver, bounds map[string]interval.I
 		}
 	}
 	return obs
+}
+
+// safeExecute recovers panics at the concolic-execution boundary so a
+// crashing subject degrades to a skipped path rather than killing the run.
+func safeExecute(prog *lang.Program, input map[string]int64, opts concolic.Options) (exec *concolic.Execution, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			exec, panicked = nil, true
+		}
+	}()
+	return concolic.Execute(prog, input, opts), false
 }
 
 // verify searches the collected paths for a counterexample to the

@@ -2,9 +2,12 @@ package cegis
 
 import (
 	"testing"
+	"time"
 
+	"cpr/internal/cancel"
 	"cpr/internal/core"
 	"cpr/internal/expr"
+	"cpr/internal/faultinject"
 	"cpr/internal/interval"
 	"cpr/internal/lang"
 	"cpr/internal/patch"
@@ -140,5 +143,51 @@ func TestCEGISCorrectnessCheck(t *testing.T) {
 	}
 	if ok {
 		t.Fatalf("CEGIS patch %v unexpectedly equals the developer patch", concrete)
+	}
+}
+
+// TestCEGISTimedOut: a tiny wall-clock budget winds the baseline down with
+// TimedOut set and a valid (patchless) best-so-far result — never an error.
+func TestCEGISTimedOut(t *testing.T) {
+	job := divZeroJob()
+	job.Budget.MaxIterations = 1 << 20
+	job.Budget.MaxDuration = time.Millisecond
+	start := time.Now()
+	res, err := Repair(job, Options{})
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("overran the 1ms budget by too much: %v", el)
+	}
+	if !res.Stats.TimedOut {
+		t.Fatalf("TimedOut not set: %+v", res.Stats)
+	}
+}
+
+// TestCEGISCancelled: a pre-cancelled token has the same effect.
+func TestCEGISCancelled(t *testing.T) {
+	tok := cancel.New()
+	tok.Cancel()
+	res, err := Repair(divZeroJob(), Options{Cancel: tok})
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if !res.Stats.TimedOut {
+		t.Fatalf("TimedOut not set: %+v", res.Stats)
+	}
+}
+
+// TestCEGISSurvivesSolverFaults: injected solver faults degrade to counted
+// unknowns, not errors.
+func TestCEGISSurvivesSolverFaults(t *testing.T) {
+	faultinject.Activate(&faultinject.Plan{SolverEvery: 3, SolverKind: faultinject.SolverTimeout})
+	defer faultinject.Deactivate()
+	res, err := Repair(divZeroJob(), Options{})
+	if err != nil {
+		t.Fatalf("Repair under faults: %v", err)
+	}
+	if res.Stats.SolverUnknowns == 0 {
+		t.Errorf("degradation invisible: %+v", res.Stats)
 	}
 }

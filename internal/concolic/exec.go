@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"cpr/internal/expr"
+	"cpr/internal/faultinject"
 	"cpr/internal/lang"
 	"cpr/internal/lang/interp"
 )
@@ -135,10 +136,17 @@ type Options struct {
 	// MaxBranches bounds recorded path-constraint elements (default 4096);
 	// beyond it the run continues concretely without recording.
 	MaxBranches int
+	// Stop, when non-nil, is polled every few hundred steps; a true
+	// return aborts the run with an interp.ErrCancelled error. The repair
+	// engine uses it to bound one concolic execution by the run deadline.
+	Stop func() bool
 }
 
 // Execute runs prog concolically on the given input.
 func Execute(prog *lang.Program, input map[string]int64, opts Options) *Execution {
+	if faultinject.ExecPanic() {
+		panic(faultinject.PanicMsg)
+	}
 	if opts.MaxSteps == 0 {
 		opts.MaxSteps = 1 << 20
 	}
@@ -302,6 +310,9 @@ func (vm *vm) tick(pos lang.Pos) signal {
 	vm.steps++
 	if vm.steps > vm.opts.MaxSteps {
 		return errSignal(interp.ErrStepLimit, pos, "")
+	}
+	if vm.opts.Stop != nil && vm.steps%256 == 0 && vm.opts.Stop() {
+		return errSignal(interp.ErrCancelled, pos, "")
 	}
 	return noSignal
 }

@@ -13,9 +13,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
+	"cpr/internal/cancel"
 	"cpr/internal/concolic"
 	"cpr/internal/expr"
+	"cpr/internal/faultinject"
 	"cpr/internal/interval"
 	"cpr/internal/lang"
 	"cpr/internal/lang/interp"
@@ -51,14 +54,24 @@ type Job struct {
 	Budget Budget
 }
 
-// Budget bounds the repair loop deterministically (wall-clock budgets in
-// the paper map to iteration budgets here for reproducibility).
+// Budget bounds the repair loop. The iteration bounds are deterministic
+// (the paper's wall-clock budgets map to iteration budgets for
+// reproducibility); MaxDuration and Deadline add the paper's literal
+// anytime semantics on top: when the wall clock expires, every layer
+// winds down and Repair returns the best-so-far pool with Stats.TimedOut
+// set — never an error, never a partial data structure.
 type Budget struct {
 	// MaxIterations bounds main-loop concolic executions (default 100).
 	MaxIterations int
 	// ValidationIterations bounds the pinned-input exploration used to
 	// validate the initial pool against each failing input (default 8).
 	ValidationIterations int
+	// MaxDuration bounds the whole repair run's wall-clock time
+	// (0 = unbounded).
+	MaxDuration time.Duration
+	// Deadline is an absolute wall-clock cutoff (zero = none). When both
+	// MaxDuration and Deadline are set, the earlier cutoff applies.
+	Deadline time.Time
 }
 
 func (b Budget) withDefaults() Budget {
@@ -93,6 +106,10 @@ type Options struct {
 	// Queue selects the exploration frontier policy (ablation of the
 	// §3.4 input ranking; default QueueRanked).
 	Queue QueuePolicy
+	// Cancel, when non-nil, aborts the run cooperatively (e.g. from a
+	// signal handler or another goroutine): like a deadline expiry it
+	// yields the best-so-far Result with Stats.TimedOut set.
+	Cancel *cancel.Token
 }
 
 // QueuePolicy orders the exploration frontier.
@@ -135,6 +152,21 @@ type Stats struct {
 	// Refinements counts successful parameter-constraint refinements;
 	// Removals counts discarded patches.
 	Refinements, Removals int
+	// TimedOut reports that the wall-clock budget (Budget.MaxDuration /
+	// Budget.Deadline) or the cancellation token fired and the run
+	// returned its best-so-far pool early.
+	TimedOut bool
+	// SolverUnknowns counts solver queries that exhausted a budget or
+	// deadline (degraded to "path/patch skipped"); SolverPanics counts
+	// solver panics recovered at the query boundary.
+	SolverUnknowns, SolverPanics int
+	// ExecPanics counts subject executions that panicked and were
+	// recovered at the engine boundary (degraded to "flip skipped").
+	ExecPanics int
+	// FlipsRequeued counts flips whose feasibility query came back
+	// Unknown and that were re-queued once at a reduced solver budget;
+	// FlipsDropped counts those still Unknown on the retry (dropped).
+	FlipsRequeued, FlipsDropped int
 }
 
 // ReductionRatio is 1 − PFinal/PInit (the tables' Ratio column).
@@ -162,6 +194,14 @@ var ErrNoHole = errors.New("core: program has no __HOLE__ patch location")
 var ErrNoFailingInput = errors.New("core: job has no failing input (generate one with the fuzzer)")
 
 // Repair runs concolic program repair on the job (Algorithm 1).
+//
+// Repair is an anytime algorithm with a failure discipline: on wall-clock
+// expiry (Budget.MaxDuration / Budget.Deadline / Options.Cancel) it
+// returns the pool reduced so far with Stats.TimedOut set; solver budget
+// exhaustion degrades to skipped flips (re-queued once at a reduced
+// budget, then dropped, both counted); and a panic in subject execution
+// or inside a solver query degrades to a skipped flip/query, counted in
+// Stats.ExecPanics / Stats.SolverPanics. None of these abort the run.
 func Repair(job Job, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	job.Budget = job.Budget.withDefaults()
@@ -174,6 +214,16 @@ func Repair(job Job, opts Options) (*Result, error) {
 	if job.Spec == nil {
 		job.Spec = expr.True()
 	}
+	tok := opts.Cancel
+	if job.Budget.MaxDuration > 0 {
+		tok = cancel.WithTimeout(tok, job.Budget.MaxDuration)
+	}
+	if !job.Budget.Deadline.IsZero() {
+		tok = cancel.WithDeadline(tok, job.Budget.Deadline)
+	}
+	// The run-level token also bounds every solver query, so a single
+	// hard query cannot overrun the deadline.
+	opts.SMT.Cancel = tok
 
 	// Phase 1: patch pool construction (§3.3).
 	templates := synth.Synthesize(job.Components, job.Program.HoleType)
@@ -182,10 +232,12 @@ func Repair(job Job, opts Options) (*Result, error) {
 		p.Constraint.Mode = opts.SplitMode
 	}
 	eng := &engine{
-		job:    job,
-		opts:   opts,
-		solver: smt.NewSolver(opts.SMT),
-		pool:   pool,
+		job:         job,
+		opts:        opts,
+		solver:      smt.NewSolver(opts.SMT),
+		retrySolver: smt.NewSolver(reducedSMT(opts.SMT)),
+		pool:        pool,
+		tok:         tok,
 	}
 	eng.refiner = &patch.Refiner{Solver: eng.solver, InputBounds: eng.inputBounds()}
 	stats := &Stats{PoolInit: pool.Size()}
@@ -194,6 +246,9 @@ func Repair(job Job, opts Options) (*Result, error) {
 	// exploring the patch dimension with the input pinned (the paper's
 	// controlled symbolic execution for initial test cases).
 	for _, fi := range job.FailingInputs {
+		if eng.tok.Expired() {
+			break
+		}
 		var vstats Stats
 		eng.explore([]map[string]int64{fi}, eng.pinnedBounds(fi), job.Budget.ValidationIterations, &vstats, true)
 		stats.PathsExplored += vstats.PathsExplored
@@ -207,7 +262,7 @@ func Repair(job Job, opts Options) (*Result, error) {
 
 	// Phases 2+3: the repair loop over the full input space, seeded by
 	// the failing tests and any passing tests.
-	if pool.Size() > 0 {
+	if pool.Size() > 0 && !eng.tok.Expired() {
 		seeds := append(append([]map[string]int64{}, job.FailingInputs...), job.PassingInputs...)
 		eng.explore(seeds, eng.inputBounds(), job.Budget.MaxIterations, stats, false)
 	}
@@ -216,7 +271,36 @@ func Repair(job Job, opts Options) (*Result, error) {
 	stats.PoolFinal = pool.Size()
 	stats.Refinements = eng.refinements
 	stats.Removals = eng.removals
+	stats.TimedOut = eng.tok.Expired()
+	stats.SolverUnknowns = eng.solverUnknowns
+	stats.SolverPanics = eng.solverPanics
+	stats.ExecPanics = eng.execPanics
+	stats.FlipsRequeued = eng.flipsRequeued
+	stats.FlipsDropped = eng.flipsDropped
 	return &Result{Pool: pool, Ranked: pool.Ranked(), Stats: *stats}, nil
+}
+
+// reducedSMT derives the retry solver's options: the same solver family
+// with every budget quartered (and a floor), used for the single re-queue
+// of flips whose feasibility query came back Unknown.
+func reducedSMT(o smt.Options) smt.Options {
+	reduce := func(v, def, floor uint64) uint64 {
+		if v == 0 {
+			v = def
+		}
+		v /= 4
+		if v < floor {
+			v = floor
+		}
+		return v
+	}
+	o.MaxConflicts = reduce(o.MaxConflicts, 8000, 64)
+	o.MaxTheoryRounds = int(reduce(uint64(o.MaxTheoryRounds), 10000, 16))
+	o.LIA.MaxSteps = int(reduce(uint64(o.LIA.MaxSteps), 200000, 256))
+	if o.MaxQueryDuration > 0 {
+		o.MaxQueryDuration /= 4
+	}
+	return o
 }
 
 // engine carries the mutable repair state.
@@ -226,11 +310,34 @@ type engine struct {
 	solver  *smt.Solver
 	refiner *patch.Refiner
 	pool    *patch.Pool
+	tok     *cancel.Token
+	// retrySolver re-solves Unknown flips once at a reduced budget.
+	retrySolver *smt.Solver
 
-	refinements int
-	removals    int
-	delCache    map[int]delEntry
-	seq         int
+	refinements    int
+	removals       int
+	solverUnknowns int
+	solverPanics   int
+	execPanics     int
+	flipsRequeued  int
+	flipsDropped   int
+	delCache       map[int]delEntry
+	seq            int
+}
+
+// noteSolverErr classifies and counts a degraded solver answer; it
+// returns true for every non-nil error, since any failed query leaves the
+// path/patch undecidable and the caller must skip it.
+func (e *engine) noteSolverErr(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, smt.ErrSolverPanic):
+		e.solverPanics++
+	default:
+		e.solverUnknowns++
+	}
+	return true
 }
 
 type delEntry struct {
@@ -262,6 +369,8 @@ func (e *engine) pinnedBounds(input map[string]int64) map[string]interval.Interv
 }
 
 // workItem is a queued (input, patch) pair (the t, ρ of PickNewInput).
+// A retry item instead carries a flip whose feasibility query came back
+// Unknown; it is re-solved once at the reduced retry budget when popped.
 type workItem struct {
 	input   map[string]int64
 	patchID int
@@ -270,6 +379,8 @@ type workItem struct {
 	bound   int // generational-search bound for children
 	seq     int
 	seed    bool
+	flip    *concolic.Flip
+	retry   bool
 }
 
 // explore runs the repair loop over the given input bounds: Algorithm 1's
@@ -309,6 +420,9 @@ func (e *engine) explore(seeds []map[string]int64, bounds map[string]interval.In
 		cmp = lessFIFO
 	}
 	for iter := 0; iter < maxIter && len(queue) > 0 && e.pool.Size() > 0; iter++ {
+		if e.tok.Expired() {
+			return // anytime: keep the pool reduced so far
+		}
 		// Pop the best item under the queue policy.
 		best := 0
 		for i := 1; i < len(queue); i++ {
@@ -319,6 +433,23 @@ func (e *engine) explore(seeds []map[string]int64, bounds map[string]interval.In
 		item := queue[best]
 		queue = append(queue[:best], queue[best+1:]...)
 
+		if item.retry {
+			// Second (and last) attempt at a flip whose feasibility query
+			// came back Unknown, at the reduced retry budget.
+			child, ok, unknown := e.pickNewInput(*item.flip, bounds, e.retrySolver)
+			if unknown || !ok {
+				if unknown {
+					e.flipsDropped++
+				}
+				stats.PathsSkipped++
+				continue
+			}
+			e.seq++
+			child.seq = e.seq
+			push(child)
+			continue
+		}
+
 		// The pool may have changed since the item was pushed: re-resolve
 		// the patch choice.
 		pt, params, ok := e.resolvePatch(item)
@@ -326,14 +457,16 @@ func (e *engine) explore(seeds []map[string]int64, bounds map[string]interval.In
 			stats.PathsSkipped++
 			continue
 		}
-		exec := concolic.Execute(e.job.Program, item.input, concolic.Options{
-			Patch:       pt.Expr,
-			PatchParams: params,
-			MaxSteps:    e.opts.MaxStepsPerRun,
-		})
+		exec, panicked := e.safeExecute(item.input, pt, params)
+		if panicked {
+			// Subject (or patch evaluation) crashed the interpreter itself:
+			// degrade to "path skipped" rather than aborting the run.
+			stats.PathsSkipped++
+			continue
+		}
 		if exec.Err != nil && !exec.Crashed() && exec.Err.Kind != interp.ErrAssumeViolated {
-			// Engine-level failure (step limit, patch evaluation error):
-			// the path contributes nothing.
+			// Engine-level failure (step limit, cancellation, patch
+			// evaluation error): the path contributes nothing.
 			continue
 		}
 		stats.PathsExplored++
@@ -356,16 +489,44 @@ func (e *engine) explore(seeds []map[string]int64, bounds map[string]interval.In
 				continue
 			}
 			seen[key] = true
-			child, ok := e.pickNewInput(flip, bounds)
+			child, ok, unknown := e.pickNewInput(flip, bounds, e.solver)
+			if unknown {
+				// Solver budget/deadline/panic on this flip: re-queue it
+				// once (deprioritized) for the reduced-budget retry pass.
+				f := flip
+				e.flipsRequeued++
+				e.seq++
+				push(workItem{flip: &f, retry: true, score: f.Score() - 1000, bound: f.Depth + 1, seq: e.seq})
+				continue
+			}
 			if !ok {
 				stats.PathsSkipped++
 				continue
 			}
+			child.score += faultinject.RankDelta(key)
 			e.seq++
 			child.seq = e.seq
 			push(child)
 		}
 	}
+}
+
+// safeExecute runs one concolic execution with the run token plumbed in
+// and panics recovered at this boundary: a crash in the interpreter or in
+// patch evaluation degrades to a skipped path, counted in Stats.ExecPanics.
+func (e *engine) safeExecute(input map[string]int64, pt *patch.Patch, params expr.Model) (exec *concolic.Execution, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.execPanics++
+			exec, panicked = nil, true
+		}
+	}()
+	return concolic.Execute(e.job.Program, input, concolic.Options{
+		Patch:       pt.Expr,
+		PatchParams: params,
+		MaxSteps:    e.opts.MaxStepsPerRun,
+		Stop:        e.tok.Expired,
+	}), false
 }
 
 func less(a, b workItem) bool {
@@ -411,7 +572,10 @@ func (e *engine) resolvePatch(item workItem) (*patch.Patch, expr.Model, bool) {
 // pickNewInput implements the path-reduction step of §3.4: a flip is only
 // queued if some pool patch admits the flipped path; the satisfying model
 // provides both the new input t and the patch ρ (with parameter values).
-func (e *engine) pickNewInput(flip concolic.Flip, bounds map[string]interval.Interval) (workItem, bool) {
+// The third result reports a degraded (Unknown) solver answer, which the
+// caller turns into a re-queue or a counted drop — distinct from a clean
+// unsat, which proves the flip infeasible.
+func (e *engine) pickNewInput(flip concolic.Flip, bounds map[string]interval.Interval, solver *smt.Solver) (workItem, bool, bool) {
 	cons := flip.Constraint()
 	inputNames := e.job.Program.Inputs()
 
@@ -437,40 +601,45 @@ func (e *engine) pickNewInput(flip concolic.Flip, bounds map[string]interval.Int
 	if !needsPatch || e.opts.DisablePathReduction {
 		// No patch constraint applies to the prefix (or the ablation is
 		// on): solve the path alone and attach the best-ranked patch.
-		model, ok, err := e.solver.GetModel(cons, bounds)
-		if err != nil || !ok {
-			return workItem{}, false
+		model, ok, err := solver.GetModel(cons, bounds)
+		if e.noteSolverErr(err) {
+			return workItem{}, false, true
+		}
+		if !ok {
+			return workItem{}, false, false
 		}
 		ranked := e.pool.Ranked()
 		if len(ranked) == 0 {
-			return workItem{}, false
+			return workItem{}, false, false
 		}
 		p := ranked[0]
 		params, ok := p.AnyParams()
 		if !ok {
-			return workItem{}, false
+			return workItem{}, false, false
 		}
 		it := buildItem(model, p)
 		for k, v := range params {
 			it.params[k] = v
 		}
 		it.patchID = p.ID
-		return it, true
+		return it, true, false
 	}
 
+	unknown := false
 	for _, p := range e.pool.Ranked() {
 		psi := e.patchFormula(p, flip.HoleHits)
 		query := expr.And(cons, psi, p.ConstraintTerm())
 		b := e.boundsWithParams(bounds, p)
-		model, ok, err := e.solver.GetModel(query, b)
-		if err != nil {
-			continue // solver budget on this patch; try the next
+		model, ok, err := solver.GetModel(query, b)
+		if e.noteSolverErr(err) {
+			unknown = true // budget on this patch; try the next, remember
+			continue
 		}
 		if ok {
-			return buildItem(model, p), true
+			return buildItem(model, p), true, false
 		}
 	}
-	return workItem{}, false
+	return workItem{}, false, unknown
 }
 
 func (e *engine) patchFormula(p *patch.Patch, hits []concolic.HoleHit) *expr.Term {
@@ -506,12 +675,12 @@ func (e *engine) reduce(exec *concolic.Execution, stats *Stats, validation bool)
 		pi := expr.And(phi, psi, p.ConstraintTerm())
 		b := e.boundsWithParams(e.refiner.InputBounds, p)
 		sat, err := e.solver.IsSat(pi, b)
-		if err != nil || !sat {
+		if e.noteSolverErr(err) || !sat {
 			continue // cannot reason about ρ on this path
 		}
 		if hitBug {
 			refined, err := e.refiner.Refine(phi, psi, sigma, p, p.Constraint)
-			if err != nil {
+			if e.noteSolverErr(err) {
 				continue // refinement budget: leave the patch untouched
 			}
 			if refined.IsEmpty() {
@@ -635,8 +804,9 @@ func (e *engine) isDeletionLike(p *patch.Patch) bool {
 	f := expr.And(p.ConstraintTerm(), p.Expr)
 	tautology, err1 := e.solver.IsSat(t, b)
 	contradiction, err2 := e.solver.IsSat(f, b)
+	bad1, bad2 := e.noteSolverErr(err1), e.noteSolverErr(err2)
 	val := false
-	if err1 == nil && err2 == nil {
+	if !bad1 && !bad2 {
 		val = !tautology || !contradiction
 	}
 	e.delCache[p.ID] = delEntry{count: cnt, val: val}

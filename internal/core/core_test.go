@@ -225,11 +225,11 @@ func TestPickNewInputPathReduction(t *testing.T) {
 		}},
 	}
 	e := mkEngine(false)
-	if _, ok := e.pickNewInput(flip, e.inputBounds()); ok {
+	if _, ok, unknown := e.pickNewInput(flip, e.inputBounds(), e.solver); ok || unknown {
 		t.Fatal("path reduction should prune: no pool patch admits ¬out ∧ x≠0 ∧ y=0")
 	}
 	e = mkEngine(true)
-	item, ok := e.pickNewInput(flip, e.inputBounds())
+	item, ok, _ := e.pickNewInput(flip, e.inputBounds(), e.solver)
 	if !ok {
 		t.Fatal("ablation should admit the input-feasible path")
 	}
@@ -239,7 +239,7 @@ func TestPickNewInputPathReduction(t *testing.T) {
 	// A flip every patch admits is kept either way.
 	flip.Negated = expr.Ne(y, expr.Int(0))
 	e = mkEngine(false)
-	if _, ok := e.pickNewInput(flip, e.inputBounds()); !ok {
+	if _, ok, _ := e.pickNewInput(flip, e.inputBounds(), e.solver); !ok {
 		t.Fatal("feasible flip wrongly pruned")
 	}
 }

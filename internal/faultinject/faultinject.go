@@ -1,0 +1,123 @@
+// Package faultinject provides deterministic fault-injection hooks for the
+// repair system's resilience tests. Production code calls the hook
+// functions at its fault points — solver query entry (smt), subject
+// execution entry (interp, concolic), and flip ranking (core) — and the
+// hooks are no-ops unless a test activates a Plan. With an active plan the
+// hooks fire deterministically (every Nth call, perturbations derived from
+// a fixed seed), so a faulted repair run is exactly reproducible.
+//
+// The package exists to prove the engine's failure discipline: a solver
+// timeout, a solver panic, or an interpreter panic must degrade to
+// "query/flip skipped" with the loss counted in Stats, never abort the
+// run, and never remove patches the unfaulted run would have kept.
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Fault identifies an injected fault class.
+type Fault uint8
+
+// Fault classes for Plan.SolverKind.
+const (
+	// None injects nothing.
+	None Fault = iota
+	// SolverFail makes the solver return an injected hard error.
+	SolverFail
+	// SolverTimeout makes the solver return Unknown with a budget error,
+	// as if the query's deadline or conflict budget had been exhausted.
+	SolverTimeout
+	// SolverPanic makes the solver panic inside a query; the smt layer's
+	// recover boundary must turn it into an Unknown answer.
+	SolverPanic
+)
+
+// PanicMsg is the value injected panics carry, so recover sites (and
+// humans reading logs) can tell an injected panic from a real one.
+const PanicMsg = "faultinject: injected panic"
+
+// ErrInjected is the error returned for SolverFail faults.
+var ErrInjected = errors.New("faultinject: injected solver failure")
+
+// Plan configures which hooks fire and how often. Counters advance on
+// every hook call while the plan is active, so "every Nth call" is
+// deterministic for a deterministic workload.
+type Plan struct {
+	// SolverEvery makes every Nth solver query fault with SolverKind
+	// (0 disables solver faults).
+	SolverEvery int
+	// SolverKind selects the solver fault class.
+	SolverKind Fault
+	// ExecPanicEvery makes every Nth subject execution (concrete or
+	// concolic) panic (0 disables).
+	ExecPanicEvery int
+	// RankPerturb perturbs flip-ranking scores by a deterministic value in
+	// [-RankPerturb, +RankPerturb] derived from Seed and the flip's path
+	// key (0 disables).
+	RankPerturb int
+	// Seed drives the rank perturbation.
+	Seed uint64
+
+	mu          sync.Mutex
+	solverCalls int
+	execRuns    int
+}
+
+var active atomic.Pointer[Plan]
+
+// Activate installs the plan; hooks fire until Deactivate. Tests using it
+// must not run in parallel with other repair tests (the plan is global).
+func Activate(p *Plan) { active.Store(p) }
+
+// Deactivate removes any active plan; all hooks become no-ops again.
+func Deactivate() { active.Store(nil) }
+
+// SolverQuery is called by the smt layer at query entry; it returns the
+// fault to inject for this query (None almost always).
+func SolverQuery() Fault {
+	p := active.Load()
+	if p == nil || p.SolverEvery <= 0 {
+		return None
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.solverCalls++
+	if p.solverCalls%p.SolverEvery == 0 {
+		return p.SolverKind
+	}
+	return None
+}
+
+// ExecPanic is called by the interpreters at subject-execution entry; a
+// true return tells the caller to panic(PanicMsg).
+func ExecPanic() bool {
+	p := active.Load()
+	if p == nil || p.ExecPanicEvery <= 0 {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.execRuns++
+	return p.execRuns%p.ExecPanicEvery == 0
+}
+
+// RankDelta is called by the explorer when scoring a flip; it returns a
+// deterministic perturbation in [-RankPerturb, +RankPerturb] keyed by the
+// flip's path fingerprint (0 when inactive).
+func RankDelta(key uint64) int {
+	p := active.Load()
+	if p == nil || p.RankPerturb <= 0 {
+		return 0
+	}
+	x := key ^ p.Seed
+	// xorshift64* mix for a stable, well-spread hash of the key.
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	x *= 0x2545f4914f6cdd1d
+	span := uint64(2*p.RankPerturb + 1)
+	return int(x%span) - p.RankPerturb
+}

@@ -11,7 +11,9 @@ package fuzz
 
 import (
 	"math/rand"
+	"time"
 
+	"cpr/internal/cancel"
 	"cpr/internal/expr"
 	"cpr/internal/interval"
 	"cpr/internal/lang"
@@ -35,6 +37,11 @@ type Options struct {
 	MaxSteps int
 	// Population is the number of seeds kept (default 32).
 	Population int
+	// MaxDuration bounds the campaign's wall-clock time (0 = unbounded);
+	// on expiry the campaign returns with TimedOut set.
+	MaxDuration time.Duration
+	// Cancel, when non-nil, winds the campaign down cooperatively.
+	Cancel *cancel.Token
 }
 
 func (o Options) withDefaults() Options {
@@ -58,6 +65,12 @@ type Campaign struct {
 	Runs int
 	// BugHits counts executions that reached the bug location.
 	BugHits int
+	// TimedOut reports the campaign stopped on its wall-clock budget or
+	// cancellation token rather than MaxRuns.
+	TimedOut bool
+	// Panics counts interpreter panics recovered at the run boundary
+	// (the run scores zero; the campaign continues).
+	Panics int
 }
 
 type seed struct {
@@ -70,6 +83,10 @@ type seed struct {
 // Failing field is nil when the budget is exhausted without a crash.
 func FindFailing(prog *lang.Program, opts Options) Campaign {
 	opts = opts.withDefaults()
+	tok := opts.Cancel
+	if opts.MaxDuration > 0 {
+		tok = cancel.WithTimeout(tok, opts.MaxDuration)
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	bounds := func(name string) interval.Interval {
 		if iv, ok := opts.InputBounds[name]; ok {
@@ -138,9 +155,25 @@ func FindFailing(prog *lang.Program, opts Options) Campaign {
 	}
 
 	camp := Campaign{}
+	safeRun := func(in map[string]int64) (out interp.Outcome, panicked bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				camp.Panics++
+				panicked = true
+			}
+		}()
+		return interp.Run(prog, in, interp.Options{
+			MaxSteps: opts.MaxSteps,
+			Hole:     opts.Original,
+			Stop:     tok.Expired,
+		}), false
+	}
 	run := func(in map[string]int64) (int, bool) {
 		camp.Runs++
-		out := interp.Run(prog, in, interp.Options{MaxSteps: opts.MaxSteps, Hole: opts.Original})
+		out, panicked := safeRun(in)
+		if panicked {
+			return 0, false
+		}
 		if out.HitBug {
 			camp.BugHits++
 		}
@@ -172,6 +205,10 @@ func FindFailing(prog *lang.Program, opts Options) Campaign {
 		initial = append(initial, randomInput())
 	}
 	for _, in := range initial {
+		if tok.Expired() {
+			camp.TimedOut = true
+			return camp
+		}
 		if camp.Runs >= opts.MaxRuns {
 			return camp
 		}
@@ -184,6 +221,10 @@ func FindFailing(prog *lang.Program, opts Options) Campaign {
 	}
 
 	for camp.Runs < opts.MaxRuns {
+		if tok.Expired() {
+			camp.TimedOut = true
+			return camp
+		}
 		// Pick a parent biased toward high scores.
 		best := 0
 		for i := 1; i < len(corpus); i++ {

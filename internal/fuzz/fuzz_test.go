@@ -2,8 +2,11 @@ package fuzz
 
 import (
 	"testing"
+	"time"
 
+	"cpr/internal/cancel"
 	"cpr/internal/expr"
+	"cpr/internal/faultinject"
 	"cpr/internal/interval"
 	"cpr/internal/lang"
 	"cpr/internal/lang/interp"
@@ -103,5 +106,45 @@ void main(bool flag, int x) {
 	}
 	if camp.Failing["flag"] != 1 || camp.Failing["x"] != 3 {
 		t.Fatalf("failing input %v", camp.Failing)
+	}
+}
+
+// TestFindFailingTimedOut: the wall-clock budget stops an otherwise long
+// campaign with TimedOut set.
+func TestFindFailingTimedOut(t *testing.T) {
+	prog := lang.MustParse(`void main(int x) { int y = x + 1; }`) // never crashes
+	camp := FindFailing(prog, Options{Seed: 1, MaxRuns: 1 << 30, MaxDuration: time.Millisecond})
+	if !camp.TimedOut {
+		t.Fatalf("TimedOut not set after %d runs", camp.Runs)
+	}
+	if camp.Failing != nil {
+		t.Fatalf("crash-free program reported failing input %v", camp.Failing)
+	}
+}
+
+// TestFindFailingCancelled: a pre-cancelled token stops the campaign
+// before any run.
+func TestFindFailingCancelled(t *testing.T) {
+	tok := cancel.New()
+	tok.Cancel()
+	prog := lang.MustParse(`void main(int x) { int y = x + 1; }`)
+	camp := FindFailing(prog, Options{Seed: 1, Cancel: tok})
+	if !camp.TimedOut || camp.Runs != 0 {
+		t.Fatalf("cancelled campaign ran: %+v", camp)
+	}
+}
+
+// TestFindFailingSurvivesInterpPanics: injected interpreter panics are
+// recovered per run and counted; the campaign still terminates cleanly.
+func TestFindFailingSurvivesInterpPanics(t *testing.T) {
+	faultinject.Activate(&faultinject.Plan{ExecPanicEvery: 2})
+	defer faultinject.Deactivate()
+	prog := lang.MustParse(`void main(int x) { int y = x + 1; }`)
+	camp := FindFailing(prog, Options{Seed: 1, MaxRuns: 50})
+	if camp.Panics == 0 {
+		t.Fatalf("panics not counted: %+v", camp)
+	}
+	if camp.Failing != nil {
+		t.Fatalf("panicked runs must not count as subject crashes: %+v", camp)
 	}
 }

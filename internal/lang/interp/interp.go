@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"cpr/internal/expr"
+	"cpr/internal/faultinject"
 	"cpr/internal/lang"
 )
 
@@ -29,6 +30,9 @@ const (
 	ErrStepLimit
 	ErrMissingInput
 	ErrPatch // the injected patch expression failed to evaluate
+	// ErrCancelled reports a run aborted by Options.Stop (deadline or
+	// cancellation). Like ErrStepLimit it is an engine limit, not a crash.
+	ErrCancelled
 )
 
 func (k ErrKind) String() string {
@@ -51,6 +55,8 @@ func (k ErrKind) String() string {
 		return "missing input"
 	case ErrPatch:
 		return "patch evaluation failed"
+	case ErrCancelled:
+		return "execution cancelled"
 	default:
 		return "no error"
 	}
@@ -100,6 +106,10 @@ type Options struct {
 	// CollectCoverage records executed statement positions in
 	// Outcome.Coverage (used by spectrum-based fault localization).
 	CollectCoverage bool
+	// Stop, when non-nil, is polled every few hundred steps; a true
+	// return aborts the run with an ErrCancelled error. Callers use it to
+	// bound subject execution by a wall-clock deadline.
+	Stop func() bool
 }
 
 // Outcome is the result of a run.
@@ -124,6 +134,9 @@ func (o Outcome) Crashed() bool { return o.Err != nil && o.Err.IsCrash() }
 
 // Run executes prog's main with the given inputs (one per main parameter).
 func Run(prog *lang.Program, inputs map[string]int64, opts Options) Outcome {
+	if faultinject.ExecPanic() {
+		panic(faultinject.PanicMsg)
+	}
 	if opts.MaxSteps == 0 {
 		opts.MaxSteps = 1 << 20
 	}
@@ -233,6 +246,9 @@ func (in *interp) tick(pos lang.Pos) signal {
 	in.steps++
 	if in.steps > in.opts.MaxSteps {
 		return errSignal(ErrStepLimit, pos, "")
+	}
+	if in.opts.Stop != nil && in.steps%256 == 0 && in.opts.Stop() {
+		return errSignal(ErrCancelled, pos, "")
 	}
 	return noSignal
 }

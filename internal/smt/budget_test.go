@@ -3,11 +3,29 @@ package smt
 import (
 	"errors"
 	"testing"
+	"time"
 
+	"cpr/internal/cancel"
 	"cpr/internal/expr"
+	"cpr/internal/faultinject"
 	"cpr/internal/interval"
 	"cpr/internal/smt/lia"
 )
+
+// hardFormula returns a formula that survives simplification and reaches
+// the DPLL(T) loop, so budget/deadline paths are actually exercised.
+func hardFormula() (*expr.Term, map[string]interval.Interval) {
+	x, y := expr.IntVar("x"), expr.IntVar("y")
+	f := expr.And(
+		expr.Eq(expr.Add(x, y), expr.Int(10)),
+		expr.Gt(x, expr.Int(0)),
+		expr.Lt(y, expr.Int(5)),
+		expr.Ne(expr.Mul(x, y), expr.Int(21)),
+	)
+	return f, map[string]interval.Interval{
+		"x": interval.New(-50, 50), "y": interval.New(-50, 50),
+	}
+}
 
 // TestUnknownOnTheoryBudget: exhausting the LIA budget surfaces ErrBudget
 // and an Unknown status rather than a wrong verdict.
@@ -58,6 +76,100 @@ func TestMaxTheoryRounds(t *testing.T) {
 	}
 	if !errors.Is(err, ErrBudget) {
 		t.Fatalf("want ErrBudget, got %v", err)
+	}
+}
+
+// TestBudgetErrorContext: budget exhaustion carries the originating
+// query's context (stage, query number, work counters), not just the bare
+// sentinel.
+func TestBudgetErrorContext(t *testing.T) {
+	s := NewSolver(Options{LIA: lia.Options{MaxSteps: 1}})
+	f, bounds := hardFormula()
+	_, err := s.Check(f, bounds)
+	if err == nil {
+		t.Skip("budget not exhausted on this formula")
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BudgetError, got %T: %v", err, err)
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("BudgetError must wrap ErrBudget: %v", err)
+	}
+	if be.Stage != "lia" {
+		t.Errorf("stage %q, want lia", be.Stage)
+	}
+	if be.Query == 0 {
+		t.Error("query number missing")
+	}
+	if be.Clauses == 0 || be.Atoms == 0 {
+		t.Errorf("encoded-problem shape missing: clauses=%d atoms=%d", be.Clauses, be.Atoms)
+	}
+	if be.Detail == nil || !errors.Is(be.Detail, lia.ErrBudget) {
+		t.Errorf("detail should carry the lia cause: %v", be.Detail)
+	}
+}
+
+// TestMaxQueryDuration: an already-expired per-query deadline yields
+// Unknown with stage "deadline" — never a verdict, never a panic.
+func TestMaxQueryDuration(t *testing.T) {
+	s := NewSolver(Options{MaxQueryDuration: time.Nanosecond})
+	f, bounds := hardFormula()
+	res, err := s.Check(f, bounds)
+	if err == nil || !errors.Is(err, ErrBudget) {
+		t.Fatalf("want budget error, got %v (status %v)", err, res.Status)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Stage != "deadline" {
+		t.Fatalf("want deadline stage, got %v", err)
+	}
+	if res.Status != Unknown {
+		t.Fatalf("status %v, want unknown", res.Status)
+	}
+	if s.Stats().Unknowns == 0 {
+		t.Error("Unknowns counter not bumped")
+	}
+}
+
+// TestCancelTokenAbortsQuery: a cancelled run-level token aborts in-flight
+// queries the same way a deadline does.
+func TestCancelTokenAbortsQuery(t *testing.T) {
+	tok := cancel.New()
+	tok.Cancel()
+	s := NewSolver(Options{Cancel: tok})
+	f, bounds := hardFormula()
+	res, err := s.Check(f, bounds)
+	if err == nil || !errors.Is(err, ErrBudget) {
+		t.Fatalf("want budget error, got %v (status %v)", err, res.Status)
+	}
+	if res.Status != Unknown {
+		t.Fatalf("status %v, want unknown", res.Status)
+	}
+}
+
+// TestSolverPanicRecovered: a panic below the Check boundary degrades to
+// Unknown + ErrSolverPanic with the Panics counter bumped.
+func TestSolverPanicRecovered(t *testing.T) {
+	faultinject.Activate(&faultinject.Plan{SolverEvery: 1, SolverKind: faultinject.SolverPanic})
+	defer faultinject.Deactivate()
+	s := NewSolver(Options{})
+	f, bounds := hardFormula()
+	res, err := s.Check(f, bounds)
+	if err == nil || !errors.Is(err, ErrSolverPanic) {
+		t.Fatalf("want ErrSolverPanic, got %v", err)
+	}
+	if res.Status != Unknown {
+		t.Fatalf("status %v, want unknown", res.Status)
+	}
+	st := s.Stats()
+	if st.Panics != 1 || st.Unknowns != 1 {
+		t.Fatalf("panic not counted: %+v", st)
+	}
+	// The solver must remain usable after a recovered panic.
+	faultinject.Deactivate()
+	res, err = s.Check(f, bounds)
+	if err != nil || res.Status != Sat {
+		t.Fatalf("solver unusable after recovered panic: %v %v", res.Status, err)
 	}
 }
 

@@ -123,6 +123,10 @@ type Options struct {
 	// MaxConstraints bounds the constraint count during FM elimination.
 	// Default 200000.
 	MaxConstraints int
+	// Stop, when non-nil, is polled periodically inside the
+	// branch-and-bound/enumeration loop; a true return aborts the query
+	// with ErrBudget. The SMT layer uses it for per-query deadlines.
+	Stop func() bool
 }
 
 func (o Options) withDefaults() Options {
@@ -211,7 +215,10 @@ func clampToward(pref int64, iv interval.Interval) int64 {
 func (s *solver) step() error {
 	s.steps++
 	if s.steps > s.opts.MaxSteps {
-		return ErrBudget
+		return fmt.Errorf("%w: %d search steps", ErrBudget, s.steps-1)
+	}
+	if s.opts.Stop != nil && s.steps%256 == 0 && s.opts.Stop() {
+		return fmt.Errorf("%w: cancelled after %d search steps", ErrBudget, s.steps)
 	}
 	return nil
 }

@@ -114,6 +114,14 @@ type Solver struct {
 	// MaxConflicts bounds the total conflicts across Solve calls;
 	// 0 means unbounded. Exceeding it makes Solve return Unknown.
 	MaxConflicts uint64
+
+	// Stop, when non-nil, is polled periodically during search (every few
+	// dozen conflicts and every few hundred decisions); a true return
+	// aborts the current Solve with Unknown. This is the check-on-conflict
+	// cancellation hook the SMT layer uses for per-query deadlines.
+	Stop func() bool
+
+	polls uint64
 }
 
 // New returns an empty solver.
@@ -465,6 +473,10 @@ func (s *Solver) Solve() Status {
 			s.cancelUntil(0)
 			return Unknown
 		}
+		if s.stopped(1) {
+			s.cancelUntil(0)
+			return Unknown
+		}
 		s.Statist.Restarts++
 		s.cancelUntil(0)
 	}
@@ -480,6 +492,9 @@ func (s *Solver) search(budget uint64, maxLearnts *int, conflictsAtStart uint64)
 			if s.decisionLevel() == 0 {
 				s.ok = false
 				return Unsat
+			}
+			if s.stopped(32) {
+				return Unknown
 			}
 			learnt, bt := s.analyze(conflict)
 			s.cancelUntil(bt)
@@ -503,6 +518,9 @@ func (s *Solver) search(budget uint64, maxLearnts *int, conflictsAtStart uint64)
 		if s.MaxConflicts > 0 && s.Statist.Conflicts-conflictsAtStart >= s.MaxConflicts {
 			return Unknown
 		}
+		if s.stopped(512) {
+			return Unknown
+		}
 		if len(s.learnts) > *maxLearnts {
 			s.reduceDB()
 			*maxLearnts = *maxLearnts*11/10 + 10
@@ -522,6 +540,21 @@ func (s *Solver) search(budget uint64, maxLearnts *int, conflictsAtStart uint64)
 		s.uncheckedEnqueue(MkLit(v, !s.phase[v]), nil)
 	}
 }
+
+// stopped rate-limits the Stop callback: it polls the callback on every
+// everyth call (a power of two), so hot paths pay only a counter
+// increment between real checks.
+func (s *Solver) stopped(every uint64) bool {
+	if s.Stop == nil {
+		return false
+	}
+	s.polls++
+	return s.polls%every == 0 && s.Stop()
+}
+
+// NumClauses returns the problem clause count (excluding learned clauses),
+// exposed for budget-exhaustion diagnostics in the SMT layer.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
 
 func (s *Solver) pickBranchVar() int {
 	for {

@@ -23,8 +23,11 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
+	"cpr/internal/cancel"
 	"cpr/internal/expr"
+	"cpr/internal/faultinject"
 	"cpr/internal/interval"
 	"cpr/internal/smt/lia"
 	"cpr/internal/smt/sat"
@@ -72,6 +75,14 @@ type Options struct {
 	MaxTheoryRounds int
 	// MaxConflicts bounds SAT conflicts per query (0 = unbounded).
 	MaxConflicts uint64
+	// MaxQueryDuration bounds the wall-clock time of a single query
+	// (0 = unbounded). An expired query returns Unknown with a
+	// *BudgetError, never a wrong verdict.
+	MaxQueryDuration time.Duration
+	// Cancel, when non-nil, aborts in-flight queries once it expires
+	// (deadline or explicit cancellation). The repair engine installs its
+	// run-level token here so solver work stops with the run.
+	Cancel *cancel.Token
 }
 
 func (o Options) withDefaults() Options {
@@ -90,6 +101,11 @@ type Stats struct {
 	TheoryRounds uint64
 	SatAnswers   uint64
 	UnsatAnswers uint64
+	// Unknowns counts queries that exhausted a budget or deadline;
+	// Panics counts queries that panicked and were recovered at the Check
+	// boundary. Both degrade to Unknown answers.
+	Unknowns uint64
+	Panics   uint64
 }
 
 // Solver answers satisfiability queries. The zero value is not usable;
@@ -107,19 +123,91 @@ func NewSolver(opts Options) *Solver {
 // Stats returns accumulated counters.
 func (s *Solver) Stats() Stats { return s.stats }
 
-// ErrBudget is returned when a resource limit is exceeded.
+// ErrBudget is returned when a resource limit is exceeded. Budget errors
+// produced by Check are *BudgetError values wrapping this sentinel, so
+// errors.Is(err, ErrBudget) keeps working while the error text carries the
+// originating query's context.
 var ErrBudget = errors.New("smt: resource budget exhausted")
+
+// ErrSolverPanic wraps a panic recovered at the Check boundary: the query
+// degrades to an Unknown answer instead of killing the process.
+var ErrSolverPanic = errors.New("smt: solver panicked")
+
+// BudgetError wraps ErrBudget with the originating query's context so
+// exhaustion is diagnosable: which stage gave up and how much work the
+// query had done when it did.
+type BudgetError struct {
+	// Stage is where the budget ran out: "sat-conflicts", "lia",
+	// "theory-rounds", "deadline", or "fault-injection".
+	Stage string
+	// Query is the solver-lifetime query number (1-based).
+	Query uint64
+	// TheoryRounds is the number of skeleton/theory rounds completed by
+	// this query.
+	TheoryRounds int
+	// Conflicts is the SAT conflict count this query spent.
+	Conflicts uint64
+	// Clauses is the clause count of the encoded skeleton; Atoms is the
+	// number of distinct theory atoms. Zero when exhaustion happened
+	// before encoding.
+	Clauses, Atoms int
+	// Detail carries the underlying cause (e.g. the lia error); may be nil.
+	Detail error
+}
+
+func (e *BudgetError) Error() string {
+	msg := fmt.Sprintf("%v (stage=%s query=%d rounds=%d conflicts=%d clauses=%d atoms=%d)",
+		ErrBudget, e.Stage, e.Query, e.TheoryRounds, e.Conflicts, e.Clauses, e.Atoms)
+	if e.Detail != nil {
+		msg += ": " + e.Detail.Error()
+	}
+	return msg
+}
+
+// Unwrap makes errors.Is(err, ErrBudget) hold for budget errors.
+func (e *BudgetError) Unwrap() error { return ErrBudget }
 
 const auxPrefix = "!aux"
 
 // Check decides f. Explicit variable bounds may be supplied (nil is fine);
 // unbounded integer variables get DefaultBounds. The model covers the
 // formula's variables plus all variables in bounds.
-func (s *Solver) Check(f *expr.Term, bounds map[string]interval.Interval) (Result, error) {
+//
+// Check never propagates a panic and never exceeds its budgets by more
+// than a polling interval: resource exhaustion (MaxConflicts, LIA budget,
+// MaxTheoryRounds, MaxQueryDuration, an expired Cancel token) yields
+// Unknown with a *BudgetError, and a panic anywhere below this boundary
+// yields Unknown with an error wrapping ErrSolverPanic.
+func (s *Solver) Check(f *expr.Term, bounds map[string]interval.Interval) (res Result, err error) {
 	if f.Sort != expr.SortBool {
 		return Result{}, fmt.Errorf("smt: Check: formula has sort %v, want Bool", f.Sort)
 	}
 	s.stats.Queries++
+	defer func() {
+		if r := recover(); r != nil {
+			s.stats.Panics++
+			s.stats.Unknowns++
+			res = Result{Status: Unknown}
+			err = fmt.Errorf("%w: %v", ErrSolverPanic, r)
+		}
+	}()
+	switch faultinject.SolverQuery() {
+	case faultinject.SolverPanic:
+		panic(faultinject.PanicMsg)
+	case faultinject.SolverTimeout:
+		s.stats.Unknowns++
+		return Result{Status: Unknown}, &BudgetError{Stage: "fault-injection", Query: s.stats.Queries}
+	case faultinject.SolverFail:
+		return Result{}, faultinject.ErrInjected
+	}
+	qtok := s.opts.Cancel
+	if s.opts.MaxQueryDuration > 0 {
+		qtok = cancel.WithTimeout(qtok, s.opts.MaxQueryDuration)
+	}
+	return s.check(f, bounds, qtok)
+}
+
+func (s *Solver) check(f *expr.Term, bounds map[string]interval.Interval, qtok *cancel.Token) (Result, error) {
 	f = expr.Simplify(f)
 
 	// Purify div/rem/ite, then re-simplify so new atoms are canonical.
@@ -144,9 +232,29 @@ func (s *Solver) Check(f *expr.Term, bounds map[string]interval.Interval) (Resul
 	enc := newEncoder()
 	root := enc.encode(g)
 	enc.sat.MaxConflicts = s.opts.MaxConflicts
+	if qtok != nil {
+		enc.sat.Stop = qtok.Expired
+	}
 	if !enc.sat.AddClause(root) {
 		s.stats.UnsatAnswers++
 		return Result{Status: Unsat}, nil
+	}
+	conflictsAtStart := enc.sat.Statist.Conflicts
+	budgetErr := func(stage string, round int, detail error) error {
+		s.stats.Unknowns++
+		return &BudgetError{
+			Stage:        stage,
+			Query:        s.stats.Queries,
+			TheoryRounds: round,
+			Conflicts:    enc.sat.Statist.Conflicts - conflictsAtStart,
+			Clauses:      enc.sat.NumClauses(),
+			Atoms:        len(enc.atomVar),
+			Detail:       detail,
+		}
+	}
+	lopts := s.opts.LIA
+	if qtok != nil {
+		lopts.Stop = qtok.Expired
 	}
 
 	// Assemble bounds for all integer variables of the purified formula.
@@ -161,13 +269,20 @@ func (s *Solver) Check(f *expr.Term, bounds map[string]interval.Interval) (Resul
 	}
 
 	for round := 0; round < s.opts.MaxTheoryRounds; round++ {
+		if qtok.Expired() {
+			return Result{Status: Unknown}, budgetErr("deadline", round, qtok.Err())
+		}
 		s.stats.TheoryRounds++
 		switch enc.sat.Solve() {
 		case sat.Unsat:
 			s.stats.UnsatAnswers++
 			return Result{Status: Unsat}, nil
 		case sat.Unknown:
-			return Result{Status: Unknown}, ErrBudget
+			stage := "sat-conflicts"
+			if qtok.Expired() {
+				stage = "deadline"
+			}
+			return Result{Status: Unknown}, budgetErr(stage, round, nil)
 		}
 		model := enc.sat.Model()
 
@@ -186,10 +301,14 @@ func (s *Solver) Check(f *expr.Term, bounds map[string]interval.Interval) (Resul
 			prob.Cons = append(prob.Cons, c)
 			asserted = append(asserted, sat.MkLit(enc.atomVar[sl.atom], !sl.positive))
 		}
-		res, err := lia.Solve(prob, s.opts.LIA)
+		res, err := lia.Solve(prob, lopts)
 		if err != nil {
 			if errors.Is(err, lia.ErrBudget) {
-				return Result{Status: Unknown}, fmt.Errorf("%w: %v", ErrBudget, err)
+				stage := "lia"
+				if qtok.Expired() {
+					stage = "deadline"
+				}
+				return Result{Status: Unknown}, budgetErr(stage, round, err)
 			}
 			return Result{}, err
 		}
@@ -221,7 +340,7 @@ func (s *Solver) Check(f *expr.Term, bounds map[string]interval.Interval) (Resul
 			return Result{Status: Unsat}, nil
 		}
 	}
-	return Result{Status: Unknown}, fmt.Errorf("%w: theory rounds exceeded", ErrBudget)
+	return Result{Status: Unknown}, budgetErr("theory-rounds", s.opts.MaxTheoryRounds, nil)
 }
 
 // fillModel ensures every bounded variable has a value.
