@@ -25,11 +25,14 @@ func main() {
 		what    = flag.String("what", "all", "what to run: figure1, table1..table6, anytime, pathreduction, all")
 		budget  = flag.Int("budget", 0, "override per-subject iteration budget (0 = subject defaults)")
 		timeout = flag.Duration("timeout", 0, "per-subject wall-clock cap (0 = unbounded); hung subjects become timeout rows")
+		workers = flag.Int("workers", 0, "exploration worker pool size (0 = NumCPU); 1 replays the sequential engine")
+		jsonOut = flag.String("json", "", "write per-subject measurements (wall time, iterations, solver queries, cache hit rate) to this JSON file")
 		quiet   = flag.Bool("q", false, "suppress progress lines")
 	)
 	flag.Parse()
 
 	opts := bench.RunOptions{SubjectTimeout: *timeout}
+	opts.Core.Workers = *workers
 	if *budget > 0 {
 		opts.Budget = core.Budget{MaxIterations: *budget, ValidationIterations: 8}
 	}
@@ -38,6 +41,7 @@ func main() {
 	}
 
 	var t1, t3, t4 []bench.SubjectResult
+	var jsonRows []bench.SubjectResult
 	run := func(name string) {
 		switch name {
 		case "figure1":
@@ -48,15 +52,18 @@ func main() {
 			fmt.Println(bench.FormatFigure1(steps))
 		case "table1":
 			t1 = bench.Table1(opts)
+			jsonRows = append(jsonRows, t1...)
 			fmt.Println(bench.FormatTable1(t1))
 		case "table2":
 			rows := bench.Table2(opts)
 			fmt.Println(bench.FormatTable2(rows))
 		case "table3":
 			t3 = bench.Table3(opts)
+			jsonRows = append(jsonRows, t3...)
 			fmt.Println(bench.FormatCPRTable("Table 3: ManyBugs subjects", t3))
 		case "table4":
 			t4 = bench.Table4(opts)
+			jsonRows = append(jsonRows, t4...)
 			fmt.Println(bench.FormatCPRTable("Table 4: SV-COMP logical errors", t4))
 		case "table5":
 			rows := bench.Table5(opts)
@@ -103,11 +110,24 @@ func main() {
 		}
 	}
 
+	writeJSON := func() {
+		if *jsonOut == "" {
+			return
+		}
+		if err := bench.WriteJSONFile(*jsonOut, jsonRows); err != nil {
+			log.Fatal(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %d rows to %s\n", len(jsonRows), *jsonOut)
+		}
+	}
 	if *what == "all" {
 		for _, name := range []string{"figure1", "table1", "table2", "table3", "table4", "table5", "table6", "anytime", "pathreduction"} {
 			run(name)
 		}
+		writeJSON()
 		return
 	}
 	run(*what)
+	writeJSON()
 }

@@ -51,6 +51,7 @@ func main() {
 		inHi     = flag.Int64("input-hi", 100, "input bound (upper) for exploration")
 		budget   = flag.Int("budget", 40, "repair-loop iteration budget")
 		timeout  = flag.Duration("timeout", 0, "wall-clock repair budget (0 = unbounded); on expiry the best-so-far pool is printed")
+		workers  = flag.Int("workers", 0, "exploration worker pool size (0 = NumCPU); 1 replays the sequential engine")
 		top      = flag.Int("top", 5, "ranked patches to print")
 		cegis    = flag.Bool("cegis", false, "also run the CEGIS baseline for comparison")
 		fuzz     = flag.Bool("fuzz", false, "fuzz for a failing input when -failing is not given")
@@ -91,7 +92,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		runJob(job, dev, *top, *cegis)
+		runJob(job, dev, *top, *cegis, *workers)
 		return
 	case *file != "":
 		src, err := os.ReadFile(*file)
@@ -160,15 +161,15 @@ func main() {
 			InputBounds: bounds,
 			Budget:      cpr.Budget{MaxIterations: *budget},
 		}
-		runJob(job, nil, *top, *cegis)
+		runJob(job, nil, *top, *cegis, *workers)
 		return
 	}
 	flag.Usage()
 	os.Exit(2)
 }
 
-func runJob(job cpr.Job, dev *cpr.Term, top int, withCEGIS bool) {
-	res, err := cpr.Repair(job, cpr.Options{})
+func runJob(job cpr.Job, dev *cpr.Term, top int, withCEGIS bool, workers int) {
+	res, err := cpr.Repair(job, cpr.Options{Workers: workers})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -180,6 +181,8 @@ func runJob(job cpr.Job, dev *cpr.Term, top int, withCEGIS bool) {
 		st.PInit, st.PFinal, st.ReductionRatio()*100)
 	fmt.Printf("paths explored: %d, skipped: %d, refinements: %d, removals: %d\n",
 		st.PathsExplored, st.PathsSkipped, st.Refinements, st.Removals)
+	fmt.Printf("workers: %d, solver queries: %d, cache hit rate: %.1f%%\n",
+		st.Workers, st.SolverQueries, st.CacheHitRate()*100)
 	if n := st.SolverUnknowns + st.SolverPanics + st.ExecPanics + st.FlipsDropped; n > 0 {
 		fmt.Printf("degraded: solver unknowns %d, solver panics %d, exec panics %d, flips requeued %d / dropped %d\n",
 			st.SolverUnknowns, st.SolverPanics, st.ExecPanics, st.FlipsRequeued, st.FlipsDropped)

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// JSONRow is the machine-readable form of one SubjectResult, written by
+// cpr-bench -json: per-subject wall time, exploration effort, solver
+// traffic, and verdict-cache effectiveness.
+type JSONRow struct {
+	Subject string `json:"subject"`
+	Suite   string `json:"suite"`
+	Status  string `json:"status"`
+	Error   string `json:"error,omitempty"`
+	NA      bool   `json:"na,omitempty"`
+
+	WallMS     float64 `json:"wall_ms"`
+	Iterations int     `json:"iterations"` // φE: main-loop concolic executions
+	Skipped    int     `json:"paths_skipped"`
+
+	PInit  int64 `json:"p_init"`
+	PFinal int64 `json:"p_final"`
+	Rank   int   `json:"rank,omitempty"` // 0 = developer patch not covered
+
+	Workers       int     `json:"workers"`
+	SolverQueries uint64  `json:"solver_queries"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+}
+
+// JSONRows converts measured rows for serialization.
+func JSONRows(rows []SubjectResult) []JSONRow {
+	out := make([]JSONRow, 0, len(rows))
+	for _, r := range rows {
+		row := JSONRow{
+			Subject: r.Subject.ID(),
+			Suite:   r.Subject.Suite,
+			Status:  r.Status,
+			NA:      r.NA,
+		}
+		if r.Err != nil {
+			row.Error = r.Err.Error()
+		}
+		if !r.NA && r.Err == nil {
+			row.WallMS = float64(r.Wall.Microseconds()) / 1e3
+			row.Iterations = r.CPR.PathsExplored
+			row.Skipped = r.CPR.PathsSkipped
+			row.PInit = r.CPR.PInit
+			row.PFinal = r.CPR.PFinal
+			if r.RankFound {
+				row.Rank = r.Rank
+			}
+			row.Workers = r.CPR.Workers
+			row.SolverQueries = r.CPR.SolverQueries
+			row.CacheHits = r.CPR.CacheHits
+			row.CacheMisses = r.CPR.CacheMisses
+			row.CacheHitRate = r.CPR.CacheHitRate()
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// WriteJSON writes the rows as an indented JSON array.
+func WriteJSON(w io.Writer, rows []SubjectResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(JSONRows(rows))
+}
+
+// WriteJSONFile writes the rows to path (the cpr-bench -json target).
+func WriteJSONFile(path string, rows []SubjectResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSON(f, rows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

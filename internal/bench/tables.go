@@ -60,7 +60,10 @@ type SubjectResult struct {
 	// with this status instead of aborting the suite.
 	Status string
 
-	CPR        core.Stats
+	CPR core.Stats
+	// Wall is the measured wall-clock time of the CPR run (repair only,
+	// excluding rank computation).
+	Wall       time.Duration
 	Rank       int
 	RankFound  bool
 	CEGISStats cegis.Stats
@@ -114,7 +117,9 @@ func runCPR(s *Subject, opts RunOptions) SubjectResult {
 		return out
 	}
 	job.Budget = subjectBudget(job.Budget, opts)
+	start := time.Now()
 	res, err, panicked := safeRepair(job, opts.Core)
+	out.Wall = time.Since(start)
 	if err != nil {
 		out.Err = err
 		out.Status = StatusError
@@ -270,6 +275,7 @@ func FormatTable1(rows []SubjectResult) string {
 			s.Paper.PInit, s.Paper.PFinal, s.Paper.Ratio, s.Paper.PhiE, s.Paper.PhiS, s.Paper.Rank, note)
 	}
 	b.WriteString(summarizeFindings(rows))
+	b.WriteString(solverSummary(rows))
 	return b.String()
 }
 
@@ -297,7 +303,30 @@ func FormatCPRTable(title string, rows []SubjectResult) string {
 			r.CPR.PathsExplored, r.CPR.PathsSkipped, rank,
 			s.Paper.PInit, s.Paper.PFinal, s.Paper.Ratio, s.Paper.PhiE, s.Paper.PhiS, s.Paper.Rank, note)
 	}
+	b.WriteString(solverSummary(rows))
 	return b.String()
+}
+
+// solverSummary aggregates the engineering-side counters of a run — wall
+// time, SMT queries, verdict-cache traffic — across the table's rows.
+func solverSummary(rows []SubjectResult) string {
+	var wall time.Duration
+	var queries, hits, misses uint64
+	for _, r := range rows {
+		if r.NA {
+			continue
+		}
+		wall += r.Wall
+		queries += r.CPR.SolverQueries
+		hits += r.CPR.CacheHits
+		misses += r.CPR.CacheMisses
+	}
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	return fmt.Sprintf("solver: %d queries, cache hit rate %.1f%% (%d hits / %d misses), wall %s\n",
+		queries, rate*100, hits, misses, wall.Round(time.Millisecond))
 }
 
 func summarizeFindings(rows []SubjectResult) string {

@@ -22,6 +22,7 @@ import (
 	"cpr/internal/lang/interp"
 	"cpr/internal/patch"
 	"cpr/internal/smt"
+	"cpr/internal/smt/cache"
 	"cpr/internal/synth"
 )
 
@@ -59,6 +60,9 @@ type Stats struct {
 	// SolverUnknowns counts degraded solver answers (budget, deadline,
 	// panic); ExecPanics counts recovered subject-execution panics.
 	SolverUnknowns, ExecPanics int
+	// SolverQueries totals SMT queries; CacheHits/CacheMisses count the
+	// verdict cache's traffic from those queries.
+	SolverQueries, CacheHits, CacheMisses uint64
 }
 
 // ReductionRatio is 1 − PFinal/PInit.
@@ -141,6 +145,13 @@ func Repair(job core.Job, opts Options) (*Result, error) {
 	}
 	opts.Cancel = tok
 	opts.SMT.Cancel = tok
+	if opts.SMT.Cache == nil {
+		// Counterexample checks re-solve the same verification constraint
+		// under successively blocked parameter vectors; the verdict cache
+		// answers the repeats (and shares hits with a caller-provided
+		// cache, e.g. cpr-bench running CPR and CEGIS on one subject).
+		opts.SMT.Cache = cache.New(cache.Options{})
+	}
 
 	solver := smt.NewSolver(opts.SMT)
 	templates := synth.Synthesize(job.Components, job.Program.HoleType)
@@ -193,6 +204,7 @@ func Repair(job core.Job, opts Options) (*Result, error) {
 				remaining[idx] = countFeasible(p, blocked)
 				stats.PFinal = sumExcept(remaining, -1)
 				stats.TimedOut = tok.Expired()
+				fillSolverStats(&stats, solver)
 				return &Result{Patch: p, Params: params, Stats: stats}, nil
 			}
 			stats.Counterexamples++
@@ -205,7 +217,15 @@ func Repair(job core.Job, opts Options) (*Result, error) {
 	}
 	stats.PFinal = sumExcept(remaining, -1)
 	stats.TimedOut = tok.Expired()
+	fillSolverStats(&stats, solver)
 	return &Result{Stats: stats}, nil
+}
+
+func fillSolverStats(stats *Stats, solver *smt.Solver) {
+	ss := solver.Stats()
+	stats.SolverQueries = ss.Queries
+	stats.CacheHits = ss.CacheHits
+	stats.CacheMisses = ss.CacheMisses
 }
 
 func sumExcept(counts []int64, skip int) int64 {

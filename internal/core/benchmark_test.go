@@ -1,0 +1,30 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkRepair measures the full repair loop on the div-zero subject at
+// several worker counts (the CI artifact tracks these over time; on a
+// multi-core runner the spread shows the parallel speedup).
+func BenchmarkRepair(b *testing.B) {
+	counts := []int{1, runtime.NumCPU()}
+	if runtime.NumCPU() == 1 {
+		counts = []int{1, 4} // still exercise the goroutine path
+	}
+	for _, n := range counts {
+		b.Run(fmt.Sprintf("workers=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Repair(divZeroJob(), Options{Workers: n})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Pool.Size() == 0 {
+					b.Fatal("empty pool")
+				}
+			}
+		})
+	}
+}

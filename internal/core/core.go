@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"cpr/internal/cancel"
@@ -25,6 +27,7 @@ import (
 	"cpr/internal/mc"
 	"cpr/internal/patch"
 	"cpr/internal/smt"
+	"cpr/internal/smt/cache"
 	"cpr/internal/synth"
 )
 
@@ -110,6 +113,14 @@ type Options struct {
 	// signal handler or another goroutine): like a deadline expiry it
 	// yields the best-so-far Result with Stats.TimedOut set.
 	Cancel *cancel.Token
+	// Workers sizes the exploration worker pool (0 = runtime.NumCPU()).
+	// Per-item solver work — flip feasibility queries and per-patch pool
+	// reduction — fans out across the workers and merges back through the
+	// coordinator in a seeded order, so the plausible-patch pool is
+	// identical for every worker count; Workers=1 additionally replays the
+	// sequential engine's exact call sequence. Only wall-clock budgets
+	// (MaxDuration/Deadline/Cancel) make runs scheduling-dependent.
+	Workers int
 }
 
 // QueuePolicy orders the exploration frontier.
@@ -167,6 +178,25 @@ type Stats struct {
 	// Unknown and that were re-queued once at a reduced solver budget;
 	// FlipsDropped counts those still Unknown on the retry (dropped).
 	FlipsRequeued, FlipsDropped int
+	// Workers is the resolved size of the exploration worker pool.
+	Workers int
+	// SolverQueries totals SMT queries across every worker's solvers
+	// (retry solvers included). CacheHits/CacheMisses count the verdict
+	// cache's traffic from those queries; CacheSubsumed is the subset of
+	// hits answered by unsat-core subsumption rather than an exact entry,
+	// and CacheEvictions counts LRU evictions.
+	SolverQueries                                         uint64
+	CacheHits, CacheMisses, CacheEvictions, CacheSubsumed uint64
+}
+
+// CacheHitRate is CacheHits / (CacheHits + CacheMisses), 0 when no query
+// consulted the cache.
+func (s Stats) CacheHitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
 }
 
 // ReductionRatio is 1 − PFinal/PInit (the tables' Ratio column).
@@ -224,6 +254,14 @@ func Repair(job Job, opts Options) (*Result, error) {
 	// The run-level token also bounds every solver query, so a single
 	// hard query cannot overrun the deadline.
 	opts.SMT.Cancel = tok
+	// Every solver of the run shares one verdict cache: the repair loop
+	// re-poses structurally identical feasibility queries constantly, and
+	// under parallelism the cache also lets workers reuse each other's
+	// answers. A caller-provided cache (e.g. shared across runs) is kept.
+	if opts.SMT.Cache == nil {
+		opts.SMT.Cache = cache.New(cache.Options{})
+	}
+	cacheStart := opts.SMT.Cache.Stats()
 
 	// Phase 1: patch pool construction (§3.3).
 	templates := synth.Synthesize(job.Components, job.Program.HoleType)
@@ -239,7 +277,8 @@ func Repair(job Job, opts Options) (*Result, error) {
 		pool:        pool,
 		tok:         tok,
 	}
-	eng.refiner = &patch.Refiner{Solver: eng.solver, InputBounds: eng.inputBounds()}
+	eng.workers = eng.newWorkers(opts.Workers)
+	eng.curBounds = eng.inputBounds()
 	stats := &Stats{PoolInit: pool.Size()}
 
 	// Phase 1b: validate the pool against each failing input by
@@ -269,14 +308,25 @@ func Repair(job Job, opts Options) (*Result, error) {
 
 	stats.PFinal = pool.CountConcrete()
 	stats.PoolFinal = pool.Size()
-	stats.Refinements = eng.refinements
-	stats.Removals = eng.removals
+	stats.Refinements = int(eng.refinements.Load())
+	stats.Removals = int(eng.removals.Load())
 	stats.TimedOut = eng.tok.Expired()
-	stats.SolverUnknowns = eng.solverUnknowns
-	stats.SolverPanics = eng.solverPanics
-	stats.ExecPanics = eng.execPanics
-	stats.FlipsRequeued = eng.flipsRequeued
-	stats.FlipsDropped = eng.flipsDropped
+	stats.SolverUnknowns = int(eng.solverUnknowns.Load())
+	stats.SolverPanics = int(eng.solverPanics.Load())
+	stats.ExecPanics = int(eng.execPanics.Load())
+	stats.FlipsRequeued = int(eng.flipsRequeued.Load())
+	stats.FlipsDropped = int(eng.flipsDropped.Load())
+	stats.Workers = len(eng.workers)
+	var agg smt.Stats
+	for _, w := range eng.workers {
+		agg = agg.Add(w.solver.Stats()).Add(w.retrySolver.Stats())
+	}
+	stats.SolverQueries = agg.Queries
+	stats.CacheHits = agg.CacheHits
+	stats.CacheMisses = agg.CacheMisses
+	cacheEnd := opts.SMT.Cache.Stats()
+	stats.CacheEvictions = cacheEnd.Evictions - cacheStart.Evictions
+	stats.CacheSubsumed = cacheEnd.Subsumed - cacheStart.Subsumed
 	return &Result{Pool: pool, Ranked: pool.Ranked(), Stats: *stats}, nil
 }
 
@@ -303,26 +353,38 @@ func reducedSMT(o smt.Options) smt.Options {
 	return o
 }
 
-// engine carries the mutable repair state.
+// engine carries the mutable repair state. The coordinator (the explore
+// loop) owns the queue, the pool's membership, and seq; fanOut tasks may
+// only touch their own patch/result slot, the atomic counters, and their
+// workerCtx's solvers.
 type engine struct {
-	job     Job
-	opts    Options
-	solver  *smt.Solver
-	refiner *patch.Refiner
-	pool    *patch.Pool
-	tok     *cancel.Token
+	job    Job
+	opts   Options
+	solver *smt.Solver
+	pool   *patch.Pool
+	tok    *cancel.Token
 	// retrySolver re-solves Unknown flips once at a reduced budget.
 	retrySolver *smt.Solver
+	// workers hold the per-worker solvers; workers[0] aliases
+	// solver/retrySolver. See parallel.go.
+	workers []*workerCtx
+	// curBounds are the input bounds of the explore phase in progress.
+	curBounds map[string]interval.Interval
 
-	refinements    int
-	removals       int
-	solverUnknowns int
-	solverPanics   int
-	execPanics     int
-	flipsRequeued  int
-	flipsDropped   int
-	delCache       map[int]delEntry
-	seq            int
+	// Degradation counters are atomic: workers bump them concurrently, and
+	// sums are order-independent, so they stay deterministic across worker
+	// counts (unlike any order-sensitive aggregate would be).
+	refinements    atomic.Int64
+	removals       atomic.Int64
+	solverUnknowns atomic.Int64
+	solverPanics   atomic.Int64
+	execPanics     atomic.Int64
+	flipsRequeued  atomic.Int64
+	flipsDropped   atomic.Int64
+
+	delMu    sync.Mutex
+	delCache map[int]delEntry
+	seq      int
 }
 
 // noteSolverErr classifies and counts a degraded solver answer; it
@@ -333,9 +395,9 @@ func (e *engine) noteSolverErr(err error) bool {
 	case err == nil:
 		return false
 	case errors.Is(err, smt.ErrSolverPanic):
-		e.solverPanics++
+		e.solverPanics.Add(1)
 	default:
-		e.solverUnknowns++
+		e.solverUnknowns.Add(1)
 	}
 	return true
 }
@@ -387,7 +449,7 @@ type workItem struct {
 // while loop, with PickNewInput realized as a ranked frontier of flips
 // whose patch feasibility has been established (path reduction, §3.4).
 func (e *engine) explore(seeds []map[string]int64, bounds map[string]interval.Interval, maxIter int, stats *Stats, validation bool) {
-	e.refiner.InputBounds = bounds
+	e.curBounds = bounds
 	seen := make(map[uint64]bool) // explored path prefixes in this phase
 	var queue []workItem
 	push := func(it workItem) {
@@ -439,7 +501,7 @@ func (e *engine) explore(seeds []map[string]int64, bounds map[string]interval.In
 			child, ok, unknown := e.pickNewInput(*item.flip, bounds, e.retrySolver)
 			if unknown || !ok {
 				if unknown {
-					e.flipsDropped++
+					e.flipsDropped.Add(1)
 				}
 				stats.PathsSkipped++
 				continue
@@ -482,33 +544,58 @@ func (e *engine) explore(seeds []map[string]int64, bounds map[string]interval.In
 		if exec.HitPatch() {
 			e.reduce(exec, stats, validation)
 		}
-		// Generational search children.
+		// Generational search children. Dedup against seen prefixes in
+		// generation order first; the surviving flips' feasibility queries
+		// (the §3.4 path-reduction work, the loop's dominant solver cost)
+		// are independent of each other, so they fan out across the
+		// workers. The verdicts land in per-flip slots and merge back in
+		// generation order, which is where seq is assigned — so the queue
+		// the next iteration pops from is the same for any worker count.
+		var fresh []concolic.Flip
+		var keys []uint64
 		for _, flip := range concolic.Flips(exec, item.bound) {
 			key := concolic.PathKey(append(append([]*expr.Term{}, flip.Prefix...), flip.Negated))
 			if seen[key] {
 				continue
 			}
 			seen[key] = true
-			child, ok, unknown := e.pickNewInput(flip, bounds, e.solver)
-			if unknown {
+			fresh = append(fresh, flip)
+			keys = append(keys, key)
+		}
+		verdicts := make([]flipVerdict, len(fresh))
+		e.fanOut(len(fresh), func(w *workerCtx, i int) {
+			child, ok, unknown := e.pickNewInput(fresh[i], bounds, w.solver)
+			verdicts[i] = flipVerdict{child: child, ok: ok, unknown: unknown}
+		})
+		for i, v := range verdicts {
+			if v.unknown {
 				// Solver budget/deadline/panic on this flip: re-queue it
 				// once (deprioritized) for the reduced-budget retry pass.
-				f := flip
-				e.flipsRequeued++
+				f := fresh[i]
+				e.flipsRequeued.Add(1)
 				e.seq++
 				push(workItem{flip: &f, retry: true, score: f.Score() - 1000, bound: f.Depth + 1, seq: e.seq})
 				continue
 			}
-			if !ok {
+			if !v.ok {
 				stats.PathsSkipped++
 				continue
 			}
-			child.score += faultinject.RankDelta(key)
+			child := v.child
+			child.score += faultinject.RankDelta(keys[i])
 			e.seq++
 			child.seq = e.seq
 			push(child)
 		}
 	}
+}
+
+// flipVerdict is one flip's path-reduction outcome, computed on a worker
+// and merged by the coordinator.
+type flipVerdict struct {
+	child   workItem
+	ok      bool
+	unknown bool
 }
 
 // safeExecute runs one concolic execution with the run token plumbed in
@@ -517,7 +604,7 @@ func (e *engine) explore(seeds []map[string]int64, bounds map[string]interval.In
 func (e *engine) safeExecute(input map[string]int64, pt *patch.Patch, params expr.Model) (exec *concolic.Execution, panicked bool) {
 	defer func() {
 		if r := recover(); r != nil {
-			e.execPanics++
+			e.execPanics.Add(1)
 			exec, panicked = nil, true
 		}
 	}()
@@ -664,41 +751,58 @@ func (e *engine) boundsWithParams(bounds map[string]interval.Interval, p *patch.
 // reduce is Algorithm 2: for every pool patch compatible with the explored
 // path, refine its parameter constraint against the specification (when
 // the bug location was exercised) and update the ranking.
+//
+// Patches are independent here — each task reads the shared (phi, psi
+// inputs, sigma) and writes only its own patch's Constraint/Score/
+// Deletions — so the per-patch work fans out across the workers. Removals
+// are collected in per-patch slots and committed by the coordinator in
+// pool order, leaving the surviving pool identical for any worker count.
 func (e *engine) reduce(exec *concolic.Execution, stats *Stats, validation bool) {
 	phi := exec.PathConstraint()
 	hitBug := exec.HitBug()
 	sigma := e.instantiateSpec(exec)
 
-	var removed []int
-	for _, p := range e.pool.Patches {
+	patches := e.pool.Patches
+	removed := make([]bool, len(patches))
+	e.fanOut(len(patches), func(w *workerCtx, i int) {
+		p := patches[i]
 		psi := e.patchFormula(p, exec.HoleHits)
 		pi := expr.And(phi, psi, p.ConstraintTerm())
-		b := e.boundsWithParams(e.refiner.InputBounds, p)
-		sat, err := e.solver.IsSat(pi, b)
+		b := e.boundsWithParams(e.curBounds, p)
+		sat, err := w.solver.IsSat(pi, b)
 		if e.noteSolverErr(err) || !sat {
-			continue // cannot reason about ρ on this path
+			return // cannot reason about ρ on this path
 		}
 		if hitBug {
-			refined, err := e.refiner.Refine(phi, psi, sigma, p, p.Constraint)
+			ref := &patch.Refiner{Solver: w.solver, InputBounds: e.curBounds}
+			refined, err := ref.Refine(phi, psi, sigma, p, p.Constraint)
 			if e.noteSolverErr(err) {
-				continue // refinement budget: leave the patch untouched
+				return // refinement budget: leave the patch untouched
 			}
 			if refined.IsEmpty() {
-				removed = append(removed, p.ID)
-				e.removals++
-				continue
+				removed[i] = true
+				e.removals.Add(1)
+				return
 			}
 			if refined.Count() != p.Constraint.Count() {
-				e.refinements++
+				e.refinements.Add(1)
 			}
 			refined.Mode = e.opts.SplitMode
 			p.Constraint = refined
 		}
 		if !validation {
-			e.updateRanking(p, hitBug, exec)
+			e.updateRanking(p, hitBug, exec, w.solver)
+		}
+	})
+	// patches aliases the pool's backing array and Remove shifts it in
+	// place, so collect the doomed IDs before the first removal.
+	var doomed []int
+	for i, rm := range removed {
+		if rm {
+			doomed = append(doomed, patches[i].ID)
 		}
 	}
-	for _, id := range removed {
+	for _, id := range doomed {
 		e.pool.Remove(id)
 	}
 }
@@ -734,12 +838,12 @@ func instantiate(spec *expr.Term, snapshot map[string]*expr.Term) *expr.Term {
 // are deprioritized rather than removed. With ModelCountRanking the
 // evidence is further scaled by the proportion of the partition's inputs
 // the patch fires on (the paper's model-counting fine-tuning).
-func (e *engine) updateRanking(p *patch.Patch, hitBug bool, exec *concolic.Execution) {
+func (e *engine) updateRanking(p *patch.Patch, hitBug bool, exec *concolic.Execution, solver *smt.Solver) {
 	inc := 1.0
 	if hitBug {
 		inc = 3.0
 	}
-	if e.isDeletionLike(p) {
+	if e.isDeletionLike(p, solver) {
 		p.Deletions++
 		inc *= 0.25
 	}
@@ -773,8 +877,8 @@ func (e *engine) firingDamp(p *patch.Patch, exec *concolic.Execution) float64 {
 // mcBounds supplies sampling bounds for the model counter: the inputs'
 // exploration bounds plus boolean patch outputs.
 func (e *engine) mcBounds(exec *concolic.Execution) map[string]interval.Interval {
-	b := make(map[string]interval.Interval, len(e.refiner.InputBounds)+len(exec.HoleHits))
-	for k, v := range e.refiner.InputBounds {
+	b := make(map[string]interval.Interval, len(e.curBounds)+len(exec.HoleHits))
+	for k, v := range e.curBounds {
 		b[k] = v
 	}
 	for _, h := range exec.HoleHits {
@@ -784,32 +888,39 @@ func (e *engine) mcBounds(exec *concolic.Execution) map[string]interval.Interval
 }
 
 // isDeletionLike checks whether the patch forces its guard to a constant
-// for every admissible parameter vector.
-func (e *engine) isDeletionLike(p *patch.Patch) bool {
+// for every admissible parameter vector. Concurrent reduce tasks consult
+// the memo under delMu; each patch ID is owned by one task per batch, so
+// the two solver queries for a given entry never race with its fill.
+func (e *engine) isDeletionLike(p *patch.Patch, solver *smt.Solver) bool {
 	if p.Expr.Sort != expr.SortBool {
 		return false
 	}
 	if p.Expr.IsConst() {
 		return true
 	}
+	cnt := p.Constraint.Count()
+	e.delMu.Lock()
 	if e.delCache == nil {
 		e.delCache = make(map[int]delEntry)
 	}
-	cnt := p.Constraint.Count()
-	if ent, ok := e.delCache[p.ID]; ok && ent.count == cnt {
+	ent, ok := e.delCache[p.ID]
+	e.delMu.Unlock()
+	if ok && ent.count == cnt {
 		return ent.val
 	}
-	b := e.boundsWithParams(e.refiner.InputBounds, p)
+	b := e.boundsWithParams(e.curBounds, p)
 	t := expr.And(p.ConstraintTerm(), expr.Not(p.Expr))
 	f := expr.And(p.ConstraintTerm(), p.Expr)
-	tautology, err1 := e.solver.IsSat(t, b)
-	contradiction, err2 := e.solver.IsSat(f, b)
+	tautology, err1 := solver.IsSat(t, b)
+	contradiction, err2 := solver.IsSat(f, b)
 	bad1, bad2 := e.noteSolverErr(err1), e.noteSolverErr(err2)
 	val := false
 	if !bad1 && !bad2 {
 		val = !tautology || !contradiction
 	}
+	e.delMu.Lock()
 	e.delCache[p.ID] = delEntry{count: cnt, val: val}
+	e.delMu.Unlock()
 	return val
 }
 

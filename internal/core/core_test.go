@@ -211,7 +211,7 @@ func TestPickNewInputPathReduction(t *testing.T) {
 			solver: smt.NewSolver(smt.Options{}),
 			pool:   &patch.Pool{Patches: []*patch.Patch{collapsed.Clone()}},
 		}
-		e.refiner = &patch.Refiner{Solver: e.solver, InputBounds: e.inputBounds()}
+		e.curBounds = e.inputBounds()
 		return e
 	}
 	flip := concolic.Flip{

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cpr/internal/smt"
+)
+
+// workerCtx is the per-worker slice of engine state: its own solvers, so
+// parallel tasks never contend on solver internals. workers[0] aliases the
+// engine's own solvers — with Workers=1 the engine runs every query on
+// exactly the solver instances the sequential engine would.
+type workerCtx struct {
+	solver      *smt.Solver
+	retrySolver *smt.Solver
+}
+
+// newWorkers builds the worker pool. The first worker wraps the engine's
+// existing solvers; the rest get fresh solvers with identical options
+// (sharing opts.SMT.Cache, so work one worker does is a hit for all).
+func (e *engine) newWorkers(n int) []*workerCtx {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	ws := make([]*workerCtx, n)
+	ws[0] = &workerCtx{solver: e.solver, retrySolver: e.retrySolver}
+	for i := 1; i < n; i++ {
+		ws[i] = &workerCtx{
+			solver:      smt.NewSolver(e.opts.SMT),
+			retrySolver: smt.NewSolver(reducedSMT(e.opts.SMT)),
+		}
+	}
+	return ws
+}
+
+// fanOut runs fn(worker, i) for every i in [0, n), spreading indices over
+// the engine's workers via an atomic work-stealing counter. Determinism
+// contract: callers only pass fn whose effect on shared state for index i
+// is independent of the other indices' scheduling (results slots, per-item
+// state, atomic counters), so any interleaving computes the same values —
+// the coordinator then merges them in index order.
+//
+// With a single worker (or a single task) the loop runs inline on
+// workers[0], with no goroutines: Options.Workers=1 replays the sequential
+// engine's exact call sequence.
+//
+// A panicking task does not kill the process or lose the batch: panics are
+// captured per index and the lowest-index one is re-raised on the caller
+// after the batch drains, mirroring where the sequential loop would have
+// thrown.
+func (e *engine) fanOut(n int, fn func(w *workerCtx, i int)) {
+	if n <= 0 {
+		return
+	}
+	if len(e.workers) == 1 || n == 1 {
+		w := e.workers[0]
+		for i := 0; i < n; i++ {
+			fn(w, i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		panicked atomic.Bool
+		wg       sync.WaitGroup
+	)
+	panics := make([]any, n)
+	nw := len(e.workers)
+	if nw > n {
+		nw = n
+	}
+	for wi := 0; wi < nw; wi++ {
+		w := e.workers[wi]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				runTask(w, i, fn, panics, &panicked)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		for _, r := range panics {
+			if r != nil {
+				panic(r)
+			}
+		}
+	}
+}
+
+func runTask(w *workerCtx, i int, fn func(w *workerCtx, i int), panics []any, panicked *atomic.Bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panics[i] = r
+			panicked.Store(true)
+		}
+	}()
+	fn(w, i)
+}

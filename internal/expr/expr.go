@@ -95,13 +95,32 @@ type Term struct {
 }
 
 // interner deduplicates terms so that structural equality coincides with
-// pointer equality.
+// pointer equality. It is sharded by hash: term construction is the
+// hottest shared operation in the system (every path constraint, patch
+// formula, and solver rewrite goes through it), and the repair engine
+// builds terms from many worker goroutines concurrently, so a single
+// mutex would serialize all of them.
 type interner struct {
+	shards [internShards]internShard
+}
+
+type internShard struct {
 	mu      sync.Mutex
 	buckets map[uint64][]*Term
 }
 
-var terms = &interner{buckets: make(map[uint64][]*Term)}
+// internShards is a power of two so shard selection is a mask.
+const internShards = 64
+
+var terms = newInterner()
+
+func newInterner() *interner {
+	in := &interner{}
+	for i := range in.shards {
+		in.shards[i].buckets = make(map[uint64][]*Term)
+	}
+	return in
+}
 
 const (
 	fnvOffset = 14695981039346656037
@@ -141,14 +160,15 @@ func sameTerm(a, b *Term) bool {
 // intern returns the canonical representative of t.
 func intern(t *Term) *Term {
 	t.hash = hashTerm(t)
-	terms.mu.Lock()
-	defer terms.mu.Unlock()
-	for _, c := range terms.buckets[t.hash] {
+	sh := &terms.shards[t.hash&(internShards-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, c := range sh.buckets[t.hash] {
 		if sameTerm(c, t) {
 			return c
 		}
 	}
-	terms.buckets[t.hash] = append(terms.buckets[t.hash], t)
+	sh.buckets[t.hash] = append(sh.buckets[t.hash], t)
 	return t
 }
 

@@ -1,0 +1,97 @@
+// Fault injection under parallel exploration: with Workers > 1 the fault
+// plan's counters are consumed by racing worker solvers, so *which* query
+// faults is scheduling-dependent — but every soundness invariant of the
+// sequential suite must still hold: no error, no spurious removals
+// relative to an unfaulted run, developer patch still covered, and the
+// degradation visible in Stats.
+package faultinject_test
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"cpr/internal/core"
+	"cpr/internal/faultinject"
+)
+
+func faultWorkers() int {
+	if s := os.Getenv("CPR_TEST_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 4
+}
+
+func runFaultedParallel(t *testing.T, plan *faultinject.Plan) *core.Result {
+	t.Helper()
+	faultinject.Activate(plan)
+	defer faultinject.Deactivate()
+	res, err := core.Repair(divZeroJob(), core.Options{Workers: faultWorkers()})
+	if err != nil {
+		t.Fatalf("faulted parallel Repair: %v", err)
+	}
+	return res
+}
+
+func TestParallelRepairUnderSolverTimeout(t *testing.T) {
+	base := survivorIDs(runUnfaulted(t))
+	res := runFaultedParallel(t, &faultinject.Plan{SolverEvery: 3, SolverKind: faultinject.SolverTimeout})
+	checkSound(t, res, base)
+	if res.Stats.SolverUnknowns == 0 {
+		t.Errorf("degradation invisible: %+v", res.Stats)
+	}
+}
+
+func TestParallelRepairUnderSolverFail(t *testing.T) {
+	base := survivorIDs(runUnfaulted(t))
+	res := runFaultedParallel(t, &faultinject.Plan{SolverEvery: 3, SolverKind: faultinject.SolverFail})
+	checkSound(t, res, base)
+	if res.Stats.SolverUnknowns == 0 {
+		t.Errorf("degradation invisible: %+v", res.Stats)
+	}
+}
+
+func TestParallelRepairUnderSolverPanic(t *testing.T) {
+	base := survivorIDs(runUnfaulted(t))
+	res := runFaultedParallel(t, &faultinject.Plan{SolverEvery: 4, SolverKind: faultinject.SolverPanic})
+	checkSound(t, res, base)
+	if res.Stats.SolverPanics == 0 {
+		t.Errorf("solver panics not counted: %+v", res.Stats)
+	}
+}
+
+func TestParallelRepairUnderExecPanic(t *testing.T) {
+	base := survivorIDs(runUnfaulted(t))
+	res := runFaultedParallel(t, &faultinject.Plan{ExecPanicEvery: 4})
+	checkSound(t, res, base)
+	if res.Stats.ExecPanics == 0 {
+		t.Errorf("exec panics not counted: %+v", res.Stats)
+	}
+}
+
+func TestParallelRepairFaultsPlusDeadline(t *testing.T) {
+	job := divZeroJob()
+	job.Budget.MaxIterations = 1 << 20
+	// Small enough to fire mid-run even with the verdict cache absorbing
+	// repeat queries (the parallel run drains its queue faster than the
+	// sequential one).
+	job.Budget.MaxDuration = 5 * time.Millisecond
+	faultinject.Activate(&faultinject.Plan{SolverEvery: 2, SolverKind: faultinject.SolverTimeout})
+	defer faultinject.Deactivate()
+	res, err := core.Repair(job, core.Options{Workers: faultWorkers()})
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if !res.Stats.TimedOut {
+		t.Fatalf("Stats.TimedOut not set: %+v", res.Stats)
+	}
+	if res.Pool.Size() == 0 {
+		t.Fatal("faulted parallel deadline run lost the pool")
+	}
+	if len(res.Ranked) != len(res.Pool.Patches) {
+		t.Fatal("ranking inconsistent with pool")
+	}
+}

@@ -1,0 +1,78 @@
+package smt
+
+import (
+	"testing"
+
+	"cpr/internal/expr"
+	"cpr/internal/interval"
+	"cpr/internal/smt/cache"
+)
+
+// benchFormula is a repair-shaped query: a path constraint conjoined with
+// a parametric patch guard.
+func benchFormula(k int64) *expr.Term {
+	x := expr.IntVar("x")
+	y := expr.IntVar("y")
+	a := expr.IntVar("a")
+	return expr.And(
+		expr.Ge(x, expr.Int(0)),
+		expr.Lt(x, expr.Int(50+k)),
+		expr.Ne(y, expr.Int(0)),
+		expr.Ge(expr.Add(x, y), a),
+		expr.Le(a, expr.Int(10)),
+		expr.Ge(a, expr.Int(-10)),
+	)
+}
+
+var benchBounds = map[string]interval.Interval{
+	"x": interval.New(-100, 100),
+	"y": interval.New(-100, 100),
+	"a": interval.New(-10, 10),
+}
+
+// BenchmarkSolverCheck measures a raw solve: a fresh query every
+// iteration, no cache in front.
+func BenchmarkSolverCheck(b *testing.B) {
+	s := NewSolver(Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Check(benchFormula(int64(i%8)), benchBounds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Status != Sat {
+			b.Fatalf("status %v", res.Status)
+		}
+	}
+}
+
+// BenchmarkSolverCheckCached measures the same query stream with the
+// verdict cache in front: after the first 8 queries every check is a hit,
+// so this is the cache's hot-path cost (canonical bounds key + one map
+// probe) rather than a solve.
+func BenchmarkSolverCheckCached(b *testing.B) {
+	s := NewSolver(Options{Cache: cache.New(cache.Options{})})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Check(benchFormula(int64(i%8)), benchBounds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Status != Sat {
+			b.Fatalf("status %v", res.Status)
+		}
+	}
+}
+
+// BenchmarkTermHash measures hash-consed term construction: every
+// constructor call hashes the candidate node and probes the interner, so
+// building a formula tree is the hashing hot path the cache key relies on.
+func BenchmarkTermHash(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := benchFormula(int64(i % 16))
+		if f.Op != expr.OpAnd {
+			b.Fatal("unexpected shape")
+		}
+	}
+}

@@ -1,0 +1,303 @@
+// Package cache memoizes SMT verdicts. The repair loop re-solves
+// structurally identical QF_LIA queries constantly — every branch flip
+// re-checks patch feasibility against the same path prefix, and parallel
+// workers race to answer the same pick-new-input queries — so a verdict
+// cache in front of the solver removes a large share of the total solver
+// work.
+//
+// Keying is exact and cheap because terms are hash-consed (package expr):
+// a query is identified by the interned formula pointer plus a canonical
+// rendering of its bounds map (including the solver's default bounds, which
+// affect both the verdict and the model). Two extras beyond plain
+// memoization:
+//
+//   - Models are cached alongside sat verdicts and returned as copies, so
+//     a hit is indistinguishable from re-solving (the solver is
+//     deterministic for a fixed query and options).
+//   - Unsat verdicts additionally feed a bounded subsumption index: a
+//     query whose top-level conjunct set is a superset of a cached-unsat
+//     conjunct set, over variable domains no wider than the cached ones,
+//     is unsat without solving.
+//
+// A Cache is safe for concurrent use by many solvers.
+package cache
+
+import (
+	"container/list"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"cpr/internal/expr"
+	"cpr/internal/interval"
+)
+
+// Options bounds the cache.
+type Options struct {
+	// MaxEntries caps the exact verdict/model entries (LRU eviction).
+	// Zero means 4096.
+	MaxEntries int
+	// MaxUnsatCores caps the subsumption index (LRU eviction). Zero
+	// means 256.
+	MaxUnsatCores int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxEntries == 0 {
+		o.MaxEntries = 4096
+	}
+	if o.MaxUnsatCores == 0 {
+		o.MaxUnsatCores = 256
+	}
+	return o
+}
+
+// Stats counts cache traffic. Subsumed is the subset of Hits answered by
+// the unsat-subsumption index rather than an exact entry.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Subsumed  uint64
+}
+
+// Value is a cached verdict: Sat with its model, or unsat.
+type Value struct {
+	Sat   bool
+	Model expr.Model
+}
+
+type key struct {
+	f      *expr.Term
+	bounds string
+}
+
+type entry struct {
+	key   key
+	value Value
+}
+
+// unsatCore records why a formula was unsat: its top-level conjuncts and
+// the effective domain of each of its variables. Any query that asserts
+// at least these conjuncts over domains contained in these is unsat too.
+type unsatCore struct {
+	conjuncts map[*expr.Term]struct{}
+	bounds    map[string]interval.Interval
+}
+
+// Cache is a bounded memo table of solver verdicts.
+type Cache struct {
+	mu      sync.Mutex
+	opts    Options
+	entries map[key]*list.Element
+	lru     *list.List // of *entry; front = most recently used
+	cores   *list.List // of *unsatCore; front = most recently added/hit
+	stats   Stats
+}
+
+// New returns an empty cache.
+func New(opts Options) *Cache {
+	return &Cache{
+		opts:    opts.withDefaults(),
+		entries: make(map[key]*list.Element),
+		lru:     list.New(),
+		cores:   list.New(),
+	}
+}
+
+// Stats returns a snapshot of the traffic counters. A nil cache has
+// zero stats.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of exact entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Lookup returns the cached verdict for f under the given bounds (def is
+// the solver's default domain for unbounded integer variables). The model
+// of a sat hit is a copy; callers may mutate it freely.
+func (c *Cache) Lookup(f *expr.Term, bounds map[string]interval.Interval, def interval.Interval) (Value, bool) {
+	if c == nil {
+		return Value{}, false
+	}
+	k := key{f: f, bounds: boundsKey(bounds, def)}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		v := el.Value.(*entry).value
+		return Value{Sat: v.Sat, Model: v.Model.Clone()}, true
+	}
+	if c.subsumedUnsat(f, bounds, def) {
+		c.stats.Hits++
+		c.stats.Subsumed++
+		return Value{Sat: false}, true
+	}
+	c.stats.Misses++
+	return Value{}, false
+}
+
+// Store records a decisive verdict for f under the given bounds. Unknown
+// answers must not be stored — they depend on budgets, not on the query.
+func (c *Cache) Store(f *expr.Term, bounds map[string]interval.Interval, def interval.Interval, v Value) {
+	if c == nil {
+		return
+	}
+	k := key{f: f, bounds: boundsKey(bounds, def)}
+	v.Model = v.Model.Clone()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		// Concurrent workers race to fill the same slot; the solver is
+		// deterministic, so the values agree and either may win.
+		el.Value.(*entry).value = v
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.lru.PushFront(&entry{key: k, value: v})
+	for len(c.entries) > c.opts.MaxEntries {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*entry).key)
+		c.stats.Evictions++
+	}
+	if !v.Sat {
+		c.addCore(f, bounds, def)
+	}
+}
+
+// addCore indexes an unsat formula for subsumption. Caller holds c.mu.
+func (c *Cache) addCore(f *expr.Term, bounds map[string]interval.Interval, def interval.Interval) {
+	core := &unsatCore{
+		conjuncts: conjunctSet(f),
+		bounds:    make(map[string]interval.Interval),
+	}
+	for _, v := range expr.Vars(f) {
+		if v.Sort != expr.SortInt {
+			continue
+		}
+		if iv, ok := bounds[v.Name]; ok {
+			core.bounds[v.Name] = iv
+		} else {
+			core.bounds[v.Name] = def
+		}
+	}
+	// An empty domain for a variable outside f makes the whole query unsat
+	// for a reason the conjunct set cannot witness (the solver pins every
+	// bounded variable, occurring or not); such a verdict must not be
+	// generalized to other bounds maps.
+	for name, iv := range bounds {
+		if iv.IsEmpty() {
+			if _, ok := core.bounds[name]; !ok {
+				return
+			}
+		}
+	}
+	c.cores.PushFront(core)
+	for c.cores.Len() > c.opts.MaxUnsatCores {
+		c.cores.Remove(c.cores.Back())
+	}
+}
+
+// subsumedUnsat reports whether a cached unsat core proves f unsat: the
+// core's conjuncts are a subset of f's and every core variable's domain in
+// this query is contained in the core's. Any model of f within its bounds
+// would then satisfy the core formula within the core's bounds — which has
+// none. Caller holds c.mu.
+func (c *Cache) subsumedUnsat(f *expr.Term, bounds map[string]interval.Interval, def interval.Interval) bool {
+	if c.cores.Len() == 0 {
+		return false
+	}
+	have := conjunctSet(f)
+	for el := c.cores.Front(); el != nil; el = el.Next() {
+		core := el.Value.(*unsatCore)
+		if matches(core, have, bounds, def) {
+			c.cores.MoveToFront(el)
+			return true
+		}
+	}
+	return false
+}
+
+func matches(core *unsatCore, have map[*expr.Term]struct{}, bounds map[string]interval.Interval, def interval.Interval) bool {
+	if len(core.conjuncts) > len(have) {
+		return false
+	}
+	for t := range core.conjuncts {
+		if _, ok := have[t]; !ok {
+			return false
+		}
+	}
+	for name, civ := range core.bounds {
+		qiv := def
+		if iv, ok := bounds[name]; ok {
+			qiv = iv
+		}
+		if !contains(civ, qiv) {
+			return false
+		}
+	}
+	return true
+}
+
+// contains reports outer ⊇ inner (an empty inner is contained in anything).
+func contains(outer, inner interval.Interval) bool {
+	return inner.IsEmpty() || (outer.Lo <= inner.Lo && inner.Hi <= outer.Hi)
+}
+
+// conjunctSet decomposes f into its top-level conjuncts (f itself when it
+// is not a conjunction). Terms are interned, so the pointers identify the
+// conjuncts structurally.
+func conjunctSet(f *expr.Term) map[*expr.Term]struct{} {
+	set := make(map[*expr.Term]struct{})
+	if f.Op == expr.OpAnd {
+		for _, a := range f.Args {
+			set[a] = struct{}{}
+		}
+	} else {
+		set[f] = struct{}{}
+	}
+	return set
+}
+
+// boundsKey renders a bounds map canonically. The default domain is part
+// of the key: it determines both the verdict (domains of unlisted
+// variables) and the model that fillModel produces.
+func boundsKey(bounds map[string]interval.Interval, def interval.Interval) string {
+	var b strings.Builder
+	b.WriteString("d")
+	writeIv(&b, def)
+	if len(bounds) == 0 {
+		return b.String()
+	}
+	names := make([]string, 0, len(bounds))
+	for name := range bounds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b.WriteByte(';')
+		b.WriteString(name)
+		writeIv(&b, bounds[name])
+	}
+	return b.String()
+}
+
+func writeIv(b *strings.Builder, iv interval.Interval) {
+	b.WriteByte(':')
+	b.WriteString(strconv.FormatInt(iv.Lo, 10))
+	b.WriteByte(':')
+	b.WriteString(strconv.FormatInt(iv.Hi, 10))
+}

@@ -23,12 +23,14 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"cpr/internal/cancel"
 	"cpr/internal/expr"
 	"cpr/internal/faultinject"
 	"cpr/internal/interval"
+	"cpr/internal/smt/cache"
 	"cpr/internal/smt/lia"
 	"cpr/internal/smt/sat"
 )
@@ -83,6 +85,11 @@ type Options struct {
 	// (deadline or explicit cancellation). The repair engine installs its
 	// run-level token here so solver work stops with the run.
 	Cancel *cancel.Token
+	// Cache, when non-nil, memoizes decisive verdicts (and sat models)
+	// across queries. A cache may be shared by any number of solvers;
+	// hits return exactly what re-solving would, so sharing does not
+	// change results, only speed.
+	Cache *cache.Cache
 }
 
 func (o Options) withDefaults() Options {
@@ -106,13 +113,46 @@ type Stats struct {
 	// boundary. Both degrade to Unknown answers.
 	Unknowns uint64
 	Panics   uint64
+	// CacheHits/CacheMisses count verdict-cache traffic from this solver's
+	// queries (zero when Options.Cache is nil). Hits are included in
+	// Queries and in Sat/UnsatAnswers.
+	CacheHits   uint64
+	CacheMisses uint64
+}
+
+// Add returns the fieldwise sum of two stats snapshots — the aggregate of
+// several solvers (e.g. one per worker) is itself a Stats.
+func (a Stats) Add(b Stats) Stats {
+	a.Queries += b.Queries
+	a.TheoryRounds += b.TheoryRounds
+	a.SatAnswers += b.SatAnswers
+	a.UnsatAnswers += b.UnsatAnswers
+	a.Unknowns += b.Unknowns
+	a.Panics += b.Panics
+	a.CacheHits += b.CacheHits
+	a.CacheMisses += b.CacheMisses
+	return a
+}
+
+// solverStats is the live, atomically-updated form of Stats, so Stats()
+// snapshots are race-free even while another goroutine is mid-query.
+type solverStats struct {
+	queries      atomic.Uint64
+	theoryRounds atomic.Uint64
+	satAnswers   atomic.Uint64
+	unsatAnswers atomic.Uint64
+	unknowns     atomic.Uint64
+	panics       atomic.Uint64
+	cacheHits    atomic.Uint64
+	cacheMisses  atomic.Uint64
 }
 
 // Solver answers satisfiability queries. The zero value is not usable;
-// construct with NewSolver. Solvers are not safe for concurrent use.
+// construct with NewSolver. A Solver is not safe for concurrent Check
+// calls, but Stats() may be called from any goroutine at any time.
 type Solver struct {
 	opts  Options
-	stats Stats
+	stats solverStats
 }
 
 // NewSolver returns a Solver with the given options.
@@ -120,8 +160,20 @@ func NewSolver(opts Options) *Solver {
 	return &Solver{opts: opts.withDefaults()}
 }
 
-// Stats returns accumulated counters.
-func (s *Solver) Stats() Stats { return s.stats }
+// Stats returns a consistent snapshot of the accumulated counters. It is
+// safe to call concurrently with queries on this solver.
+func (s *Solver) Stats() Stats {
+	return Stats{
+		Queries:      s.stats.queries.Load(),
+		TheoryRounds: s.stats.theoryRounds.Load(),
+		SatAnswers:   s.stats.satAnswers.Load(),
+		UnsatAnswers: s.stats.unsatAnswers.Load(),
+		Unknowns:     s.stats.unknowns.Load(),
+		Panics:       s.stats.panics.Load(),
+		CacheHits:    s.stats.cacheHits.Load(),
+		CacheMisses:  s.stats.cacheMisses.Load(),
+	}
+}
 
 // ErrBudget is returned when a resource limit is exceeded. Budget errors
 // produced by Check are *BudgetError values wrapping this sentinel, so
@@ -182,11 +234,11 @@ func (s *Solver) Check(f *expr.Term, bounds map[string]interval.Interval) (res R
 	if f.Sort != expr.SortBool {
 		return Result{}, fmt.Errorf("smt: Check: formula has sort %v, want Bool", f.Sort)
 	}
-	s.stats.Queries++
+	query := s.stats.queries.Add(1)
 	defer func() {
 		if r := recover(); r != nil {
-			s.stats.Panics++
-			s.stats.Unknowns++
+			s.stats.panics.Add(1)
+			s.stats.unknowns.Add(1)
 			res = Result{Status: Unknown}
 			err = fmt.Errorf("%w: %v", ErrSolverPanic, r)
 		}
@@ -195,19 +247,42 @@ func (s *Solver) Check(f *expr.Term, bounds map[string]interval.Interval) (res R
 	case faultinject.SolverPanic:
 		panic(faultinject.PanicMsg)
 	case faultinject.SolverTimeout:
-		s.stats.Unknowns++
-		return Result{Status: Unknown}, &BudgetError{Stage: "fault-injection", Query: s.stats.Queries}
+		s.stats.unknowns.Add(1)
+		return Result{Status: Unknown}, &BudgetError{Stage: "fault-injection", Query: query}
 	case faultinject.SolverFail:
 		return Result{}, faultinject.ErrInjected
+	}
+	if c := s.opts.Cache; c != nil {
+		if v, ok := c.Lookup(f, bounds, s.opts.DefaultBounds); ok {
+			s.stats.cacheHits.Add(1)
+			if v.Sat {
+				s.stats.satAnswers.Add(1)
+				return Result{Status: Sat, Model: v.Model}, nil
+			}
+			s.stats.unsatAnswers.Add(1)
+			return Result{Status: Unsat}, nil
+		}
+		s.stats.cacheMisses.Add(1)
 	}
 	qtok := s.opts.Cancel
 	if s.opts.MaxQueryDuration > 0 {
 		qtok = cancel.WithTimeout(qtok, s.opts.MaxQueryDuration)
 	}
-	return s.check(f, bounds, qtok)
+	res, err = s.check(f, bounds, qtok, query)
+	if err == nil && s.opts.Cache != nil {
+		// Only decisive verdicts are cacheable: Unknown reflects a budget,
+		// not the query.
+		switch res.Status {
+		case Sat:
+			s.opts.Cache.Store(f, bounds, s.opts.DefaultBounds, cache.Value{Sat: true, Model: res.Model})
+		case Unsat:
+			s.opts.Cache.Store(f, bounds, s.opts.DefaultBounds, cache.Value{Sat: false})
+		}
+	}
+	return res, err
 }
 
-func (s *Solver) check(f *expr.Term, bounds map[string]interval.Interval, qtok *cancel.Token) (Result, error) {
+func (s *Solver) check(f *expr.Term, bounds map[string]interval.Interval, qtok *cancel.Token, query uint64) (Result, error) {
 	f = expr.Simplify(f)
 
 	// Purify div/rem/ite, then re-simplify so new atoms are canonical.
@@ -222,10 +297,10 @@ func (s *Solver) check(f *expr.Term, bounds map[string]interval.Interval, qtok *
 	case g.IsTrue():
 		m := expr.Model{}
 		fillModel(m, nil, bounds, s.opts.DefaultBounds)
-		s.stats.SatAnswers++
+		s.stats.satAnswers.Add(1)
 		return Result{Status: Sat, Model: m}, nil
 	case g.IsFalse():
-		s.stats.UnsatAnswers++
+		s.stats.unsatAnswers.Add(1)
 		return Result{Status: Unsat}, nil
 	}
 
@@ -236,15 +311,15 @@ func (s *Solver) check(f *expr.Term, bounds map[string]interval.Interval, qtok *
 		enc.sat.Stop = qtok.Expired
 	}
 	if !enc.sat.AddClause(root) {
-		s.stats.UnsatAnswers++
+		s.stats.unsatAnswers.Add(1)
 		return Result{Status: Unsat}, nil
 	}
 	conflictsAtStart := enc.sat.Statist.Conflicts
 	budgetErr := func(stage string, round int, detail error) error {
-		s.stats.Unknowns++
+		s.stats.unknowns.Add(1)
 		return &BudgetError{
 			Stage:        stage,
-			Query:        s.stats.Queries,
+			Query:        query,
 			TheoryRounds: round,
 			Conflicts:    enc.sat.Statist.Conflicts - conflictsAtStart,
 			Clauses:      enc.sat.NumClauses(),
@@ -272,10 +347,10 @@ func (s *Solver) check(f *expr.Term, bounds map[string]interval.Interval, qtok *
 		if qtok.Expired() {
 			return Result{Status: Unknown}, budgetErr("deadline", round, qtok.Err())
 		}
-		s.stats.TheoryRounds++
+		s.stats.theoryRounds.Add(1)
 		switch enc.sat.Solve() {
 		case sat.Unsat:
-			s.stats.UnsatAnswers++
+			s.stats.unsatAnswers.Add(1)
 			return Result{Status: Unsat}, nil
 		case sat.Unknown:
 			stage := "sat-conflicts"
@@ -327,7 +402,7 @@ func (s *Solver) check(f *expr.Term, bounds map[string]interval.Interval, qtok *
 				}
 			}
 			fillModel(m, g, bounds, s.opts.DefaultBounds)
-			s.stats.SatAnswers++
+			s.stats.satAnswers.Add(1)
 			return Result{Status: Sat, Model: m}, nil
 		}
 		// Theory conflict: block this support set.
@@ -336,7 +411,7 @@ func (s *Solver) check(f *expr.Term, bounds map[string]interval.Interval, qtok *
 			block[i] = l.Not()
 		}
 		if !enc.sat.AddClause(block...) {
-			s.stats.UnsatAnswers++
+			s.stats.unsatAnswers.Add(1)
 			return Result{Status: Unsat}, nil
 		}
 	}
