@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"cpr"
 	"cpr/internal/bench"
@@ -22,17 +24,50 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cpr-bench: ")
 	var (
-		what    = flag.String("what", "all", "what to run: figure1, table1..table6, anytime, pathreduction, all")
-		budget  = flag.Int("budget", 0, "override per-subject iteration budget (0 = subject defaults)")
-		timeout = flag.Duration("timeout", 0, "per-subject wall-clock cap (0 = unbounded); hung subjects become timeout rows")
-		workers = flag.Int("workers", 0, "exploration worker pool size (0 = NumCPU); 1 replays the sequential engine")
-		jsonOut = flag.String("json", "", "write per-subject measurements (wall time, iterations, solver queries, cache hit rate) to this JSON file")
-		quiet   = flag.Bool("q", false, "suppress progress lines")
+		what        = flag.String("what", "all", "what to run: figure1, table1..table6, anytime, pathreduction, all")
+		budget      = flag.Int("budget", 0, "override per-subject iteration budget (0 = subject defaults)")
+		timeout     = flag.Duration("timeout", 0, "per-subject wall-clock cap (0 = unbounded); hung subjects become timeout rows")
+		workers     = flag.Int("workers", 0, "exploration worker pool size (0 = NumCPU); 1 replays the sequential engine")
+		incremental = flag.Bool("incremental", true, "use incremental solver contexts (persistent encodings, retained learned clauses); results are identical either way")
+		jsonOut     = flag.String("json", "", "write per-subject measurements (wall time, iterations, solver queries, cache hit rate) to this JSON file")
+		quiet       = flag.Bool("q", false, "suppress progress lines")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+
 	opts := bench.RunOptions{SubjectTimeout: *timeout}
 	opts.Core.Workers = *workers
+	opts.Core.SMT.Incremental = *incremental
+	opts.CEGIS.SMT.Incremental = *incremental
+	opts.Baselines.SMT.Incremental = *incremental
 	if *budget > 0 {
 		opts.Budget = core.Budget{MaxIterations: *budget, ValidationIterations: 8}
 	}

@@ -52,6 +52,7 @@ func main() {
 		budget   = flag.Int("budget", 40, "repair-loop iteration budget")
 		timeout  = flag.Duration("timeout", 0, "wall-clock repair budget (0 = unbounded); on expiry the best-so-far pool is printed")
 		workers  = flag.Int("workers", 0, "exploration worker pool size (0 = NumCPU); 1 replays the sequential engine")
+		incr     = flag.Bool("incremental", true, "use incremental solver contexts (persistent encodings, retained learned clauses); results are identical either way")
 		top      = flag.Int("top", 5, "ranked patches to print")
 		cegis    = flag.Bool("cegis", false, "also run the CEGIS baseline for comparison")
 		fuzz     = flag.Bool("fuzz", false, "fuzz for a failing input when -failing is not given")
@@ -92,7 +93,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		runJob(job, dev, *top, *cegis, *workers)
+		runJob(job, dev, *top, *cegis, *workers, *incr)
 		return
 	case *file != "":
 		src, err := os.ReadFile(*file)
@@ -161,15 +162,17 @@ func main() {
 			InputBounds: bounds,
 			Budget:      cpr.Budget{MaxIterations: *budget},
 		}
-		runJob(job, nil, *top, *cegis, *workers)
+		runJob(job, nil, *top, *cegis, *workers, *incr)
 		return
 	}
 	flag.Usage()
 	os.Exit(2)
 }
 
-func runJob(job cpr.Job, dev *cpr.Term, top int, withCEGIS bool, workers int) {
-	res, err := cpr.Repair(job, cpr.Options{Workers: workers})
+func runJob(job cpr.Job, dev *cpr.Term, top int, withCEGIS bool, workers int, incremental bool) {
+	opts := cpr.Options{Workers: workers}
+	opts.SMT.Incremental = incremental
+	res, err := cpr.Repair(job, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -183,6 +186,11 @@ func runJob(job cpr.Job, dev *cpr.Term, top int, withCEGIS bool, workers int) {
 		st.PathsExplored, st.PathsSkipped, st.Refinements, st.Removals)
 	fmt.Printf("workers: %d, solver queries: %d, cache hit rate: %.1f%%\n",
 		st.Workers, st.SolverQueries, st.CacheHitRate()*100)
+	if total := st.EncodeCacheHits + st.EncodeCacheMisses; total > 0 {
+		fmt.Printf("incremental: enc-cache hit rate %.1f%%, clauses %d learned / %d kept / %d deleted, %d unsat cores\n",
+			float64(st.EncodeCacheHits)/float64(total)*100,
+			st.ClausesLearned, st.ClausesKept, st.ClausesDeleted, st.AssumptionCores)
+	}
 	if n := st.SolverUnknowns + st.SolverPanics + st.ExecPanics + st.FlipsDropped; n > 0 {
 		fmt.Printf("degraded: solver unknowns %d, solver panics %d, exec panics %d, flips requeued %d / dropped %d\n",
 			st.SolverUnknowns, st.SolverPanics, st.ExecPanics, st.FlipsRequeued, st.FlipsDropped)

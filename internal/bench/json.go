@@ -29,6 +29,15 @@ type JSONRow struct {
 	CacheHits     uint64  `json:"cache_hits"`
 	CacheMisses   uint64  `json:"cache_misses"`
 	CacheHitRate  float64 `json:"cache_hit_rate"`
+
+	// Incremental-solver counters; omitted when the run used scratch mode.
+	EncCacheHits       uint64 `json:"enc_cache_hits,omitempty"`
+	EncCacheMisses     uint64 `json:"enc_cache_misses,omitempty"`
+	ClausesLearned     uint64 `json:"clauses_learned,omitempty"`
+	ClausesKept        uint64 `json:"clauses_kept,omitempty"`
+	ClausesDeleted     uint64 `json:"clauses_deleted,omitempty"`
+	AssumptionCores    uint64 `json:"assumption_cores,omitempty"`
+	AssumptionCoreLits uint64 `json:"assumption_core_lits,omitempty"`
 }
 
 // JSONRows converts measured rows for serialization.
@@ -58,6 +67,13 @@ func JSONRows(rows []SubjectResult) []JSONRow {
 			row.CacheHits = r.CPR.CacheHits
 			row.CacheMisses = r.CPR.CacheMisses
 			row.CacheHitRate = r.CPR.CacheHitRate()
+			row.EncCacheHits = r.CPR.EncodeCacheHits
+			row.EncCacheMisses = r.CPR.EncodeCacheMisses
+			row.ClausesLearned = r.CPR.ClausesLearned
+			row.ClausesKept = r.CPR.ClausesKept
+			row.ClausesDeleted = r.CPR.ClausesDeleted
+			row.AssumptionCores = r.CPR.AssumptionCores
+			row.AssumptionCoreLits = r.CPR.AssumptionCoreLits
 		}
 		out = append(out, row)
 	}

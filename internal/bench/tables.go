@@ -312,6 +312,7 @@ func FormatCPRTable(title string, rows []SubjectResult) string {
 func solverSummary(rows []SubjectResult) string {
 	var wall time.Duration
 	var queries, hits, misses uint64
+	var encHits, encMisses, learned, kept, deleted, cores, coreLits uint64
 	for _, r := range rows {
 		if r.NA {
 			continue
@@ -320,13 +321,30 @@ func solverSummary(rows []SubjectResult) string {
 		queries += r.CPR.SolverQueries
 		hits += r.CPR.CacheHits
 		misses += r.CPR.CacheMisses
+		encHits += r.CPR.EncodeCacheHits
+		encMisses += r.CPR.EncodeCacheMisses
+		learned += r.CPR.ClausesLearned
+		kept += r.CPR.ClausesKept
+		deleted += r.CPR.ClausesDeleted
+		cores += r.CPR.AssumptionCores
+		coreLits += r.CPR.AssumptionCoreLits
 	}
 	rate := 0.0
 	if hits+misses > 0 {
 		rate = float64(hits) / float64(hits+misses)
 	}
-	return fmt.Sprintf("solver: %d queries, cache hit rate %.1f%% (%d hits / %d misses), wall %s\n",
+	out := fmt.Sprintf("solver: %d queries, cache hit rate %.1f%% (%d hits / %d misses), wall %s\n",
 		queries, rate*100, hits, misses, wall.Round(time.Millisecond))
+	if encHits+encMisses > 0 { // incremental contexts were in play
+		encRate := float64(encHits) / float64(encHits+encMisses)
+		meanCore := 0.0
+		if cores > 0 {
+			meanCore = float64(coreLits) / float64(cores)
+		}
+		out += fmt.Sprintf("incremental: enc-cache hit rate %.1f%% (%d/%d), clauses %d learned / %d kept / %d deleted, %d cores (mean %.1f conjuncts)\n",
+			encRate*100, encHits, encHits+encMisses, learned, kept, deleted, cores, meanCore)
+	}
+	return out
 }
 
 func summarizeFindings(rows []SubjectResult) string {

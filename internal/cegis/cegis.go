@@ -63,6 +63,12 @@ type Stats struct {
 	// SolverQueries totals SMT queries; CacheHits/CacheMisses count the
 	// verdict cache's traffic from those queries.
 	SolverQueries, CacheHits, CacheMisses uint64
+	// Incremental-solver counters (zero with SMT.Incremental off): encoding
+	// reuse, CDCL clause learning/retention/deletion, and unsat assumption
+	// cores — see the matching core.Stats fields.
+	EncodeCacheHits, EncodeCacheMisses          uint64
+	ClausesLearned, ClausesKept, ClausesDeleted uint64
+	AssumptionCores, AssumptionCoreLits         uint64
 }
 
 // ReductionRatio is 1 − PFinal/PInit.
@@ -226,6 +232,13 @@ func fillSolverStats(stats *Stats, solver *smt.Solver) {
 	stats.SolverQueries = ss.Queries
 	stats.CacheHits = ss.CacheHits
 	stats.CacheMisses = ss.CacheMisses
+	stats.EncodeCacheHits = ss.EncodeCacheHits
+	stats.EncodeCacheMisses = ss.EncodeCacheMisses
+	stats.ClausesLearned = ss.ClausesLearned
+	stats.ClausesKept = ss.ClausesKept
+	stats.ClausesDeleted = ss.ClausesDeleted
+	stats.AssumptionCores = ss.AssumptionCores
+	stats.AssumptionCoreLits = ss.AssumptionCoreLits
 }
 
 func sumExcept(counts []int64, skip int) int64 {

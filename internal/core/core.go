@@ -187,6 +187,16 @@ type Stats struct {
 	// and CacheEvictions counts LRU evictions.
 	SolverQueries                                         uint64
 	CacheHits, CacheMisses, CacheEvictions, CacheSubsumed uint64
+	// Incremental-solver counters, aggregated across workers (all zero
+	// with SMT.Incremental off). EncodeCacheHits/EncodeCacheMisses count
+	// per-conjunct encoding reuse; ClausesLearned/ClausesDeleted count CDCL
+	// clause learning and activity-driven deletion, and ClausesKept is the
+	// learned-clause count retained across queries at the end of the run;
+	// AssumptionCores counts unsat answers that produced a narrowing
+	// assumption core and AssumptionCoreLits sums their sizes.
+	EncodeCacheHits, EncodeCacheMisses          uint64
+	ClausesLearned, ClausesKept, ClausesDeleted uint64
+	AssumptionCores, AssumptionCoreLits         uint64
 }
 
 // CacheHitRate is CacheHits / (CacheHits + CacheMisses), 0 when no query
@@ -324,6 +334,13 @@ func Repair(job Job, opts Options) (*Result, error) {
 	stats.SolverQueries = agg.Queries
 	stats.CacheHits = agg.CacheHits
 	stats.CacheMisses = agg.CacheMisses
+	stats.EncodeCacheHits = agg.EncodeCacheHits
+	stats.EncodeCacheMisses = agg.EncodeCacheMisses
+	stats.ClausesLearned = agg.ClausesLearned
+	stats.ClausesKept = agg.ClausesKept
+	stats.ClausesDeleted = agg.ClausesDeleted
+	stats.AssumptionCores = agg.AssumptionCores
+	stats.AssumptionCoreLits = agg.AssumptionCoreLits
 	cacheEnd := opts.SMT.Cache.Stats()
 	stats.CacheEvictions = cacheEnd.Evictions - cacheStart.Evictions
 	stats.CacheSubsumed = cacheEnd.Subsumed - cacheStart.Subsumed

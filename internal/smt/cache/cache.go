@@ -62,11 +62,17 @@ type Stats struct {
 	Subsumed  uint64
 }
 
-// Value is a cached verdict: Sat with its model, or unsat.
+// Value is a cached verdict: Sat with its model, or unsat. A Sat value
+// with a nil Model is verdict-only — the incremental solver decides
+// verdicts without constructing models, and such entries answer
+// LookupVerdict but not Lookup (which promises a model on sat hits).
 type Value struct {
 	Sat   bool
 	Model expr.Model
 }
+
+// verdictOnly reports whether the value carries no model despite being sat.
+func (v Value) verdictOnly() bool { return v.Sat && v.Model == nil }
 
 type key struct {
 	f      *expr.Term
@@ -135,10 +141,14 @@ func (c *Cache) Lookup(f *expr.Term, bounds map[string]interval.Interval, def in
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[k]; ok {
-		c.lru.MoveToFront(el)
-		c.stats.Hits++
 		v := el.Value.(*entry).value
-		return Value{Sat: v.Sat, Model: v.Model.Clone()}, true
+		if !v.verdictOnly() {
+			c.lru.MoveToFront(el)
+			c.stats.Hits++
+			return Value{Sat: v.Sat, Model: v.Model.Clone()}, true
+		}
+		// Verdict-only sat entry: a model is required, so this is a miss;
+		// the subsequent Store upgrades the entry with the model.
 	}
 	if c.subsumedUnsat(f, bounds, def) {
 		c.stats.Hits++
@@ -149,6 +159,30 @@ func (c *Cache) Lookup(f *expr.Term, bounds map[string]interval.Interval, def in
 	return Value{}, false
 }
 
+// LookupVerdict returns the cached verdict for f under the given bounds
+// when only the sat/unsat answer is needed: it accepts verdict-only
+// entries that Lookup (which promises a model) must skip.
+func (c *Cache) LookupVerdict(f *expr.Term, bounds map[string]interval.Interval, def interval.Interval) (isSat, ok bool) {
+	if c == nil {
+		return false, false
+	}
+	k := key{f: f, bounds: boundsKey(bounds, def)}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		return el.Value.(*entry).value.Sat, true
+	}
+	if c.subsumedUnsat(f, bounds, def) {
+		c.stats.Hits++
+		c.stats.Subsumed++
+		return false, true
+	}
+	c.stats.Misses++
+	return false, false
+}
+
 // Store records a decisive verdict for f under the given bounds. Unknown
 // answers must not be stored — they depend on budgets, not on the query.
 func (c *Cache) Store(f *expr.Term, bounds map[string]interval.Interval, def interval.Interval, v Value) {
@@ -156,13 +190,19 @@ func (c *Cache) Store(f *expr.Term, bounds map[string]interval.Interval, def int
 		return
 	}
 	k := key{f: f, bounds: boundsKey(bounds, def)}
-	v.Model = v.Model.Clone()
+	if v.Model != nil { // Clone maps nil to an empty model; keep verdict-only nil
+		v.Model = v.Model.Clone()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[k]; ok {
 		// Concurrent workers race to fill the same slot; the solver is
-		// deterministic, so the values agree and either may win.
-		el.Value.(*entry).value = v
+		// deterministic, so the values agree and either may win — except
+		// that a verdict-only value must not downgrade an entry that
+		// already carries a model.
+		if old := el.Value.(*entry).value; !(v.verdictOnly() && !old.verdictOnly()) {
+			el.Value.(*entry).value = v
+		}
 		c.lru.MoveToFront(el)
 		return
 	}
@@ -270,6 +310,13 @@ func conjunctSet(f *expr.Term) map[*expr.Term]struct{} {
 		set[f] = struct{}{}
 	}
 	return set
+}
+
+// BoundsKey renders a bounds map canonically, default domain included.
+// Exported for the incremental SMT context, which keys its per-bounds-box
+// solving state exactly the way the cache keys verdicts.
+func BoundsKey(bounds map[string]interval.Interval, def interval.Interval) string {
+	return boundsKey(bounds, def)
 }
 
 // boundsKey renders a bounds map canonically. The default domain is part

@@ -68,10 +68,10 @@ func TestLRUEviction(t *testing.T) {
 		expr.Gt(x(), expr.Int(1)),
 		expr.Gt(x(), expr.Int(2)),
 	}
-	c.Store(fs[0], nil, def, Value{Sat: true})
-	c.Store(fs[1], nil, def, Value{Sat: true})
+	c.Store(fs[0], nil, def, Value{Sat: true, Model: expr.Model{"x": 1}})
+	c.Store(fs[1], nil, def, Value{Sat: true, Model: expr.Model{"x": 2}})
 	c.Lookup(fs[0], nil, def) // refresh 0; 1 is now the LRU entry
-	c.Store(fs[2], nil, def, Value{Sat: true})
+	c.Store(fs[2], nil, def, Value{Sat: true, Model: expr.Model{"x": 3}})
 
 	if c.Len() != 2 {
 		t.Fatalf("len = %d after eviction, want 2", c.Len())
@@ -180,5 +180,54 @@ func TestConcurrentAccess(t *testing.T) {
 	st := c.Stats()
 	if st.Hits+st.Misses != 8*200 {
 		t.Fatalf("lookups = %d, want %d", st.Hits+st.Misses, 8*200)
+	}
+}
+
+func TestVerdictOnlyEntries(t *testing.T) {
+	c := New(Options{})
+	f := expr.Gt(x(), expr.Int(0))
+	b := map[string]interval.Interval{"x": interval.New(0, 10)}
+
+	// A verdict-only sat entry answers LookupVerdict but not Lookup.
+	c.Store(f, b, def, Value{Sat: true})
+	if isSat, ok := c.LookupVerdict(f, b, def); !ok || !isSat {
+		t.Fatalf("LookupVerdict after verdict-only store: sat=%v ok=%v", isSat, ok)
+	}
+	if _, ok := c.Lookup(f, b, def); ok {
+		t.Fatal("Lookup returned a sat hit without a model")
+	}
+
+	// Storing the model upgrades the entry in place.
+	c.Store(f, b, def, Value{Sat: true, Model: expr.Model{"x": 1}})
+	if v, ok := c.Lookup(f, b, def); !ok || v.Model["x"] != 1 {
+		t.Fatalf("upgraded entry not visible to Lookup: %+v ok=%v", v, ok)
+	}
+	// A later verdict-only store must not downgrade it.
+	c.Store(f, b, def, Value{Sat: true})
+	if v, ok := c.Lookup(f, b, def); !ok || v.Model["x"] != 1 {
+		t.Fatalf("verdict-only store downgraded a model entry: %+v ok=%v", v, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want a single upgraded entry", c.Len())
+	}
+}
+
+func TestLookupVerdictUnsatAndSubsumption(t *testing.T) {
+	c := New(Options{})
+	f := expr.And(expr.Gt(x(), expr.Int(5)), expr.Lt(x(), expr.Int(3)))
+	b := map[string]interval.Interval{"x": interval.New(0, 10)}
+	c.Store(f, b, def, Value{Sat: false})
+
+	if isSat, ok := c.LookupVerdict(f, b, def); !ok || isSat {
+		t.Fatalf("exact unsat verdict: sat=%v ok=%v", isSat, ok)
+	}
+	// A superset conjunction over the same bounds is subsumed.
+	super := expr.And(f, expr.Gt(y(), expr.Int(0)))
+	if isSat, ok := c.LookupVerdict(super, b, def); !ok || isSat {
+		t.Fatalf("subsumed unsat verdict: sat=%v ok=%v", isSat, ok)
+	}
+	st := c.Stats()
+	if st.Subsumed != 1 {
+		t.Fatalf("stats = %+v, want one subsumed hit", st)
 	}
 }

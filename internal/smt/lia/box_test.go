@@ -1,0 +1,96 @@
+package lia
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"cpr/internal/interval"
+)
+
+func TestBoxMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	names := []string{"x", "y", "z"}
+	bounds := map[string]interval.Interval{
+		"x": interval.New(-20, 20),
+		"y": interval.New(-20, 20),
+		"z": interval.New(0, 15),
+	}
+	box := NewBox(bounds)
+	randCons := func() []Constraint {
+		n := 1 + rng.Intn(4)
+		cons := make([]Constraint, n)
+		for i := range cons {
+			terms := make([]Term, 1+rng.Intn(2))
+			for j := range terms {
+				terms[j] = Term{Coef: int64(rng.Intn(7) - 3), Vars: []string{names[rng.Intn(len(names))]}}
+				if terms[j].Coef == 0 {
+					terms[j].Coef = 1
+				}
+			}
+			cons[i] = Constraint{Terms: terms, K: int64(rng.Intn(41) - 20), Rel: Rel(rng.Intn(3))}
+		}
+		return cons
+	}
+	for trial := 0; trial < 200; trial++ {
+		cons := randCons()
+		want, werr := Solve(Problem{Cons: cons, Bounds: bounds}, Options{})
+		got, gerr := box.Solve(cons, Options{})
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("trial %d: error mismatch: %v vs %v", trial, werr, gerr)
+		}
+		if werr != nil {
+			continue
+		}
+		if want.Status != got.Status {
+			t.Fatalf("trial %d: Solve=%v Box.Solve=%v for %v", trial, want.Status, got.Status, cons)
+		}
+		if got.Status == Sat {
+			// The box model must actually satisfy its own verdict contract:
+			// every bounded variable assigned within its domain.
+			for v, iv := range bounds {
+				val, ok := got.Model[v]
+				if !ok || val < iv.Lo || val > iv.Hi {
+					t.Fatalf("trial %d: model %v misses/violates %s in %v", trial, got.Model, v, iv)
+				}
+			}
+		}
+	}
+}
+
+func TestBoxScratchIsolation(t *testing.T) {
+	// A query that tightens bounds during propagation must not leak the
+	// tightening into later queries.
+	box := NewBox(map[string]interval.Interval{"x": interval.New(-100, 100)})
+	tight := []Constraint{{Terms: []Term{{Coef: 1, Vars: []string{"x"}}}, K: 0, Rel: RelLe}} // x ≤ 0
+	if res, err := box.Solve(tight, Options{}); err != nil || res.Status != Sat {
+		t.Fatalf("tight solve: %v %v", res.Status, err)
+	}
+	// x = 50 is inside the original box; a leaked x ≤ 0 would refute it.
+	eq := []Constraint{{Terms: []Term{{Coef: 1, Vars: []string{"x"}}}, K: 50, Rel: RelEq}}
+	res, err := box.Solve(eq, Options{})
+	if err != nil || res.Status != Sat || res.Model["x"] != 50 {
+		t.Fatalf("scratch leaked: %v %v %v", res.Status, res.Model, err)
+	}
+}
+
+func TestBoxExtend(t *testing.T) {
+	box := NewBox(map[string]interval.Interval{"x": interval.New(0, 10)})
+	cons := []Constraint{{Terms: []Term{{Coef: 1, Vars: []string{"y"}}}, K: 3, Rel: RelEq}}
+	if _, err := box.Solve(cons, Options{}); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("expected ErrUnbounded before Extend, got %v", err)
+	}
+	box.Extend("y", interval.New(0, 5))
+	res, err := box.Solve(cons, Options{})
+	if err != nil || res.Status != Sat || res.Model["y"] != 3 || res.Model["x"] != 0 {
+		t.Fatalf("after Extend: %v %v %v", res.Status, res.Model, err)
+	}
+}
+
+func TestBoxEmptyDomain(t *testing.T) {
+	box := NewBox(map[string]interval.Interval{"x": interval.New(5, 2)})
+	res, err := box.Solve(nil, Options{})
+	if err != nil || res.Status != Unsat {
+		t.Fatalf("empty domain: %v %v", res.Status, err)
+	}
+}

@@ -111,6 +111,22 @@ type Solver struct {
 	model   []bool
 	Statist Stats
 
+	// assumps holds the assumption literals of the in-flight SolveUnder
+	// call; core holds the assumption subset returned by Core after an
+	// unsat-under-assumptions answer.
+	assumps []Lit
+	core    []Lit
+
+	// Reusable scratch for AddClause (generation-stamped dedup, indexed by
+	// literal) and for analyze (learned-literal and cleanup buffers): these
+	// run once per clause/conflict, so per-call allocation dominates the
+	// hot path without reuse.
+	addMark    []uint32
+	addGen     uint32
+	addBuf     []Lit
+	learntBuf  []Lit
+	cleanupBuf []int
+
 	// MaxConflicts bounds the total conflicts across Solve calls;
 	// 0 means unbounded. Exceeding it makes Solve return Unknown.
 	MaxConflicts uint64
@@ -141,6 +157,7 @@ func (s *Solver) NewVar() int {
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, false)
 	s.watches = append(s.watches, nil, nil)
+	s.addMark = append(s.addMark, 0, 0)
 	s.heap.push(v)
 	return v
 }
@@ -167,25 +184,32 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	}
 	s.cancelUntil(0)
 	// Normalize: sort-free dedup, drop falsified (level 0), detect taut.
-	out := lits[:0:0]
-	seen := make(map[Lit]bool, len(lits))
+	// Dedup uses a generation-stamped array indexed by literal, so the
+	// scratch survives across calls without clearing.
+	s.addGen++
+	if s.addGen == 0 { // wrapped: stale stamps could collide, wipe them
+		clear(s.addMark)
+		s.addGen = 1
+	}
+	out := s.addBuf[:0]
 	for _, l := range lits {
 		if l.Var() >= s.NumVars() {
 			panic(fmt.Sprintf("sat: AddClause: literal %v references unknown variable", l))
 		}
 		switch {
-		case seen[l]:
+		case s.addMark[l] == s.addGen:
 			continue
-		case seen[l.Not()]:
+		case s.addMark[l.Not()] == s.addGen:
 			return true // tautology
 		case s.valueLit(l) == lTrue:
 			return true // already satisfied at level 0
 		case s.valueLit(l) == lFalse:
 			continue // falsified at level 0: drop
 		}
-		seen[l] = true
+		s.addMark[l] = s.addGen
 		out = append(out, l)
 	}
+	s.addBuf = out[:0]
 	switch len(out) {
 	case 0:
 		s.ok = false
@@ -198,7 +222,7 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		}
 		return true
 	}
-	c := &clause{lits: out}
+	c := &clause{lits: append([]Lit(nil), out...)} // clause owns its storage
 	s.clauses = append(s.clauses, c)
 	s.watchClause(c)
 	return true
@@ -297,14 +321,16 @@ func (s *Solver) propagate() *clause {
 }
 
 // analyze performs first-UIP conflict analysis, returning the learned
-// clause (with the asserting literal first) and the backtrack level.
+// clause (with the asserting literal first) and the backtrack level. The
+// returned slice aliases a reusable buffer: it is valid until the next
+// analyze call, and callers who retain it must copy.
 func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
-	learnt := []Lit{0} // slot 0 reserved for the asserting literal
+	learnt := append(s.learntBuf[:0], 0) // slot 0 reserved for the asserting literal
 	counter := 0
 	var p Lit = -1
 	idx := len(s.trail) - 1
 	c := conflict
-	cleanup := []int{}
+	cleanup := s.cleanupBuf[:0]
 
 	for {
 		if c.learnt {
@@ -358,6 +384,8 @@ func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
 	for _, v := range cleanup {
 		s.seen[v] = false
 	}
+	s.learntBuf = learnt[:0]
+	s.cleanupBuf = cleanup[:0]
 	return learnt, bt
 }
 
@@ -450,10 +478,26 @@ func luby(i uint64) uint64 {
 // Solve decides satisfiability of the accumulated clauses. On Sat, Model
 // reports variable values. Solve may be called repeatedly, interleaved
 // with AddClause.
-func (s *Solver) Solve() Status {
+func (s *Solver) Solve() Status { return s.SolveUnder() }
+
+// SolveUnder decides satisfiability of the accumulated clauses under the
+// given assumption literals (MiniSat's solve-with-assumptions). On Unsat,
+// Core reports the subset of assumptions involved in the final conflict;
+// an Unsat answer under non-empty assumptions does NOT mark the clause set
+// unsatisfiable, so the solver remains usable for further calls — this is
+// what makes selector-guarded assertions retractable.
+func (s *Solver) SolveUnder(assumptions ...Lit) Status {
+	s.core = nil
 	if !s.ok {
 		return Unsat
 	}
+	for _, l := range assumptions {
+		if l.Var() >= s.NumVars() {
+			panic(fmt.Sprintf("sat: SolveUnder: assumption %v references unknown variable", l))
+		}
+	}
+	s.assumps = assumptions
+	defer func() { s.assumps = nil }()
 	s.cancelUntil(0)
 	if s.propagate() != nil {
 		s.ok = false
@@ -501,7 +545,9 @@ func (s *Solver) search(budget uint64, maxLearnts *int, conflictsAtStart uint64)
 			if len(learnt) == 1 {
 				s.uncheckedEnqueue(learnt[0], nil)
 			} else {
-				c := &clause{lits: learnt, learnt: true}
+				// analyze returns a reusable buffer; the stored clause
+				// needs its own copy.
+				c := &clause{lits: append([]Lit(nil), learnt...), learnt: true}
 				s.learnts = append(s.learnts, c)
 				s.Statist.Learned++
 				s.watchClause(c)
@@ -525,21 +571,81 @@ func (s *Solver) search(budget uint64, maxLearnts *int, conflictsAtStart uint64)
 			s.reduceDB()
 			*maxLearnts = *maxLearnts*11/10 + 10
 		}
-		// Decide.
-		v := s.pickBranchVar()
-		if v < 0 {
-			// All variables assigned: model found.
-			s.model = make([]bool, s.NumVars())
-			for i := range s.model {
-				s.model[i] = s.assigns[i] == lTrue
+		// Decide: pending assumptions first, then activity order.
+		var next Lit = -1
+		for next < 0 && s.decisionLevel() < len(s.assumps) {
+			p := s.assumps[s.decisionLevel()]
+			switch s.valueLit(p) {
+			case lTrue:
+				// Already implied: open a dummy level so decision level
+				// k always means "assumptions 0..k-1 are in force".
+				s.trailLim = append(s.trailLim, len(s.trail))
+			case lFalse:
+				// The clause set forces ¬p under the earlier assumptions:
+				// unsat under assumptions, with a final-conflict core.
+				s.core = s.analyzeFinal(p)
+				return Unsat
+			default:
+				next = p
 			}
-			return Sat
 		}
-		s.Statist.Decisions++
+		if next < 0 {
+			v := s.pickBranchVar()
+			if v < 0 {
+				// All variables assigned: model found.
+				s.model = make([]bool, s.NumVars())
+				for i := range s.model {
+					s.model[i] = s.assigns[i] == lTrue
+				}
+				return Sat
+			}
+			s.Statist.Decisions++
+			next = MkLit(v, !s.phase[v])
+		}
 		s.trailLim = append(s.trailLim, len(s.trail))
-		s.uncheckedEnqueue(MkLit(v, !s.phase[v]), nil)
+		s.uncheckedEnqueue(next, nil)
 	}
 }
+
+// analyzeFinal computes the assumption subset sufficient for the
+// falsification of assumption p (MiniSat's final-conflict analysis): it
+// expands reasons backward from ¬p; assumption decisions reached by the
+// walk join p in the core. It is only called from the decide step, where
+// every decision on the trail is itself an assumption.
+func (s *Solver) analyzeFinal(p Lit) []Lit {
+	out := []Lit{p}
+	if s.decisionLevel() == 0 {
+		return out
+	}
+	s.seen[p.Var()] = true
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		v := s.trail[i].Var()
+		if !s.seen[v] {
+			continue
+		}
+		if r := s.reason[v]; r == nil {
+			// A decision, hence an assumption: it is part of the core. The
+			// trail holds the literal as assumed (true-valued).
+			out = append(out, s.trail[i])
+		} else {
+			for _, l := range r.lits {
+				if l.Var() != v && s.level[l.Var()] > 0 {
+					s.seen[l.Var()] = true
+				}
+			}
+		}
+		s.seen[v] = false
+	}
+	s.seen[p.Var()] = false
+	return out
+}
+
+// Core returns the subset of the last SolveUnder call's assumptions that
+// participated in the Unsat answer (p for a directly falsified assumption
+// p, plus the assumptions that forced it). A nil core after Unsat means
+// the clause set is unsatisfiable regardless of assumptions. The slice is
+// owned by the caller.
+func (s *Solver) Core() []Lit { return s.core }
 
 // stopped rate-limits the Stop callback: it polls the callback on every
 // everyth call (a power of two), so hot paths pay only a counter
@@ -555,6 +661,10 @@ func (s *Solver) stopped(every uint64) bool {
 // NumClauses returns the problem clause count (excluding learned clauses),
 // exposed for budget-exhaustion diagnostics in the SMT layer.
 func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NumLearnts returns the number of learned clauses currently retained
+// (learned minus deleted), exposed for the incremental-solving counters.
+func (s *Solver) NumLearnts() int { return len(s.learnts) }
 
 func (s *Solver) pickBranchVar() int {
 	for {

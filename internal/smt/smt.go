@@ -90,6 +90,15 @@ type Options struct {
 	// hits return exactly what re-solving would, so sharing does not
 	// change results, only speed.
 	Cache *cache.Cache
+	// Incremental enables the persistent solving context (see Context):
+	// per-conjunct Tseitin encodings are cached, the CDCL clause database
+	// with its learned clauses is retained across queries, per-query
+	// formulas are asserted through selector assumptions, and unsat
+	// answers come with assumption cores that feed the cache's subsumption
+	// index. Verdicts are identical to scratch mode, and models are still
+	// produced by the deterministic scratch path, so repair results do not
+	// depend on this flag — only speed does. Off by default.
+	Incremental bool
 }
 
 func (o Options) withDefaults() Options {
@@ -118,6 +127,25 @@ type Stats struct {
 	// Queries and in Sat/UnsatAnswers.
 	CacheHits   uint64
 	CacheMisses uint64
+	// EncodeCacheHits/EncodeCacheMisses count per-conjunct encoding reuse
+	// in the incremental context: a hit is a top-level conjunct whose
+	// simplification, purification, and Tseitin encoding were skipped
+	// because an earlier query already prepared it. Zero in scratch mode.
+	EncodeCacheHits   uint64
+	EncodeCacheMisses uint64
+	// ClausesLearned/ClausesDeleted count CDCL clause learning and
+	// activity-driven deletion; ClausesKept is the learned-clause count
+	// currently retained by the incremental context (zero in scratch mode,
+	// where learned clauses die with their query).
+	ClausesLearned uint64
+	ClausesKept    uint64
+	ClausesDeleted uint64
+	// AssumptionCores counts incremental unsat answers that produced a
+	// non-empty assumption core; AssumptionCoreLits sums the core sizes
+	// (in conjuncts), so AssumptionCoreLits/AssumptionCores is the mean
+	// core size.
+	AssumptionCores    uint64
+	AssumptionCoreLits uint64
 }
 
 // Add returns the fieldwise sum of two stats snapshots — the aggregate of
@@ -131,6 +159,13 @@ func (a Stats) Add(b Stats) Stats {
 	a.Panics += b.Panics
 	a.CacheHits += b.CacheHits
 	a.CacheMisses += b.CacheMisses
+	a.EncodeCacheHits += b.EncodeCacheHits
+	a.EncodeCacheMisses += b.EncodeCacheMisses
+	a.ClausesLearned += b.ClausesLearned
+	a.ClausesKept += b.ClausesKept
+	a.ClausesDeleted += b.ClausesDeleted
+	a.AssumptionCores += b.AssumptionCores
+	a.AssumptionCoreLits += b.AssumptionCoreLits
 	return a
 }
 
@@ -145,6 +180,14 @@ type solverStats struct {
 	panics       atomic.Uint64
 	cacheHits    atomic.Uint64
 	cacheMisses  atomic.Uint64
+
+	encodeCacheHits    atomic.Uint64
+	encodeCacheMisses  atomic.Uint64
+	clausesLearned     atomic.Uint64
+	clausesKept        atomic.Uint64 // gauge: retained learnts, stored after each query
+	clausesDeleted     atomic.Uint64
+	assumptionCores    atomic.Uint64
+	assumptionCoreLits atomic.Uint64
 }
 
 // Solver answers satisfiability queries. The zero value is not usable;
@@ -153,6 +196,10 @@ type solverStats struct {
 type Solver struct {
 	opts  Options
 	stats solverStats
+	// ctx is the persistent incremental state, created lazily on the
+	// first query when opts.Incremental is set and discarded whenever a
+	// recovered panic may have left it mid-mutation.
+	ctx *Context
 }
 
 // NewSolver returns a Solver with the given options.
@@ -172,6 +219,14 @@ func (s *Solver) Stats() Stats {
 		Panics:       s.stats.panics.Load(),
 		CacheHits:    s.stats.cacheHits.Load(),
 		CacheMisses:  s.stats.cacheMisses.Load(),
+
+		EncodeCacheHits:    s.stats.encodeCacheHits.Load(),
+		EncodeCacheMisses:  s.stats.encodeCacheMisses.Load(),
+		ClausesLearned:     s.stats.clausesLearned.Load(),
+		ClausesKept:        s.stats.clausesKept.Load(),
+		ClausesDeleted:     s.stats.clausesDeleted.Load(),
+		AssumptionCores:    s.stats.assumptionCores.Load(),
+		AssumptionCoreLits: s.stats.assumptionCoreLits.Load(),
 	}
 }
 
@@ -237,6 +292,9 @@ func (s *Solver) Check(f *expr.Term, bounds map[string]interval.Interval) (res R
 	query := s.stats.queries.Add(1)
 	defer func() {
 		if r := recover(); r != nil {
+			// A panic may have interrupted a clause-database mutation:
+			// discard the incremental context, it is rebuilt lazily.
+			s.ctx = nil
 			s.stats.panics.Add(1)
 			s.stats.unknowns.Add(1)
 			res = Result{Status: Unknown}
@@ -268,6 +326,21 @@ func (s *Solver) Check(f *expr.Term, bounds map[string]interval.Interval) (res R
 	if s.opts.MaxQueryDuration > 0 {
 		qtok = cancel.WithTimeout(qtok, s.opts.MaxQueryDuration)
 	}
+	if s.opts.Incremental {
+		// Verdict first on the persistent context. Unsat answers (and
+		// their assumption cores) skip the scratch solve entirely; Sat
+		// answers fall through to the scratch path for the model, so
+		// models are bit-identical to scratch mode.
+		st, core, derr := s.incrementalCtx().decide(f, bounds, qtok, query)
+		switch st {
+		case Unsat:
+			s.stats.unsatAnswers.Add(1)
+			s.storeUnsat(f, bounds, core)
+			return Result{Status: Unsat}, nil
+		case Unknown:
+			return Result{Status: Unknown}, derr
+		}
+	}
 	res, err = s.check(f, bounds, qtok, query)
 	if err == nil && s.opts.Cache != nil {
 		// Only decisive verdicts are cacheable: Unknown reflects a budget,
@@ -280,6 +353,32 @@ func (s *Solver) Check(f *expr.Term, bounds map[string]interval.Interval) (res R
 		}
 	}
 	return res, err
+}
+
+// incrementalCtx returns the persistent context, creating it on first use.
+func (s *Solver) incrementalCtx() *Context {
+	if s.ctx == nil {
+		s.ctx = newContext(s.opts, &s.stats)
+	}
+	return s.ctx
+}
+
+// storeUnsat records an incremental unsat verdict in the cache, plus the
+// assumption core as its own unsat entry when it genuinely narrows the
+// query — that is what feeds the subsumption index with small cores.
+func (s *Solver) storeUnsat(f *expr.Term, bounds map[string]interval.Interval, core []*expr.Term) {
+	ca := s.opts.Cache
+	if ca == nil {
+		return
+	}
+	ca.Store(f, bounds, s.opts.DefaultBounds, cache.Value{Sat: false})
+	if len(core) == 0 || f.Op != expr.OpAnd || len(core) >= len(f.Args) {
+		return
+	}
+	coreF := expr.And(core...)
+	if coreF != f && !coreF.IsTrue() {
+		ca.Store(coreF, bounds, s.opts.DefaultBounds, cache.Value{Sat: false})
+	}
 }
 
 func (s *Solver) check(f *expr.Term, bounds map[string]interval.Interval, qtok *cancel.Token, query uint64) (Result, error) {
@@ -305,6 +404,10 @@ func (s *Solver) check(f *expr.Term, bounds map[string]interval.Interval, qtok *
 	}
 
 	enc := newEncoder()
+	defer func() { // scratch solves learn too; only retention is incremental-only
+		s.stats.clausesLearned.Add(enc.sat.Statist.Learned)
+		s.stats.clausesDeleted.Add(enc.sat.Statist.Deleted)
+	}()
 	root := enc.encode(g)
 	enc.sat.MaxConflicts = s.opts.MaxConflicts
 	if qtok != nil {
@@ -444,13 +547,76 @@ func clamp(pref int64, iv interval.Interval) int64 {
 	return pref
 }
 
+// Decide returns the verdict for f without constructing a model. In
+// scratch mode it is Check minus the model; in incremental mode it runs
+// entirely on the persistent context, which is the fast path the repair
+// loop's feasibility checks (IsSat, Valid) ride on.
+func (s *Solver) Decide(f *expr.Term, bounds map[string]interval.Interval) (st Status, err error) {
+	if !s.opts.Incremental {
+		res, err := s.Check(f, bounds)
+		return res.Status, err
+	}
+	if f.Sort != expr.SortBool {
+		return Unknown, fmt.Errorf("smt: Decide: formula has sort %v, want Bool", f.Sort)
+	}
+	query := s.stats.queries.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			s.ctx = nil // may be mid-mutation: discard, rebuilt lazily
+			s.stats.panics.Add(1)
+			s.stats.unknowns.Add(1)
+			st = Unknown
+			err = fmt.Errorf("%w: %v", ErrSolverPanic, r)
+		}
+	}()
+	switch faultinject.SolverQuery() {
+	case faultinject.SolverPanic:
+		panic(faultinject.PanicMsg)
+	case faultinject.SolverTimeout:
+		s.stats.unknowns.Add(1)
+		return Unknown, &BudgetError{Stage: "fault-injection", Query: query}
+	case faultinject.SolverFail:
+		return Unknown, faultinject.ErrInjected
+	}
+	if c := s.opts.Cache; c != nil {
+		if isSat, ok := c.LookupVerdict(f, bounds, s.opts.DefaultBounds); ok {
+			s.stats.cacheHits.Add(1)
+			if isSat {
+				s.stats.satAnswers.Add(1)
+				return Sat, nil
+			}
+			s.stats.unsatAnswers.Add(1)
+			return Unsat, nil
+		}
+		s.stats.cacheMisses.Add(1)
+	}
+	qtok := s.opts.Cancel
+	if s.opts.MaxQueryDuration > 0 {
+		qtok = cancel.WithTimeout(qtok, s.opts.MaxQueryDuration)
+	}
+	st, core, err := s.incrementalCtx().decide(f, bounds, qtok, query)
+	switch st {
+	case Sat:
+		s.stats.satAnswers.Add(1)
+		if s.opts.Cache != nil {
+			// Verdict-only entry: answers future Decide calls; a later
+			// Check upgrades it with the model.
+			s.opts.Cache.Store(f, bounds, s.opts.DefaultBounds, cache.Value{Sat: true})
+		}
+	case Unsat:
+		s.stats.unsatAnswers.Add(1)
+		s.storeUnsat(f, bounds, core)
+	}
+	return st, err
+}
+
 // IsSat reports whether f is satisfiable.
 func (s *Solver) IsSat(f *expr.Term, bounds map[string]interval.Interval) (bool, error) {
-	res, err := s.Check(f, bounds)
+	st, err := s.Decide(f, bounds)
 	if err != nil {
 		return false, err
 	}
-	return res.Status == Sat, nil
+	return st == Sat, nil
 }
 
 // GetModel returns a model of f, or ok=false when unsatisfiable.
@@ -468,11 +634,11 @@ func (s *Solver) GetModel(f *expr.Term, bounds map[string]interval.Interval) (ex
 // Valid reports whether f holds for every assignment (within bounds):
 // it checks that ¬f is unsatisfiable.
 func (s *Solver) Valid(f *expr.Term, bounds map[string]interval.Interval) (bool, error) {
-	res, err := s.Check(expr.Not(f), bounds)
+	st, err := s.Decide(expr.Not(f), bounds)
 	if err != nil {
 		return false, err
 	}
-	return res.Status == Unsat, nil
+	return st == Unsat, nil
 }
 
 // atomToConstraint translates a canonical atom (≤, =, ≠ between a linear
