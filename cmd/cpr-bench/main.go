@@ -29,6 +29,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "per-subject wall-clock cap (0 = unbounded); hung subjects become timeout rows")
 		workers     = flag.Int("workers", 0, "exploration worker pool size (0 = NumCPU); 1 replays the sequential engine")
 		incremental = flag.Bool("incremental", true, "use incremental solver contexts (persistent encodings, retained learned clauses); results are identical either way")
+		paranoid    = flag.Bool("paranoid", false, "force 100% solver verdict validation (every unsat answer cross-checked by an independent scratch solve); CPR_PARANOID=1 forces it too")
 		jsonOut     = flag.String("json", "", "write per-subject measurements (wall time, iterations, solver queries, cache hit rate) to this JSON file")
 		quiet       = flag.Bool("q", false, "suppress progress lines")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -68,6 +69,9 @@ func main() {
 	opts.Core.SMT.Incremental = *incremental
 	opts.CEGIS.SMT.Incremental = *incremental
 	opts.Baselines.SMT.Incremental = *incremental
+	opts.Core.SMT.Paranoid = *paranoid
+	opts.CEGIS.SMT.Paranoid = *paranoid
+	opts.Baselines.SMT.Paranoid = *paranoid
 	if *budget > 0 {
 		opts.Budget = core.Budget{MaxIterations: *budget, ValidationIterations: 8}
 	}

@@ -53,6 +53,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "wall-clock repair budget (0 = unbounded); on expiry the best-so-far pool is printed")
 		workers  = flag.Int("workers", 0, "exploration worker pool size (0 = NumCPU); 1 replays the sequential engine")
 		incr     = flag.Bool("incremental", true, "use incremental solver contexts (persistent encodings, retained learned clauses); results are identical either way")
+		paranoid = flag.Bool("paranoid", false, "force 100% solver verdict validation (every unsat answer cross-checked by an independent scratch solve); CPR_PARANOID=1 forces it too")
 		top      = flag.Int("top", 5, "ranked patches to print")
 		cegis    = flag.Bool("cegis", false, "also run the CEGIS baseline for comparison")
 		fuzz     = flag.Bool("fuzz", false, "fuzz for a failing input when -failing is not given")
@@ -93,7 +94,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		runJob(job, dev, *top, *cegis, *workers, *incr)
+		runJob(job, dev, *top, *cegis, *workers, *incr, *paranoid)
 		return
 	case *file != "":
 		src, err := os.ReadFile(*file)
@@ -162,16 +163,17 @@ func main() {
 			InputBounds: bounds,
 			Budget:      cpr.Budget{MaxIterations: *budget},
 		}
-		runJob(job, nil, *top, *cegis, *workers, *incr)
+		runJob(job, nil, *top, *cegis, *workers, *incr, *paranoid)
 		return
 	}
 	flag.Usage()
 	os.Exit(2)
 }
 
-func runJob(job cpr.Job, dev *cpr.Term, top int, withCEGIS bool, workers int, incremental bool) {
+func runJob(job cpr.Job, dev *cpr.Term, top int, withCEGIS bool, workers int, incremental, paranoid bool) {
 	opts := cpr.Options{Workers: workers}
 	opts.SMT.Incremental = incremental
+	opts.SMT.Paranoid = paranoid
 	res, err := cpr.Repair(job, opts)
 	if err != nil {
 		log.Fatal(err)
@@ -194,6 +196,10 @@ func runJob(job cpr.Job, dev *cpr.Term, top int, withCEGIS bool, workers int, in
 	if n := st.SolverUnknowns + st.SolverPanics + st.ExecPanics + st.FlipsDropped; n > 0 {
 		fmt.Printf("degraded: solver unknowns %d, solver panics %d, exec panics %d, flips requeued %d / dropped %d\n",
 			st.SolverUnknowns, st.SolverPanics, st.ExecPanics, st.FlipsRequeued, st.FlipsDropped)
+	}
+	if st.Validations > 0 {
+		fmt.Printf("self-heal: %d validations (%d failed), %d quarantines, %d fallback solves, %d rebuilds, %d breaker trips\n",
+			st.Validations, st.ValidationFailures, st.Quarantines, st.FallbackSolves, st.RebuildRetries, st.BreakerTrips)
 	}
 	if dev != nil {
 		if rank, ok := cpr.CorrectPatchRank(res, dev, job.InputBounds); ok {

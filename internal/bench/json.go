@@ -38,6 +38,15 @@ type JSONRow struct {
 	ClausesDeleted     uint64 `json:"clauses_deleted,omitempty"`
 	AssumptionCores    uint64 `json:"assumption_cores,omitempty"`
 	AssumptionCoreLits uint64 `json:"assumption_core_lits,omitempty"`
+
+	// Self-healing health counters; omitted when zero (a healthy run with
+	// default sampling may validate without ever failing or falling back).
+	Validations        uint64 `json:"validations,omitempty"`
+	ValidationFailures uint64 `json:"validation_failures,omitempty"`
+	Quarantines        uint64 `json:"quarantines,omitempty"`
+	FallbackSolves     uint64 `json:"fallback_solves,omitempty"`
+	RebuildRetries     uint64 `json:"rebuild_retries,omitempty"`
+	BreakerTrips       uint64 `json:"breaker_trips,omitempty"`
 }
 
 // JSONRows converts measured rows for serialization.
@@ -74,6 +83,12 @@ func JSONRows(rows []SubjectResult) []JSONRow {
 			row.ClausesDeleted = r.CPR.ClausesDeleted
 			row.AssumptionCores = r.CPR.AssumptionCores
 			row.AssumptionCoreLits = r.CPR.AssumptionCoreLits
+			row.Validations = r.CPR.Validations
+			row.ValidationFailures = r.CPR.ValidationFailures
+			row.Quarantines = r.CPR.Quarantines
+			row.FallbackSolves = r.CPR.FallbackSolves
+			row.RebuildRetries = r.CPR.RebuildRetries
+			row.BreakerTrips = r.CPR.BreakerTrips
 		}
 		out = append(out, row)
 	}

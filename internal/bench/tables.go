@@ -313,6 +313,7 @@ func solverSummary(rows []SubjectResult) string {
 	var wall time.Duration
 	var queries, hits, misses uint64
 	var encHits, encMisses, learned, kept, deleted, cores, coreLits uint64
+	var validations, valFailures, quarantines, fallbacks, rebuilds, trips uint64
 	for _, r := range rows {
 		if r.NA {
 			continue
@@ -328,6 +329,12 @@ func solverSummary(rows []SubjectResult) string {
 		deleted += r.CPR.ClausesDeleted
 		cores += r.CPR.AssumptionCores
 		coreLits += r.CPR.AssumptionCoreLits
+		validations += r.CPR.Validations
+		valFailures += r.CPR.ValidationFailures
+		quarantines += r.CPR.Quarantines
+		fallbacks += r.CPR.FallbackSolves
+		rebuilds += r.CPR.RebuildRetries
+		trips += r.CPR.BreakerTrips
 	}
 	rate := 0.0
 	if hits+misses > 0 {
@@ -343,6 +350,10 @@ func solverSummary(rows []SubjectResult) string {
 		}
 		out += fmt.Sprintf("incremental: enc-cache hit rate %.1f%% (%d/%d), clauses %d learned / %d kept / %d deleted, %d cores (mean %.1f conjuncts)\n",
 			encRate*100, encHits, encHits+encMisses, learned, kept, deleted, cores, meanCore)
+	}
+	if validations > 0 {
+		out += fmt.Sprintf("self-heal: %d validations (%d failed), %d quarantines, %d fallback solves, %d rebuilds, %d breaker trips\n",
+			validations, valFailures, quarantines, fallbacks, rebuilds, trips)
 	}
 	return out
 }

@@ -69,6 +69,10 @@ type Stats struct {
 	EncodeCacheHits, EncodeCacheMisses          uint64
 	ClausesLearned, ClausesKept, ClausesDeleted uint64
 	AssumptionCores, AssumptionCoreLits         uint64
+	// Self-healing health counters — see the matching core.Stats fields.
+	Validations, ValidationFailures uint64
+	Quarantines, FallbackSolves     uint64
+	RebuildRetries, BreakerTrips    uint64
 }
 
 // ReductionRatio is 1 − PFinal/PInit.
@@ -239,6 +243,12 @@ func fillSolverStats(stats *Stats, solver *smt.Solver) {
 	stats.ClausesDeleted = ss.ClausesDeleted
 	stats.AssumptionCores = ss.AssumptionCores
 	stats.AssumptionCoreLits = ss.AssumptionCoreLits
+	stats.Validations = ss.Validations
+	stats.ValidationFailures = ss.ValidationFailures
+	stats.Quarantines = ss.Quarantines
+	stats.FallbackSolves = ss.FallbackSolves
+	stats.RebuildRetries = ss.RebuildRetries
+	stats.BreakerTrips = ss.BreakerTrips
 }
 
 func sumExcept(counts []int64, skip int) int64 {

@@ -197,6 +197,18 @@ type Stats struct {
 	EncodeCacheHits, EncodeCacheMisses          uint64
 	ClausesLearned, ClausesKept, ClausesDeleted uint64
 	AssumptionCores, AssumptionCoreLits         uint64
+	// Self-healing health counters, aggregated across workers (package
+	// smt/guard). Validations counts verdict validations (sat-model
+	// replays + sampled unsat cross-checks) and ValidationFailures the
+	// verdicts they rejected — every rejected verdict was replaced by a
+	// lower-rung solve or degraded to Unknown, never observed by the
+	// repair loop. Quarantines counts solver layers taken out of service,
+	// FallbackSolves queries served below their natural tier,
+	// RebuildRetries quarantined contexts readmitted after backoff, and
+	// BreakerTrips per-worker circuit breakers pinned to scratch mode.
+	Validations, ValidationFailures uint64
+	Quarantines, FallbackSolves     uint64
+	RebuildRetries, BreakerTrips    uint64
 }
 
 // CacheHitRate is CacheHits / (CacheHits + CacheMisses), 0 when no query
@@ -341,6 +353,12 @@ func Repair(job Job, opts Options) (*Result, error) {
 	stats.ClausesDeleted = agg.ClausesDeleted
 	stats.AssumptionCores = agg.AssumptionCores
 	stats.AssumptionCoreLits = agg.AssumptionCoreLits
+	stats.Validations = agg.Validations
+	stats.ValidationFailures = agg.ValidationFailures
+	stats.Quarantines = agg.Quarantines
+	stats.FallbackSolves = agg.FallbackSolves
+	stats.RebuildRetries = agg.RebuildRetries
+	stats.BreakerTrips = agg.BreakerTrips
 	cacheEnd := opts.SMT.Cache.Stats()
 	stats.CacheEvictions = cacheEnd.Evictions - cacheStart.Evictions
 	stats.CacheSubsumed = cacheEnd.Subsumed - cacheStart.Subsumed
@@ -680,6 +698,7 @@ func (e *engine) resolvePatch(item workItem) (*patch.Patch, expr.Model, bool) {
 // caller turns into a re-queue or a counted drop — distinct from a clean
 // unsat, which proves the flip infeasible.
 func (e *engine) pickNewInput(flip concolic.Flip, bounds map[string]interval.Interval, solver *smt.Solver) (workItem, bool, bool) {
+	solver.BeginEpoch() // scope cache-write journaling to this flip
 	cons := flip.Constraint()
 	inputNames := e.job.Program.Inputs()
 
@@ -783,6 +802,7 @@ func (e *engine) reduce(exec *concolic.Execution, stats *Stats, validation bool)
 	removed := make([]bool, len(patches))
 	e.fanOut(len(patches), func(w *workerCtx, i int) {
 		p := patches[i]
+		w.solver.BeginEpoch() // scope cache-write journaling to this patch
 		psi := e.patchFormula(p, exec.HoleHits)
 		pi := expr.And(phi, psi, p.ConstraintTerm())
 		b := e.boundsWithParams(e.curBounds, p)

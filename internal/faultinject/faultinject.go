@@ -35,6 +35,24 @@ const (
 	SolverPanic
 )
 
+// Adversarial fault classes for Plan.LieKind: instead of failing loudly,
+// the solver *lies*. The smt layer applies these to freshly produced
+// verdicts (before guard validation), so the tests prove the validation
+// layer catches a wrong answer no matter which tier produced it.
+const (
+	// SolverFlipModel corrupts a sat model by flipping a high bit of one
+	// variable's value, pushing it outside any realistic domain.
+	SolverFlipModel Fault = iota + 16
+	// SolverSpuriousUnsat turns a sat verdict into unsat — the most
+	// dangerous lie, since an accepted spurious unsat silently removes
+	// feasible paths and patches.
+	SolverSpuriousUnsat
+	// SolverTruncateCore drops conjuncts from an unsat assumption core,
+	// making the core formula satisfiable; an accepted truncated core
+	// poisons the cache's subsumption index.
+	SolverTruncateCore
+)
+
 // PanicMsg is the value injected panics carry, so recover sites (and
 // humans reading logs) can tell an injected panic from a real one.
 const PanicMsg = "faultinject: injected panic"
@@ -60,10 +78,19 @@ type Plan struct {
 	RankPerturb int
 	// Seed drives the rank perturbation.
 	Seed uint64
+	// LieEvery makes every Nth produced solver verdict lie with LieKind
+	// (0 disables adversarial faults). Unlike SolverEvery faults, which
+	// fail loudly at query entry, lies corrupt an otherwise successful
+	// answer — they exist to exercise the guard layer's validation.
+	LieEvery int
+	// LieKind selects the adversarial fault class: SolverFlipModel,
+	// SolverSpuriousUnsat, or SolverTruncateCore.
+	LieKind Fault
 
 	mu          sync.Mutex
 	solverCalls int
 	execRuns    int
+	lieCalls    int
 }
 
 var active atomic.Pointer[Plan]
@@ -87,6 +114,26 @@ func SolverQuery() Fault {
 	p.solverCalls++
 	if p.solverCalls%p.SolverEvery == 0 {
 		return p.SolverKind
+	}
+	return None
+}
+
+// SolverLie is called by the smt layer whenever an untrusted tier has
+// produced a decisive verdict; it returns the adversarial corruption to
+// apply before the verdict reaches validation (None almost always). Fault
+// classes that do not fit the verdict's shape (e.g. SolverFlipModel on an
+// unsat answer) are applied as no-ops by the caller; the counter advances
+// regardless, keeping the schedule deterministic.
+func SolverLie() Fault {
+	p := active.Load()
+	if p == nil || p.LieEvery <= 0 {
+		return None
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.lieCalls++
+	if p.lieCalls%p.LieEvery == 0 {
+		return p.LieKind
 	}
 	return None
 }

@@ -87,28 +87,33 @@ type entry struct {
 // unsatCore records why a formula was unsat: its top-level conjuncts and
 // the effective domain of each of its variables. Any query that asserts
 // at least these conjuncts over domains contained in these is unsat too.
+// src is the exact-entry key whose Store added the core, so invalidating
+// that entry also withdraws its generalization.
 type unsatCore struct {
 	conjuncts map[*expr.Term]struct{}
 	bounds    map[string]interval.Interval
+	src       key
 }
 
 // Cache is a bounded memo table of solver verdicts.
 type Cache struct {
-	mu      sync.Mutex
-	opts    Options
-	entries map[key]*list.Element
-	lru     *list.List // of *entry; front = most recently used
-	cores   *list.List // of *unsatCore; front = most recently added/hit
-	stats   Stats
+	mu        sync.Mutex
+	opts      Options
+	entries   map[key]*list.Element
+	lru       *list.List // of *entry; front = most recently used
+	cores     *list.List // of *unsatCore; front = most recently added/hit
+	coreByKey map[key]*list.Element
+	stats     Stats
 }
 
 // New returns an empty cache.
 func New(opts Options) *Cache {
 	return &Cache{
-		opts:    opts.withDefaults(),
-		entries: make(map[key]*list.Element),
-		lru:     list.New(),
-		cores:   list.New(),
+		opts:      opts.withDefaults(),
+		entries:   make(map[key]*list.Element),
+		lru:       list.New(),
+		cores:     list.New(),
+		coreByKey: make(map[key]*list.Element),
 	}
 }
 
@@ -214,15 +219,56 @@ func (c *Cache) Store(f *expr.Term, bounds map[string]interval.Interval, def int
 		c.stats.Evictions++
 	}
 	if !v.Sat {
-		c.addCore(f, bounds, def)
+		c.addCore(f, bounds, def, k)
 	}
 }
 
+// Key identifies an exact cache entry; obtained from KeyOf before a Store
+// so the entry can later be withdrawn by InvalidateKey without re-rendering
+// the bounds map. The zero Key matches nothing.
+type Key struct {
+	f      *expr.Term
+	bounds string
+}
+
+// KeyOf returns the exact-entry key a Store for this query would use.
+func KeyOf(f *expr.Term, bounds map[string]interval.Interval, def interval.Interval) Key {
+	return Key{f: f, bounds: boundsKey(bounds, def)}
+}
+
+// InvalidateKey withdraws the exact entry identified by k, along with any
+// unsat-subsumption core that entry's Store contributed — a poisoned unsat
+// entry must not keep answering supersets of its conjuncts after it is
+// pulled. Unknown keys are a no-op; safe on a nil cache.
+func (c *Cache) InvalidateKey(k Key) {
+	if c == nil {
+		return
+	}
+	ik := key{f: k.f, bounds: k.bounds}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[ik]; ok {
+		c.lru.Remove(el)
+		delete(c.entries, ik)
+	}
+	if el, ok := c.coreByKey[ik]; ok {
+		c.cores.Remove(el)
+		delete(c.coreByKey, ik)
+	}
+}
+
+// Invalidate withdraws the entry for f under the given bounds; see
+// InvalidateKey.
+func (c *Cache) Invalidate(f *expr.Term, bounds map[string]interval.Interval, def interval.Interval) {
+	c.InvalidateKey(KeyOf(f, bounds, def))
+}
+
 // addCore indexes an unsat formula for subsumption. Caller holds c.mu.
-func (c *Cache) addCore(f *expr.Term, bounds map[string]interval.Interval, def interval.Interval) {
+func (c *Cache) addCore(f *expr.Term, bounds map[string]interval.Interval, def interval.Interval, k key) {
 	core := &unsatCore{
 		conjuncts: conjunctSet(f),
 		bounds:    make(map[string]interval.Interval),
+		src:       k,
 	}
 	for _, v := range expr.Vars(f) {
 		if v.Sort != expr.SortInt {
@@ -245,9 +291,14 @@ func (c *Cache) addCore(f *expr.Term, bounds map[string]interval.Interval, def i
 			}
 		}
 	}
-	c.cores.PushFront(core)
+	if old, ok := c.coreByKey[k]; ok {
+		c.cores.Remove(old)
+	}
+	c.coreByKey[k] = c.cores.PushFront(core)
 	for c.cores.Len() > c.opts.MaxUnsatCores {
-		c.cores.Remove(c.cores.Back())
+		oldest := c.cores.Back()
+		c.cores.Remove(oldest)
+		delete(c.coreByKey, oldest.Value.(*unsatCore).src)
 	}
 }
 

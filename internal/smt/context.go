@@ -2,11 +2,13 @@ package smt
 
 import (
 	"errors"
+	"fmt"
 
 	"cpr/internal/cancel"
 	"cpr/internal/expr"
 	"cpr/internal/interval"
 	"cpr/internal/smt/cache"
+	"cpr/internal/smt/guard"
 	"cpr/internal/smt/lia"
 	"cpr/internal/smt/sat"
 )
@@ -234,6 +236,12 @@ func (c *Context) decide(f *expr.Term, bounds map[string]interval.Interval, qtok
 				stage = "deadline"
 			}
 			return Unknown, nil, budgetErr(stage, round, nil)
+		}
+		if !c.enc.sat.VerifyModel() {
+			// The retained clause database produced a model that does not
+			// satisfy it. The solver quarantines this context and retries
+			// the query on the scratch rung.
+			return Unknown, nil, fmt.Errorf("%w (incremental sat tier, query %d round %d)", guard.ErrVerdictRejected, query, round)
 		}
 		model := c.enc.sat.Model()
 

@@ -547,3 +547,47 @@ func ceilDiv(a, b int64) int64 {
 	}
 	return q
 }
+
+// Verify replays a model against a problem: every variable must lie within
+// its bounds and every constraint must hold under direct evaluation. It is
+// the LIA tier's verdict-validation hook (paranoid-mode defense in depth):
+// a false return means the arithmetic procedure produced an assignment
+// that does not satisfy its own constraint system. Variables absent from
+// the model fail verification — a sat answer must assign everything.
+func Verify(p Problem, model map[string]int64) bool {
+	for name, iv := range p.Bounds {
+		v, ok := model[name]
+		if !ok || v < iv.Lo || v > iv.Hi {
+			return false
+		}
+	}
+	for _, c := range p.Cons {
+		var sum int64
+		for _, t := range c.Terms {
+			prod := t.Coef
+			for _, name := range t.Vars {
+				v, ok := model[name]
+				if !ok {
+					return false
+				}
+				prod *= v
+			}
+			sum += prod
+		}
+		switch c.Rel {
+		case RelLe:
+			if sum > c.K {
+				return false
+			}
+		case RelEq:
+			if sum != c.K {
+				return false
+			}
+		case RelNe:
+			if sum == c.K {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,52 @@
+package lia
+
+import (
+	"testing"
+
+	"cpr/internal/interval"
+)
+
+// Verify is the theory tier's self-check, run on every LIA model under
+// paranoid validation: the model must assign every bounded variable
+// in-range and satisfy every constraint literally.
+func TestVerify(t *testing.T) {
+	p := Problem{
+		Cons: []Constraint{
+			// x + 2y ≤ 10
+			{Terms: []Term{{Coef: 1, Vars: []string{"x"}}, {Coef: 2, Vars: []string{"y"}}}, K: 10, Rel: RelLe},
+			// x·y = 6
+			{Terms: []Term{{Coef: 1, Vars: []string{"x", "y"}}}, K: 6, Rel: RelEq},
+			// x ≠ 1
+			{Terms: []Term{{Coef: 1, Vars: []string{"x"}}}, K: 1, Rel: RelNe},
+		},
+		Bounds: map[string]interval.Interval{
+			"x": interval.New(0, 10),
+			"y": interval.New(0, 10),
+		},
+	}
+
+	cases := []struct {
+		name  string
+		model map[string]int64
+		want  bool
+	}{
+		{"satisfying model", map[string]int64{"x": 2, "y": 3}, true},
+		{"violates Le", map[string]int64{"x": 6, "y": 3}, false},
+		{"violates Eq", map[string]int64{"x": 3, "y": 3}, false},
+		{"violates Ne", map[string]int64{"x": 1, "y": 6}, false},
+		{"out of bounds", map[string]int64{"x": 2, "y": -3}, false},
+		{"missing variable", map[string]int64{"x": 2}, false},
+		{"bit-flipped value", map[string]int64{"x": 2, "y": 3 + (1 << 40)}, false},
+	}
+	for _, tc := range cases {
+		if got := Verify(p, tc.model); got != tc.want {
+			t.Errorf("%s: Verify = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestVerifyEmptyProblem(t *testing.T) {
+	if !Verify(Problem{}, nil) {
+		t.Fatal("empty problem must accept any model")
+	}
+}

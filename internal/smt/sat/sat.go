@@ -682,6 +682,33 @@ func (s *Solver) pickBranchVar() int {
 // Solve; index by variable.
 func (s *Solver) Model() []bool { return s.model }
 
+// VerifyModel replays the last Solve's model against the problem clause
+// set: every clause must contain a satisfied literal. It is the SAT tier's
+// verdict-validation hook — a false return means the solver produced a
+// model that does not actually satisfy its own clauses, which the guard
+// layer treats as a validation failure. Learned clauses are implied by the
+// problem clauses, so replaying the problem set suffices. Returns false
+// when no model is available.
+func (s *Solver) VerifyModel() bool {
+	if s.model == nil {
+		return false
+	}
+	for _, c := range s.clauses {
+		ok := false
+		for _, l := range c.lits {
+			v := l.Var()
+			if v < len(s.model) && s.model[v] != l.Neg() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
 // varHeap is a max-heap of variables ordered by activity with lazy
 // reinsertion (popped vars may be stale; pickBranchVar filters).
 type varHeap struct {

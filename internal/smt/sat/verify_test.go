@@ -1,0 +1,43 @@
+package sat
+
+import "testing"
+
+// VerifyModel is the CDCL tier's self-check: the guard layer replays
+// every sat answer against the problem clauses before trusting it.
+func TestVerifyModelAcceptsRealModel(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(lit(a), lit(b))
+	s.AddClause(nlit(a), lit(c))
+	if s.Solve() != Sat {
+		t.Fatal("satisfiable set reported unsat")
+	}
+	if !s.VerifyModel() {
+		t.Fatal("genuine model rejected")
+	}
+}
+
+func TestVerifyModelRejectsNilModel(t *testing.T) {
+	s := New()
+	s.NewVar()
+	if s.VerifyModel() {
+		t.Fatal("accepted a model before any solve")
+	}
+}
+
+func TestVerifyModelRejectsCorruptedModel(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	// a∨b and a∨¬b force a true through stored (non-unit) clauses, so the
+	// replay sees them; whatever b is, flipping a falsifies one of the two.
+	s.AddClause(lit(a), lit(b))
+	s.AddClause(lit(a), nlit(b))
+	if s.Solve() != Sat {
+		t.Fatal("satisfiable set reported unsat")
+	}
+	s.model[a] = !s.model[a] // simulate a lying tier
+	if s.VerifyModel() {
+		t.Fatal("accepted a model that falsifies a clause")
+	}
+}

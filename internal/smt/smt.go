@@ -22,6 +22,7 @@ package smt
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"cpr/internal/faultinject"
 	"cpr/internal/interval"
 	"cpr/internal/smt/cache"
+	"cpr/internal/smt/guard"
 	"cpr/internal/smt/lia"
 	"cpr/internal/smt/sat"
 )
@@ -99,6 +101,16 @@ type Options struct {
 	// produced by the deterministic scratch path, so repair results do not
 	// depend on this flag — only speed does. Off by default.
 	Incremental bool
+	// Paranoid forces 100% verdict validation in the guard layer: every
+	// unsat answer is cross-checked by an independent scratch solve (sat
+	// models are replayed on every answer regardless). Equivalent to
+	// Guard.Paranoid; the CPR_PARANOID environment variable forces it
+	// process-wide.
+	Paranoid bool
+	// Guard tunes the validation and self-healing layer (sampling rate,
+	// quarantine backoff, circuit-breaker threshold). The zero value gets
+	// production defaults.
+	Guard guard.Config
 }
 
 func (o Options) withDefaults() Options {
@@ -146,6 +158,20 @@ type Stats struct {
 	// core size.
 	AssumptionCores    uint64
 	AssumptionCoreLits uint64
+	// Self-healing health counters (package guard). Validations counts
+	// verdict validations run (model replays + unsat cross-checks);
+	// ValidationFailures counts verdicts they rejected — each such verdict
+	// was replaced by a lower-rung solve or degraded to Unknown, never
+	// returned. Quarantines counts layers taken out of service,
+	// FallbackSolves queries served below their natural tier,
+	// RebuildRetries quarantined contexts readmitted after backoff, and
+	// BreakerTrips circuit breakers pinning a solver to scratch mode.
+	Validations        uint64
+	ValidationFailures uint64
+	Quarantines        uint64
+	FallbackSolves     uint64
+	RebuildRetries     uint64
+	BreakerTrips       uint64
 }
 
 // Add returns the fieldwise sum of two stats snapshots — the aggregate of
@@ -166,6 +192,12 @@ func (a Stats) Add(b Stats) Stats {
 	a.ClausesDeleted += b.ClausesDeleted
 	a.AssumptionCores += b.AssumptionCores
 	a.AssumptionCoreLits += b.AssumptionCoreLits
+	a.Validations += b.Validations
+	a.ValidationFailures += b.ValidationFailures
+	a.Quarantines += b.Quarantines
+	a.FallbackSolves += b.FallbackSolves
+	a.RebuildRetries += b.RebuildRetries
+	a.BreakerTrips += b.BreakerTrips
 	return a
 }
 
@@ -200,16 +232,42 @@ type Solver struct {
 	// first query when opts.Incremental is set and discarded whenever a
 	// recovered panic may have left it mid-mutation.
 	ctx *Context
+	// guard validates verdicts and drives the degradation ladder; see
+	// package guard. Every solver has one (the overhead of validation is
+	// one model replay per sat answer plus sampled unsat cross-checks).
+	guard *guard.Guard
+	// scratch is the trusted child solver the ladder's lower rungs run on:
+	// scratch mode, no cache, no fault injection, no guard — the reference
+	// implementation the untrusted tiers are checked against. Created
+	// lazily on the first cross-check or fallback.
+	scratch *Solver
+	// trusted marks the scratch child itself: its verdicts are served
+	// without lie injection or validation (it IS the validator).
+	trusted bool
+	// journal records the cache keys this solver stored during the current
+	// epoch (see BeginEpoch); on a panic or budget abort, or when a layer
+	// is quarantined, the journaled entries are invalidated — a corrupted
+	// worker must not leave verdicts behind in shared state.
+	journal []cache.Key
 }
+
+// maxJournal caps epoch journals; an epoch that overflows it simply stops
+// recording (invalidation-on-abort is best-effort hygiene, not soundness —
+// entries are validated before every store).
+const maxJournal = 8192
 
 // NewSolver returns a Solver with the given options.
 func NewSolver(opts Options) *Solver {
-	return &Solver{opts: opts.withDefaults()}
+	opts = opts.withDefaults()
+	gcfg := opts.Guard
+	gcfg.Paranoid = gcfg.Paranoid || opts.Paranoid
+	return &Solver{opts: opts, guard: guard.New(gcfg)}
 }
 
 // Stats returns a consistent snapshot of the accumulated counters. It is
 // safe to call concurrently with queries on this solver.
 func (s *Solver) Stats() Stats {
+	gc := s.guard.Counters()
 	return Stats{
 		Queries:      s.stats.queries.Load(),
 		TheoryRounds: s.stats.theoryRounds.Load(),
@@ -227,6 +285,13 @@ func (s *Solver) Stats() Stats {
 		ClausesDeleted:     s.stats.clausesDeleted.Load(),
 		AssumptionCores:    s.stats.assumptionCores.Load(),
 		AssumptionCoreLits: s.stats.assumptionCoreLits.Load(),
+
+		Validations:        gc.Validations,
+		ValidationFailures: gc.ValidationFailures,
+		Quarantines:        gc.Quarantines,
+		FallbackSolves:     gc.FallbackSolves,
+		RebuildRetries:     gc.RebuildRetries,
+		BreakerTrips:       gc.BreakerTrips,
 	}
 }
 
@@ -290,6 +355,14 @@ func (s *Solver) Check(f *expr.Term, bounds map[string]interval.Interval) (res R
 		return Result{}, fmt.Errorf("smt: Check: formula has sort %v, want Bool", f.Sort)
 	}
 	query := s.stats.queries.Add(1)
+	// Registered before the recover defer (so it runs after err is set):
+	// an aborted query's worker may have been corrupted mid-epoch, so its
+	// epoch's cache writes are withdrawn along with the incremental context.
+	defer func() {
+		if err != nil && (errors.Is(err, ErrBudget) || errors.Is(err, ErrSolverPanic)) {
+			s.abortEpoch()
+		}
+	}()
 	defer func() {
 		if r := recover(); r != nil {
 			// A panic may have interrupted a clause-database mutation:
@@ -301,58 +374,285 @@ func (s *Solver) Check(f *expr.Term, bounds map[string]interval.Interval) (res R
 			err = fmt.Errorf("%w: %v", ErrSolverPanic, r)
 		}
 	}()
-	switch faultinject.SolverQuery() {
-	case faultinject.SolverPanic:
-		panic(faultinject.PanicMsg)
-	case faultinject.SolverTimeout:
-		s.stats.unknowns.Add(1)
-		return Result{Status: Unknown}, &BudgetError{Stage: "fault-injection", Query: query}
-	case faultinject.SolverFail:
-		return Result{}, faultinject.ErrInjected
+	if !s.trusted {
+		switch faultinject.SolverQuery() {
+		case faultinject.SolverPanic:
+			panic(faultinject.PanicMsg)
+		case faultinject.SolverTimeout:
+			s.stats.unknowns.Add(1)
+			return Result{Status: Unknown}, &BudgetError{Stage: "fault-injection", Query: query}
+		case faultinject.SolverFail:
+			return Result{}, faultinject.ErrInjected
+		}
 	}
 	if c := s.opts.Cache; c != nil {
 		if v, ok := c.Lookup(f, bounds, s.opts.DefaultBounds); ok {
-			s.stats.cacheHits.Add(1)
-			if v.Sat {
-				s.stats.satAnswers.Add(1)
-				return Result{Status: Sat, Model: v.Model}, nil
+			if v.Sat && !s.guard.ValidateModel(f, bounds, s.opts.DefaultBounds, v.Model) {
+				// Poisoned entry: quarantine it (pull the entry and any
+				// subsumption core it contributed) and fall through to
+				// re-solve one rung down.
+				c.Invalidate(f, bounds, s.opts.DefaultBounds)
+				s.guard.NoteQuarantine()
+				s.guard.NoteFallback()
+				s.stats.cacheMisses.Add(1)
+			} else {
+				s.stats.cacheHits.Add(1)
+				if v.Sat {
+					s.stats.satAnswers.Add(1)
+					return Result{Status: Sat, Model: v.Model}, nil
+				}
+				s.stats.unsatAnswers.Add(1)
+				return Result{Status: Unsat}, nil
 			}
-			s.stats.unsatAnswers.Add(1)
-			return Result{Status: Unsat}, nil
+		} else {
+			s.stats.cacheMisses.Add(1)
 		}
-		s.stats.cacheMisses.Add(1)
 	}
 	qtok := s.opts.Cancel
 	if s.opts.MaxQueryDuration > 0 {
 		qtok = cancel.WithTimeout(qtok, s.opts.MaxQueryDuration)
 	}
 	if s.opts.Incremental {
-		// Verdict first on the persistent context. Unsat answers (and
-		// their assumption cores) skip the scratch solve entirely; Sat
-		// answers fall through to the scratch path for the model, so
-		// models are bit-identical to scratch mode.
-		st, core, derr := s.incrementalCtx().decide(f, bounds, qtok, query)
-		switch st {
-		case Unsat:
-			s.stats.unsatAnswers.Add(1)
-			s.storeUnsat(f, bounds, core)
-			return Result{Status: Unsat}, nil
-		case Unknown:
-			return Result{Status: Unknown}, derr
+		if !s.guard.RungAvailable() {
+			// Quarantined or breaker-pinned: serve this query from the
+			// scratch rung below.
+			s.guard.NoteFallback()
+		} else {
+			// Verdict first on the persistent context. Unsat answers (and
+			// their assumption cores) skip the scratch solve entirely; Sat
+			// answers fall through to the scratch path for the model, so
+			// models are bit-identical to scratch mode.
+			st, core, derr := s.incrementalCtx().decide(f, bounds, qtok, query)
+			st, core = s.applyLieDecide(st, core)
+			switch st {
+			case Unsat:
+				ok, core2, tres := s.verifyUnsat(f, bounds, core)
+				if !ok {
+					// The context claimed unsat but the trusted scratch
+					// solver found a model: quarantine the context and serve
+					// the trusted result.
+					s.quarantineCtx()
+					s.guard.NoteFallback()
+					return s.finish(f, bounds, tres, nil)
+				}
+				s.storeUnsat(f, bounds, core2)
+				s.stats.unsatAnswers.Add(1)
+				return Result{Status: Unsat}, nil
+			case Unknown:
+				if !errors.Is(derr, guard.ErrVerdictRejected) {
+					return Result{Status: Unknown}, derr
+				}
+				// The context caught its own clause database producing an
+				// invalid model: quarantine it and retry on the scratch
+				// rung below.
+				s.guard.NoteFailure()
+				s.quarantineCtx()
+				s.guard.NoteFallback()
+			}
 		}
 	}
 	res, err = s.check(f, bounds, qtok, query)
+	if err != nil || res.Status == Unknown {
+		return res, err
+	}
+	if !s.trusted {
+		res, err = s.vet(f, bounds, res)
+	}
+	return s.finish(f, bounds, res, err)
+}
+
+// finish counts and caches a settled decisive verdict. Every verdict that
+// reaches it has either been validated or comes from the trusted rung.
+func (s *Solver) finish(f *expr.Term, bounds map[string]interval.Interval, res Result, err error) (Result, error) {
+	switch res.Status {
+	case Sat:
+		s.stats.satAnswers.Add(1)
+	case Unsat:
+		s.stats.unsatAnswers.Add(1)
+	}
 	if err == nil && s.opts.Cache != nil {
 		// Only decisive verdicts are cacheable: Unknown reflects a budget,
 		// not the query.
 		switch res.Status {
 		case Sat:
-			s.opts.Cache.Store(f, bounds, s.opts.DefaultBounds, cache.Value{Sat: true, Model: res.Model})
+			s.storeValue(f, bounds, cache.Value{Sat: true, Model: res.Model})
 		case Unsat:
-			s.opts.Cache.Store(f, bounds, s.opts.DefaultBounds, cache.Value{Sat: false})
+			s.storeValue(f, bounds, cache.Value{Sat: false})
 		}
 	}
 	return res, err
+}
+
+// vet applies adversarial lie injection (test hook) and then the guard's
+// verdict validation to a freshly produced scratch verdict, degrading down
+// the ladder until an answer validates: scratch → cache-bypass trusted
+// scratch → Unknown. The invariant: a verdict that fails validation is
+// never returned.
+func (s *Solver) vet(f *expr.Term, bounds map[string]interval.Interval, res Result) (Result, error) {
+	res = s.applyLieResult(res)
+	switch res.Status {
+	case Sat:
+		if s.guard.ValidateModel(f, bounds, s.opts.DefaultBounds, res.Model) {
+			return res, nil
+		}
+		// Bottom rung: cache-bypass solve on the trusted scratch solver.
+		s.guard.NoteFallback()
+		tres, terr := s.trustedScratch().Check(f, bounds)
+		if terr != nil || tres.Status == Unknown {
+			s.stats.unknowns.Add(1)
+			return Result{Status: Unknown}, fmt.Errorf("%w (trusted re-solve: %v)", guard.ErrVerdictRejected, terr)
+		}
+		if tres.Status == Sat && !s.guard.ValidateModel(f, bounds, s.opts.DefaultBounds, tres.Model) {
+			// Even the reference solver's model fails replay: a genuine
+			// solver bug. Nothing left to fall back to — degrade to Unknown
+			// rather than expose a wrong answer.
+			s.stats.unknowns.Add(1)
+			return Result{Status: Unknown}, guard.ErrVerdictRejected
+		}
+		return tres, nil
+	case Unsat:
+		ok, _, tres := s.verifyUnsat(f, bounds, nil)
+		if !ok {
+			s.guard.NoteFallback()
+			return tres, nil
+		}
+	}
+	return res, nil
+}
+
+// verifyUnsat cross-checks a sampled unsat verdict (and its assumption
+// core, if any) against the trusted scratch solver. It returns ok=false
+// with the trusted result when the verdict itself diverged; a lying core
+// under a genuine unsat verdict is dropped (nil core) and the incremental
+// rung quarantined, since only the context produces cores.
+func (s *Solver) verifyUnsat(f *expr.Term, bounds map[string]interval.Interval, core []*expr.Term) (bool, []*expr.Term, Result) {
+	if !s.guard.ShouldCrossCheck() {
+		return true, core, Result{}
+	}
+	s.guard.NoteCrossCheck()
+	tres, terr := s.trustedScratch().Check(f, bounds)
+	if terr != nil || tres.Status == Unknown {
+		return true, core, Result{} // inconclusive: budgets ran out re-solving
+	}
+	if tres.Status == Sat {
+		s.guard.NoteFailure()
+		return false, nil, tres
+	}
+	// Unsat confirmed. A narrowing core is about to be generalized into the
+	// cache's subsumption index, so it gets its own cross-check: the core
+	// formula must itself be unsat.
+	if len(core) > 0 && f.Op == expr.OpAnd && len(core) < len(f.Args) {
+		coreF := expr.And(core...)
+		if coreF != f && !coreF.IsTrue() {
+			s.guard.NoteCrossCheck()
+			if cres, cerr := s.trustedScratch().Check(coreF, bounds); cerr == nil && cres.Status == Sat {
+				// The verdict stands but the core is a lie; drop it and
+				// quarantine the context that produced it.
+				s.guard.NoteFailure()
+				s.quarantineCtx()
+				core = nil
+			}
+		}
+	}
+	return true, core, Result{}
+}
+
+// quarantineCtx discards the incremental context after a validation
+// failure attributed to it, starts the guard's backoff/breaker machinery,
+// and withdraws the epoch's cache writes (the lying context may have
+// poisoned them before it was caught).
+func (s *Solver) quarantineCtx() {
+	s.ctx = nil
+	s.guard.QuarantineRung()
+	s.abortEpoch()
+}
+
+// trustedScratch returns the child solver the ladder's trusted rungs run
+// on, creating it on first use. It shares budgets and the cancel token but
+// has no cache, no incremental context, no fault injection, and no guard
+// of its own.
+func (s *Solver) trustedScratch() *Solver {
+	if s.scratch == nil {
+		o := s.opts
+		o.Incremental = false
+		o.Cache = nil
+		s.scratch = NewSolver(o)
+		s.scratch.trusted = true
+	}
+	return s.scratch
+}
+
+// applyLieDecide is the adversarial-fault hook for verdict-only answers
+// from the incremental context (see faultinject.SolverLie). No-op outside
+// tests.
+func (s *Solver) applyLieDecide(st Status, core []*expr.Term) (Status, []*expr.Term) {
+	if st == Unknown {
+		return st, core
+	}
+	switch faultinject.SolverLie() {
+	case faultinject.SolverSpuriousUnsat:
+		if st == Sat {
+			return Unsat, nil
+		}
+	case faultinject.SolverTruncateCore:
+		if st == Unsat && len(core) > 1 {
+			return st, core[:1]
+		}
+	}
+	return st, core
+}
+
+// applyLieResult is the adversarial-fault hook for scratch-path results
+// (see faultinject.SolverLie). No-op outside tests.
+func (s *Solver) applyLieResult(res Result) Result {
+	if res.Status == Unknown {
+		return res
+	}
+	switch faultinject.SolverLie() {
+	case faultinject.SolverFlipModel:
+		if res.Status == Sat && len(res.Model) > 0 {
+			names := make([]string, 0, len(res.Model))
+			for name := range res.Model {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			res.Model[names[0]] ^= 1 << 40
+		}
+	case faultinject.SolverSpuriousUnsat:
+		if res.Status == Sat {
+			return Result{Status: Unsat}
+		}
+	}
+	return res
+}
+
+// BeginEpoch marks an iteration boundary for cache-write journaling: the
+// repair engine calls it before each unit of work so that an abort (panic
+// or budget exhaustion) can withdraw exactly the entries that unit wrote.
+func (s *Solver) BeginEpoch() {
+	s.journal = s.journal[:0]
+}
+
+// abortEpoch invalidates every cache entry stored since BeginEpoch.
+func (s *Solver) abortEpoch() {
+	if c := s.opts.Cache; c != nil {
+		for _, k := range s.journal {
+			c.InvalidateKey(k)
+		}
+	}
+	s.journal = s.journal[:0]
+}
+
+// storeValue stores a decisive verdict and journals the write.
+func (s *Solver) storeValue(f *expr.Term, bounds map[string]interval.Interval, v cache.Value) {
+	c := s.opts.Cache
+	if c == nil {
+		return
+	}
+	c.Store(f, bounds, s.opts.DefaultBounds, v)
+	if len(s.journal) < maxJournal {
+		s.journal = append(s.journal, cache.KeyOf(f, bounds, s.opts.DefaultBounds))
+	}
 }
 
 // incrementalCtx returns the persistent context, creating it on first use.
@@ -367,17 +667,16 @@ func (s *Solver) incrementalCtx() *Context {
 // assumption core as its own unsat entry when it genuinely narrows the
 // query — that is what feeds the subsumption index with small cores.
 func (s *Solver) storeUnsat(f *expr.Term, bounds map[string]interval.Interval, core []*expr.Term) {
-	ca := s.opts.Cache
-	if ca == nil {
+	if s.opts.Cache == nil {
 		return
 	}
-	ca.Store(f, bounds, s.opts.DefaultBounds, cache.Value{Sat: false})
+	s.storeValue(f, bounds, cache.Value{Sat: false})
 	if len(core) == 0 || f.Op != expr.OpAnd || len(core) >= len(f.Args) {
 		return
 	}
 	coreF := expr.And(core...)
 	if coreF != f && !coreF.IsTrue() {
-		ca.Store(coreF, bounds, s.opts.DefaultBounds, cache.Value{Sat: false})
+		s.storeValue(coreF, bounds, cache.Value{Sat: false})
 	}
 }
 
@@ -396,10 +695,8 @@ func (s *Solver) check(f *expr.Term, bounds map[string]interval.Interval, qtok *
 	case g.IsTrue():
 		m := expr.Model{}
 		fillModel(m, nil, bounds, s.opts.DefaultBounds)
-		s.stats.satAnswers.Add(1)
 		return Result{Status: Sat, Model: m}, nil
 	case g.IsFalse():
-		s.stats.unsatAnswers.Add(1)
 		return Result{Status: Unsat}, nil
 	}
 
@@ -414,7 +711,6 @@ func (s *Solver) check(f *expr.Term, bounds map[string]interval.Interval, qtok *
 		enc.sat.Stop = qtok.Expired
 	}
 	if !enc.sat.AddClause(root) {
-		s.stats.unsatAnswers.Add(1)
 		return Result{Status: Unsat}, nil
 	}
 	conflictsAtStart := enc.sat.Statist.Conflicts
@@ -453,7 +749,6 @@ func (s *Solver) check(f *expr.Term, bounds map[string]interval.Interval, qtok *
 		s.stats.theoryRounds.Add(1)
 		switch enc.sat.Solve() {
 		case sat.Unsat:
-			s.stats.unsatAnswers.Add(1)
 			return Result{Status: Unsat}, nil
 		case sat.Unknown:
 			stage := "sat-conflicts"
@@ -461,6 +756,14 @@ func (s *Solver) check(f *expr.Term, bounds map[string]interval.Interval, qtok *
 				stage = "deadline"
 			}
 			return Result{Status: Unknown}, budgetErr(stage, round, nil)
+		}
+		if !enc.sat.VerifyModel() {
+			// The SAT tier's model does not satisfy its own clause set: a
+			// CDCL bug. Degrade to Unknown; the caller's ladder decides
+			// whether a lower rung can still answer.
+			s.guard.NoteFailure()
+			s.stats.unknowns.Add(1)
+			return Result{Status: Unknown}, fmt.Errorf("%w (sat tier, query %d round %d)", guard.ErrVerdictRejected, query, round)
 		}
 		model := enc.sat.Model()
 
@@ -491,6 +794,13 @@ func (s *Solver) check(f *expr.Term, bounds map[string]interval.Interval, qtok *
 			return Result{}, err
 		}
 		if res.Status == lia.Sat {
+			if s.guard.Config().Paranoid && !lia.Verify(prob, res.Model) {
+				// The LIA tier's assignment violates its own constraint
+				// system (paranoid-mode defense in depth).
+				s.guard.NoteFailure()
+				s.stats.unknowns.Add(1)
+				return Result{Status: Unknown}, fmt.Errorf("%w (lia tier, query %d round %d)", guard.ErrVerdictRejected, query, round)
+			}
 			m := expr.Model{}
 			for name, v := range res.Model {
 				if !strings.HasPrefix(name, auxPrefix) {
@@ -505,7 +815,6 @@ func (s *Solver) check(f *expr.Term, bounds map[string]interval.Interval, qtok *
 				}
 			}
 			fillModel(m, g, bounds, s.opts.DefaultBounds)
-			s.stats.satAnswers.Add(1)
 			return Result{Status: Sat, Model: m}, nil
 		}
 		// Theory conflict: block this support set.
@@ -514,7 +823,6 @@ func (s *Solver) check(f *expr.Term, bounds map[string]interval.Interval, qtok *
 			block[i] = l.Not()
 		}
 		if !enc.sat.AddClause(block...) {
-			s.stats.unsatAnswers.Add(1)
 			return Result{Status: Unsat}, nil
 		}
 	}
@@ -561,6 +869,11 @@ func (s *Solver) Decide(f *expr.Term, bounds map[string]interval.Interval) (st S
 	}
 	query := s.stats.queries.Add(1)
 	defer func() {
+		if err != nil && (errors.Is(err, ErrBudget) || errors.Is(err, ErrSolverPanic)) {
+			s.abortEpoch() // see Check: abort withdraws the epoch's writes
+		}
+	}()
+	defer func() {
 		if r := recover(); r != nil {
 			s.ctx = nil // may be mid-mutation: discard, rebuilt lazily
 			s.stats.panics.Add(1)
@@ -594,20 +907,59 @@ func (s *Solver) Decide(f *expr.Term, bounds map[string]interval.Interval) (st S
 	if s.opts.MaxQueryDuration > 0 {
 		qtok = cancel.WithTimeout(qtok, s.opts.MaxQueryDuration)
 	}
+	if !s.guard.RungAvailable() {
+		// Quarantined or breaker-pinned: the scratch rung serves the query
+		// (with full vetting and cache participation — a breaker-pinned
+		// worker keeps cache benefits, it only loses the retained context).
+		s.guard.NoteFallback()
+		return s.scratchDecide(f, bounds, qtok, query)
+	}
 	st, core, err := s.incrementalCtx().decide(f, bounds, qtok, query)
+	st, core = s.applyLieDecide(st, core)
 	switch st {
+	case Unknown:
+		if errors.Is(err, guard.ErrVerdictRejected) {
+			// See Check: the context rejected its own model — quarantine
+			// and retry the query on the scratch rung.
+			s.guard.NoteFailure()
+			s.quarantineCtx()
+			s.guard.NoteFallback()
+			return s.scratchDecide(f, bounds, qtok, query)
+		}
 	case Sat:
 		s.stats.satAnswers.Add(1)
 		if s.opts.Cache != nil {
 			// Verdict-only entry: answers future Decide calls; a later
 			// Check upgrades it with the model.
-			s.opts.Cache.Store(f, bounds, s.opts.DefaultBounds, cache.Value{Sat: true})
+			s.storeValue(f, bounds, cache.Value{Sat: true})
 		}
 	case Unsat:
+		ok, core2, tres := s.verifyUnsat(f, bounds, core)
+		if !ok {
+			// Spurious unsat from the context: quarantine it and serve the
+			// trusted scratch verdict (with its model, which upgrades the
+			// cache entry for free).
+			s.quarantineCtx()
+			s.guard.NoteFallback()
+			res, ferr := s.finish(f, bounds, tres, nil)
+			return res.Status, ferr
+		}
 		s.stats.unsatAnswers.Add(1)
-		s.storeUnsat(f, bounds, core)
+		s.storeUnsat(f, bounds, core2)
 	}
 	return st, err
+}
+
+// scratchDecide serves a Decide query from the scratch rung, with full
+// vetting and cache participation.
+func (s *Solver) scratchDecide(f *expr.Term, bounds map[string]interval.Interval, qtok *cancel.Token, query uint64) (Status, error) {
+	res, err := s.check(f, bounds, qtok, query)
+	if err != nil || res.Status == Unknown {
+		return res.Status, err
+	}
+	res, err = s.vet(f, bounds, res)
+	res, err = s.finish(f, bounds, res, err)
+	return res.Status, err
 }
 
 // IsSat reports whether f is satisfiable.
