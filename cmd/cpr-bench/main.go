@@ -30,7 +30,9 @@ func main() {
 		workers     = flag.Int("workers", 0, "exploration worker pool size (0 = NumCPU); 1 replays the sequential engine")
 		incremental = flag.Bool("incremental", true, "use incremental solver contexts (persistent encodings, retained learned clauses); results are identical either way")
 		paranoid    = flag.Bool("paranoid", false, "force 100% solver verdict validation (every unsat answer cross-checked by an independent scratch solve); CPR_PARANOID=1 forces it too")
-		jsonOut     = flag.String("json", "", "write per-subject measurements (wall time, iterations, solver queries, cache hit rate) to this JSON file")
+		jsonOut     = flag.String("json", "", "write per-subject measurements (wall time, iterations, solver queries, cache hit rate) to this JSON file (committed atomically)")
+		ckptDir     = flag.String("checkpoint-dir", "", "directory for crash-safe suite journals and per-subject engine snapshots (empty = off)")
+		resume      = flag.Bool("resume", false, "resume a killed suite run: completed subjects replay from the journal, the interrupted one continues from its snapshot")
 		quiet       = flag.Bool("q", false, "suppress progress lines")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -74,6 +76,14 @@ func main() {
 	opts.Baselines.SMT.Paranoid = *paranoid
 	if *budget > 0 {
 		opts.Budget = core.Budget{MaxIterations: *budget, ValidationIterations: 8}
+	}
+	if *resume && *ckptDir == "" {
+		log.Fatal("-resume requires -checkpoint-dir")
+	}
+	opts.Checkpoint = core.CheckpointOptions{
+		Dir:    *ckptDir,
+		Resume: *resume,
+		Warn:   func(msg string) { log.Print(msg) },
 	}
 	if !*quiet {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }

@@ -54,12 +54,28 @@ func main() {
 		workers  = flag.Int("workers", 0, "exploration worker pool size (0 = NumCPU); 1 replays the sequential engine")
 		incr     = flag.Bool("incremental", true, "use incremental solver contexts (persistent encodings, retained learned clauses); results are identical either way")
 		paranoid = flag.Bool("paranoid", false, "force 100% solver verdict validation (every unsat answer cross-checked by an independent scratch solve); CPR_PARANOID=1 forces it too")
+		ckptDir  = flag.String("checkpoint-dir", "", "directory for crash-safe run snapshots (empty = checkpointing off)")
+		ckptIvl  = flag.Int("checkpoint-interval", 0, "generation barriers between snapshots (0 = default)")
+		resume   = flag.Bool("resume", false, "resume from the latest intact snapshot in -checkpoint-dir")
 		top      = flag.Int("top", 5, "ranked patches to print")
 		cegis    = flag.Bool("cegis", false, "also run the CEGIS baseline for comparison")
 		fuzz     = flag.Bool("fuzz", false, "fuzz for a failing input when -failing is not given")
 		localize = flag.String("localize", "", "';'-separated inputs: rank suspicious statements instead of repairing")
 	)
 	flag.Parse()
+
+	if *resume && *ckptDir == "" {
+		log.Fatal("-resume requires -checkpoint-dir")
+	}
+	opts := cpr.Options{Workers: *workers}
+	opts.SMT.Incremental = *incr
+	opts.SMT.Paranoid = *paranoid
+	opts.Checkpoint = cpr.CheckpointOptions{
+		Dir:      *ckptDir,
+		Interval: *ckptIvl,
+		Resume:   *resume,
+		Warn:     func(msg string) { log.Print(msg) },
+	}
 
 	switch {
 	case *list:
@@ -94,7 +110,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		runJob(job, dev, *top, *cegis, *workers, *incr, *paranoid)
+		runJob(job, dev, *top, *cegis, opts)
 		return
 	case *file != "":
 		src, err := os.ReadFile(*file)
@@ -163,17 +179,14 @@ func main() {
 			InputBounds: bounds,
 			Budget:      cpr.Budget{MaxIterations: *budget},
 		}
-		runJob(job, nil, *top, *cegis, *workers, *incr, *paranoid)
+		runJob(job, nil, *top, *cegis, opts)
 		return
 	}
 	flag.Usage()
 	os.Exit(2)
 }
 
-func runJob(job cpr.Job, dev *cpr.Term, top int, withCEGIS bool, workers int, incremental, paranoid bool) {
-	opts := cpr.Options{Workers: workers}
-	opts.SMT.Incremental = incremental
-	opts.SMT.Paranoid = paranoid
+func runJob(job cpr.Job, dev *cpr.Term, top int, withCEGIS bool, opts cpr.Options) {
 	res, err := cpr.Repair(job, opts)
 	if err != nil {
 		log.Fatal(err)

@@ -54,6 +54,9 @@ type (
 	CancelToken = cancel.Token
 	// Options tunes the repair engine.
 	Options = core.Options
+	// CheckpointOptions configures the durable run journal: snapshot
+	// directory, barrier interval, and resume; see Options.Checkpoint.
+	CheckpointOptions = core.CheckpointOptions
 	// Result is a ranked pool of surviving abstract patches plus stats.
 	Result = core.Result
 	// Stats carries the measurements the paper's tables report.

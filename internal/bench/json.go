@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
-	"os"
+
+	"cpr/internal/journal"
 )
 
 // JSONRow is the machine-readable form of one SubjectResult, written by
@@ -102,15 +104,13 @@ func WriteJSON(w io.Writer, rows []SubjectResult) error {
 	return enc.Encode(JSONRows(rows))
 }
 
-// WriteJSONFile writes the rows to path (the cpr-bench -json target).
+// WriteJSONFile writes the rows to path (the cpr-bench -json target) via
+// a same-directory temp file and an atomic rename, so a crash mid-write
+// never leaves a truncated artifact where a previous complete one stood.
 func WriteJSONFile(path string, rows []SubjectResult) error {
-	f, err := os.Create(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rows); err != nil {
 		return err
 	}
-	if err := WriteJSON(f, rows); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return journal.WriteFileAtomic(path, buf.Bytes())
 }

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cpr/internal/core"
+)
+
+func ckptRunOptions(dir string, resume bool, lines *[]string) RunOptions {
+	opts := RunOptions{Budget: fastBudget}
+	opts.Checkpoint = core.CheckpointOptions{Dir: dir, Resume: resume}
+	if lines != nil {
+		opts.Progress = func(line string) { *lines = append(*lines, line) }
+	}
+	return opts
+}
+
+// TestSuiteResumeSkipsCompletedSubjects: a completed suite run journals
+// every row; a resumed run replays all of them from the journal without
+// re-running a single subject, and the replayed rows carry the same
+// measurements.
+func TestSuiteResumeSkipsCompletedSubjects(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite run in -short mode")
+	}
+	dir := t.TempDir()
+	first := runSuite(SuiteManyBugs, "resume-test", ckptRunOptions(dir, false, nil))
+	if len(first) == 0 {
+		t.Fatal("no rows")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "suite-resume-test.journal")); err != nil {
+		t.Fatalf("suite journal missing: %v", err)
+	}
+	// Completed subjects must not leave engine snapshots behind.
+	if subs, _ := os.ReadDir(filepath.Join(dir, "subjects")); len(subs) != 0 {
+		t.Fatalf("completed run left %d subject snapshot dirs", len(subs))
+	}
+
+	var lines []string
+	second := runSuite(SuiteManyBugs, "resume-test", ckptRunOptions(dir, true, &lines))
+	if len(second) != len(first) {
+		t.Fatalf("row counts differ: %d vs %d", len(second), len(first))
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, "resumed from journal") {
+			t.Errorf("subject re-ran on resume: %s", line)
+		}
+	}
+	for i := range first {
+		if second[i].CPR != first[i].CPR {
+			t.Errorf("%s: replayed stats diverged:\nreplayed: %+v\noriginal: %+v",
+				first[i].Subject.ID(), second[i].CPR, first[i].CPR)
+		}
+		if second[i].Rank != first[i].Rank || second[i].RankFound != first[i].RankFound {
+			t.Errorf("%s: replayed rank %d/%v, original %d/%v", first[i].Subject.ID(),
+				second[i].Rank, second[i].RankFound, first[i].Rank, first[i].RankFound)
+		}
+		if second[i].Status != first[i].Status {
+			t.Errorf("%s: replayed status %q, original %q", first[i].Subject.ID(),
+				second[i].Status, first[i].Status)
+		}
+	}
+
+	// A fresh (non-resume) run discards the old journal and re-runs.
+	var freshLines []string
+	runSuite(SuiteManyBugs, "resume-test", ckptRunOptions(dir, false, &freshLines))
+	for _, line := range freshLines {
+		if strings.Contains(line, "resumed from journal") {
+			t.Errorf("fresh run replayed a stale journal row: %s", line)
+		}
+	}
+}
+
+// TestSuiteResumeToleratesCorruptJournal: a torn journal tail (the state
+// after a mid-append SIGKILL) loses only the torn row; intact rows before
+// it still replay.
+func TestSuiteResumeToleratesCorruptJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite run in -short mode")
+	}
+	dir := t.TempDir()
+	runSuite(SuiteManyBugs, "torn", ckptRunOptions(dir, false, nil))
+	path := filepath.Join(dir, "suite-torn.journal")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var lines []string
+	rows := runSuite(SuiteManyBugs, "torn", ckptRunOptions(dir, true, &lines))
+	if len(rows) != len(Catalog(SuiteManyBugs)) {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	var replayed, reran int
+	for _, line := range lines {
+		if strings.Contains(line, "resumed from journal") {
+			replayed++
+		} else {
+			reran++
+		}
+	}
+	if replayed == 0 {
+		t.Error("intact journal prefix was not replayed")
+	}
+	if reran == 0 {
+		t.Error("torn final row was silently treated as complete")
+	}
+}
+
+// TestRowRecordRoundTrip: the durable row form preserves status, error
+// text, and both stat blocks.
+func TestRowRecordRoundTrip(t *testing.T) {
+	s := Catalog(SuiteManyBugs)[0]
+	in := SubjectResult{
+		Subject:   s,
+		Status:    StatusError,
+		Err:       errors.New("boom"),
+		Rank:      3,
+		RankFound: true,
+	}
+	in.CPR.PInit = 42
+	in.CEGISStats.PathsExplored = 7
+	out := toRowRecord(s, in).toResult(s)
+	if out.Subject != s || out.Status != StatusError || out.Err == nil || out.Err.Error() != "boom" {
+		t.Fatalf("round trip lost identity fields: %+v", out)
+	}
+	if out.CPR != in.CPR || out.CEGISStats != in.CEGISStats || out.Rank != 3 || !out.RankFound {
+		t.Fatalf("round trip lost measurements: %+v", out)
+	}
+}

@@ -30,6 +30,13 @@ type RunOptions struct {
 	Baselines baselines.Options
 	// Progress, when non-nil, receives one line per finished subject.
 	Progress func(line string)
+	// Checkpoint makes suite runs crash-safe: with Dir set, every finished
+	// subject row is journaled to <Dir>/suite-<tag>.journal and the
+	// in-flight subject writes engine snapshots under <Dir>/subjects/; with
+	// Resume, completed rows replay from the journal and the interrupted
+	// subject continues from its snapshot. Interval/Keep/Warn pass through
+	// to the per-subject engine checkpoints.
+	Checkpoint core.CheckpointOptions
 }
 
 func (o RunOptions) progress(format string, args ...interface{}) {
@@ -175,12 +182,21 @@ func runCEGIS(s *Subject, opts RunOptions, out *SubjectResult) {
 // Table1 runs the ExtractFix suite through both CPR and CEGIS.
 func Table1(opts RunOptions) []SubjectResult {
 	subjects := Catalog(SuiteExtractFix)
+	sj := openSuiteJournal("table1", opts)
+	defer sj.close()
 	rows := make([]SubjectResult, len(subjects))
 	for i, s := range subjects {
-		rows[i] = runCPR(s, opts)
-		if !rows[i].NA && rows[i].Err == nil {
-			runCEGIS(s, opts, &rows[i])
+		if row, ok := sj.lookup(s); ok {
+			rows[i] = row
+			opts.progress("table1 %2d/%d %-28s resumed from journal", i+1, len(subjects), s.ID())
+			continue
 		}
+		so := sj.subjectOpts(s, opts)
+		rows[i] = runCPR(s, so)
+		if !rows[i].NA && rows[i].Err == nil {
+			runCEGIS(s, so, &rows[i])
+		}
+		sj.record(s, rows[i])
 		opts.progress("table1 %2d/%d %-28s cpr: %s cegis: %s", i+1, len(subjects), s.ID(),
 			cprCell(rows[i]), cegisCell(rows[i]))
 	}
@@ -199,9 +215,17 @@ func Table4(opts RunOptions) []SubjectResult {
 
 func runSuite(suite, tag string, opts RunOptions) []SubjectResult {
 	subjects := Catalog(suite)
+	sj := openSuiteJournal(tag, opts)
+	defer sj.close()
 	rows := make([]SubjectResult, len(subjects))
 	for i, s := range subjects {
-		rows[i] = runCPR(s, opts)
+		if row, ok := sj.lookup(s); ok {
+			rows[i] = row
+			opts.progress("%s %2d/%d %-34s resumed from journal", tag, i+1, len(subjects), s.ID())
+			continue
+		}
+		rows[i] = runCPR(s, sj.subjectOpts(s, opts))
+		sj.record(s, rows[i])
 		opts.progress("%s %2d/%d %-34s cpr: %s", tag, i+1, len(subjects), s.ID(), cprCell(rows[i]))
 	}
 	return rows

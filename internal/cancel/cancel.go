@@ -55,6 +55,28 @@ func WithTimeout(parent *Token, d time.Duration) *Token {
 	return WithDeadline(parent, time.Now().Add(d))
 }
 
+// WithBudget derives a token for a run that has already spent part of a
+// wall-clock budget: the token expires after max−spent more wall time.
+// Fresh runs pass spent=0 and get a plain WithTimeout; a resumed run
+// (internal/journal checkpoints persist elapsed time) passes the elapsed
+// time from the snapshot, re-basing the remaining budget onto the new
+// process's clock. A non-positive max means no budget (the parent is
+// returned as-is); a budget already exhausted at derivation returns an
+// immediately expired token, so the resumed run still reports TimedOut the
+// way the uninterrupted run would have.
+func WithBudget(parent *Token, max, spent time.Duration) *Token {
+	if max <= 0 {
+		return parent
+	}
+	remaining := max - spent
+	if remaining <= 0 {
+		// Already exhausted: expire via the deadline path so Err reports
+		// ErrDeadline, exactly like a natural budget expiry.
+		return WithDeadline(parent, time.Now())
+	}
+	return WithTimeout(parent, remaining)
+}
+
 // Cancel marks the token (and, transitively, every token derived from it)
 // expired. Safe to call from another goroutine and more than once.
 func (t *Token) Cancel() {

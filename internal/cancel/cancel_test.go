@@ -90,3 +90,84 @@ func TestConcurrentCancel(t *testing.T) {
 	tok.Cancel()
 	wg.Wait()
 }
+
+// TestWithBudgetFresh: spent=0 behaves like a plain timeout over the full
+// budget.
+func TestWithBudgetFresh(t *testing.T) {
+	tok := WithBudget(nil, time.Hour, 0)
+	if tok == nil {
+		t.Fatal("budget produced no token")
+	}
+	if tok.Expired() {
+		t.Fatal("fresh budget already expired")
+	}
+	dl, ok := tok.Deadline()
+	if !ok {
+		t.Fatal("budget token has no deadline")
+	}
+	if remaining := time.Until(dl); remaining < 59*time.Minute || remaining > time.Hour {
+		t.Fatalf("deadline %v from now, want ~1h", remaining)
+	}
+}
+
+// TestWithBudgetRebase: a resumed run's elapsed time shrinks the remaining
+// window — the deadline lands at max−spent from now, re-based onto the new
+// process's clock.
+func TestWithBudgetRebase(t *testing.T) {
+	tok := WithBudget(nil, time.Hour, 45*time.Minute)
+	dl, ok := tok.Deadline()
+	if !ok {
+		t.Fatal("budget token has no deadline")
+	}
+	if remaining := time.Until(dl); remaining < 14*time.Minute || remaining > 15*time.Minute {
+		t.Fatalf("deadline %v from now, want ~15m", remaining)
+	}
+	if tok.Expired() {
+		t.Fatal("partially spent budget already expired")
+	}
+}
+
+// TestWithBudgetExhausted: a snapshot that already spent the whole budget
+// resumes into an immediately expired token whose Err reports ErrDeadline —
+// the resumed run winds down reporting TimedOut exactly like the
+// uninterrupted run would have.
+func TestWithBudgetExhausted(t *testing.T) {
+	for _, spent := range []time.Duration{time.Hour, 2 * time.Hour} {
+		tok := WithBudget(nil, time.Hour, spent)
+		if !tok.Expired() {
+			t.Fatalf("budget with spent=%v not expired", spent)
+		}
+		if !errors.Is(tok.Err(), ErrDeadline) {
+			t.Fatalf("Err = %v, want ErrDeadline", tok.Err())
+		}
+	}
+}
+
+// TestWithBudgetNoBudget: max<=0 means "no wall-clock budget"; the parent
+// (possibly nil) passes through untouched.
+func TestWithBudgetNoBudget(t *testing.T) {
+	if tok := WithBudget(nil, 0, time.Minute); tok != nil {
+		t.Fatalf("no-budget token = %v, want nil parent passthrough", tok)
+	}
+	parent := New()
+	if tok := WithBudget(parent, 0, 0); tok != parent {
+		t.Fatal("no-budget derivation did not return the parent")
+	}
+	if tok := WithBudget(parent, -time.Second, 0); tok != parent {
+		t.Fatal("negative budget did not return the parent")
+	}
+}
+
+// TestWithBudgetParentStillWins: the parent's earlier expiry dominates the
+// re-based budget window.
+func TestWithBudgetParentStillWins(t *testing.T) {
+	parent := New()
+	tok := WithBudget(parent, time.Hour, 0)
+	parent.Cancel()
+	if !tok.Expired() {
+		t.Fatal("parent cancel did not expire the budget token")
+	}
+	if !errors.Is(tok.Err(), ErrCancelled) {
+		t.Fatalf("Err = %v, want ErrCancelled", tok.Err())
+	}
+}

@@ -12,6 +12,7 @@ package cegis
 
 import (
 	"errors"
+	"time"
 
 	"cpr/internal/cancel"
 	"cpr/internal/concolic"
@@ -41,6 +42,11 @@ type Options struct {
 	// Cancel, when non-nil, winds the baseline down cooperatively; it is
 	// combined with the job's MaxDuration/Deadline like core.Repair.
 	Cancel *cancel.Token
+	// Checkpoint configures crash-safe snapshots, exactly as in
+	// core.Options: with a directory set, the baseline snapshots its loop
+	// state at phase-iteration barriers, and with Resume it continues a
+	// killed run to the result the uninterrupted run would have produced.
+	Checkpoint core.CheckpointOptions
 }
 
 // Stats mirrors the CEGIS columns of Table 1.
@@ -146,21 +152,41 @@ func Repair(job core.Job, opts Options) (*Result, error) {
 	if opts.MaxStepsPerRun == 0 {
 		opts.MaxStepsPerRun = 1 << 18
 	}
-	tok := opts.Cancel
-	if budget.MaxDuration > 0 {
-		tok = cancel.WithTimeout(tok, budget.MaxDuration)
+	co := ckptDefaults(opts.Checkpoint)
+	ownCache := opts.SMT.Cache == nil
+
+	// Resume, step 1: load the latest intact snapshot before the budget
+	// token is derived, so the wall-clock budget can be re-based on the
+	// time the killed run already spent (mirrors core.Repair).
+	var rs *resumeState
+	var fp uint64
+	if co.Dir != "" {
+		fp = fingerprintRun(job, opts)
+		if co.Resume {
+			rs = loadResume(co, fp)
+		}
 	}
+	var spent time.Duration
+	if rs != nil {
+		spent = rs.elapsed
+	}
+	tok := cancel.WithBudget(opts.Cancel, budget.MaxDuration, spent)
 	if !budget.Deadline.IsZero() {
 		tok = cancel.WithDeadline(tok, budget.Deadline)
 	}
 	opts.Cancel = tok
 	opts.SMT.Cancel = tok
-	if opts.SMT.Cache == nil {
+	if ownCache {
 		// Counterexample checks re-solve the same verification constraint
 		// under successively blocked parameter vectors; the verdict cache
 		// answers the repeats (and shares hits with a caller-provided
 		// cache, e.g. cpr-bench running CPR and CEGIS on one subject).
 		opts.SMT.Cache = cache.New(cache.Options{})
+		if rs != nil && rs.hasCache {
+			if err := opts.SMT.Cache.Import(rs.cacheExport); err != nil {
+				warnf(co, "cegis checkpoint: verdict-cache import failed, continuing with an empty cache: %v", err)
+			}
+		}
 	}
 
 	solver := smt.NewSolver(opts.SMT)
@@ -168,29 +194,68 @@ func Repair(job core.Job, opts Options) (*Result, error) {
 	pool := synth.BuildPool(templates, job.Components)
 	stats := Stats{PInit: pool.CountConcrete()}
 
+	var ck *checkpointer
+	if co.Dir != "" {
+		ck = &checkpointer{opts: co, fp: fp, solver: solver, ownCache: ownCache,
+			cacheRef: opts.SMT.Cache, stats: &stats, start: time.Now()}
+	}
+	var baseSolver smt.Stats
+	ex := &exploreState{}
+	if rs != nil {
+		stats = rs.stats
+		baseSolver = rs.solverAgg
+		solver.SetCrossCheckCursor(rs.cursor)
+		ex = rs.exState()
+		if ck != nil {
+			ck.baseSolver = baseSolver
+			ck.barrier = rs.barrier
+			ck.elapsedBase = rs.elapsed
+		}
+	}
+
 	bounds := inputBounds(job)
-	obs := explorePaths(job, solver, bounds, opts, &stats)
+	if ck != nil {
+		ck.phase = 0
+		ck.ex = ex
+	}
+	if rs == nil || rs.phase == 0 {
+		explorePaths(job, solver, bounds, opts, &stats, ck, ex)
+	}
+	obs := ex.obs
 
 	// Phase 2: counterexample-guided refinement, one template at a time,
 	// in pool order (the paper notes this tends to reach a trivial
 	// functionality-deleting patch first — Finding 2).
-	remaining := make([]int64, len(pool.Patches))
+	ref := &refineState{remaining: make([]int64, len(pool.Patches))}
 	for i, p := range pool.Patches {
-		remaining[i] = p.CountConcrete()
+		ref.remaining[i] = p.CountConcrete()
 	}
-	rounds := 0
-	for idx, p := range pool.Patches {
+	if rs != nil && rs.phase == 1 {
+		// Template synthesis is deterministic under a matching fingerprint,
+		// so the snapshot's index-based cursor addresses the same pool.
+		ref = &refineState{}
+		*ref = rs.ref
+	}
+	if ck != nil {
+		ck.phase = 1
+		ck.ref = ref
+	}
+	for ; ref.idx < len(pool.Patches); ref.idx++ {
+		p := pool.Patches[ref.idx]
 		if tok.Expired() {
 			break
 		}
-		var blocked []*expr.Term // constraints on A from counterexamples
-		for rounds < opts.RefinementIterations {
+		for ref.rounds < opts.RefinementIterations {
 			if tok.Expired() {
 				break
 			}
-			rounds++
+			// Refinement barrier: candidate proposal has not started, the
+			// previous round's counterexample (if any) is blocked — the
+			// state a resumed run re-enters this loop with.
+			ck.atBarrier()
+			ref.rounds++
 			stats.Candidates++
-			cand, ok, err := solver.GetModel(expr.And(append([]*expr.Term{p.ConstraintTerm()}, blocked...)...), p.ParamBounds())
+			cand, ok, err := solver.GetModel(expr.And(append([]*expr.Term{p.ConstraintTerm()}, ref.blocked...)...), p.ParamBounds())
 			if err != nil {
 				// Degraded candidate proposal (budget/deadline/panic): this
 				// template is inconclusive; move to the next one.
@@ -198,7 +263,7 @@ func Repair(job core.Job, opts Options) (*Result, error) {
 				break
 			}
 			if !ok {
-				remaining[idx] = 0
+				ref.remaining[ref.idx] = 0
 				break // template exhausted; next one
 			}
 			params := expr.Model{}
@@ -211,28 +276,29 @@ func Repair(job core.Job, opts Options) (*Result, error) {
 				continue // inconclusive verification round
 			}
 			if cex == nil {
-				remaining[idx] = countFeasible(p, blocked)
-				stats.PFinal = sumExcept(remaining, -1)
+				ref.remaining[ref.idx] = countFeasible(p, ref.blocked)
+				stats.PFinal = sumExcept(ref.remaining, -1)
 				stats.TimedOut = tok.Expired()
-				fillSolverStats(&stats, solver)
+				fillSolverStats(&stats, solver, baseSolver)
 				return &Result{Patch: p, Params: params, Stats: stats}, nil
 			}
 			stats.Counterexamples++
-			blocked = append(blocked, cex)
-			remaining[idx] = countFeasible(p, blocked)
+			ref.blocked = append(ref.blocked, cex)
+			ref.remaining[ref.idx] = countFeasible(p, ref.blocked)
 		}
-		if rounds >= opts.RefinementIterations {
+		ref.blocked = nil // constraints on A are per-template
+		if ref.rounds >= opts.RefinementIterations {
 			break
 		}
 	}
-	stats.PFinal = sumExcept(remaining, -1)
+	stats.PFinal = sumExcept(ref.remaining, -1)
 	stats.TimedOut = tok.Expired()
-	fillSolverStats(&stats, solver)
+	fillSolverStats(&stats, solver, baseSolver)
 	return &Result{Stats: stats}, nil
 }
 
-func fillSolverStats(stats *Stats, solver *smt.Solver) {
-	ss := solver.Stats()
+func fillSolverStats(stats *Stats, solver *smt.Solver, base smt.Stats) {
+	ss := base.Add(solver.Stats())
 	stats.SolverQueries = ss.Queries
 	stats.CacheHits = ss.CacheHits
 	stats.CacheMisses = ss.CacheMisses
@@ -312,27 +378,27 @@ func inputBounds(job core.Job) map[string]interval.Interval {
 
 // explorePaths is phase 1: plain generational search (no patch-pool
 // pruning — that is CPR's contribution) with the hole driven by constant
-// guards, so both hole directions are reachable.
-func explorePaths(job core.Job, solver *smt.Solver, bounds map[string]interval.Interval, opts Options, stats *Stats) []pathObs {
-	type item struct {
-		input map[string]int64
-		guard *expr.Term // true or false
-		bound int
+// guards, so both hole directions are reachable. Loop state lives in st
+// so checkpoints can snapshot it and a resumed run can continue it;
+// witnessed paths accumulate in st.obs.
+func explorePaths(job core.Job, solver *smt.Solver, bounds map[string]interval.Interval, opts Options, stats *Stats, ck *checkpointer, st *exploreState) {
+	if st.seen == nil {
+		st.seen = make(map[uint64]bool)
+		for _, fi := range job.FailingInputs {
+			st.queue = append(st.queue, exploreItem{input: fi, guard: expr.False(), bound: 0})
+			st.queue = append(st.queue, exploreItem{input: fi, guard: expr.True(), bound: 0})
+		}
 	}
-	var queue []item
-	for _, fi := range job.FailingInputs {
-		queue = append(queue, item{input: fi, guard: expr.False(), bound: 0})
-		queue = append(queue, item{input: fi, guard: expr.True(), bound: 0})
-	}
-	seen := make(map[uint64]bool)
-	var obs []pathObs
-	for iter := 0; iter < opts.ExplorationIterations && len(queue) > 0; iter++ {
+	for ; st.iter < opts.ExplorationIterations && len(st.queue) > 0; st.iter++ {
 		if opts.Cancel.Expired() {
 			stats.TimedOut = true
-			return obs
+			return
 		}
-		it := queue[0]
-		queue = queue[1:]
+		// Exploration barrier: the previous iteration's fan-out is fully
+		// queued, so st is exactly the state a resumed run restarts from.
+		ck.atBarrier()
+		it := st.queue[0]
+		st.queue = st.queue[1:]
 		exec, panicked := safeExecute(job.Program, it.input, concolic.Options{
 			Patch:    it.guard,
 			MaxSteps: opts.MaxStepsPerRun,
@@ -346,7 +412,7 @@ func explorePaths(job core.Job, solver *smt.Solver, bounds map[string]interval.I
 			continue
 		}
 		stats.PathsExplored++
-		obs = append(obs, pathObs{
+		st.obs = append(st.obs, pathObs{
 			phi:      exec.PathConstraint(),
 			holeHits: exec.HoleHits,
 			bugHits:  exec.BugHits,
@@ -354,10 +420,10 @@ func explorePaths(job core.Job, solver *smt.Solver, bounds map[string]interval.I
 		})
 		for _, flip := range concolic.Flips(exec, it.bound) {
 			key := concolic.PathKey(append(append([]*expr.Term{}, flip.Prefix...), flip.Negated))
-			if seen[key] {
+			if st.seen[key] {
 				continue
 			}
-			seen[key] = true
+			st.seen[key] = true
 			model, ok, err := solver.GetModel(flip.Constraint(), bounds)
 			if err != nil {
 				stats.SolverUnknowns++
@@ -381,10 +447,9 @@ func explorePaths(job core.Job, solver *smt.Solver, bounds map[string]interval.I
 					}
 				}
 			}
-			queue = append(queue, item{input: in, guard: guard, bound: flip.Depth + 1})
+			st.queue = append(st.queue, exploreItem{input: in, guard: guard, bound: flip.Depth + 1})
 		}
 	}
-	return obs
 }
 
 // safeExecute recovers panics at the concolic-execution boundary so a

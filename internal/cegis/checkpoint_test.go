@@ -1,0 +1,153 @@
+package cegis
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cpr/internal/core"
+	"cpr/internal/faultinject"
+)
+
+// crashSentinel is the panic value the in-process crash injector throws.
+type crashSentinel struct{}
+
+// runToCrash runs the baseline with checkpointing and an in-process crash
+// injected at the nth barrier; it reports whether the crash fired.
+func runToCrash(t *testing.T, job core.Job, opts Options, crashAt int) (crashed bool) {
+	t.Helper()
+	plan := &faultinject.Plan{
+		CrashAt: crashAt,
+		Crash:   func() { panic(crashSentinel{}) },
+	}
+	faultinject.Activate(plan)
+	defer faultinject.Deactivate()
+	defer func() {
+		switch r := recover(); r {
+		case nil:
+		case crashSentinel{}:
+			crashed = true
+		default:
+			panic(r)
+		}
+	}()
+	if _, err := Repair(job, opts); err != nil {
+		t.Fatalf("Repair (crash run): %v", err)
+	}
+	return false
+}
+
+func ckptOptions(dir string, interval int, resume bool, warns *[]string) Options {
+	return Options{
+		Checkpoint: core.CheckpointOptions{
+			Dir:      dir,
+			Interval: interval,
+			Resume:   resume,
+			Warn: func(msg string) {
+				if warns != nil {
+					*warns = append(*warns, msg)
+				}
+			},
+		},
+	}
+}
+
+func assertSameResult(t *testing.T, res, base *Result) {
+	t.Helper()
+	if res.Stats != base.Stats {
+		t.Fatalf("resumed stats diverged:\nresumed:  %+v\nbaseline: %+v", res.Stats, base.Stats)
+	}
+	if (res.Patch == nil) != (base.Patch == nil) {
+		t.Fatalf("resumed patch presence diverged: resumed %v, baseline %v", res.Patch, base.Patch)
+	}
+	if res.Patch != nil && res.Patch.Expr != base.Patch.Expr {
+		t.Fatalf("resumed patch diverged: resumed %s, baseline %s", res.Patch, base.Patch)
+	}
+	if !reflect.DeepEqual(res.Params, base.Params) {
+		t.Fatalf("resumed params diverged: resumed %v, baseline %v", res.Params, base.Params)
+	}
+}
+
+// TestCEGISResumeEquivalenceAfterCrash is the baseline's differential
+// resume contract: kill the run at a barrier, resume from the checkpoint,
+// and the result — patch, parameters, and the full Stats struct — is
+// bit-identical to the uninterrupted run. Barrier 4 dies mid-exploration
+// (a phase-0 snapshot with a live frontier); barrier 11 at interval 1
+// dies in refinement (a phase-1 snapshot).
+func TestCEGISResumeEquivalenceAfterCrash(t *testing.T) {
+	cases := []struct{ interval, crashAt int }{
+		{interval: 2, crashAt: 4},
+		{interval: 1, crashAt: 11},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("interval=%d/barrier=%d", tc.interval, tc.crashAt), func(t *testing.T) {
+			base, err := Repair(divZeroJob(), Options{})
+			if err != nil {
+				t.Fatalf("Repair (baseline): %v", err)
+			}
+
+			dir := t.TempDir()
+			if !runToCrash(t, divZeroJob(), ckptOptions(dir, tc.interval, false, nil), tc.crashAt) {
+				t.Fatal("crash injection never fired; raise the barrier budget")
+			}
+			snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.ckpt"))
+			if len(snaps) == 0 {
+				t.Fatal("crashed run left no checkpoint")
+			}
+			if len(snaps) > 2 {
+				t.Fatalf("prune kept %d snapshots, want <= 2", len(snaps))
+			}
+
+			var warns []string
+			res, err := Repair(divZeroJob(), ckptOptions(dir, tc.interval, true, &warns))
+			if err != nil {
+				t.Fatalf("Repair (resume): %v", err)
+			}
+			for _, w := range warns {
+				t.Errorf("unexpected resume warning: %s", w)
+			}
+			assertSameResult(t, res, base)
+		})
+	}
+}
+
+// TestCEGISResumeRejectsForeignSnapshot: a snapshot from a different job
+// is refused by fingerprint and the run falls back to a warned fresh
+// start that still matches the baseline.
+func TestCEGISResumeRejectsForeignSnapshot(t *testing.T) {
+	base, err := Repair(divZeroJob(), Options{})
+	if err != nil {
+		t.Fatalf("Repair (baseline): %v", err)
+	}
+	dir := t.TempDir()
+	other := divZeroJob()
+	other.FailingInputs = []map[string]int64{{"x": 9, "y": 0}}
+	if !runToCrash(t, other, ckptOptions(dir, 2, false, nil), 4) {
+		t.Fatal("crash injection never fired")
+	}
+	var warns []string
+	res, err := Repair(divZeroJob(), ckptOptions(dir, 2, true, &warns))
+	if err != nil {
+		t.Fatalf("Repair (resume): %v", err)
+	}
+	if len(warns) == 0 {
+		t.Fatal("foreign snapshot accepted without a warning")
+	}
+	assertSameResult(t, res, base)
+}
+
+// TestCEGISCheckpointOffIsNoOp: without a checkpoint directory the run
+// writes nothing and behaves exactly as before the feature existed.
+func TestCEGISCheckpointOffIsNoOp(t *testing.T) {
+	base, err := Repair(divZeroJob(), Options{})
+	if err != nil {
+		t.Fatalf("Repair (baseline): %v", err)
+	}
+	res, err := Repair(divZeroJob(), Options{})
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	assertSameResult(t, res, base)
+}

@@ -28,3 +28,26 @@ func BenchmarkRepair(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkRepairCheckpointed measures the durability tax: the same run
+// with snapshots at every-8-barriers (the default interval) and at the
+// aggressive every-barrier setting. EXPERIMENTS.md tracks the default's
+// overhead against the ≤5% acceptance bound.
+func BenchmarkRepairCheckpointed(b *testing.B) {
+	for _, interval := range []int{8, 1} {
+		b.Run(fmt.Sprintf("interval=%d", interval), func(b *testing.B) {
+			dir := b.TempDir()
+			for i := 0; i < b.N; i++ {
+				opts := Options{Workers: 1}
+				opts.Checkpoint = CheckpointOptions{Dir: dir, Interval: interval}
+				res, err := Repair(divZeroJob(), opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Pool.Size() == 0 {
+					b.Fatal("empty pool")
+				}
+			}
+		})
+	}
+}

@@ -121,6 +121,11 @@ type Options struct {
 	// sequential engine's exact call sequence. Only wall-clock budgets
 	// (MaxDuration/Deadline/Cancel) make runs scheduling-dependent.
 	Workers int
+	// Checkpoint configures the durable run journal: with a directory set,
+	// the engine snapshots its full state at deterministic generation
+	// barriers, and with Resume it continues a killed run to the same
+	// result the uninterrupted run would have produced.
+	Checkpoint CheckpointOptions
 }
 
 // QueuePolicy orders the exploration frontier.
@@ -266,10 +271,26 @@ func Repair(job Job, opts Options) (*Result, error) {
 	if job.Spec == nil {
 		job.Spec = expr.True()
 	}
-	tok := opts.Cancel
-	if job.Budget.MaxDuration > 0 {
-		tok = cancel.WithTimeout(tok, job.Budget.MaxDuration)
+	opts.Checkpoint = opts.Checkpoint.withDefaults()
+	ownCache := opts.SMT.Cache == nil
+
+	// Resume, step 1: load the latest intact snapshot before the budget
+	// token is derived, so the wall-clock budget can be re-based on the
+	// time the killed run already spent. Any load failure degrades to a
+	// fresh start with a warning.
+	var rs *resumeState
+	var fp uint64
+	if opts.Checkpoint.enabled() {
+		fp = fingerprintRun(job, opts)
+		if opts.Checkpoint.Resume {
+			rs = loadResume(opts, fp)
+		}
 	}
+	var spent time.Duration
+	if rs != nil {
+		spent = rs.elapsed
+	}
+	tok := cancel.WithBudget(opts.Cancel, job.Budget.MaxDuration, spent)
 	if !job.Budget.Deadline.IsZero() {
 		tok = cancel.WithDeadline(tok, job.Budget.Deadline)
 	}
@@ -280,12 +301,26 @@ func Repair(job Job, opts Options) (*Result, error) {
 	// re-poses structurally identical feasibility queries constantly, and
 	// under parallelism the cache also lets workers reuse each other's
 	// answers. A caller-provided cache (e.g. shared across runs) is kept.
-	if opts.SMT.Cache == nil {
+	if ownCache {
 		opts.SMT.Cache = cache.New(cache.Options{})
+		if rs != nil && rs.hasCache {
+			if err := opts.SMT.Cache.Import(rs.cacheExport); err != nil {
+				opts.Checkpoint.warnf("checkpoint: verdict-cache import failed, continuing with an empty cache: %v", err)
+			}
+		}
 	}
 	cacheStart := opts.SMT.Cache.Stats()
 
-	// Phase 1: patch pool construction (§3.3).
+	// Phase 1: patch pool construction (§3.3). A resumed run re-derives
+	// the template list with no cancellation token: enumeration is
+	// deterministic, so the full list is a superset of whatever prefix the
+	// killed run synthesized, and the snapshot intersect below recovers
+	// exactly its pool. Fresh runs enumerate under the budget token.
+	if rs == nil {
+		job.Components.Cancel = tok
+	} else {
+		job.Components.Cancel = nil
+	}
 	templates := synth.Synthesize(job.Components, job.Program.HoleType)
 	pool := synth.BuildPool(templates, job.Components)
 	for _, p := range pool.Patches {
@@ -299,33 +334,83 @@ func Repair(job Job, opts Options) (*Result, error) {
 		pool:        pool,
 		tok:         tok,
 	}
+	eng.ownCache = ownCache
+	eng.cacheStart = cacheStart
 	eng.workers = eng.newWorkers(opts.Workers)
 	eng.curBounds = eng.inputBounds()
 	stats := &Stats{PoolInit: pool.Size()}
 
+	var ck *checkpointer
+	if opts.Checkpoint.enabled() {
+		ck = &checkpointer{opts: opts.Checkpoint, fp: fp, eng: eng, runStats: stats, start: time.Now()}
+		eng.ck = ck
+	}
+
+	// Resume, step 2: restore the killed run's engine state — pool
+	// membership with refined regions and ranking evidence, stats,
+	// counters, deletion memo, and barrier/elapsed accounting.
+	numVal := len(job.FailingInputs)
+	startPhase := 0
+	var resumeSt *exploreState
+	var resumePartial *Stats
+	if rs != nil {
+		rs.apply(eng, stats, ck)
+		startPhase = rs.phase
+		resumeSt = rs.st()
+		if rs.hasPartial {
+			p := rs.partial
+			resumePartial = &p
+		}
+	}
+
 	// Phase 1b: validate the pool against each failing input by
 	// exploring the patch dimension with the input pinned (the paper's
-	// controlled symbolic execution for initial test cases).
-	for _, fi := range job.FailingInputs {
+	// controlled symbolic execution for initial test cases). Each input is
+	// one checkpoint phase; a resumed run re-enters the interrupted phase
+	// with its restored frontier and partial per-phase stats.
+	for pi := startPhase; pi < numVal; pi++ {
 		if eng.tok.Expired() {
 			break
 		}
+		fi := job.FailingInputs[pi]
 		var vstats Stats
-		eng.explore([]map[string]int64{fi}, eng.pinnedBounds(fi), job.Budget.ValidationIterations, &vstats, true)
+		st := &exploreState{}
+		if resumeSt != nil {
+			st = resumeSt
+			if resumePartial != nil {
+				vstats = *resumePartial
+			}
+			resumeSt, resumePartial = nil, nil
+		}
+		if ck != nil {
+			ck.phase = pi
+		}
+		eng.explore([]map[string]int64{fi}, eng.pinnedBounds(fi), job.Budget.ValidationIterations, &vstats, true, st)
 		stats.PathsExplored += vstats.PathsExplored
 		stats.PathsSkipped += vstats.PathsSkipped
 		if pool.Size() == 0 {
 			break
 		}
 	}
-	stats.PInit = pool.CountConcrete()
-	stats.PoolInit = pool.Size()
+	if startPhase < numVal || rs == nil {
+		// Post-validation pool measurements; a run resumed into the main
+		// phase already carries them in its restored stats.
+		stats.PInit = pool.CountConcrete()
+		stats.PoolInit = pool.Size()
+	}
 
 	// Phases 2+3: the repair loop over the full input space, seeded by
 	// the failing tests and any passing tests.
 	if pool.Size() > 0 && !eng.tok.Expired() {
+		st := &exploreState{}
+		if resumeSt != nil && startPhase == numVal {
+			st = resumeSt
+		}
+		if ck != nil {
+			ck.phase = numVal
+		}
 		seeds := append(append([]map[string]int64{}, job.FailingInputs...), job.PassingInputs...)
-		eng.explore(seeds, eng.inputBounds(), job.Budget.MaxIterations, stats, false)
+		eng.explore(seeds, eng.inputBounds(), job.Budget.MaxIterations, stats, false, st)
 	}
 
 	stats.PFinal = pool.CountConcrete()
@@ -339,7 +424,7 @@ func Repair(job Job, opts Options) (*Result, error) {
 	stats.FlipsRequeued = int(eng.flipsRequeued.Load())
 	stats.FlipsDropped = int(eng.flipsDropped.Load())
 	stats.Workers = len(eng.workers)
-	var agg smt.Stats
+	agg := eng.baseAgg
 	for _, w := range eng.workers {
 		agg = agg.Add(w.solver.Stats()).Add(w.retrySolver.Stats())
 	}
@@ -360,8 +445,8 @@ func Repair(job Job, opts Options) (*Result, error) {
 	stats.RebuildRetries = agg.RebuildRetries
 	stats.BreakerTrips = agg.BreakerTrips
 	cacheEnd := opts.SMT.Cache.Stats()
-	stats.CacheEvictions = cacheEnd.Evictions - cacheStart.Evictions
-	stats.CacheSubsumed = cacheEnd.Subsumed - cacheStart.Subsumed
+	stats.CacheEvictions = eng.baseCacheEvict + (cacheEnd.Evictions - cacheStart.Evictions)
+	stats.CacheSubsumed = eng.baseCacheSub + (cacheEnd.Subsumed - cacheStart.Subsumed)
 	return &Result{Pool: pool, Ranked: pool.Ranked(), Stats: *stats}, nil
 }
 
@@ -420,6 +505,19 @@ type engine struct {
 	delMu    sync.Mutex
 	delCache map[int]delEntry
 	seq      int
+
+	// Checkpoint/resume state (see checkpoint.go). ck is nil unless
+	// Options.Checkpoint is enabled. ownCache records whether Repair
+	// created the verdict cache (and therefore persists it in snapshots);
+	// cacheStart is the cache's counter baseline at engine construction.
+	// The base* fields carry the killed run's counters on resume, so final
+	// aggregates continue from where the previous process died.
+	ck             *checkpointer
+	ownCache       bool
+	cacheStart     cache.Stats
+	baseAgg        smt.Stats
+	baseCacheEvict uint64
+	baseCacheSub   uint64
 }
 
 // noteSolverErr classifies and counts a degraded solver answer; it
@@ -483,52 +581,63 @@ type workItem struct {
 // explore runs the repair loop over the given input bounds: Algorithm 1's
 // while loop, with PickNewInput realized as a ranked frontier of flips
 // whose patch feasibility has been established (path reduction, §3.4).
-func (e *engine) explore(seeds []map[string]int64, bounds map[string]interval.Interval, maxIter int, stats *Stats, validation bool) {
+//
+// The loop state lives in st so a checkpoint can capture it and a resumed
+// run can continue it: a zero-valued st starts the phase fresh (seeding
+// the frontier from seeds), a restored st picks up mid-phase and ignores
+// seeds entirely.
+func (e *engine) explore(seeds []map[string]int64, bounds map[string]interval.Interval, maxIter int, stats *Stats, validation bool, st *exploreState) {
 	e.curBounds = bounds
-	seen := make(map[uint64]bool) // explored path prefixes in this phase
-	var queue []workItem
 	push := func(it workItem) {
-		if len(queue) >= e.opts.MaxQueue {
+		if len(st.queue) >= e.opts.MaxQueue {
 			// Drop the worst item to make room.
-			sort.SliceStable(queue, func(i, j int) bool { return less(queue[i], queue[j]) })
-			if !less(it, queue[len(queue)-1]) {
+			sort.SliceStable(st.queue, func(i, j int) bool { return less(st.queue[i], st.queue[j]) })
+			if !less(it, st.queue[len(st.queue)-1]) {
 				return
 			}
-			queue = queue[:len(queue)-1]
+			st.queue = st.queue[:len(st.queue)-1]
 		}
-		queue = append(queue, it)
+		st.queue = append(st.queue, it)
 	}
-	for _, s := range seeds {
-		ranked := e.pool.Ranked()
-		if len(ranked) == 0 {
-			return
+	if st.seen == nil {
+		st.seen = make(map[uint64]bool) // explored path prefixes in this phase
+		for _, s := range seeds {
+			ranked := e.pool.Ranked()
+			if len(ranked) == 0 {
+				return
+			}
+			p := ranked[0]
+			params, ok := p.AnyParams()
+			if !ok {
+				continue
+			}
+			e.seq++
+			push(workItem{input: s, patchID: p.ID, params: params, score: 1 << 20, bound: 0, seq: e.seq, seed: true})
 		}
-		p := ranked[0]
-		params, ok := p.AnyParams()
-		if !ok {
-			continue
-		}
-		e.seq++
-		push(workItem{input: s, patchID: p.ID, params: params, score: 1 << 20, bound: 0, seq: e.seq, seed: true})
 	}
 
 	cmp := less
 	if e.opts.Queue == QueueFIFO {
 		cmp = lessFIFO
 	}
-	for iter := 0; iter < maxIter && len(queue) > 0 && e.pool.Size() > 0; iter++ {
+	for ; st.iter < maxIter && len(st.queue) > 0 && e.pool.Size() > 0; st.iter++ {
 		if e.tok.Expired() {
 			return // anytime: keep the pool reduced so far
 		}
+		// Generation barrier: all fan-out from the previous iteration has
+		// merged, so the engine state here is identical for every worker
+		// count. Checkpoints are written (and crash faults injected) only
+		// at this point.
+		e.atBarrier(st, stats)
 		// Pop the best item under the queue policy.
 		best := 0
-		for i := 1; i < len(queue); i++ {
-			if cmp(queue[i], queue[best]) {
+		for i := 1; i < len(st.queue); i++ {
+			if cmp(st.queue[i], st.queue[best]) {
 				best = i
 			}
 		}
-		item := queue[best]
-		queue = append(queue[:best], queue[best+1:]...)
+		item := st.queue[best]
+		st.queue = append(st.queue[:best], st.queue[best+1:]...)
 
 		if item.retry {
 			// Second (and last) attempt at a flip whose feasibility query
@@ -590,10 +699,10 @@ func (e *engine) explore(seeds []map[string]int64, bounds map[string]interval.In
 		var keys []uint64
 		for _, flip := range concolic.Flips(exec, item.bound) {
 			key := concolic.PathKey(append(append([]*expr.Term{}, flip.Prefix...), flip.Negated))
-			if seen[key] {
+			if st.seen[key] {
 				continue
 			}
-			seen[key] = true
+			st.seen[key] = true
 			fresh = append(fresh, flip)
 			keys = append(keys, key)
 		}

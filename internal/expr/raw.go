@@ -1,0 +1,22 @@
+package expr
+
+// RawTerm interns a term from its exact components — operator, sort,
+// literal value, variable name, and already-interned arguments — without
+// running the canonicalizing constructors.
+//
+// It exists for one caller: the snapshot decoder in internal/journal,
+// which replays node tables of terms that were canonical when encoded.
+// Re-interning the identical structure returns the identical pointer, so a
+// decoded term is pointer-equal to the live term it was encoded from. Any
+// other construction path must go through the package constructors; a
+// RawTerm built from components that never came out of a canonical term
+// would silently break the invariant that interned pointers are canonical
+// forms.
+func RawTerm(op Op, sort Sort, val int64, name string, args []*Term) *Term {
+	return mk(op, sort, val, name, args...)
+}
+
+// ValidOp reports whether op is one of the defined term operators; the
+// snapshot decoder rejects node tables with out-of-range operators before
+// interning anything.
+func ValidOp(op Op) bool { return op < numOps }

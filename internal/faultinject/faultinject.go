@@ -86,11 +86,22 @@ type Plan struct {
 	// LieKind selects the adversarial fault class: SolverFlipModel,
 	// SolverSpuriousUnsat, or SolverTruncateCore.
 	LieKind Fault
+	// CrashEvery fires Crash at every Nth generation barrier (0 disables).
+	CrashEvery int
+	// CrashAt fires Crash at exactly the Nth generation barrier, once
+	// (0 disables). CrashAt composes with CrashEvery; either may trigger.
+	CrashAt int
+	// Crash is invoked when a barrier matches CrashEvery/CrashAt. Tests
+	// install either a panic with PanicMsg (in-process crash, recoverable)
+	// or a real self-SIGKILL (subprocess harness). A nil Crash disables
+	// crash injection regardless of the counters.
+	Crash func()
 
-	mu          sync.Mutex
-	solverCalls int
-	execRuns    int
-	lieCalls    int
+	mu           sync.Mutex
+	solverCalls  int
+	execRuns     int
+	lieCalls     int
+	barrierCalls int
 }
 
 var active atomic.Pointer[Plan]
@@ -149,6 +160,26 @@ func ExecPanic() bool {
 	defer p.mu.Unlock()
 	p.execRuns++
 	return p.execRuns%p.ExecPanicEvery == 0
+}
+
+// CrashPoint is called by the engines at every generation barrier,
+// immediately after any checkpoint for that barrier has been committed.
+// When the active plan's crash schedule matches, the plan's Crash function
+// runs — it is expected not to return (panic or SIGKILL). The barrier
+// counter advances on every call, so crash points are addressable by
+// ordinal across a deterministic run.
+func CrashPoint() {
+	p := active.Load()
+	if p == nil || p.Crash == nil || (p.CrashEvery <= 0 && p.CrashAt <= 0) {
+		return
+	}
+	p.mu.Lock()
+	p.barrierCalls++
+	n := p.barrierCalls
+	p.mu.Unlock()
+	if (p.CrashEvery > 0 && n%p.CrashEvery == 0) || (p.CrashAt > 0 && n == p.CrashAt) {
+		p.Crash()
+	}
 }
 
 // RankDelta is called by the explorer when scoring a flip; it returns a

@@ -1,0 +1,492 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cpr/internal/expr"
+)
+
+func TestEncoderDecoderRoundTrip(t *testing.T) {
+	var e Encoder
+	e.U64(0)
+	e.U64(1 << 62)
+	e.I64(-12345)
+	e.Int(42)
+	e.Bool(true)
+	e.Bool(false)
+	e.F64(3.5)
+	e.Dur(7 * time.Second)
+	e.Str("hello")
+	e.Str("")
+	e.Raw([]byte{1, 2, 3})
+
+	d := NewDecoder(e.Bytes())
+	if got := d.U64(); got != 0 {
+		t.Errorf("U64 = %d, want 0", got)
+	}
+	if got := d.U64(); got != 1<<62 {
+		t.Errorf("U64 = %d, want %d", got, uint64(1)<<62)
+	}
+	if got := d.I64(); got != -12345 {
+		t.Errorf("I64 = %d, want -12345", got)
+	}
+	if got := d.Int(); got != 42 {
+		t.Errorf("Int = %d, want 42", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := d.F64(); got != 3.5 {
+		t.Errorf("F64 = %v, want 3.5", got)
+	}
+	if got := d.Dur(); got != 7*time.Second {
+		t.Errorf("Dur = %v, want 7s", got)
+	}
+	if got := d.Str(); got != "hello" {
+		t.Errorf("Str = %q, want hello", got)
+	}
+	if got := d.Str(); got != "" {
+		t.Errorf("Str = %q, want empty", got)
+	}
+	if got := d.Raw(); string(got) != "\x01\x02\x03" {
+		t.Errorf("Raw = %v", got)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+	if len(d.Rest()) != 0 {
+		t.Errorf("Rest = %d bytes, want 0", len(d.Rest()))
+	}
+}
+
+func TestDecoderTruncation(t *testing.T) {
+	var e Encoder
+	e.Str("a long enough string")
+	buf := e.Bytes()
+	for cut := 0; cut < len(buf); cut++ {
+		d := NewDecoder(buf[:cut])
+		d.Str()
+		if !errors.Is(d.Err(), ErrTruncated) {
+			t.Fatalf("cut at %d: err = %v, want ErrTruncated", cut, d.Err())
+		}
+		// Sticky: further reads stay failed and return zeros.
+		if d.U64() != 0 || !errors.Is(d.Err(), ErrTruncated) {
+			t.Fatalf("cut at %d: decoder error not sticky", cut)
+		}
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	w, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		{Kind: 1, Payload: []byte("first")},
+		{Kind: 2, Payload: nil},
+		{Kind: 1, Payload: []byte("third record with more bytes")},
+	}
+	for _, r := range want {
+		if err := w.Append(r.Kind, r.Payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen for append: header must validate, new records land after old.
+	w, err = OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(3, []byte("appended")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, Record{Kind: 3, Payload: []byte("appended")})
+
+	got, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Kind != want[i].Kind || string(got[i].Payload) != string(want[i].Payload) {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLogMissingAndEmpty(t *testing.T) {
+	dir := t.TempDir()
+	if recs, err := ReadLog(filepath.Join(dir, "absent.journal")); err != nil || recs != nil {
+		t.Fatalf("missing log: recs=%v err=%v, want nil/nil", recs, err)
+	}
+	empty := filepath.Join(dir, "empty.journal")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if recs, err := ReadLog(empty); err != nil || recs != nil {
+		t.Fatalf("zero-byte log: recs=%v err=%v, want nil/nil", recs, err)
+	}
+}
+
+func TestLogTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	w, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(1, []byte("intact")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(2, []byte("doomed tail record")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop bytes off the end one at a time: the intact first record must
+	// survive every torn-tail length.
+	for cut := len(data) - 1; cut > len(data)-20; cut-- {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := ReadLog(path)
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if len(recs) != 1 || string(recs[0].Payload) != "intact" {
+			t.Fatalf("cut at %d: got %d records, want the 1 intact record", cut, len(recs))
+		}
+	}
+}
+
+func TestLogCorruptTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	w, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(1, []byte("intact")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(2, []byte("corrupted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-6] ^= 0x40 // flip a payload bit in the last record
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Payload) != "intact" {
+		t.Fatalf("got %d records, want only the intact one", len(recs))
+	}
+}
+
+func TestLogVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	if err := os.WriteFile(path, append([]byte(logMagic), 99), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLog(path); !errors.Is(err, ErrVersion) {
+		t.Fatalf("ReadLog err = %v, want ErrVersion", err)
+	}
+	if _, err := OpenLog(path); !errors.Is(err, ErrVersion) {
+		t.Fatalf("OpenLog err = %v, want ErrVersion", err)
+	}
+	if err := os.WriteFile(path, []byte("NOTAJRNL"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLog(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("ReadLog err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte("engine state bytes")
+	if err := WriteSnapshot(dir, 7, payload); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ReadSnapshot(SnapshotPath(dir, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Barrier != 7 || string(snap.Payload) != string(payload) {
+		t.Fatalf("snapshot = %d/%q", snap.Barrier, snap.Payload)
+	}
+	latest, err := LoadLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.Barrier != 7 {
+		t.Fatalf("LoadLatest barrier = %d, want 7", latest.Barrier)
+	}
+}
+
+func TestSnapshotEmptyPayload(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteSnapshot(dir, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ReadSnapshot(SnapshotPath(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Barrier != 1 || len(snap.Payload) != 0 {
+		t.Fatalf("snapshot = %d/%d bytes", snap.Barrier, len(snap.Payload))
+	}
+}
+
+// corrupt writes a broken snapshot under the name for the given barrier.
+func writeRawSnapshot(t *testing.T, dir string, barrier uint64, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(SnapshotPath(dir, barrier), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotCorruptionModes(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteSnapshot(dir, 3, []byte("good payload")); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(SnapshotPath(dir, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"zero-byte", nil, ErrCorrupt},
+		{"short", good[:10], ErrCorrupt},
+		{"truncated", good[:len(good)-3], ErrCorrupt},
+		{"bad magic", append([]byte("XXXXXXX\x01"), good[8:]...), ErrCorrupt},
+		{"bit flip", func() []byte {
+			b := append([]byte(nil), good...)
+			b[len(b)-7] ^= 0x01
+			return b
+		}(), ErrCorrupt},
+		{"version mismatch", func() []byte {
+			b := append([]byte(nil), good...)
+			b[7] = 99
+			return b
+		}(), ErrVersion},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sub := t.TempDir()
+			writeRawSnapshot(t, sub, 5, tc.data)
+			if _, err := ReadSnapshot(SnapshotPath(sub, 5)); !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+			// A directory holding only rejects must surface ErrNoSnapshot.
+			if _, err := LoadLatest(sub); !errors.Is(err, ErrNoSnapshot) {
+				t.Fatalf("LoadLatest err = %v, want ErrNoSnapshot", err)
+			}
+		})
+	}
+}
+
+func TestLoadLatestSkipsCorruptNewest(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteSnapshot(dir, 1, []byte("old but intact")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshot(dir, 2, []byte("newer, about to rot")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(SnapshotPath(dir, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xFF
+	writeRawSnapshot(t, dir, 2, data)
+
+	snap, err := LoadLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Barrier != 1 || string(snap.Payload) != "old but intact" {
+		t.Fatalf("LoadLatest = %d/%q, want the older intact snapshot", snap.Barrier, snap.Payload)
+	}
+}
+
+func TestLoadLatestMissingDir(t *testing.T) {
+	if _, err := LoadLatest(filepath.Join(t.TempDir(), "never-created")); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("err = %v, want ErrNoSnapshot", err)
+	}
+}
+
+func TestPrune(t *testing.T) {
+	dir := t.TempDir()
+	for b := uint64(1); b <= 5; b++ {
+		if err := WriteSnapshot(dir, b, []byte{byte(b)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Prune(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	names, err := snapshotNames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("kept %d snapshots, want 2: %v", len(names), names)
+	}
+	snap, err := LoadLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Barrier != 5 {
+		t.Fatalf("latest after prune = %d, want 5", snap.Barrier)
+	}
+}
+
+func TestWriteFileAtomicReplacesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteFileAtomic(path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("v2 longer")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "v2 longer" {
+		t.Fatalf("content = %q", data)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries, want just the target", len(entries))
+	}
+}
+
+func TestTermCodecPointerIdentity(t *testing.T) {
+	x, y := expr.IntVar("x"), expr.IntVar("y")
+	terms := []*expr.Term{
+		nil,
+		expr.Int(-7),
+		expr.True(),
+		expr.And(expr.Lt(x, expr.Int(10)), expr.Ge(expr.Add(x, y), expr.Int(0))),
+		expr.Ite(expr.Eq(x, y), expr.Mul(x, expr.Int(3)), expr.Neg(y)),
+		expr.Or(expr.Not(expr.Le(x, y)), expr.Ne(y, expr.Int(2))),
+	}
+	te := NewTermEncoder()
+	ids := make([]uint64, len(terms))
+	for i, tm := range terms {
+		ids[i] = te.ID(tm)
+	}
+	// Re-encoding returns the same ids (shared-node stability).
+	for i, tm := range terms {
+		if te.ID(tm) != ids[i] {
+			t.Fatalf("term %d: id changed on re-encode", i)
+		}
+	}
+
+	var payload Encoder
+	payload.Raw(te.Table())
+	d := NewDecoder(payload.Bytes())
+	td, err := DecodeTermTable(NewDecoder(d.Raw()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tm := range terms {
+		got, err := td.Term(ids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tm {
+			t.Fatalf("term %d: decoded %v is not pointer-identical to original %v", i, got, tm)
+		}
+	}
+}
+
+func TestTermCodecRejectsCorruption(t *testing.T) {
+	te := NewTermEncoder()
+	te.ID(expr.Add(expr.IntVar("a"), expr.Int(1)))
+	table := te.Table()
+
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := DecodeTermTable(NewDecoder(table[:len(table)-2])); err == nil {
+			t.Fatal("decoded a truncated term table")
+		}
+	})
+	t.Run("invalid op", func(t *testing.T) {
+		var e Encoder
+		e.U64(1)   // one node
+		e.U64(200) // invalid op
+		e.U64(0)
+		e.I64(0)
+		e.Str("")
+		e.U64(0)
+		if _, err := DecodeTermTable(NewDecoder(e.Bytes())); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("forward arg reference", func(t *testing.T) {
+		var e Encoder
+		e.U64(2)
+		// Node 1: a NOT whose argument claims id 1 (itself).
+		e.U64(uint64(expr.OpNot))
+		e.U64(uint64(expr.SortBool))
+		e.I64(0)
+		e.Str("")
+		e.U64(1)
+		e.U64(1)
+		if _, err := DecodeTermTable(NewDecoder(e.Bytes())); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("absurd node count", func(t *testing.T) {
+		var e Encoder
+		e.U64(1 << 40)
+		if _, err := DecodeTermTable(NewDecoder(e.Bytes())); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("dangling reference", func(t *testing.T) {
+		td, err := DecodeTermTable(NewDecoder(table))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := td.Term(99); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package journal
+
+import (
+	"fmt"
+
+	"cpr/internal/expr"
+)
+
+// Terms are hash-consed: within one process, structurally equal terms are
+// the same pointer. A snapshot therefore encodes terms as a shared node
+// table — each distinct node once, in dependency (post-) order, with
+// argument references by table index — and the rest of the payload refers
+// to terms by their table id. Decoding re-interns every node through
+// expr.RawTerm, so a decoded term is pointer-identical to the live term it
+// would have been in an uninterrupted run; all pointer-keyed state (seen
+// sets, cache keys, delCache memos) survives the round trip exactly.
+
+// TermEncoder assigns table ids to terms on demand while the snapshot
+// payload is being built; the finished table is written ahead of the
+// payload that references it.
+type TermEncoder struct {
+	ids map[*expr.Term]uint64
+	enc Encoder
+	n   uint64
+}
+
+// NewTermEncoder returns an empty term table.
+func NewTermEncoder() *TermEncoder {
+	return &TermEncoder{ids: make(map[*expr.Term]uint64)}
+}
+
+// ID returns t's table id, adding its nodes (arguments first) on first use.
+// The nil term encodes as id 0; real ids start at 1.
+func (te *TermEncoder) ID(t *expr.Term) uint64 {
+	if t == nil {
+		return 0
+	}
+	if id, ok := te.ids[t]; ok {
+		return id
+	}
+	argIDs := make([]uint64, len(t.Args))
+	for i, a := range t.Args {
+		argIDs[i] = te.ID(a)
+	}
+	te.n++
+	id := te.n
+	te.ids[t] = id
+	te.enc.U64(uint64(t.Op))
+	te.enc.U64(uint64(t.Sort))
+	te.enc.I64(t.Val)
+	te.enc.Str(t.Name)
+	te.enc.U64(uint64(len(argIDs)))
+	for _, a := range argIDs {
+		te.enc.U64(a)
+	}
+	return id
+}
+
+// Table returns the encoded node table: a node count followed by the nodes
+// in id order.
+func (te *TermEncoder) Table() []byte {
+	var head Encoder
+	head.U64(te.n)
+	return append(head.Bytes(), te.enc.Bytes()...)
+}
+
+// TermDecoder resolves table ids back to interned terms.
+type TermDecoder struct {
+	terms []*expr.Term // terms[0] is nil; ids are direct indexes
+}
+
+// DecodeTermTable reads a node table produced by TermEncoder.Table and
+// re-interns every node. Out-of-range operators, sorts, and forward or
+// self argument references are rejected as corruption.
+func DecodeTermTable(d *Decoder) (*TermDecoder, error) {
+	n := d.U64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.Rest())) { // each node is at least one byte
+		return nil, fmt.Errorf("%w: term table claims %d nodes, %d bytes left", ErrCorrupt, n, len(d.Rest()))
+	}
+	td := &TermDecoder{terms: make([]*expr.Term, 1, n+1)}
+	for i := uint64(1); i <= n; i++ {
+		op := expr.Op(d.U64())
+		sort := expr.Sort(d.U64())
+		val := d.I64()
+		name := d.Str()
+		argc := d.U64()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if !expr.ValidOp(op) {
+			return nil, fmt.Errorf("%w: term node %d: invalid op %d", ErrCorrupt, i, op)
+		}
+		if sort != expr.SortInt && sort != expr.SortBool {
+			return nil, fmt.Errorf("%w: term node %d: invalid sort %d", ErrCorrupt, i, sort)
+		}
+		if argc >= i { // args must be earlier nodes
+			return nil, fmt.Errorf("%w: term node %d: impossible arg count %d", ErrCorrupt, i, argc)
+		}
+		var args []*expr.Term
+		if argc > 0 {
+			args = make([]*expr.Term, argc)
+			for j := range args {
+				ref := d.U64()
+				if d.Err() != nil {
+					return nil, d.Err()
+				}
+				if ref == 0 || ref >= i {
+					return nil, fmt.Errorf("%w: term node %d: arg reference %d out of range", ErrCorrupt, i, ref)
+				}
+				args[j] = td.terms[ref]
+			}
+		}
+		td.terms = append(td.terms, expr.RawTerm(op, sort, val, name, args))
+	}
+	return td, nil
+}
+
+// Term resolves a table id. Id 0 is the nil term; unknown ids are
+// corruption.
+func (td *TermDecoder) Term(id uint64) (*expr.Term, error) {
+	if id >= uint64(len(td.terms)) {
+		return nil, fmt.Errorf("%w: term reference %d beyond table of %d", ErrCorrupt, id, len(td.terms)-1)
+	}
+	return td.terms[id], nil
+}

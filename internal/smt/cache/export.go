@@ -1,0 +1,157 @@
+package cache
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cpr/internal/expr"
+	"cpr/internal/interval"
+)
+
+// Export/Import move a cache's contents across a process death: the
+// checkpoint layer (internal/journal callers) exports the learned verdicts
+// at a snapshot barrier and re-imports them on resume, so a resumed run
+// answers the same queries from cache that the uninterrupted run would
+// have. Traffic stats are not exported — the resuming engine carries those
+// in its own snapshot as baselines.
+
+// ExportedEntry is one exact verdict entry. Bounds is the canonical
+// bounds-key rendering (BoundsKey), which is parseable and sufficient to
+// rebuild the subsumption index on import.
+type ExportedEntry struct {
+	F      *expr.Term
+	Bounds string
+	Value  Value
+}
+
+// ExportedCore identifies an unsat-subsumption core by its source entry.
+type ExportedCore struct {
+	F      *expr.Term
+	Bounds string
+}
+
+// Export is a cache's full retained content, ordered oldest-first so a
+// faithful Import replays insertions in LRU order.
+type Export struct {
+	Entries []ExportedEntry
+	Cores   []ExportedCore
+}
+
+// Export snapshots the cache's entries and subsumption cores, both
+// oldest-first. Models are cloned; the export shares nothing mutable with
+// the live cache. A nil cache exports empty.
+func (c *Cache) Export() Export {
+	if c == nil {
+		return Export{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ex Export
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		v := e.value
+		if v.Model != nil {
+			v.Model = v.Model.Clone()
+		}
+		ex.Entries = append(ex.Entries, ExportedEntry{F: e.key.f, Bounds: e.key.bounds, Value: v})
+	}
+	for el := c.cores.Back(); el != nil; el = el.Prev() {
+		core := el.Value.(*unsatCore)
+		ex.Cores = append(ex.Cores, ExportedCore{F: core.src.f, Bounds: core.src.bounds})
+	}
+	return ex
+}
+
+// Import replays an export into the cache: entries are inserted in order
+// (so LRU recency matches the exporting cache), then each exported core is
+// rebuilt from its source entry by re-deriving conjuncts and variable
+// domains from the parsed bounds key. Import counts no traffic and is
+// meant for an empty cache; entries beyond the cache's limits evict
+// oldest-first exactly as live Stores would (without counting evictions).
+func (c *Cache) Import(ex Export) error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range ex.Entries {
+		if e.F == nil {
+			return fmt.Errorf("cache import: entry with nil formula")
+		}
+		if _, _, err := parseBoundsKey(e.Bounds); err != nil {
+			return err
+		}
+		v := e.Value
+		if v.Model != nil {
+			v.Model = v.Model.Clone()
+		}
+		k := key{f: e.F, bounds: e.Bounds}
+		if el, ok := c.entries[k]; ok {
+			el.Value.(*entry).value = v
+			c.lru.MoveToFront(el)
+			continue
+		}
+		c.entries[k] = c.lru.PushFront(&entry{key: k, value: v})
+		for len(c.entries) > c.opts.MaxEntries {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.entries, oldest.Value.(*entry).key)
+		}
+	}
+	for _, core := range ex.Cores {
+		if core.F == nil {
+			return fmt.Errorf("cache import: core with nil formula")
+		}
+		def, bounds, err := parseBoundsKey(core.Bounds)
+		if err != nil {
+			return err
+		}
+		k := key{f: core.F, bounds: core.Bounds}
+		if _, ok := c.entries[k]; !ok {
+			// The source entry was evicted above (or never exported);
+			// its generalization must not outlive it.
+			continue
+		}
+		c.addCore(core.F, bounds, def, k)
+	}
+	return nil
+}
+
+// parseBoundsKey inverts boundsKey: "d:lo:hi" then ";name:lo:hi" per
+// variable. Variable names are identifiers (no ':' or ';'), so the
+// rendering is unambiguous.
+func parseBoundsKey(s string) (def interval.Interval, bounds map[string]interval.Interval, err error) {
+	fields := strings.Split(s, ";")
+	name, iv, err := parseBoundsField(fields[0])
+	if err != nil || name != "d" {
+		return def, nil, fmt.Errorf("cache import: malformed bounds key %q", s)
+	}
+	def = iv
+	if len(fields) > 1 {
+		bounds = make(map[string]interval.Interval, len(fields)-1)
+		for _, f := range fields[1:] {
+			name, iv, err := parseBoundsField(f)
+			if err != nil || name == "" {
+				return def, nil, fmt.Errorf("cache import: malformed bounds key %q", s)
+			}
+			bounds[name] = iv
+		}
+	}
+	return def, bounds, nil
+}
+
+func parseBoundsField(f string) (string, interval.Interval, error) {
+	var iv interval.Interval
+	i := strings.IndexByte(f, ':')
+	j := strings.LastIndexByte(f, ':')
+	if i < 0 || j <= i {
+		return "", iv, fmt.Errorf("cache import: malformed bounds field %q", f)
+	}
+	lo, err1 := strconv.ParseInt(f[i+1:j], 10, 64)
+	hi, err2 := strconv.ParseInt(f[j+1:], 10, 64)
+	if err1 != nil || err2 != nil {
+		return "", iv, fmt.Errorf("cache import: malformed bounds field %q", f)
+	}
+	return f[:i], interval.Interval{Lo: lo, Hi: hi}, nil
+}

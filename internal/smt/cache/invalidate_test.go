@@ -103,7 +103,7 @@ func TestConcurrentSubsumptionWriters(t *testing.T) {
 			for i := 0; i < rounds; i++ {
 				v := expr.IntVar(fmt.Sprintf("v%d", i%8))
 				unsat := expr.And(expr.Gt(v, expr.Int(5)), expr.Lt(v, expr.Int(3)))
-				b := map[string]interval.Interval{v.Name: interval.New(-10, int64(10 + w))}
+				b := map[string]interval.Interval{v.Name: interval.New(-10, int64(10+w))}
 				c.Store(unsat, b, def, Value{Sat: false})
 				q := expr.And(expr.Gt(v, expr.Int(5)), expr.Lt(v, expr.Int(3)), expr.Gt(x(), expr.Int(0)))
 				qb := map[string]interval.Interval{v.Name: interval.New(-10, 10), "x": interval.New(0, 5)}
@@ -114,7 +114,7 @@ func TestConcurrentSubsumptionWriters(t *testing.T) {
 				if i%3 == 0 {
 					c.Invalidate(unsat, b, def)
 				}
-				sat := expr.Ge(v, expr.Int(int64(i % 4)))
+				sat := expr.Ge(v, expr.Int(int64(i%4)))
 				c.Store(sat, b, def, Value{Sat: true, Model: expr.Model{v.Name: 7}})
 				c.Lookup(sat, b, def)
 			}

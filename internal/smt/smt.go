@@ -295,6 +295,16 @@ func (s *Solver) Stats() Stats {
 	}
 }
 
+// CrossCheckCursor exposes the guard's unsat cross-check sampling position
+// for checkpointing; SetCrossCheckCursor restores it on resume, so the
+// resumed run's validation accounting continues the killed run's sampling
+// schedule instead of restarting it. Verdicts are unaffected either way —
+// cross-checks only detect lies, they never change an answer.
+func (s *Solver) CrossCheckCursor() uint64 { return s.guard.CrossCheckCursor() }
+
+// SetCrossCheckCursor restores a cursor captured by CrossCheckCursor.
+func (s *Solver) SetCrossCheckCursor(n uint64) { s.guard.SetCrossCheckCursor(n) }
+
 // ErrBudget is returned when a resource limit is exceeded. Budget errors
 // produced by Check are *BudgetError values wrapping this sentinel, so
 // errors.Is(err, ErrBudget) keeps working while the error text carries the

@@ -13,6 +13,7 @@ package synth
 import (
 	"sort"
 
+	"cpr/internal/cancel"
 	"cpr/internal/expr"
 	"cpr/internal/interval"
 	"cpr/internal/lang"
@@ -48,6 +49,13 @@ type Components struct {
 	// the pool, after the deletion templates. Parse errors panic — the
 	// templates are part of the job's configuration.
 	ExtraTemplates []string
+	// Cancel stops enumeration early when it expires, bounding checkpoint
+	// and shutdown latency on large component grammars. A cancelled
+	// enumeration returns the templates collected so far — always a prefix
+	// of the full deterministic enumeration, so a resumed run that
+	// re-synthesizes with a live token produces a superset in the same
+	// order.
+	Cancel *cancel.Token
 }
 
 // DefaultArith, DefaultCmp and DefaultBool are the paper's §3.3 component
@@ -231,10 +239,21 @@ type collector struct {
 	seen map[*expr.Term]bool
 	out  []*expr.Term
 	max  int
+	n    int
 }
+
+// cancelStride bounds how many enumeration steps run between cancellation
+// checks: large grammars reject millions of duplicate candidates between
+// accepted templates, and the clock read in an expired-deadline check is
+// too costly for every single step.
+const cancelStride = 256
 
 func (col *collector) add(t *expr.Term) bool {
 	if len(col.out) >= col.max {
+		return false
+	}
+	col.n++
+	if col.n%cancelStride == 0 && col.c.Cancel.Expired() {
 		return false
 	}
 	s := expr.Simplify(t)

@@ -2,7 +2,9 @@ package synth
 
 import (
 	"testing"
+	"time"
 
+	"cpr/internal/cancel"
 	"cpr/internal/expr"
 	"cpr/internal/interval"
 	"cpr/internal/lang"
@@ -198,4 +200,41 @@ func TestExtraTemplatesPanicOnBadSyntax(t *testing.T) {
 	c := figComponents()
 	c.ExtraTemplates = []string{"(bogus x)"}
 	Synthesize(c, lang.TypeBool)
+}
+
+// TestSynthesizeCancelledIsDeterministicPrefix: an expired token stops
+// enumeration early, and whatever was collected is a prefix of the full
+// deterministic enumeration — so a resumed run that re-synthesizes with a
+// live token sees a superset in the same order, keeping index-based
+// template references from checkpoints valid.
+func TestSynthesizeCancelledIsDeterministicPrefix(t *testing.T) {
+	full := Synthesize(figComponents(), lang.TypeBool)
+
+	c := figComponents()
+	c.Cancel = cancel.WithDeadline(nil, time.Now().Add(-time.Second))
+	partial := Synthesize(c, lang.TypeBool)
+	if len(partial) > len(full) {
+		t.Fatalf("cancelled enumeration produced %d templates, full run %d", len(partial), len(full))
+	}
+	for i := range partial {
+		if partial[i] != full[i] {
+			t.Fatalf("cancelled enumeration diverged at %d: %v vs %v", i, partial[i], full[i])
+		}
+	}
+	again := Synthesize(c, lang.TypeBool)
+	if len(again) != len(partial) {
+		t.Fatalf("cancelled enumeration nondeterministic: %d vs %d templates", len(again), len(partial))
+	}
+
+	// A live token changes nothing.
+	c.Cancel = cancel.WithTimeout(nil, time.Hour)
+	live := Synthesize(c, lang.TypeBool)
+	if len(live) != len(full) {
+		t.Fatalf("live token truncated enumeration: %d vs %d", len(live), len(full))
+	}
+	for i := range live {
+		if live[i] != full[i] {
+			t.Fatalf("live-token enumeration diverged at %d", i)
+		}
+	}
 }
