@@ -17,6 +17,7 @@ import (
 
 	"cpr"
 	"cpr/internal/bench"
+	"cpr/internal/buildinfo"
 	"cpr/internal/core"
 )
 
@@ -24,6 +25,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cpr-bench: ")
 	var (
+		version     = flag.Bool("version", false, "print version and exit")
 		what        = flag.String("what", "all", "what to run: figure1, table1..table6, anytime, pathreduction, all")
 		budget      = flag.Int("budget", 0, "override per-subject iteration budget (0 = subject defaults)")
 		timeout     = flag.Duration("timeout", 0, "per-subject wall-clock cap (0 = unbounded); hung subjects become timeout rows")
@@ -38,6 +40,10 @@ func main() {
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("cpr-bench"))
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

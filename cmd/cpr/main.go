@@ -31,14 +31,17 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"cpr"
+	"cpr/internal/buildinfo"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cpr: ")
 	var (
+		version  = flag.Bool("version", false, "print version and exit")
 		list     = flag.Bool("list", false, "list benchmark subjects and exit")
 		subject  = flag.String("subject", "", "benchmark subject to repair (Project/BugID)")
 		file     = flag.String("file", "", "mini-C program file to repair")
@@ -63,11 +66,21 @@ func main() {
 		localize = flag.String("localize", "", "';'-separated inputs: rank suspicious statements instead of repairing")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("cpr"))
+		return
+	}
 
 	if *resume && *ckptDir == "" {
 		log.Fatal("-resume requires -checkpoint-dir")
 	}
-	opts := cpr.Options{Workers: *workers}
+	// Ctrl-C / SIGTERM cancel the run cooperatively: the engine stops at
+	// the next barrier and the best-so-far pool is still printed; with
+	// -checkpoint-dir set, the periodic snapshots already on disk make the
+	// run resumable with -resume. A second signal terminates immediately.
+	tok, stopSignals := cpr.WithSignalCancel(nil, os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	opts := cpr.Options{Workers: *workers, Cancel: tok}
 	opts.SMT.Incremental = *incr
 	opts.SMT.Paranoid = *paranoid
 	opts.Checkpoint = cpr.CheckpointOptions{
@@ -193,7 +206,11 @@ func runJob(job cpr.Job, dev *cpr.Term, top int, withCEGIS bool, opts cpr.Option
 	}
 	st := res.Stats
 	if st.TimedOut {
-		fmt.Println("wall-clock budget expired: showing the best-so-far (anytime) pool")
+		if opts.Cancel.Err() == cpr.ErrCancelled {
+			fmt.Println("interrupted: showing the best-so-far (anytime) pool; with -checkpoint-dir the run is resumable with -resume")
+		} else {
+			fmt.Println("wall-clock budget expired: showing the best-so-far (anytime) pool")
+		}
 	}
 	fmt.Printf("patch space: %d → %d concrete patches (%.0f%% reduction)\n",
 		st.PInit, st.PFinal, st.ReductionRatio()*100)

@@ -25,6 +25,8 @@
 package cpr
 
 import (
+	"os"
+
 	"cpr/internal/bench"
 	"cpr/internal/cancel"
 	"cpr/internal/cegis"
@@ -167,6 +169,21 @@ func NewInterval(lo, hi int64) Interval { return interval.New(lo, hi) }
 // its Cancel method to wind the run down; the run then returns its
 // best-so-far result with Stats.TimedOut set.
 func NewCancelToken() *CancelToken { return cancel.New() }
+
+// ErrCancelled is what CancelToken.Err reports after an explicit Cancel
+// (as opposed to a deadline expiry) — e.g. to tell an interrupted run from
+// a timed-out one.
+var ErrCancelled = cancel.ErrCancelled
+
+// WithSignalCancel derives a cancel token that is cancelled when one of
+// the OS signals arrives, so an interrupted run (Ctrl-C, SIGTERM) winds
+// down cooperatively: with checkpointing on, the engine commits a final
+// snapshot at the cut point and a -resume rerun continues from the exact
+// iteration. A second signal terminates immediately. The returned stop
+// function releases the signal registration.
+func WithSignalCancel(parent *CancelToken, sigs ...os.Signal) (*CancelToken, func()) {
+	return cancel.WithSignals(parent, sigs...)
+}
 
 // FindFailingInput fuzzes the program (with the hole filled by original,
 // which may be nil for hole-free programs) for a crash-exposing input —

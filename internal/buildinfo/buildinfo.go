@@ -1,0 +1,32 @@
+// Package buildinfo carries the build-time identity stamped into released
+// binaries, so a deployed cpr, cpr-bench, or cprd can always say which
+// build it is. Inject the version at build time with
+//
+//	go build -ldflags "-X cpr/internal/buildinfo.Version=$(git describe --tags --always)" ./cmd/...
+//
+// Unstamped builds report "dev" plus the VCS revision embedded by the Go
+// toolchain when available.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the release identifier, overridden via -ldflags -X.
+var Version = "dev"
+
+// String returns the one-line identity printed by every binary's -version
+// flag: tool name, version, VCS revision when embedded, and the toolchain.
+func String(tool string) string {
+	rev := ""
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				rev = " (" + s.Value[:12] + ")"
+			}
+		}
+	}
+	return fmt.Sprintf("%s %s%s %s %s/%s", tool, Version, rev, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

@@ -1,0 +1,30 @@
+package cancel
+
+import (
+	"context"
+	"os"
+	"os/signal"
+)
+
+// WithSignals derives a token that is cancelled when any of the listed OS
+// signals is delivered, wiring signal.NotifyContext into the token chain so
+// an interrupted run (Ctrl-C, SIGTERM from a supervisor) winds down through
+// the same cooperative path as a deadline expiry: the engine exits at the
+// next barrier and returns the best-so-far result, and any periodic
+// checkpoints already on disk allow a bit-identical -resume.
+//
+// After the first signal the registration is released, so a second signal
+// falls through to the default handler (immediate termination) — a stuck
+// run can always be force-killed. The returned stop function releases the
+// registration early; calling it after the run is the normal cleanup and
+// may cancel the (now unused) token.
+func WithSignals(parent *Token, sigs ...os.Signal) (*Token, func()) {
+	t := &Token{parent: parent}
+	ctx, stop := signal.NotifyContext(context.Background(), sigs...)
+	go func() {
+		<-ctx.Done()
+		stop() // restore default handling: a second signal terminates
+		t.Cancel()
+	}()
+	return t, stop
+}

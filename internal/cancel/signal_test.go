@@ -1,0 +1,46 @@
+package cancel
+
+import (
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestWithSignalsCancelsOnSignal delivers a real signal to the test
+// process and expects the token chain to cancel: the CLI's Ctrl-C path.
+func TestWithSignalsCancelsOnSignal(t *testing.T) {
+	parent := New()
+	tok, stop := WithSignals(parent, syscall.SIGUSR1)
+	defer stop()
+	if tok.Expired() {
+		t.Fatal("token expired before any signal")
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGUSR1); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !tok.Expired() {
+		if time.Now().After(deadline) {
+			t.Fatal("token never expired after SIGUSR1")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := tok.Err(); err != ErrCancelled {
+		t.Fatalf("Err() = %v, want ErrCancelled", err)
+	}
+	// The signal cancels the derived token only — the parent (and with it,
+	// unrelated runs) stays live.
+	if parent.Expired() {
+		t.Fatal("signal cancelled the parent token")
+	}
+}
+
+// TestWithSignalsStopReleasesRegistration: after stop, the process's
+// default disposition is back in charge, and the token is unusable for new
+// runs but the stop itself must be idempotent and panic-free.
+func TestWithSignalsStopReleasesRegistration(t *testing.T) {
+	_, stop := WithSignals(nil, syscall.SIGUSR2)
+	stop()
+	stop() // idempotent
+}

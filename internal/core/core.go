@@ -622,7 +622,15 @@ func (e *engine) explore(seeds []map[string]int64, bounds map[string]interval.In
 	}
 	for ; st.iter < maxIter && len(st.queue) > 0 && e.pool.Size() > 0; st.iter++ {
 		if e.tok.Expired() {
-			return // anytime: keep the pool reduced so far
+			// Anytime: keep the pool reduced so far. Deliberately NO snapshot
+			// is written here: the cancellation raced the generation that just
+			// merged — its in-flight solver queries saw the expired token and
+			// degraded to Unknown — so the state at this exit is a valid
+			// anytime answer but not the state an uninterrupted run passes
+			// through. A resumed run (CLI -resume, daemon restart) must replay
+			// from the last clean periodic barrier snapshot to stay
+			// bit-identical with an uninterrupted run.
+			return
 		}
 		// Generation barrier: all fan-out from the previous iteration has
 		// merged, so the engine state here is identical for every worker

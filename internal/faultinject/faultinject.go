@@ -1,7 +1,8 @@
 // Package faultinject provides deterministic fault-injection hooks for the
 // repair system's resilience tests. Production code calls the hook
 // functions at its fault points — solver query entry (smt), subject
-// execution entry (interp, concolic), and flip ranking (core) — and the
+// execution entry (interp, concolic), flip ranking (core), generation
+// barriers (core, cegis), and job dispatch (serve) — and the
 // hooks are no-ops unless a test activates a Plan. With an active plan the
 // hooks fire deterministically (every Nth call, perturbations derived from
 // a fixed seed), so a faulted repair run is exactly reproducible.
@@ -14,6 +15,7 @@ package faultinject
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -96,12 +98,25 @@ type Plan struct {
 	// or a real self-SIGKILL (subprocess harness). A nil Crash disables
 	// crash injection regardless of the counters.
 	Crash func()
+	// JobPanicEvery makes every Nth dispatched service job attempt panic
+	// at the daemon's runner boundary (0 disables). Unlike ExecPanicEvery,
+	// which the engine recovers internally and degrades to a skipped flip,
+	// a job-level panic escapes the whole engine — it exists to exercise
+	// the daemon's retry/backoff/dead-letter machinery (internal/serve).
+	JobPanicEvery int
+	// JobPanicMatch restricts job-level panics to attempts whose job key
+	// contains the substring (empty matches every job). With
+	// JobPanicEvery=1 and a key match, the job is a poison job: every
+	// attempt panics and the daemon must dead-letter it after its bounded
+	// retries.
+	JobPanicMatch string
 
 	mu           sync.Mutex
 	solverCalls  int
 	execRuns     int
 	lieCalls     int
 	barrierCalls int
+	jobStarts    int
 }
 
 var active atomic.Pointer[Plan]
@@ -180,6 +195,25 @@ func CrashPoint() {
 	if (p.CrashEvery > 0 && n%p.CrashEvery == 0) || (p.CrashAt > 0 && n == p.CrashAt) {
 		p.Crash()
 	}
+}
+
+// JobStart is called by the daemon's scheduler (internal/serve) when a job
+// attempt begins; a true return tells the runner to panic(PanicMsg) at the
+// job boundary. Only attempts whose key matches JobPanicMatch advance the
+// counter, so "every Nth attempt of the poison job" is deterministic even
+// when healthy jobs interleave.
+func JobStart(key string) bool {
+	p := active.Load()
+	if p == nil || p.JobPanicEvery <= 0 {
+		return false
+	}
+	if p.JobPanicMatch != "" && !strings.Contains(key, p.JobPanicMatch) {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.jobStarts++
+	return p.jobStarts%p.JobPanicEvery == 0
 }
 
 // RankDelta is called by the explorer when scoring a flip; it returns a

@@ -1,0 +1,141 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPruneUnderConcurrentReaders: a writer that snapshots and prunes in a
+// tight loop must never expose a reader to a torn or corrupt snapshot. A
+// reader may catch the window between listing the directory and opening a
+// file that Prune just removed — that surfaces as a clean "no snapshot"
+// error and succeeds on retry — but any snapshot it does load must be
+// intact and must be one the writer actually committed.
+func TestPruneUnderConcurrentReaders(t *testing.T) {
+	dir := t.TempDir()
+	const (
+		writes  = 200
+		readers = 4
+	)
+	payload := func(barrier uint64) []byte {
+		return []byte(fmt.Sprintf("state-at-%d", barrier))
+	}
+	var highest atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap, err := LoadLatest(dir)
+				if err != nil {
+					// Raced a prune (or the first write): retry. The error
+					// must be the clean no-snapshot kind, never a CRC or
+					// framing failure on a half-written file.
+					if !errors.Is(err, ErrNoSnapshot) && !errors.Is(err, os.ErrNotExist) {
+						errs <- fmt.Errorf("reader: unclean load failure: %w", err)
+						return
+					}
+					continue
+				}
+				if want := payload(snap.Barrier); string(snap.Payload) != string(want) {
+					errs <- fmt.Errorf("reader: snapshot %d carries payload %q, want %q",
+						snap.Barrier, snap.Payload, want)
+					return
+				}
+				if max := highest.Load(); snap.Barrier > max {
+					errs <- fmt.Errorf("reader: snapshot %d from the future (writer at %d)", snap.Barrier, max)
+					return
+				}
+			}
+		}()
+	}
+
+	for b := uint64(1); b <= writes; b++ {
+		// Announce the barrier before committing it: a reader may observe
+		// the snapshot the instant the rename lands.
+		highest.Store(b)
+		if err := WriteSnapshot(dir, b, payload(b)); err != nil {
+			t.Fatalf("WriteSnapshot(%d): %v", b, err)
+		}
+		if err := Prune(dir, 2); err != nil {
+			t.Fatalf("Prune after %d: %v", b, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// After the dust settles, exactly the keep=2 newest remain and the
+	// latest is the last write.
+	snap, err := LoadLatest(dir)
+	if err != nil {
+		t.Fatalf("final LoadLatest: %v", err)
+	}
+	if snap.Barrier != writes {
+		t.Fatalf("final barrier %d, want %d", snap.Barrier, writes)
+	}
+	glob, _ := filepath.Glob(filepath.Join(dir, "snap-*.ckpt"))
+	if len(glob) != 2 {
+		t.Fatalf("%d snapshots after prune, want 2", len(glob))
+	}
+}
+
+// TestWriteFileAtomicUnwritableDir: an unwritable destination must come
+// back as an error — never a panic and never a clobbered target.
+func TestWriteFileAtomicUnwritableDir(t *testing.T) {
+	// A parent that is a regular file fails for every user, root included.
+	parentFile := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(parentFile, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(filepath.Join(parentFile, "out"), []byte("data")); err == nil {
+		t.Fatal("WriteFileAtomic under a file parent: want error, got nil")
+	}
+
+	// A read-only directory (meaningless to root, which bypasses the mode
+	// bits): the existing file must survive the failed write untouched.
+	if os.Geteuid() == 0 {
+		t.Log("running as root; skipping the chmod 0555 variant")
+		return
+	}
+	dir := t.TempDir()
+	target := filepath.Join(dir, "state.json")
+	if err := WriteFileAtomic(target, []byte("original")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if err := WriteFileAtomic(target, []byte("replacement")); err == nil {
+		t.Fatal("WriteFileAtomic into read-only dir: want error, got nil")
+	}
+	got, err := os.ReadFile(target)
+	if err != nil || string(got) != "original" {
+		t.Fatalf("target after failed write: %q, %v; want untouched original", got, err)
+	}
+	// No temp-file litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries after failed write, want just the target", len(entries))
+	}
+}

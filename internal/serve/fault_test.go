@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"cpr/internal/faultinject"
+)
+
+// TestPoisonJobDeadLetters: a job whose every attempt panics at the runner
+// boundary must burn its bounded attempts and park in the dead-letter
+// state — while a healthy job sharing the daemon is untouched. This is the
+// fault-isolation contract: one tenant's poison cannot take the service
+// down or starve the others.
+func TestPoisonJobDeadLetters(t *testing.T) {
+	faultinject.Activate(&faultinject.Plan{JobPanicEvery: 1, JobPanicMatch: "poison"})
+	defer faultinject.Deactivate()
+
+	dir := t.TempDir()
+	s := newTestServer(t, Config{
+		StateDir:    dir,
+		Runners:     2,
+		MaxAttempts: 2,
+		RetryBase:   10 * time.Millisecond,
+		RetryMax:    20 * time.Millisecond,
+	})
+	s.Start()
+
+	poison := mustSubmit(t, s, quickSpec("mallory", "poison"))
+	healthy := mustSubmit(t, s, quickSpec("alice", "healthy"))
+
+	pv := waitTerminal(t, s, poison.ID, 30*time.Second)
+	if pv.State != StateDeadLetter {
+		t.Fatalf("poison job state %s, want dead-letter", pv.State)
+	}
+	if pv.Attempts != 2 {
+		t.Fatalf("poison job attempts %d, want MaxAttempts=2", pv.Attempts)
+	}
+	if !strings.Contains(pv.Error, "injected panic") {
+		t.Fatalf("dead-letter error %q does not carry the panic", pv.Error)
+	}
+	hv := waitTerminal(t, s, healthy.ID, 30*time.Second)
+	if hv.State != StateDone {
+		t.Fatalf("healthy job state %s (err %q): poison leaked across jobs", hv.State, hv.Error)
+	}
+
+	sv := s.Stats()
+	mal := sv.Tenants["mallory"]
+	if mal.DeadLetter != 1 || mal.AttemptsFailed != 2 || mal.Retries != 1 {
+		t.Fatalf("mallory stats: %+v", mal)
+	}
+	if sv.Tenants["alice"].AttemptsFailed != 0 {
+		t.Fatal("alice charged for mallory's panics")
+	}
+	if sv.Jobs.DeadLetter != 1 {
+		t.Fatalf("global dead-letter count: %+v", sv.Jobs)
+	}
+	if err := s.Drain(10 * time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// Dead-letter is durable: a restart neither re-runs nor forgets it.
+	faultinject.Deactivate()
+	s2 := newTestServer(t, Config{StateDir: dir, Resume: true, Runners: -1})
+	v2, ok := s2.Status(poison.ID)
+	if !ok || v2.State != StateDeadLetter || !strings.Contains(v2.Error, "injected panic") {
+		t.Fatalf("dead-letter after restart: %+v", v2)
+	}
+	if sv2 := s2.Stats(); sv2.Jobs.Resumed != 0 {
+		t.Fatalf("restart resumed a dead-lettered job: %+v", sv2.Jobs)
+	}
+	if err := s2.Drain(time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestTransientFailureRetriesToDone: a job that panics once and then
+// behaves must come back through backoff and finish with a full result.
+func TestTransientFailureRetriesToDone(t *testing.T) {
+	faultinject.Activate(&faultinject.Plan{JobPanicEvery: 1, JobPanicMatch: "flaky"})
+	defer faultinject.Deactivate()
+
+	s := newTestServer(t, Config{
+		Runners:   1,
+		RetryBase: 20 * time.Millisecond,
+		RetryMax:  50 * time.Millisecond,
+	})
+	s.Start()
+	defer s.Drain(10 * time.Second)
+
+	v := mustSubmit(t, s, quickSpec("alice", "flaky"))
+	waitState(t, s, v.ID, 10*time.Second, func(sv StatusView) bool {
+		return sv.Attempts == 1 && (sv.State == StateRetryWait || sv.State == StateQueued)
+	})
+	// The fault was transient: clear it and let the retry run.
+	faultinject.Deactivate()
+
+	final := waitTerminal(t, s, v.ID, 30*time.Second)
+	if final.State != StateDone {
+		t.Fatalf("state %s (err %q), want done after retry", final.State, final.Error)
+	}
+	if final.Attempts != 2 {
+		t.Fatalf("attempts %d, want 2", final.Attempts)
+	}
+	if len(final.Result.TopPatches) == 0 {
+		t.Fatal("retried job produced no patches")
+	}
+	if sv := s.Stats(); sv.Jobs.Retries != 1 || sv.Jobs.AttemptsFailed != 1 {
+		t.Fatalf("retry accounting: %+v", sv.Jobs)
+	}
+}
+
+// --- real-process SIGKILL harness ---
+
+// TestServeCrashHelperProcess is the subprocess body for
+// TestCrashResumeBitIdentical: a daemon that SIGKILLs its own process —
+// unblockable, no drain, no final checkpoint — at a generation barrier in
+// the middle of its first job.
+func TestServeCrashHelperProcess(t *testing.T) {
+	if os.Getenv("CPR_SERVE_CRASH_HELPER") != "1" {
+		t.Skip("helper process for TestCrashResumeBitIdentical")
+	}
+	dir := os.Getenv("CPR_SERVE_STATE")
+	s, err := New(Config{Runners: 1, StateDir: dir, CheckpointInterval: 2})
+	if err != nil {
+		t.Fatalf("helper New: %v", err)
+	}
+	for _, label := range []string{"one", "two"} {
+		if _, aerr := s.Submit(divZeroSpec("crashy", label)); aerr != nil {
+			t.Fatalf("helper submit %s: %v", label, aerr)
+		}
+	}
+	faultinject.Activate(&faultinject.Plan{
+		CrashAt: 7,
+		Crash:   func() { syscall.Kill(os.Getpid(), syscall.SIGKILL) },
+	})
+	s.Start()
+	time.Sleep(60 * time.Second)
+	t.Fatal("helper survived: crash injection never fired")
+}
+
+// TestCrashResumeBitIdentical is the hard-kill differential: the daemon is
+// SIGKILLed mid-job (no drain, no cleanup), and a restarted daemon with
+// Resume finishes all jobs bit-identically to an uninterrupted one — the
+// journal knows which jobs are owed, the engine checkpoints carry the
+// partial exploration.
+func TestCrashResumeBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	specs := []JobSpec{divZeroSpec("crashy", "one"), divZeroSpec("crashy", "two")}
+	base := uninterruptedResults(t, specs, 1)
+
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestServeCrashHelperProcess$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"CPR_SERVE_CRASH_HELPER=1",
+		"CPR_SERVE_STATE="+dir,
+	)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("helper exited cleanly; expected SIGKILL\n%s", out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.Sys().(syscall.WaitStatus).Signal() != syscall.SIGKILL {
+		t.Fatalf("helper did not die by SIGKILL: %v\n%s", err, out)
+	}
+
+	s := newTestServer(t, Config{StateDir: dir, Resume: true, Runners: 1, CheckpointInterval: 2})
+	if sv := s.Stats(); sv.Jobs.Resumed != 2 {
+		t.Fatalf("resumed %d jobs, want 2 (journal lost the accepted records?)", sv.Jobs.Resumed)
+	}
+	s.Start()
+	ids := []string{"j-000000", "j-000001"}
+	for i, id := range ids {
+		v := waitTerminal(t, s, id, 60*time.Second)
+		if v.State != StateDone {
+			t.Fatalf("resumed job %s: %s (err %q)", id, v.State, v.Error)
+		}
+		label := specs[i].Label
+		if got, want := fullFingerprint(t, v.Result), fullFingerprint(t, base[label]); got != want {
+			t.Fatalf("job %s diverged after SIGKILL+resume:\n--- resumed\n%s\n--- baseline\n%s", label, got, want)
+		}
+	}
+	if err := s.Drain(10 * time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

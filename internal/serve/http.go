@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// maxSpecBytes bounds a POST /jobs body; oversized specs are a client
+// error, not a memory commitment.
+const maxSpecBytes = 1 << 20
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /jobs              submit a JobSpec  → 202 StatusView,
+//	                          400 invalid, 429 rate/quota (Retry-After),
+//	                          503 queue full or draining (Retry-After)
+//	GET    /jobs[?tenant=t]   list job views in submit order
+//	GET    /jobs/{id}         one job's view
+//	DELETE /jobs/{id}         cancel a job
+//	GET    /jobs/{id}/stream  ndjson stream of state transitions until
+//	                          the job is terminal
+//	GET    /healthz           process liveness
+//	GET    /readyz            200 while admitting, 503 once draining
+//	GET    /stats             StatsView: global, per-tenant, engine totals
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Ready() {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+			return
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("body: %v", err))
+		return
+	}
+	if spec.Tenant == "" {
+		spec.Tenant = r.Header.Get("X-Tenant")
+	}
+	view, aerr := s.Submit(spec)
+	if aerr != nil {
+		if aerr.RetryAfter > 0 {
+			// Retry-After is in whole seconds; round up so clients never
+			// retry before the bucket actually refills.
+			secs := int64((aerr.RetryAfter + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		}
+		writeErr(w, aerr.Status, aerr.Msg)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.List(r.URL.Query().Get("tenant")))
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.Status(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleStream writes one JSON line per state transition until the job is
+// terminal or the client goes away.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	ch := s.Watch(r.PathValue("id"))
+	if ch == nil {
+		writeErr(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case v, ok := <-ch:
+			if !ok {
+				return
+			}
+			if err := enc.Encode(v); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

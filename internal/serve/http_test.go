@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func mustJSON(t *testing.T, v any) *bytes.Reader {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var out T
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return out
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	s := newTestServer(t, Config{Runners: 1})
+	s.Start()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	// Liveness and readiness.
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil || resp.StatusCode != 200 {
+			t.Fatalf("GET %s: %v %v", path, err, resp)
+		}
+		resp.Body.Close()
+	}
+
+	// Malformed submits are 400s.
+	for _, body := range []string{"{", `{"unknown_field":1}`, `{"program":"void main(int x) {}"}`} {
+		resp, err := http.Post(hs.URL+"/jobs", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 400 {
+			t.Fatalf("POST %q: status %d, want 400", body, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// A real job: accepted with 202, tenant taken from the header.
+	spec := quickSpec("", "via-http")
+	req, _ := http.NewRequest("POST", hs.URL+"/jobs", mustJSON(t, spec))
+	req.Header.Set("X-Tenant", "alice")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, b)
+	}
+	view := decodeBody[StatusView](t, resp)
+	if view.ID == "" || view.Tenant != "alice" || view.State != StateQueued {
+		t.Fatalf("submit view: %+v", view)
+	}
+
+	// The stream endpoint replays transitions until the job is terminal.
+	sresp, err := http.Get(hs.URL + "/jobs/" + view.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := sresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	var states []State
+	sc := bufio.NewScanner(sresp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev StatusView
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("stream line %q: %v", sc.Text(), err)
+		}
+		states = append(states, ev.State)
+	}
+	sresp.Body.Close()
+	if len(states) == 0 || states[len(states)-1] != StateDone {
+		t.Fatalf("stream states %v: want ... done", states)
+	}
+
+	// Status and list agree.
+	resp, err = http.Get(hs.URL + "/jobs/" + view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeBody[StatusView](t, resp)
+	if got.State != StateDone || got.Result == nil || len(got.Result.TopPatches) == 0 {
+		t.Fatalf("GET job: %+v", got)
+	}
+	resp, err = http.Get(hs.URL + "/jobs?tenant=alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list := decodeBody[[]StatusView](t, resp); len(list) != 1 || list[0].ID != view.ID {
+		t.Fatalf("list: %+v", list)
+	}
+
+	// Unknown ids are 404s.
+	for _, m := range []string{"GET", "DELETE"} {
+		req, _ := http.NewRequest(m, hs.URL+"/jobs/j-424242", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 404 {
+			t.Fatalf("%s unknown job: %d", m, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// Stats carries the tenant breakdown and engine totals.
+	resp, err = http.Get(hs.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := decodeBody[StatsView](t, resp)
+	if sv.Tenants["alice"].Done != 1 || sv.Engine.SolverQueries == 0 {
+		t.Fatalf("stats: %+v", sv)
+	}
+
+	// Drain: readyz flips to 503, submits bounce with Retry-After.
+	if err := s.Drain(10 * time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	resp, err = http.Get(hs.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("readyz while draining: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(hs.URL+"/jobs", "application/json", mustJSON(t, quickSpec("alice", "late")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("submit while draining: %d", resp.StatusCode)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("draining Retry-After %q", resp.Header.Get("Retry-After"))
+	}
+}
+
+func TestHTTPCancel(t *testing.T) {
+	s := newTestServer(t, Config{Runners: -1})
+	defer s.Drain(time.Second)
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	resp, err := http.Post(hs.URL+"/jobs", "application/json", mustJSON(t, quickSpec("alice", "doomed")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := decodeBody[StatusView](t, resp)
+	req, _ := http.NewRequest("DELETE", hs.URL+"/jobs/"+view.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeBody[StatusView](t, resp)
+	if got.State != StateCancelled {
+		t.Fatalf("cancel: %+v", got)
+	}
+}
+
+func TestHTTPRetryAfterOnRateLimit(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(2000, 0)}
+	s := newTestServer(t, Config{Runners: -1, RatePerSec: 0.5, Burst: 1, Now: clk.now})
+	defer s.Drain(time.Second)
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(hs.URL+"/jobs", "application/json", mustJSON(t, quickSpec("alice", fmt.Sprintf("r%d", i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if i == 0 && resp.StatusCode != 202 {
+			t.Fatalf("first submit: %d", resp.StatusCode)
+		}
+		if i == 1 {
+			if resp.StatusCode != 429 {
+				t.Fatalf("second submit: %d, want 429", resp.StatusCode)
+			}
+			// 1 token at 0.5/s needs 2s; the header must round up, never down.
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 2 {
+				t.Fatalf("Retry-After %q, want >= 2", resp.Header.Get("Retry-After"))
+			}
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"cpr/internal/journal"
+)
+
+// The job journal is the daemon's durable source of truth: an append-only
+// CRC-framed record log (internal/journal) under the state directory. An
+// accepted job is journaled (and fsynced) before its 202 is sent, and every
+// terminal transition is journaled before it is reported — so a daemon
+// killed at any instant can replay the log and knows exactly which jobs are
+// owed a result. Jobs with no terminal record are re-enqueued on restart
+// with resume on; their engine checkpoints (one directory per job) carry
+// the partial work.
+const (
+	recAccepted      uint8 = 1 // id, seq, spec JSON
+	recAttemptFailed uint8 = 2 // id, attempt ordinal, error
+	recDone          uint8 = 3 // id, result JSON
+	recCancelled     uint8 = 4 // id
+	recDeadLetter    uint8 = 5 // id, error
+	recExpired       uint8 = 6 // id, reason
+)
+
+const jobLogName = "jobs.log"
+
+// jobJournal serializes writes to the job record log.
+type jobJournal struct {
+	mu  sync.Mutex
+	w   *journal.LogWriter
+	enc journal.Encoder
+}
+
+func openJobJournal(dir string) (*jobJournal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	w, err := journal.OpenLog(filepath.Join(dir, jobLogName))
+	if err != nil {
+		return nil, err
+	}
+	return &jobJournal{w: w}, nil
+}
+
+// append frames, writes, and fsyncs one record. Every record the daemon
+// writes is a promise (job accepted, job finished); none may be lost to a
+// crash after being acted on, so the sync is unconditional.
+func (jl *jobJournal) append(kind uint8, fields func(e *journal.Encoder)) error {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	jl.enc.Reset()
+	fields(&jl.enc)
+	if err := jl.w.Append(kind, jl.enc.Bytes()); err != nil {
+		return err
+	}
+	return jl.w.Sync()
+}
+
+func (jl *jobJournal) accepted(j *job, specJSON []byte) error {
+	return jl.append(recAccepted, func(e *journal.Encoder) {
+		e.Str(j.id)
+		e.U64(j.submitSeq)
+		e.Raw(specJSON)
+	})
+}
+
+func (jl *jobJournal) attemptFailed(id string, attempt int, errMsg string) error {
+	return jl.append(recAttemptFailed, func(e *journal.Encoder) {
+		e.Str(id)
+		e.Int(attempt)
+		e.Str(errMsg)
+	})
+}
+
+func (jl *jobJournal) done(id string, resultJSON []byte) error {
+	return jl.append(recDone, func(e *journal.Encoder) {
+		e.Str(id)
+		e.Raw(resultJSON)
+	})
+}
+
+func (jl *jobJournal) terminal(kind uint8, id, msg string) error {
+	return jl.append(kind, func(e *journal.Encoder) {
+		e.Str(id)
+		e.Str(msg)
+	})
+}
+
+func (jl *jobJournal) close() error {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return jl.w.Close()
+}
+
+// replayedJob is one job's state recovered from the log.
+type replayedJob struct {
+	id       string
+	seq      uint64
+	spec     JobSpec
+	attempts int
+	lastErr  string
+	state    State   // zero ("") means live: re-enqueue with resume
+	result   *Result // for StateDone
+}
+
+// replayJobLog folds the record log into per-job states, in submit order.
+// A torn tail is already dropped by ReadLog; a record for an unknown id
+// (its accepted record fell in the torn tail) is skipped with a warning —
+// such a job was never acknowledged, so nothing is owed.
+func replayJobLog(dir string, warn func(string)) ([]*replayedJob, error) {
+	recs, err := journal.ReadLog(filepath.Join(dir, jobLogName))
+	if err != nil {
+		return nil, err
+	}
+	warnf := func(format string, args ...any) {
+		if warn != nil {
+			warn(fmt.Sprintf(format, args...))
+		}
+	}
+	byID := map[string]*replayedJob{}
+	var order []*replayedJob
+	for _, rec := range recs {
+		d := journal.NewDecoder(rec.Payload)
+		id := d.Str()
+		if d.Err() != nil {
+			warnf("serve: journal record (kind %d) undecodable, skipped: %v", rec.Kind, d.Err())
+			continue
+		}
+		if rec.Kind == recAccepted {
+			rj := &replayedJob{id: id, seq: d.U64()}
+			specJSON := d.Raw()
+			if d.Err() != nil {
+				warnf("serve: accepted record for %s undecodable, skipped: %v", id, d.Err())
+				continue
+			}
+			if err := json.Unmarshal(specJSON, &rj.spec); err != nil {
+				warnf("serve: accepted record for %s carries bad spec JSON, skipped: %v", id, err)
+				continue
+			}
+			byID[id] = rj
+			order = append(order, rj)
+			continue
+		}
+		rj := byID[id]
+		if rj == nil {
+			warnf("serve: journal record (kind %d) for unknown job %s, skipped", rec.Kind, id)
+			continue
+		}
+		switch rec.Kind {
+		case recAttemptFailed:
+			rj.attempts = d.Int()
+			rj.lastErr = d.Str()
+		case recDone:
+			var res Result
+			if err := json.Unmarshal(d.Raw(), &res); err != nil {
+				warnf("serve: done record for %s carries bad result JSON, job re-enqueued: %v", id, err)
+				continue
+			}
+			rj.state, rj.result = StateDone, &res
+		case recCancelled:
+			rj.state = StateCancelled
+		case recDeadLetter:
+			rj.state, rj.lastErr = StateDeadLetter, d.Str()
+		case recExpired:
+			rj.state, rj.lastErr = StateExpired, d.Str()
+		default:
+			warnf("serve: unknown journal record kind %d for job %s, skipped", rec.Kind, id)
+		}
+		if d.Err() != nil {
+			warnf("serve: journal record (kind %d) for %s undecodable past id, skipped: %v", rec.Kind, id, d.Err())
+		}
+	}
+	return order, nil
+}
