@@ -31,6 +31,8 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "per-subject wall-clock cap (0 = unbounded); hung subjects become timeout rows")
 		workers     = flag.Int("workers", 0, "exploration worker pool size (0 = NumCPU); 1 replays the sequential engine")
 		incremental = flag.Bool("incremental", true, "use incremental solver contexts (persistent encodings, retained learned clauses); results are identical either way")
+		portfolio   = flag.Int("portfolio", 0, "race this many diverse CDCL configurations on hard queries (0 or 1 = off); results are identical either way")
+		batch       = flag.Bool("batch", false, "group per-patch feasibility checks into chunked solver queries; results are identical either way")
 		paranoid    = flag.Bool("paranoid", false, "force 100% solver verdict validation (every unsat answer cross-checked by an independent scratch solve); CPR_PARANOID=1 forces it too")
 		jsonOut     = flag.String("json", "", "write per-subject measurements (wall time, iterations, solver queries, cache hit rate) to this JSON file (committed atomically)")
 		ckptDir     = flag.String("checkpoint-dir", "", "directory for crash-safe suite journals and per-subject engine snapshots (empty = off)")
@@ -80,6 +82,10 @@ func main() {
 	opts.Core.SMT.Paranoid = *paranoid
 	opts.CEGIS.SMT.Paranoid = *paranoid
 	opts.Baselines.SMT.Paranoid = *paranoid
+	opts.Core.SMT.Portfolio = *portfolio
+	opts.CEGIS.SMT.Portfolio = *portfolio
+	opts.Baselines.SMT.Portfolio = *portfolio
+	opts.Core.Batch = *batch
 	if *budget > 0 {
 		opts.Budget = core.Budget{MaxIterations: *budget, ValidationIterations: 8}
 	}

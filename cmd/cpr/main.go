@@ -29,9 +29,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"cpr"
 	"cpr/internal/buildinfo"
@@ -41,34 +44,66 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cpr: ")
 	var (
-		version  = flag.Bool("version", false, "print version and exit")
-		list     = flag.Bool("list", false, "list benchmark subjects and exit")
-		subject  = flag.String("subject", "", "benchmark subject to repair (Project/BugID)")
-		file     = flag.String("file", "", "mini-C program file to repair")
-		spec     = flag.String("spec", "", "specification at the bug location (s-expression)")
-		failing  = flag.String("failing", "", "failing input, e.g. 'x=7,y=0'")
-		params   = flag.String("params", "a,b", "template parameter names")
-		pLo      = flag.Int64("param-lo", -10, "parameter range lower bound")
-		pHi      = flag.Int64("param-hi", 10, "parameter range upper bound")
-		inLo     = flag.Int64("input-lo", -100, "input bound (lower) for exploration")
-		inHi     = flag.Int64("input-hi", 100, "input bound (upper) for exploration")
-		budget   = flag.Int("budget", 40, "repair-loop iteration budget")
-		timeout  = flag.Duration("timeout", 0, "wall-clock repair budget (0 = unbounded); on expiry the best-so-far pool is printed")
-		workers  = flag.Int("workers", 0, "exploration worker pool size (0 = NumCPU); 1 replays the sequential engine")
-		incr     = flag.Bool("incremental", true, "use incremental solver contexts (persistent encodings, retained learned clauses); results are identical either way")
-		paranoid = flag.Bool("paranoid", false, "force 100% solver verdict validation (every unsat answer cross-checked by an independent scratch solve); CPR_PARANOID=1 forces it too")
-		ckptDir  = flag.String("checkpoint-dir", "", "directory for crash-safe run snapshots (empty = checkpointing off)")
-		ckptIvl  = flag.Int("checkpoint-interval", 0, "generation barriers between snapshots (0 = default)")
-		resume   = flag.Bool("resume", false, "resume from the latest intact snapshot in -checkpoint-dir")
-		top      = flag.Int("top", 5, "ranked patches to print")
-		cegis    = flag.Bool("cegis", false, "also run the CEGIS baseline for comparison")
-		fuzz     = flag.Bool("fuzz", false, "fuzz for a failing input when -failing is not given")
-		localize = flag.String("localize", "", "';'-separated inputs: rank suspicious statements instead of repairing")
+		version   = flag.Bool("version", false, "print version and exit")
+		list      = flag.Bool("list", false, "list benchmark subjects and exit")
+		subject   = flag.String("subject", "", "benchmark subject to repair (Project/BugID)")
+		file      = flag.String("file", "", "mini-C program file to repair")
+		spec      = flag.String("spec", "", "specification at the bug location (s-expression)")
+		failing   = flag.String("failing", "", "failing input, e.g. 'x=7,y=0'")
+		params    = flag.String("params", "a,b", "template parameter names")
+		pLo       = flag.Int64("param-lo", -10, "parameter range lower bound")
+		pHi       = flag.Int64("param-hi", 10, "parameter range upper bound")
+		inLo      = flag.Int64("input-lo", -100, "input bound (lower) for exploration")
+		inHi      = flag.Int64("input-hi", 100, "input bound (upper) for exploration")
+		budget    = flag.Int("budget", 40, "repair-loop iteration budget")
+		timeout   = flag.Duration("timeout", 0, "wall-clock repair budget (0 = unbounded); on expiry the best-so-far pool is printed")
+		workers   = flag.Int("workers", 0, "exploration worker pool size (0 = NumCPU); 1 replays the sequential engine")
+		incr      = flag.Bool("incremental", true, "use incremental solver contexts (persistent encodings, retained learned clauses); results are identical either way")
+		portfolio = flag.Int("portfolio", 0, "race this many diverse CDCL configurations on hard queries (0 or 1 = off); results are identical either way")
+		batch     = flag.Bool("batch", false, "group per-patch feasibility checks into chunked solver queries; results are identical either way")
+		paranoid  = flag.Bool("paranoid", false, "force 100% solver verdict validation (every unsat answer cross-checked by an independent scratch solve); CPR_PARANOID=1 forces it too")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for crash-safe run snapshots (empty = checkpointing off)")
+		ckptIvl   = flag.Int("checkpoint-interval", 0, "generation barriers between snapshots (0 = default)")
+		resume    = flag.Bool("resume", false, "resume from the latest intact snapshot in -checkpoint-dir")
+		top       = flag.Int("top", 5, "ranked patches to print")
+		cegis     = flag.Bool("cegis", false, "also run the CEGIS baseline for comparison")
+		fuzz      = flag.Bool("fuzz", false, "fuzz for a failing input when -failing is not given")
+		localize  = flag.String("localize", "", "';'-separated inputs: rank suspicious statements instead of repairing")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.String("cpr"))
 		return
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
 	}
 
 	if *resume && *ckptDir == "" {
@@ -80,9 +115,10 @@ func main() {
 	// run resumable with -resume. A second signal terminates immediately.
 	tok, stopSignals := cpr.WithSignalCancel(nil, os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
-	opts := cpr.Options{Workers: *workers, Cancel: tok}
+	opts := cpr.Options{Workers: *workers, Cancel: tok, Batch: *batch}
 	opts.SMT.Incremental = *incr
 	opts.SMT.Paranoid = *paranoid
+	opts.SMT.Portfolio = *portfolio
 	opts.Checkpoint = cpr.CheckpointOptions{
 		Dir:      *ckptDir,
 		Interval: *ckptIvl,
@@ -222,6 +258,18 @@ func runJob(job cpr.Job, dev *cpr.Term, top int, withCEGIS bool, opts cpr.Option
 		fmt.Printf("incremental: enc-cache hit rate %.1f%%, clauses %d learned / %d kept / %d deleted, %d unsat cores\n",
 			float64(st.EncodeCacheHits)/float64(total)*100,
 			st.ClausesLearned, st.ClausesKept, st.ClausesDeleted, st.AssumptionCores)
+	}
+	if st.SatTime+st.LIATime+st.ValidateTime > 0 {
+		fmt.Printf("solver time: SAT %v, LIA %v, validation %v\n",
+			st.SatTime.Round(time.Millisecond), st.LIATime.Round(time.Millisecond), st.ValidateTime.Round(time.Millisecond))
+	}
+	if st.PortfolioRaces > 0 {
+		fmt.Printf("portfolio: %d races (%d won by a non-leader config), %d learned clauses shared\n",
+			st.PortfolioRaces, st.PortfolioMirrorWins, st.PortfolioShared)
+	}
+	if st.BatchQueries > 0 {
+		fmt.Printf("batching: %d group queries answered %d items (%d bisections)\n",
+			st.BatchQueries, st.BatchItems, st.BatchBisections)
 	}
 	if n := st.SolverUnknowns + st.SolverPanics + st.ExecPanics + st.FlipsDropped; n > 0 {
 		fmt.Printf("degraded: solver unknowns %d, solver panics %d, exec panics %d, flips requeued %d / dropped %d\n",

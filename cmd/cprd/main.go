@@ -30,6 +30,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -62,11 +64,16 @@ func main() {
 		queueTO = flag.Duration("queue-timeout", 0, "expire jobs queued longer than this (0 = never)")
 		runTO   = flag.Duration("run-timeout", 0, "wall-clock bound per attempt (0 = none)")
 
-		ckptIvl  = flag.Int("checkpoint-interval", 4, "generation barriers between job checkpoints")
-		incr     = flag.Bool("incremental", true, "incremental solver contexts per job")
-		paranoid = flag.Bool("paranoid", false, "force 100% solver verdict validation")
+		ckptIvl   = flag.Int("checkpoint-interval", 4, "generation barriers between job checkpoints")
+		incr      = flag.Bool("incremental", true, "incremental solver contexts per job")
+		portfolio = flag.Int("portfolio", 0, "race this many diverse CDCL configurations on hard queries (0 or 1 = off); results are identical either way")
+		batch     = flag.Bool("batch", false, "group per-patch feasibility checks into chunked solver queries; results are identical either way")
+		paranoid  = flag.Bool("paranoid", false, "force 100% solver verdict validation")
 
 		drainTO = flag.Duration("drain-timeout", 30*time.Second, "max wait for running jobs to checkpoint on shutdown")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (stopped at drain)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at drain")
 	)
 	flag.Parse()
 	if *version {
@@ -75,6 +82,40 @@ func main() {
 	}
 	if *state == "" {
 		log.Fatal("-state is required")
+	}
+
+	// Profiles are finalized explicitly after the drain (not deferred):
+	// the drain-failure path exits through log.Fatal, which would skip
+	// deferred writes.
+	stopProfiles := func() {}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		stopProfiles = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if *memProfile != "" {
+		prev := stopProfiles
+		stopProfiles = func() {
+			prev()
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+		}
 	}
 
 	srv, err := serve.New(serve.Config{
@@ -95,6 +136,8 @@ func main() {
 		CheckpointInterval:   *ckptIvl,
 		Incremental:          *incr,
 		Paranoid:             *paranoid,
+		Portfolio:            *portfolio,
+		Batch:                *batch,
 		Warn:                 func(msg string) { log.Print(msg) },
 	})
 	if err != nil {
@@ -126,6 +169,7 @@ func main() {
 	ctx, cancelCtx := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancelCtx()
 	_ = hs.Shutdown(ctx)
+	stopProfiles()
 	if derr != nil {
 		log.Fatal(derr)
 	}

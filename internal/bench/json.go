@@ -49,6 +49,23 @@ type JSONRow struct {
 	FallbackSolves     uint64 `json:"fallback_solves,omitempty"`
 	RebuildRetries     uint64 `json:"rebuild_retries,omitempty"`
 	BreakerTrips       uint64 `json:"breaker_trips,omitempty"`
+
+	// Solver wall-time breakdown (milliseconds): CDCL search, LIA theory
+	// work, and verdict validation. The remainder of wall_ms is
+	// exploration, synthesis, and bookkeeping.
+	SatMS      float64 `json:"sat_ms"`
+	LIAMS      float64 `json:"lia_ms"`
+	ValidateMS float64 `json:"validate_ms"`
+
+	// Portfolio-race counters; omitted when racing is off or never fired.
+	PortfolioRaces      uint64 `json:"portfolio_races,omitempty"`
+	PortfolioMirrorWins uint64 `json:"portfolio_mirror_wins,omitempty"`
+	PortfolioShared     uint64 `json:"portfolio_shared,omitempty"`
+
+	// Batched-feasibility counters; omitted when batching is off.
+	BatchQueries    uint64 `json:"batch_queries,omitempty"`
+	BatchItems      uint64 `json:"batch_items,omitempty"`
+	BatchBisections uint64 `json:"batch_bisections,omitempty"`
 }
 
 // JSONRows converts measured rows for serialization.
@@ -91,6 +108,15 @@ func JSONRows(rows []SubjectResult) []JSONRow {
 			row.FallbackSolves = r.CPR.FallbackSolves
 			row.RebuildRetries = r.CPR.RebuildRetries
 			row.BreakerTrips = r.CPR.BreakerTrips
+			row.SatMS = float64(r.CPR.SatTime.Microseconds()) / 1e3
+			row.LIAMS = float64(r.CPR.LIATime.Microseconds()) / 1e3
+			row.ValidateMS = float64(r.CPR.ValidateTime.Microseconds()) / 1e3
+			row.PortfolioRaces = r.CPR.PortfolioRaces
+			row.PortfolioMirrorWins = r.CPR.PortfolioMirrorWins
+			row.PortfolioShared = r.CPR.PortfolioShared
+			row.BatchQueries = r.CPR.BatchQueries
+			row.BatchItems = r.CPR.BatchItems
+			row.BatchBisections = r.CPR.BatchBisections
 		}
 		out = append(out, row)
 	}

@@ -334,15 +334,20 @@ func FormatCPRTable(title string, rows []SubjectResult) string {
 // solverSummary aggregates the engineering-side counters of a run — wall
 // time, SMT queries, verdict-cache traffic — across the table's rows.
 func solverSummary(rows []SubjectResult) string {
-	var wall time.Duration
+	var wall, satTime, liaTime, valTime time.Duration
 	var queries, hits, misses uint64
 	var encHits, encMisses, learned, kept, deleted, cores, coreLits uint64
 	var validations, valFailures, quarantines, fallbacks, rebuilds, trips uint64
+	var races, mirrorWins, shared uint64
+	var batchQ, batchItems, batchBisect uint64
 	for _, r := range rows {
 		if r.NA {
 			continue
 		}
 		wall += r.Wall
+		satTime += r.CPR.SatTime
+		liaTime += r.CPR.LIATime
+		valTime += r.CPR.ValidateTime
 		queries += r.CPR.SolverQueries
 		hits += r.CPR.CacheHits
 		misses += r.CPR.CacheMisses
@@ -359,6 +364,12 @@ func solverSummary(rows []SubjectResult) string {
 		fallbacks += r.CPR.FallbackSolves
 		rebuilds += r.CPR.RebuildRetries
 		trips += r.CPR.BreakerTrips
+		races += r.CPR.PortfolioRaces
+		mirrorWins += r.CPR.PortfolioMirrorWins
+		shared += r.CPR.PortfolioShared
+		batchQ += r.CPR.BatchQueries
+		batchItems += r.CPR.BatchItems
+		batchBisect += r.CPR.BatchBisections
 	}
 	rate := 0.0
 	if hits+misses > 0 {
@@ -366,6 +377,18 @@ func solverSummary(rows []SubjectResult) string {
 	}
 	out := fmt.Sprintf("solver: %d queries, cache hit rate %.1f%% (%d hits / %d misses), wall %s\n",
 		queries, rate*100, hits, misses, wall.Round(time.Millisecond))
+	if satTime+liaTime+valTime > 0 {
+		out += fmt.Sprintf("solver time: SAT %s, LIA %s, validation %s (rest is exploration + synthesis)\n",
+			satTime.Round(time.Millisecond), liaTime.Round(time.Millisecond), valTime.Round(time.Millisecond))
+	}
+	if races > 0 {
+		out += fmt.Sprintf("portfolio: %d races (%d non-leader wins), %d learned clauses shared\n",
+			races, mirrorWins, shared)
+	}
+	if batchQ > 0 {
+		out += fmt.Sprintf("batching: %d group queries answered %d items (%d bisections)\n",
+			batchQ, batchItems, batchBisect)
+	}
 	if encHits+encMisses > 0 { // incremental contexts were in play
 		encRate := float64(encHits) / float64(encHits+encMisses)
 		meanCore := 0.0

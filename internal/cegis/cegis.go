@@ -79,6 +79,11 @@ type Stats struct {
 	Validations, ValidationFailures uint64
 	Quarantines, FallbackSolves     uint64
 	RebuildRetries, BreakerTrips    uint64
+	// Solver wall-time breakdown — see the matching core.Stats fields.
+	SatTime, LIATime, ValidateTime time.Duration
+	// Portfolio-race counters (zero with SMT.Portfolio < 2) — see the
+	// matching core.Stats fields.
+	PortfolioRaces, PortfolioMirrorWins, PortfolioShared uint64
 }
 
 // ReductionRatio is 1 − PFinal/PInit.
@@ -315,6 +320,12 @@ func fillSolverStats(stats *Stats, solver *smt.Solver, base smt.Stats) {
 	stats.FallbackSolves = ss.FallbackSolves
 	stats.RebuildRetries = ss.RebuildRetries
 	stats.BreakerTrips = ss.BreakerTrips
+	stats.SatTime = ss.SatTime
+	stats.LIATime = ss.LIATime
+	stats.ValidateTime = ss.ValidateTime
+	stats.PortfolioRaces = ss.PortfolioRaces
+	stats.PortfolioMirrorWins = ss.PortfolioMirrorWins
+	stats.PortfolioShared = ss.PortfolioShared
 }
 
 func sumExcept(counts []int64, skip int) int64 {

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"cpr/internal/concolic"
+	"cpr/internal/expr"
+	"cpr/internal/interval"
+	"cpr/internal/patch"
+	"cpr/internal/smt"
+)
+
+// feasChunk bounds the item count of one group feasibility query. Small
+// enough that a mixed-verdict group bisects in a few rounds, large enough
+// that the common path constraint is solved once per ~16 patches instead
+// of once per patch.
+const feasChunk = 16
+
+// batchItemFor builds patch p's member of a group feasibility query: its
+// path formula psi conjoined with its parameter constraint, with every
+// parameter renamed to a patch-unique name ("a" of patch 7 → "a!b7").
+// Different patches reuse parameter names (the pool synthesizes a, b, c…
+// per template), so without renaming one group query would conflate — and
+// over-constrain — independent parameters. The "!" keeps renamed names out
+// of every source language's identifier space, and the "!b" prefix is
+// disjoint from the purifier's "!aux" namespace. Renaming is sound for
+// feasibility: the renamed query is alpha-equivalent to the original, so
+// its verdict is the same; models are never taken from renamed queries.
+// The patch's parameter bounds are added to bounds under the renamed
+// names.
+func batchItemFor(p *patch.Patch, psi *expr.Term, bounds map[string]interval.Interval) smt.BatchItem {
+	f := expr.And(psi, p.ConstraintTerm())
+	if len(p.Params) > 0 {
+		sub := make(map[string]*expr.Term, len(p.Params))
+		for _, name := range p.Params {
+			sub[name] = expr.IntVar(fmt.Sprintf("%s!b%d", name, p.ID))
+		}
+		f = expr.Subst(f, sub)
+		for name, iv := range p.ParamBounds() {
+			bounds[fmt.Sprintf("%s!b%d", name, p.ID)] = iv
+		}
+	}
+	return smt.BatchItem{ID: p.ID, F: f}
+}
+
+// batchFeasibility answers reduce's per-patch compatibility checks
+// ("can patch ρ be reasoned about on this path?") with chunked group
+// queries instead of one solver call per patch. Verdicts come back in
+// patch order; nil means batching is off (or trivial) and the caller
+// should query per patch as before.
+func (e *engine) batchFeasibility(phi *expr.Term, hits []concolic.HoleHit, patches []*patch.Patch) []smt.BatchVerdict {
+	if !e.opts.Batch || len(patches) < 2 {
+		return nil
+	}
+	out := make([]smt.BatchVerdict, len(patches))
+	nchunks := (len(patches) + feasChunk - 1) / feasChunk
+	e.fanOut(nchunks, func(w *workerCtx, ci int) {
+		lo := ci * feasChunk
+		hi := lo + feasChunk
+		if hi > len(patches) {
+			hi = len(patches)
+		}
+		bounds := make(map[string]interval.Interval, len(e.curBounds))
+		for k, v := range e.curBounds {
+			bounds[k] = v
+		}
+		items := make([]smt.BatchItem, 0, hi-lo)
+		for _, p := range patches[lo:hi] {
+			items = append(items, batchItemFor(p, e.patchFormula(p, hits), bounds))
+		}
+		w.solver.BeginEpoch() // scope cache-write journaling to this chunk
+		copy(out[lo:hi], w.solver.DecideBatch(phi, items, bounds))
+	})
+	return out
+}
+
+// pickNewInputBatched is pickNewInput's ranked-patch loop with the
+// feasibility verdicts resolved by chunked group queries. The model for
+// the first-ranked feasible patch still comes from exactly the query the
+// unbatched loop would pose (original parameter names, original bounds),
+// so the generated input — and therefore the whole repair result — is
+// identical with batching on or off; only the number of solver calls
+// spent discovering infeasible patches differs. Chunks are visited in
+// ranking order and the loop stops at the first model, so trailing chunks
+// are never queried once a patch admits the flip.
+func (e *engine) pickNewInputBatched(flip concolic.Flip, cons *expr.Term, bounds map[string]interval.Interval, solver *smt.Solver, buildItem func(expr.Model, *patch.Patch) workItem) (workItem, bool, bool) {
+	ranked := e.pool.Ranked()
+	unknown := false
+
+	// tryPatch poses exactly the query the unbatched loop would: the
+	// original formula, original parameter names, original bounds.
+	tryPatch := func(p *patch.Patch) (workItem, bool) {
+		psi := e.patchFormula(p, flip.HoleHits)
+		query := expr.And(cons, psi, p.ConstraintTerm())
+		b := e.boundsWithParams(bounds, p)
+		model, ok, err := solver.GetModel(query, b)
+		if e.noteSolverErr(err) {
+			unknown = true
+			return workItem{}, false
+		}
+		if !ok {
+			return workItem{}, false
+		}
+		return buildItem(model, p), true
+	}
+
+	// The top-ranked patch usually admits the flip, and the unbatched loop
+	// then poses exactly one query — so probe it individually first, making
+	// the common case cost identical. Group queries cover the tail of
+	// lower-ranked patches, where infeasibility clusters.
+	if it, ok := tryPatch(ranked[0]); ok {
+		return it, true, false
+	}
+	for lo := 1; lo < len(ranked); lo += feasChunk {
+		hi := lo + feasChunk
+		if hi > len(ranked) {
+			hi = len(ranked)
+		}
+		chunkBounds := make(map[string]interval.Interval, len(bounds))
+		for k, v := range bounds {
+			chunkBounds[k] = v
+		}
+		items := make([]smt.BatchItem, 0, hi-lo)
+		for _, p := range ranked[lo:hi] {
+			items = append(items, batchItemFor(p, e.patchFormula(p, flip.HoleHits), chunkBounds))
+		}
+		for j, v := range solver.DecideBatch(cons, items, chunkBounds) {
+			p := ranked[lo+j]
+			if e.noteSolverErr(v.Err) {
+				unknown = true
+				continue
+			}
+			if v.Status != smt.Sat {
+				continue
+			}
+			if it, ok := tryPatch(p); ok {
+				return it, true, false
+			}
+		}
+	}
+	return workItem{}, false, unknown
+}

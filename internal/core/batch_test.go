@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"cpr/internal/faultinject"
+)
+
+// TestBatchRepairDifferential is the batching acceptance contract: with
+// Options.Batch on, the repair result — pool, constraints, ranking, and
+// every headline stat — is identical to the unbatched run, at one worker
+// and at many, with the scratch and the incremental solver alike. Group
+// queries only change how verdicts are computed, never what they are, and
+// models still come from the exact unbatched query.
+func TestBatchRepairDifferential(t *testing.T) {
+	for _, incremental := range []bool{false, true} {
+		base := Options{Workers: 1}
+		base.SMT.Incremental = incremental
+		ref, err := Repair(divZeroJob(), base)
+		if err != nil {
+			t.Fatalf("Repair unbatched (incremental=%v): %v", incremental, err)
+		}
+		if ref.Stats.BatchQueries != 0 {
+			t.Fatalf("unbatched run reports batch counters: %+v", ref.Stats)
+		}
+		want := fingerprint(ref)
+
+		for _, n := range []int{1, testWorkers()} {
+			opts := Options{Workers: n, Batch: true}
+			opts.SMT.Incremental = incremental
+			res, err := Repair(divZeroJob(), opts)
+			if err != nil {
+				t.Fatalf("Repair batched workers=%d incremental=%v: %v", n, incremental, err)
+			}
+			if got := fingerprint(res); got != want {
+				t.Fatalf("batched workers=%d incremental=%v diverged:\n--- want ---\n%s--- got ---\n%s", n, incremental, want, got)
+			}
+			st := res.Stats
+			if st.BatchQueries == 0 {
+				t.Errorf("workers=%d incremental=%v: batching on but no group queries issued", n, incremental)
+			}
+			if st.BatchQueries >= st.SolverQueries {
+				t.Errorf("workers=%d incremental=%v: %d group queries out of %d total — batching added work without absorbing any", n, incremental, st.BatchQueries, st.SolverQueries)
+			}
+			t.Logf("workers=%d incremental=%v: %d group queries, %d items answered by groups, %d bisections (total queries %d, unbatched %d)",
+				n, incremental, st.BatchQueries, st.BatchItems, st.BatchBisections, st.SolverQueries, ref.Stats.SolverQueries)
+		}
+	}
+}
+
+// TestBatchBisectionExercised: the divZero pool mixes feasible and
+// infeasible patches on most paths, so group queries must hit the
+// mixed-verdict path. With the incremental solver the assumption core (or
+// the common-prefix check) resolves most splits, but across a whole run
+// at least one group must have taken the core-attribution or bisection
+// route — otherwise the differential above never covered mixed groups.
+func TestBatchBisectionExercised(t *testing.T) {
+	opts := Options{Workers: 1, Batch: true}
+	opts.SMT.Incremental = true
+	res, err := Repair(divZeroJob(), opts)
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	st := res.Stats
+	if st.BatchQueries == 0 {
+		t.Fatalf("no group queries: %+v", st)
+	}
+	// A run where every group came back uniform would answer exactly
+	// ceil(items/chunk) queries; mixed groups force extra queries
+	// (narrowed re-batches, common-prefix probes, bisection halves).
+	if st.BatchBisections == 0 && st.BatchItems == 0 {
+		t.Errorf("no group ever attributed a verdict (items=0, bisections=0): %+v", st)
+	}
+	t.Logf("batch stats: queries=%d items=%d bisections=%d", st.BatchQueries, st.BatchItems, st.BatchBisections)
+}
+
+// TestBatchRepairSurvivesSolverFaults: injected solver faults mid-run must
+// degrade batched runs the same way they degrade unbatched ones — a query
+// that times out or panics (group queries included) falls back to
+// individual queries or a skipped patch, never an aborted run or an
+// inconsistent pool.
+func TestBatchRepairSurvivesSolverFaults(t *testing.T) {
+	for _, kind := range []faultinject.Fault{faultinject.SolverPanic, faultinject.SolverTimeout} {
+		faultinject.Activate(&faultinject.Plan{SolverEvery: 5, SolverKind: kind})
+		opts := Options{Workers: 1, Batch: true}
+		opts.SMT.Incremental = true
+		res, err := Repair(divZeroJob(), opts)
+		faultinject.Deactivate()
+		if err != nil {
+			t.Fatalf("kind %v: Repair under faults: %v", kind, err)
+		}
+		if res.Pool == nil || len(res.Ranked) != len(res.Pool.Patches) {
+			t.Fatalf("kind %v: faulted run returned an inconsistent pool", kind)
+		}
+		if res.Stats.SolverUnknowns+res.Stats.SolverPanics == 0 {
+			t.Errorf("kind %v: degradation invisible: %+v", kind, res.Stats)
+		}
+	}
+}
+
+// TestBatchGuardRejectedGroupVerdict: a lying solver corrupts group-query
+// verdicts too — a spurious unsat on a group would wrongly kill every
+// member, and a truncated core would misattribute blame. Under a paranoid
+// guard every lie is cross-checked and rejected, so the batched run's
+// repair result must equal the clean unbatched run's exactly, and the
+// rejections must be visible in the health counters.
+func TestBatchGuardRejectedGroupVerdict(t *testing.T) {
+	ref, err := Repair(divZeroJob(), Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("Repair clean: %v", err)
+	}
+	want := fingerprint(ref)
+
+	for _, kind := range []faultinject.Fault{faultinject.SolverSpuriousUnsat, faultinject.SolverTruncateCore} {
+		faultinject.Activate(&faultinject.Plan{LieEvery: 7, LieKind: kind})
+		opts := Options{Workers: 1, Batch: true}
+		opts.SMT.Incremental = true
+		opts.SMT.Paranoid = true
+		res, err := Repair(divZeroJob(), opts)
+		faultinject.Deactivate()
+		if err != nil {
+			t.Fatalf("kind %v: Repair under lies: %v", kind, err)
+		}
+		if got := fingerprint(res); got != want {
+			t.Fatalf("kind %v: lied-to batched run diverged from clean run:\n--- want ---\n%s--- got ---\n%s", kind, want, got)
+		}
+		st := res.Stats
+		if st.ValidationFailures == 0 {
+			t.Errorf("kind %v: no validation failures recorded under a lying solver: %+v", kind, st)
+		}
+		if st.BatchQueries == 0 {
+			t.Errorf("kind %v: batching inactive during the lie run", kind)
+		}
+	}
+}

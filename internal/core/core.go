@@ -106,6 +106,14 @@ type Options struct {
 	// whose control flow the patch affects, so patches that fire on most
 	// of a partition (functionality-deletion behavior) gain less.
 	ModelCountRanking bool
+	// Batch groups per-patch feasibility checks — pool-reduction
+	// compatibility tests and flip-feasibility scans — into chunked group
+	// queries (smt.DecideBatch): one solver call covers a whole chunk when
+	// the verdicts agree, and an assumption core or bisection attributes
+	// mixed verdicts. Per-patch verdicts are identical with batching on or
+	// off, and models still come from the exact unbatched query, so the
+	// repair result does not change; only solver work does.
+	Batch bool
 	// Queue selects the exploration frontier policy (ablation of the
 	// §3.4 input ranking; default QueueRanked).
 	Queue QueuePolicy
@@ -214,6 +222,19 @@ type Stats struct {
 	Validations, ValidationFailures uint64
 	Quarantines, FallbackSolves     uint64
 	RebuildRetries, BreakerTrips    uint64
+	// Wall-time breakdown of solver work, summed across workers: CDCL
+	// search (portfolio races included), the LIA procedure, and verdict
+	// validation (model replays plus sampled cross-checks).
+	SatTime, LIATime, ValidateTime time.Duration
+	// Portfolio counters, aggregated across workers (all zero with
+	// SMT.Portfolio < 2): races escalated past the leader-alone threshold,
+	// races a non-default configuration won, and learned clauses imported
+	// from race winners.
+	PortfolioRaces, PortfolioMirrorWins, PortfolioShared uint64
+	// Batched-feasibility counters (all zero with Options.Batch off):
+	// group queries issued, per-patch verdicts answered by a group result
+	// rather than an individual solve, and mixed-verdict bisection splits.
+	BatchQueries, BatchItems, BatchBisections uint64
 }
 
 // CacheHitRate is CacheHits / (CacheHits + CacheMisses), 0 when no query
@@ -444,6 +465,15 @@ func Repair(job Job, opts Options) (*Result, error) {
 	stats.FallbackSolves = agg.FallbackSolves
 	stats.RebuildRetries = agg.RebuildRetries
 	stats.BreakerTrips = agg.BreakerTrips
+	stats.SatTime = agg.SatTime
+	stats.LIATime = agg.LIATime
+	stats.ValidateTime = agg.ValidateTime
+	stats.PortfolioRaces = agg.PortfolioRaces
+	stats.PortfolioMirrorWins = agg.PortfolioMirrorWins
+	stats.PortfolioShared = agg.PortfolioShared
+	stats.BatchQueries = agg.BatchQueries
+	stats.BatchItems = agg.BatchItems
+	stats.BatchBisections = agg.BatchBisections
 	cacheEnd := opts.SMT.Cache.Stats()
 	stats.CacheEvictions = eng.baseCacheEvict + (cacheEnd.Evictions - cacheStart.Evictions)
 	stats.CacheSubsumed = eng.baseCacheSub + (cacheEnd.Subsumed - cacheStart.Subsumed)
@@ -865,6 +895,10 @@ func (e *engine) pickNewInput(flip concolic.Flip, bounds map[string]interval.Int
 		return it, true, false
 	}
 
+	if e.opts.Batch && len(e.pool.Ranked()) > 1 {
+		return e.pickNewInputBatched(flip, cons, bounds, solver, buildItem)
+	}
+
 	unknown := false
 	for _, p := range e.pool.Ranked() {
 		psi := e.patchFormula(p, flip.HoleHits)
@@ -917,15 +951,23 @@ func (e *engine) reduce(exec *concolic.Execution, stats *Stats, validation bool)
 
 	patches := e.pool.Patches
 	removed := make([]bool, len(patches))
+	feas := e.batchFeasibility(phi, exec.HoleHits, patches)
 	e.fanOut(len(patches), func(w *workerCtx, i int) {
 		p := patches[i]
 		w.solver.BeginEpoch() // scope cache-write journaling to this patch
 		psi := e.patchFormula(p, exec.HoleHits)
-		pi := expr.And(phi, psi, p.ConstraintTerm())
-		b := e.boundsWithParams(e.curBounds, p)
-		sat, err := w.solver.IsSat(pi, b)
-		if e.noteSolverErr(err) || !sat {
-			return // cannot reason about ρ on this path
+		if feas != nil {
+			v := feas[i]
+			if e.noteSolverErr(v.Err) || v.Status != smt.Sat {
+				return // cannot reason about ρ on this path
+			}
+		} else {
+			pi := expr.And(phi, psi, p.ConstraintTerm())
+			b := e.boundsWithParams(e.curBounds, p)
+			sat, err := w.solver.IsSat(pi, b)
+			if e.noteSolverErr(err) || !sat {
+				return // cannot reason about ρ on this path
+			}
 		}
 		if hitBug {
 			ref := &patch.Refiner{Solver: w.solver, InputBounds: e.curBounds}

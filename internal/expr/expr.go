@@ -107,6 +107,53 @@ type interner struct {
 type internShard struct {
 	mu      sync.Mutex
 	buckets map[uint64][]*Term
+	// slab and argSlab are per-shard arenas for canonical terms. A miss
+	// carves the Term header and its Args copy out of them instead of
+	// taking two heap allocations; a hit allocates nothing at all, because
+	// interning is by value: the candidate term lives on the caller's
+	// stack until it is known to be new. Canonical terms are immortal (the
+	// interner never evicts), so the arenas never free.
+	slab    []Term
+	argSlab []*Term
+}
+
+const (
+	termSlabSize = 256
+	argSlabSize  = 2048
+)
+
+// alloc returns a canonical *Term for the given fields from the shard's
+// arenas. Caller holds the shard lock.
+func (sh *internShard) alloc(op Op, sort Sort, val int64, name string, args []*Term, hash uint64) *Term {
+	if len(sh.slab) == 0 {
+		sh.slab = make([]Term, termSlabSize)
+	}
+	t := &sh.slab[0]
+	sh.slab = sh.slab[1:]
+	*t = Term{Op: op, Sort: sort, Val: val, Name: name, Args: sh.copyArgs(args), hash: hash}
+	return t
+}
+
+// copyArgs copies an argument list into arena-backed storage. Oversized
+// lists (wide conjunctions) get their own allocation rather than bloating
+// the arena.
+func (sh *internShard) copyArgs(args []*Term) []*Term {
+	n := len(args)
+	if n == 0 {
+		return nil
+	}
+	if n > argSlabSize/4 {
+		out := make([]*Term, n)
+		copy(out, args)
+		return out
+	}
+	if len(sh.argSlab) < n {
+		sh.argSlab = make([]*Term, argSlabSize)
+	}
+	out := sh.argSlab[:n:n]
+	sh.argSlab = sh.argSlab[n:]
+	copy(out, args)
+	return out
 }
 
 // internShards is a power of two so shard selection is a mask.
@@ -127,53 +174,53 @@ const (
 	fnvPrime  = 1099511628211
 )
 
-func hashTerm(t *Term) uint64 {
+func hashFields(op Op, sort Sort, val int64, name string, args []*Term) uint64 {
 	h := uint64(fnvOffset)
 	mix := func(v uint64) {
 		h ^= v
 		h *= fnvPrime
 	}
-	mix(uint64(t.Op))
-	mix(uint64(t.Sort))
-	mix(uint64(t.Val))
-	for i := 0; i < len(t.Name); i++ {
-		mix(uint64(t.Name[i]))
+	mix(uint64(op))
+	mix(uint64(sort))
+	mix(uint64(val))
+	for i := 0; i < len(name); i++ {
+		mix(uint64(name[i]))
 	}
-	for _, a := range t.Args {
+	for _, a := range args {
 		mix(a.hash)
 	}
 	return h
 }
 
-func sameTerm(a, b *Term) bool {
-	if a.Op != b.Op || a.Sort != b.Sort || a.Val != b.Val || a.Name != b.Name || len(a.Args) != len(b.Args) {
+func sameFields(c *Term, op Op, sort Sort, val int64, name string, args []*Term) bool {
+	if c.Op != op || c.Sort != sort || c.Val != val || c.Name != name || len(c.Args) != len(args) {
 		return false
 	}
-	for i := range a.Args {
-		if a.Args[i] != b.Args[i] { // args are interned: pointer equality
+	for i := range args {
+		if c.Args[i] != args[i] { // args are interned: pointer equality
 			return false
 		}
 	}
 	return true
 }
 
-// intern returns the canonical representative of t.
-func intern(t *Term) *Term {
-	t.hash = hashTerm(t)
-	sh := &terms.shards[t.hash&(internShards-1)]
+// mk returns the canonical term for the given fields. Interning is by
+// value: the hit path (the overwhelming majority — path constraints and
+// patch formulas rebuild the same terms constantly) allocates nothing,
+// and a miss carves the canonical term out of the shard's arena.
+func mk(op Op, sort Sort, val int64, name string, args ...*Term) *Term {
+	h := hashFields(op, sort, val, name, args)
+	sh := &terms.shards[h&(internShards-1)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	for _, c := range sh.buckets[t.hash] {
-		if sameTerm(c, t) {
+	for _, c := range sh.buckets[h] {
+		if sameFields(c, op, sort, val, name, args) {
 			return c
 		}
 	}
-	sh.buckets[t.hash] = append(sh.buckets[t.hash], t)
+	t := sh.alloc(op, sort, val, name, args, h)
+	sh.buckets[h] = append(sh.buckets[h], t)
 	return t
-}
-
-func mk(op Op, sort Sort, val int64, name string, args ...*Term) *Term {
-	return intern(&Term{Op: op, Sort: sort, Val: val, Name: name, Args: args})
 }
 
 // Int returns the integer literal v.
@@ -222,7 +269,8 @@ func wantSort(t *Term, s Sort, ctx string) {
 // zeros. Add() is 0; Add(x) is x.
 func Add(args ...*Term) *Term {
 	var k int64
-	flat := make([]*Term, 0, len(args))
+	var buf [narySmall]*Term
+	flat := buf[:0]
 	for _, a := range args {
 		wantSort(a, SortInt, "Add")
 		switch {
@@ -392,86 +440,100 @@ func Gt(a, b *Term) *Term { return compare(OpGt, a, b) }
 // Ge returns a ≥ b over integers.
 func Ge(a, b *Term) *Term { return compare(OpGe, a, b) }
 
+// naryAcc accumulates the flattened, deduplicated operand list of an
+// n-ary And/Or. Small lists — the overwhelming majority — live in the
+// caller's stack buffer and dedup by linear scan, so building a small
+// conjunction that already exists allocates nothing; past narySmall
+// operands the dedup upgrades to a map.
+type naryAcc struct {
+	flat []*Term
+	seen map[*Term]bool // nil until flat outgrows linear-scan dedup
+}
+
+const narySmall = 16
+
+func (acc *naryAcc) add(a *Term) {
+	if acc.seen != nil {
+		if !acc.seen[a] {
+			acc.seen[a] = true
+			acc.flat = append(acc.flat, a)
+		}
+		return
+	}
+	for _, f := range acc.flat {
+		if f == a {
+			return
+		}
+	}
+	if len(acc.flat) >= narySmall {
+		acc.seen = make(map[*Term]bool, 4*narySmall)
+		for _, f := range acc.flat {
+			acc.seen[f] = true
+		}
+		acc.seen[a] = true
+	}
+	acc.flat = append(acc.flat, a)
+}
+
 // And returns the conjunction of the operands, flattening nested
 // conjunctions, dropping trues, and short-circuiting on false. And() is
-// true.
+// true. Flattening is one level deep by constructor invariant: the args
+// of an interned OpAnd term are never themselves OpAnd (this function
+// flattened them), which keeps the loop iterative so the stack buffer
+// stays on the stack.
 func And(args ...*Term) *Term {
-	flat := make([]*Term, 0, len(args))
-	seen := make(map[*Term]bool, len(args))
-	var walk func(a *Term) bool
-	walk = func(a *Term) bool {
+	var buf [narySmall]*Term
+	acc := naryAcc{flat: buf[:0]}
+	for _, a := range args {
 		wantSort(a, SortBool, "And")
 		switch {
 		case a.IsTrue():
 		case a.IsFalse():
-			return false
+			return False()
 		case a.Op == OpAnd:
 			for _, sub := range a.Args {
-				if !walk(sub) {
-					return false
-				}
+				acc.add(sub)
 			}
 		default:
-			if !seen[a] {
-				seen[a] = true
-				flat = append(flat, a)
-			}
-		}
-		return true
-	}
-	for _, a := range args {
-		if !walk(a) {
-			return False()
+			acc.add(a)
 		}
 	}
-	switch len(flat) {
+	switch len(acc.flat) {
 	case 0:
 		return True()
 	case 1:
-		return flat[0]
+		return acc.flat[0]
 	}
-	return mk(OpAnd, SortBool, 0, "", flat...)
+	return mk(OpAnd, SortBool, 0, "", acc.flat...)
 }
 
 // Or returns the disjunction of the operands, flattening nested
 // disjunctions, dropping falses, and short-circuiting on true. Or() is
-// false.
+// false. Like And, flattening is one level deep by constructor invariant.
 func Or(args ...*Term) *Term {
-	flat := make([]*Term, 0, len(args))
-	seen := make(map[*Term]bool, len(args))
-	var walk func(a *Term) bool
-	walk = func(a *Term) bool {
+	var buf [narySmall]*Term
+	acc := naryAcc{flat: buf[:0]}
+	for _, a := range args {
 		wantSort(a, SortBool, "Or")
 		switch {
 		case a.IsFalse():
 		case a.IsTrue():
-			return false
+			return True()
 		case a.Op == OpOr:
 			for _, sub := range a.Args {
-				if !walk(sub) {
-					return false
-				}
+				acc.add(sub)
 			}
 		default:
-			if !seen[a] {
-				seen[a] = true
-				flat = append(flat, a)
-			}
-		}
-		return true
-	}
-	for _, a := range args {
-		if !walk(a) {
-			return True()
+			acc.add(a)
 		}
 	}
-	switch len(flat) {
+	switch len(acc.flat) {
 	case 0:
 		return False()
 	case 1:
-		return flat[0]
+		return acc.flat[0]
 	}
-	return mk(OpOr, SortBool, 0, "", flat...)
+	return mk(OpOr, SortBool, 0, "", acc.flat...)
 }
 
 // Not returns the negation of a, eliminating double negation and flipping

@@ -343,3 +343,36 @@ func TestTermSizeAndCompare(t *testing.T) {
 		t.Fatal("Compare not antisymmetric")
 	}
 }
+
+// TestInternHitPathAllocFree: rebuilding an existing term must not
+// allocate — the candidate stays on the caller's stack and interning is
+// by value. This is the hot path of every path-constraint rebuild.
+func TestInternHitPathAllocFree(t *testing.T) {
+	x := IntVar("x")
+	Ge(x, Int(41)) // populate
+	allocs := testing.AllocsPerRun(100, func() {
+		Ge(x, Int(41))
+	})
+	if allocs != 0 {
+		t.Errorf("intern hit path allocates %.1f times per term", allocs)
+	}
+}
+
+// BenchmarkIntern measures term construction, the hottest shared
+// operation in the system, on the hit path (b.N rebuilds of one formula)
+// and the miss path (fresh constants each iteration).
+func BenchmarkIntern(b *testing.B) {
+	x, y := IntVar("x"), IntVar("y")
+	b.Run("hit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			And(Ge(x, Int(0)), Lt(Add(x, y), Int(50)))
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Ge(x, Int(int64(i)+1000000))
+		}
+	})
+}

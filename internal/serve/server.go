@@ -95,6 +95,12 @@ type Config struct {
 	// CLIs do.
 	Incremental bool
 	Paranoid    bool
+	// Portfolio races that many diverse CDCL configurations on hard
+	// queries (0 or 1 = off); Batch groups per-patch feasibility checks
+	// into chunked group queries. Both change only solver wall time,
+	// never repair results.
+	Portfolio int
+	Batch     bool
 
 	// Seed seeds the retry jitter (0 = seeded from the clock).
 	Seed int64
@@ -708,9 +714,10 @@ func (s *Server) attempt(j *job, tok *cancel.Token, resume bool) (res *core.Resu
 		// the remaining wall clock on the time already spent.
 		cj.Budget.MaxDuration = time.Duration(j.spec.TimeoutMS) * time.Millisecond
 	}
-	opts := core.Options{Workers: s.cfg.EngineWorkers, Cancel: tok}
+	opts := core.Options{Workers: s.cfg.EngineWorkers, Cancel: tok, Batch: s.cfg.Batch}
 	opts.SMT.Incremental = s.cfg.Incremental
 	opts.SMT.Paranoid = s.cfg.Paranoid
+	opts.SMT.Portfolio = s.cfg.Portfolio
 	opts.Checkpoint = core.CheckpointOptions{
 		Dir:      s.ckptDir(j.id),
 		Interval: s.cfg.CheckpointInterval,
@@ -850,4 +857,13 @@ func aggStats(dst *core.Stats, s core.Stats) {
 	dst.FallbackSolves += s.FallbackSolves
 	dst.RebuildRetries += s.RebuildRetries
 	dst.BreakerTrips += s.BreakerTrips
+	dst.SatTime += s.SatTime
+	dst.LIATime += s.LIATime
+	dst.ValidateTime += s.ValidateTime
+	dst.PortfolioRaces += s.PortfolioRaces
+	dst.PortfolioMirrorWins += s.PortfolioMirrorWins
+	dst.PortfolioShared += s.PortfolioShared
+	dst.BatchQueries += s.BatchQueries
+	dst.BatchItems += s.BatchItems
+	dst.BatchBisections += s.BatchBisections
 }

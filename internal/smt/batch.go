@@ -1,0 +1,189 @@
+package smt
+
+import (
+	"cpr/internal/expr"
+	"cpr/internal/interval"
+)
+
+// BatchItem is one member of a DecideBatch call: an opaque ID the caller
+// uses to match verdicts back to work items, and the item-specific formula
+// that is conjoined with the batch's common part.
+type BatchItem struct {
+	ID int
+	F  *expr.Term
+}
+
+// BatchVerdict is DecideBatch's per-item answer, in input order.
+type BatchVerdict struct {
+	ID     int
+	Status Status
+	Err    error
+}
+
+// DecideBatch answers Decide(And(common, item.F), bounds) for every item,
+// sharing solver work across the group. It issues one query for the whole
+// conjunction And(common, item₀, …, itemₙ) and exploits two sound
+// group-testing facts:
+//
+//   - If the group conjunction is Sat, every item is Sat: a model of the
+//     superset conjunction satisfies each subset conjunction.
+//   - If the group conjunction is Unsat with an assumption core, every item
+//     whose conjunct set (common ∪ its own conjuncts) covers the core is
+//     itself Unsat: the core alone is contradictory and the item asserts
+//     all of it. With a core inside the common part alone, that is every
+//     item.
+//
+// A core that kills no item (it mixes conjuncts of several items) triggers
+// bisection: the group is split in half and each half re-decided, down to
+// singletons. A singleton, or any Unknown/error group answer, falls back to
+// an individual Decide call — exactly the query the caller would have made
+// unbatched, so per-item verdicts (and the cache entries and models behind
+// them) are identical with batching on or off. Only the amount of solver
+// work differs. Cores are trusted to the same degree as the cache's
+// subsumption index: they are post-verifyUnsat cores, cross-checked by the
+// guard's sampled validation and withdrawn with the epoch on quarantine.
+//
+// The caller must not rely on any particular order of solver-side effects
+// between items of one batch; verdicts themselves are deterministic.
+func (s *Solver) DecideBatch(common *expr.Term, items []BatchItem, bounds map[string]interval.Interval) []BatchVerdict {
+	out := make([]BatchVerdict, len(items))
+	for i, it := range items {
+		out[i] = BatchVerdict{ID: it.ID, Status: Unknown}
+	}
+	if len(items) == 0 {
+		return out
+	}
+	commonSet := conjSet(common)
+	// idx maps positions in the working slice back to out positions.
+	idx := make([]int, len(items))
+	for i := range items {
+		idx[i] = i
+	}
+	s.batchDecide(common, commonSet, items, idx, bounds, out)
+	return out
+}
+
+// batchDecide resolves one (sub)group, writing verdicts into out at the
+// positions given by idx.
+func (s *Solver) batchDecide(common *expr.Term, commonSet map[*expr.Term]bool, items []BatchItem, idx []int, bounds map[string]interval.Interval, out []BatchVerdict) {
+	if len(items) == 1 {
+		s.batchSingle(common, items[0], idx[0], bounds, out)
+		return
+	}
+
+	parts := make([]*expr.Term, 0, len(items)+1)
+	parts = append(parts, common)
+	for _, it := range items {
+		parts = append(parts, it.F)
+	}
+	group := expr.And(parts...)
+
+	s.stats.batchQueries.Add(1)
+	// The group error (if any) is deliberately dropped: a failed group
+	// query costs only the retry below; per-item errors surface from the
+	// individual fallback calls.
+	st, core, _ := s.DecideCore(group, bounds)
+	switch st {
+	case Sat:
+		// A model of the group satisfies every item's conjunction.
+		s.stats.batchItems.Add(uint64(len(items)))
+		for _, o := range idx {
+			out[o].Status = Sat
+		}
+		return
+	case Unsat:
+		if len(core) == 0 {
+			// No core to attribute blame with (e.g. a cache hit, or unsat
+			// independent of assumptions): resolve items individually.
+			break
+		}
+		// An item is Unsat iff its asserted conjuncts cover the core.
+		var rest []BatchItem
+		var restIdx []int
+		killed := 0
+		for i, it := range items {
+			if coveredBy(core, commonSet, conjSet(it.F)) {
+				out[idx[i]].Status = Unsat
+				killed++
+			} else {
+				rest = append(rest, it)
+				restIdx = append(restIdx, idx[i])
+			}
+		}
+		s.stats.batchItems.Add(uint64(killed))
+		if len(rest) == 0 {
+			return
+		}
+		if killed > 0 {
+			// The core narrowed the group; re-decide the survivors as one
+			// smaller batch.
+			s.batchDecide(common, commonSet, rest, restIdx, bounds, out)
+			return
+		}
+		// Mixed-blame core (conjuncts from several items). Cores are only
+		// as sharp as the conflict analysis behind them — a theory-driven
+		// conflict blocks its whole support set, so the core can span every
+		// selector even when the common part alone is contradictory. Test
+		// that directly before bisecting: one query, and when the shared
+		// prefix is infeasible it kills the entire group.
+		if !common.IsTrue() {
+			s.stats.batchQueries.Add(1)
+			if cst, _ := s.Decide(common, bounds); cst == Unsat {
+				s.stats.batchItems.Add(uint64(len(rest)))
+				for _, o := range restIdx {
+					out[o].Status = Unsat
+				}
+				return
+			}
+		}
+		// Bisect.
+		s.stats.batchBisections.Add(1)
+		mid := len(rest) / 2
+		s.batchDecide(common, commonSet, rest[:mid], restIdx[:mid], bounds, out)
+		s.batchDecide(common, commonSet, rest[mid:], restIdx[mid:], bounds, out)
+		return
+	}
+	// Unknown (budget, error) or an unattributable Unsat: don't guess —
+	// resolve every remaining item with the exact unbatched query.
+	for i, it := range items {
+		s.batchSingle(common, it, idx[i], bounds, out)
+	}
+}
+
+// batchSingle answers one item with exactly the query an unbatched caller
+// would make.
+func (s *Solver) batchSingle(common *expr.Term, it BatchItem, o int, bounds map[string]interval.Interval, out []BatchVerdict) {
+	st, err := s.Decide(expr.And(common, it.F), bounds)
+	out[o].Status = st
+	out[o].Err = err
+}
+
+// conjSet returns the set of top-level conjuncts of f — the units the
+// incremental context assumes selectors for, and therefore the granularity
+// assumption cores come back at. expr.And flattens nested conjunctions, so
+// membership by interned pointer is exact.
+func conjSet(f *expr.Term) map[*expr.Term]bool {
+	m := make(map[*expr.Term]bool)
+	if f == nil {
+		return m
+	}
+	if f.Op == expr.OpAnd {
+		for _, a := range f.Args {
+			m[a] = true
+		}
+		return m
+	}
+	m[f] = true
+	return m
+}
+
+// coveredBy reports whether every core conjunct is asserted by an item
+// whose conjunct sets are a and b.
+func coveredBy(core []*expr.Term, a, b map[*expr.Term]bool) bool {
+	for _, cj := range core {
+		if !a[cj] && !b[cj] {
+			return false
+		}
+	}
+	return true
+}

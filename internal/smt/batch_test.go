@@ -1,0 +1,155 @@
+package smt
+
+import (
+	"testing"
+
+	"cpr/internal/expr"
+	"cpr/internal/interval"
+)
+
+// batchFixture returns a shared common part, a mixed sat/unsat item set,
+// and bounds, shaped like pool-reduction feasibility: one path-constraint
+// prefix, one conjunct per candidate patch.
+func batchFixture() (*expr.Term, []BatchItem, map[string]interval.Interval) {
+	x := expr.IntVar("x")
+	y := expr.IntVar("y")
+	common := expr.And(
+		expr.Ge(x, expr.Int(0)),
+		expr.Le(x, expr.Int(10)),
+		expr.Eq(y, expr.Add(x, expr.Int(1))),
+	)
+	items := []BatchItem{
+		{ID: 0, F: expr.Gt(y, expr.Int(0))},                                    // sat (implied)
+		{ID: 1, F: expr.Lt(x, expr.Int(-3))},                                   // unsat vs common
+		{ID: 2, F: expr.Eq(x, expr.Int(7))},                                    // sat
+		{ID: 3, F: expr.And(expr.Gt(x, expr.Int(4)), expr.Lt(x, expr.Int(3)))}, // self-contradictory
+		{ID: 4, F: expr.Ge(y, expr.Int(12))},                                   // unsat vs common
+		{ID: 5, F: expr.And(expr.Ge(x, expr.Int(2)), expr.Le(y, expr.Int(9)))}, // sat
+		{ID: 6, F: expr.And(expr.Ge(x, expr.Int(9)), expr.Lt(y, expr.Int(5)))}, // unsat (mixed blame)
+		{ID: 7, F: expr.Eq(expr.Rem(x, expr.Int(3)), expr.Int(1))},             // sat, purification
+	}
+	bounds := map[string]interval.Interval{
+		"x": interval.New(-50, 50),
+		"y": interval.New(-50, 50),
+	}
+	return common, items, bounds
+}
+
+// TestDecideBatchMatchesUnbatched: every batch verdict must equal the
+// verdict of the exact unbatched query, for scratch and incremental
+// solvers alike.
+func TestDecideBatchMatchesUnbatched(t *testing.T) {
+	common, items, bounds := batchFixture()
+	for _, opts := range []Options{{Incremental: true}, {Incremental: true, Portfolio: 2}, {}} {
+		s := NewSolver(opts)
+		got := s.DecideBatch(common, items, bounds)
+		if len(got) != len(items) {
+			t.Fatalf("opts %+v: %d verdicts for %d items", opts, len(got), len(items))
+		}
+		for i, v := range got {
+			if v.ID != items[i].ID {
+				t.Fatalf("opts %+v: verdict %d has ID %d, want %d", opts, i, v.ID, items[i].ID)
+			}
+			if v.Err != nil {
+				t.Fatalf("opts %+v: item %d: %v", opts, v.ID, v.Err)
+			}
+			ref := NewSolver(Options{})
+			want, err := ref.Decide(expr.And(common, items[i].F), bounds)
+			if err != nil {
+				t.Fatalf("reference Decide item %d: %v", v.ID, err)
+			}
+			if v.Status != want {
+				t.Fatalf("opts %+v: item %d: batch=%v unbatched=%v", opts, v.ID, v.Status, want)
+			}
+		}
+	}
+}
+
+// TestDecideBatchGroupSat: an all-sat batch must be answered by a single
+// group query, with every item credited to it.
+func TestDecideBatchGroupSat(t *testing.T) {
+	x := expr.IntVar("x")
+	common := expr.Ge(x, expr.Int(0))
+	var items []BatchItem
+	for k := int64(0); k < 6; k++ {
+		items = append(items, BatchItem{ID: int(k), F: expr.Ge(x, expr.Int(k))})
+	}
+	s := NewSolver(Options{Incremental: true})
+	got := s.DecideBatch(common, items, map[string]interval.Interval{"x": interval.New(0, 100)})
+	for _, v := range got {
+		if v.Status != Sat || v.Err != nil {
+			t.Fatalf("item %d: %v %v", v.ID, v.Status, v.Err)
+		}
+	}
+	st := s.Stats()
+	if st.BatchQueries != 1 {
+		t.Errorf("BatchQueries = %d, want 1 (single sat group)", st.BatchQueries)
+	}
+	if st.BatchItems != uint64(len(items)) {
+		t.Errorf("BatchItems = %d, want %d", st.BatchItems, len(items))
+	}
+}
+
+// TestDecideBatchCoreKillsAll: a core inside the common part must rule out
+// every item without bisection.
+func TestDecideBatchCoreKillsAll(t *testing.T) {
+	x := expr.IntVar("x")
+	common := expr.And(expr.Ge(x, expr.Int(5)), expr.Le(x, expr.Int(3))) // contradictory by itself
+	items := []BatchItem{
+		{ID: 0, F: expr.Eq(x, expr.Int(1))},
+		{ID: 1, F: expr.Eq(x, expr.Int(2))},
+		{ID: 2, F: expr.Eq(x, expr.Int(3))},
+	}
+	s := NewSolver(Options{Incremental: true})
+	got := s.DecideBatch(common, items, map[string]interval.Interval{"x": interval.New(-50, 50)})
+	for _, v := range got {
+		if v.Status != Unsat || v.Err != nil {
+			t.Fatalf("item %d: %v %v", v.ID, v.Status, v.Err)
+		}
+	}
+	st := s.Stats()
+	if st.BatchBisections != 0 {
+		t.Errorf("BatchBisections = %d, want 0 (common-core kill)", st.BatchBisections)
+	}
+}
+
+// TestDecideBatchBisection: items that are pairwise contradictory but
+// individually sat force mixed-blame cores; bisection must still converge
+// to the right verdicts.
+func TestDecideBatchBisection(t *testing.T) {
+	x := expr.IntVar("x")
+	common := expr.Ge(x, expr.Int(0))
+	// Each item pins x to a distinct value: any group of ≥2 is unsat with
+	// a core spanning two items' conjuncts, killing nobody.
+	var items []BatchItem
+	for k := int64(0); k < 5; k++ {
+		items = append(items, BatchItem{ID: int(k), F: expr.Eq(x, expr.Int(k*10))})
+	}
+	s := NewSolver(Options{Incremental: true})
+	got := s.DecideBatch(common, items, map[string]interval.Interval{"x": interval.New(0, 100)})
+	for _, v := range got {
+		if v.Status != Sat || v.Err != nil {
+			t.Fatalf("item %d: %v %v (each pin is individually sat)", v.ID, v.Status, v.Err)
+		}
+	}
+	if st := s.Stats(); st.BatchBisections == 0 {
+		t.Errorf("BatchBisections = 0, want >0 over pairwise-contradictory items; stats %+v", st)
+	}
+}
+
+// TestDecideBatchEmptyAndSingleton: degenerate shapes.
+func TestDecideBatchEmptyAndSingleton(t *testing.T) {
+	x := expr.IntVar("x")
+	bounds := map[string]interval.Interval{"x": interval.New(0, 10)}
+	s := NewSolver(Options{Incremental: true})
+	if got := s.DecideBatch(expr.True(), nil, bounds); len(got) != 0 {
+		t.Fatalf("empty batch returned %d verdicts", len(got))
+	}
+	got := s.DecideBatch(expr.Ge(x, expr.Int(0)), []BatchItem{{ID: 9, F: expr.Le(x, expr.Int(5))}}, bounds)
+	if len(got) != 1 || got[0].ID != 9 || got[0].Status != Sat {
+		t.Fatalf("singleton batch: %+v", got)
+	}
+	if st := s.Stats(); st.BatchQueries != 0 {
+		t.Errorf("singleton batch issued %d group queries, want 0 (direct Decide)", st.BatchQueries)
+	}
+}

@@ -1,0 +1,25 @@
+package smt
+
+import "cpr/internal/smt/sat"
+
+// cdcl is the boolean-engine surface the smt layer drives: either a bare
+// *sat.Solver (scratch encoders, single-strategy contexts) or a
+// *portfolio.Engine racing several diverse configurations behind the same
+// methods (incremental contexts with Options.Portfolio ≥ 2). The DPLL(T)
+// loops are engine-agnostic; only construction differs.
+type cdcl interface {
+	NewVar() int
+	AddClause(lits ...sat.Lit) bool
+	Solve() sat.Status
+	SolveUnder(assumptions ...sat.Lit) sat.Status
+	Core() []sat.Lit
+	Model() []bool
+	VerifyModel() bool
+	NumClauses() int
+	NumLearnts() int
+	// SetLimits installs the per-query conflict budget and stop hook.
+	SetLimits(maxConflicts uint64, stop func() bool)
+	// Snapshot returns accumulated work counters (the sum over members
+	// for a portfolio, so deltas reflect total work).
+	Snapshot() sat.Stats
+}

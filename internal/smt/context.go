@@ -3,6 +3,7 @@ package smt
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"cpr/internal/cancel"
 	"cpr/internal/expr"
@@ -10,6 +11,7 @@ import (
 	"cpr/internal/smt/cache"
 	"cpr/internal/smt/guard"
 	"cpr/internal/smt/lia"
+	"cpr/internal/smt/portfolio"
 	"cpr/internal/smt/sat"
 )
 
@@ -37,6 +39,10 @@ type Context struct {
 	enc     *encoder
 	auxNext int // global purifier counter: aux names never collide across conjuncts
 
+	// port is the racing engine behind enc.sat when Options.Portfolio ≥ 2,
+	// kept typed for counter syncing; nil for single-strategy contexts.
+	port *portfolio.Engine
+
 	groups   map[*expr.Term]*group
 	selGroup map[sat.Lit]*expr.Term
 	boxes    map[string]*boxState
@@ -48,7 +54,16 @@ type Context struct {
 
 	// Deltas already folded into stats, so clausesLearned/Deleted stay
 	// monotone across decide calls.
-	lastLearned, lastDeleted uint64
+	lastLearned, lastDeleted           uint64
+	lastRaces, lastMirrors, lastShared uint64
+
+	// verifyTick counts sat answers for sampled model self-checks: the
+	// retained clause database grows with every query, and replaying a
+	// model against all of it each theory round is the single biggest
+	// fixed cost of incremental solving. The check only ever catches CDCL
+	// bugs (nothing downstream depends on it answering), so it runs on a
+	// deterministic 1-in-16 sample — and on every round under Paranoid.
+	verifyTick uint64
 }
 
 // group is one prepared top-level conjunct: simplified, purified, encoded
@@ -82,10 +97,17 @@ type conKey struct {
 }
 
 func newContext(opts Options, stats *solverStats) *Context {
+	engine := cdcl(sat.New())
+	var port *portfolio.Engine
+	if opts.Portfolio >= 2 {
+		port = portfolio.New(sat.Portfolio(opts.Portfolio)...)
+		engine = port
+	}
 	return &Context{
 		opts:      opts,
 		stats:     stats,
-		enc:       newEncoder(),
+		enc:       newEncoderWith(engine),
+		port:      port,
 		groups:    make(map[*expr.Term]*group),
 		selGroup:  make(map[sat.Lit]*expr.Term),
 		boxes:     make(map[string]*boxState),
@@ -157,13 +179,21 @@ func (c *Context) boxFor(bounds map[string]interval.Interval) *boxState {
 	return b
 }
 
-// syncClauseStats folds the CDCL clause counters into the solver stats.
+// syncClauseStats folds the CDCL clause (and portfolio) counters into the
+// solver stats.
 func (c *Context) syncClauseStats() {
-	st := c.enc.sat.Statist
+	st := c.enc.sat.Snapshot()
 	c.stats.clausesLearned.Add(st.Learned - c.lastLearned)
 	c.stats.clausesDeleted.Add(st.Deleted - c.lastDeleted)
 	c.lastLearned, c.lastDeleted = st.Learned, st.Deleted
 	c.stats.clausesKept.Store(uint64(c.enc.sat.NumLearnts()))
+	if c.port != nil {
+		ps := c.port.Stats()
+		c.stats.portfolioRaces.Add(ps.Races - c.lastRaces)
+		c.stats.portfolioMirrorWins.Add(ps.MirrorWins - c.lastMirrors)
+		c.stats.portfolioShared.Add(ps.SharedLearnt - c.lastShared)
+		c.lastRaces, c.lastMirrors, c.lastShared = ps.Races, ps.MirrorWins, ps.SharedLearnt
+	}
 }
 
 // decide runs the DPLL(T) loop for f under bounds on the persistent state
@@ -199,22 +229,22 @@ func (c *Context) decide(f *expr.Term, bounds map[string]interval.Interval, qtok
 		assumps = append(assumps, g.sel)
 	}
 
-	c.enc.sat.MaxConflicts = c.opts.MaxConflicts
-	c.enc.sat.Stop = nil
 	lopts := c.opts.LIA
+	var stop func() bool
 	if qtok != nil {
-		c.enc.sat.Stop = qtok.Expired
+		stop = qtok.Expired
 		lopts.Stop = qtok.Expired
 	}
+	c.enc.sat.SetLimits(c.opts.MaxConflicts, stop)
 
-	conflictsAtStart := c.enc.sat.Statist.Conflicts
+	conflictsAtStart := c.enc.sat.Snapshot().Conflicts
 	budgetErr := func(stage string, round int, detail error) error {
 		c.stats.unknowns.Add(1)
 		return &BudgetError{
 			Stage:        stage,
 			Query:        query,
 			TheoryRounds: round,
-			Conflicts:    c.enc.sat.Statist.Conflicts - conflictsAtStart,
+			Conflicts:    c.enc.sat.Snapshot().Conflicts - conflictsAtStart,
 			Clauses:      c.enc.sat.NumClauses(),
 			Atoms:        len(c.enc.atomVar),
 			Detail:       detail,
@@ -226,7 +256,10 @@ func (c *Context) decide(f *expr.Term, bounds map[string]interval.Interval, qtok
 			return Unknown, nil, budgetErr("deadline", round, qtok.Err())
 		}
 		c.stats.theoryRounds.Add(1)
-		switch c.enc.sat.SolveUnder(assumps...) {
+		satStart := time.Now()
+		satStatus := c.enc.sat.SolveUnder(assumps...)
+		c.stats.timeSat(satStart)
+		switch satStatus {
 		case sat.Unsat:
 			core := c.assumptionCore(conjs)
 			return Unsat, core, nil
@@ -237,11 +270,14 @@ func (c *Context) decide(f *expr.Term, bounds map[string]interval.Interval, qtok
 			}
 			return Unknown, nil, budgetErr(stage, round, nil)
 		}
-		if !c.enc.sat.VerifyModel() {
-			// The retained clause database produced a model that does not
-			// satisfy it. The solver quarantines this context and retries
-			// the query on the scratch rung.
-			return Unknown, nil, fmt.Errorf("%w (incremental sat tier, query %d round %d)", guard.ErrVerdictRejected, query, round)
+		c.verifyTick++
+		if c.opts.Paranoid || c.verifyTick&15 == 0 {
+			if !c.enc.sat.VerifyModel() {
+				// The retained clause database produced a model that does
+				// not satisfy it. The solver quarantines this context and
+				// retries the query on the scratch rung.
+				return Unknown, nil, fmt.Errorf("%w (incremental sat tier, query %d round %d)", guard.ErrVerdictRejected, query, round)
+			}
 		}
 		model := c.enc.sat.Model()
 
@@ -260,7 +296,9 @@ func (c *Context) decide(f *expr.Term, bounds map[string]interval.Interval, qtok
 				block = append(block, sat.MkLit(c.enc.atomVar[sl.atom], sl.positive))
 			}
 		}
+		liaStart := time.Now()
 		res, err := box.lia.Solve(cons, lopts)
+		c.stats.timeLIA(liaStart)
 		if err != nil {
 			if errors.Is(err, lia.ErrBudget) {
 				stage := "lia"

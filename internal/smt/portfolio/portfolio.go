@@ -1,0 +1,257 @@
+// Package portfolio races diverse CDCL search strategies over one clause
+// set and returns the first decisive answer.
+//
+// The engine presents the same surface as a single *sat.Solver (the smt
+// layer's cdcl interface), so it drops in behind the Tseitin encoder of an
+// incremental smt.Context. Internally it keeps K member solvers built from
+// diverse sat.Configs (restart policy, VSIDS decay, phase polarity).
+// Member 0 — the leader — receives every NewVar/AddClause eagerly and is
+// byte-for-byte the solver a non-portfolio context would run. Mirrors are
+// synced lazily from a recorded variable/clause stream, and only when a
+// query turns out to be hard:
+//
+//   - Every solve first runs the leader alone under a conflict threshold.
+//     Easy queries (the vast majority) never pay for goroutines or mirror
+//     sync.
+//   - If the threshold trips, the mirrors are brought up to date and all
+//     members race on their own goroutines. The first decisive member
+//     cancels the rest through a cancel.Token; losers observe it at their
+//     next conflict/decision boundary (the sat.Solver Stop hook).
+//   - After a race won by a mirror, the winner's freshest short learned
+//     clauses are imported into the leader on the calling goroutine, so
+//     the race's work flows into the incremental retention machinery
+//     (reduceDB manages the imports like any other learnt clause).
+//
+// Verdict soundness does not depend on which member answers: every member
+// decides the same clause set, so Sat/Unsat answers agree; only the time
+// to find them differs. Model *contents* and unsat-core *contents* may
+// legitimately differ between members, which is why the smt layer races
+// only verdict-tier queries (models for repair always come from the
+// deterministic scratch path) — see DESIGN.md.
+package portfolio
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cpr/internal/cancel"
+	"cpr/internal/smt/sat"
+)
+
+// DefaultThreshold is the leader-alone conflict budget before a query is
+// declared hard and raced. Queries that resolve under it (the vast
+// majority in repair workloads) pay zero portfolio overhead.
+const DefaultThreshold = 1024
+
+const (
+	shareMaxLen = 8  // only clauses this short are imported after a race
+	shareMax    = 64 // at most this many clauses imported per race
+)
+
+// Stats counts portfolio activity.
+type Stats struct {
+	Races        uint64 // solves that escalated to a race
+	MirrorWins   uint64 // races decided by a non-leader member
+	SharedLearnt uint64 // learned clauses imported into the leader
+}
+
+// Engine is a portfolio of sat solvers behind a single-solver interface.
+// It is not safe for concurrent use by multiple callers (neither is
+// sat.Solver); the internal race goroutines are joined before any method
+// returns.
+type Engine struct {
+	members []*sat.Solver
+	synced  []int // per member: clauses replayed so far (index 0 unused)
+
+	vars    int         // variables created, for lazy mirror sync
+	stream  [][]sat.Lit // recorded AddClause calls, for lazy mirror sync
+	winner  *sat.Solver // member that produced the last verdict
+	imports [][]sat.Lit // reusable buffer for post-race clause sharing
+
+	maxConflicts uint64
+	stop         func() bool
+
+	// Threshold is the leader-alone conflict budget before racing;
+	// 0 means DefaultThreshold.
+	Threshold uint64
+
+	stats Stats
+}
+
+// New builds a portfolio over the given configurations; configs[0] becomes
+// the leader. One config degenerates to a plain solver behind the
+// interface. New(sat.Portfolio(k)...) gives the standard diverse set.
+func New(configs ...sat.Config) *Engine {
+	if len(configs) == 0 {
+		configs = []sat.Config{{}}
+	}
+	e := &Engine{synced: make([]int, len(configs))}
+	for _, cfg := range configs {
+		e.members = append(e.members, sat.NewWith(cfg))
+	}
+	e.winner = e.members[0]
+	return e
+}
+
+// Members returns the number of racing configurations.
+func (e *Engine) Members() int { return len(e.members) }
+
+// Stats returns portfolio activity counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// NewVar adds a fresh variable to the leader (mirrors follow lazily) and
+// returns its index. Mirrors replay creations in order, so indices agree
+// across members.
+func (e *Engine) NewVar() int {
+	e.vars++
+	return e.members[0].NewVar()
+}
+
+// AddClause adds a clause to the leader and records it for mirror sync.
+// The return value is the leader's (false once the clause set is known
+// unsatisfiable at level 0).
+func (e *Engine) AddClause(lits ...sat.Lit) bool {
+	e.stream = append(e.stream, append([]sat.Lit(nil), lits...))
+	return e.members[0].AddClause(lits...)
+}
+
+// SetLimits installs the per-query conflict budget and stop hook applied
+// to every member on the next solve.
+func (e *Engine) SetLimits(maxConflicts uint64, stop func() bool) {
+	e.maxConflicts = maxConflicts
+	e.stop = stop
+}
+
+// Snapshot sums the work counters of all members (so conflict/propagation
+// deltas around a solve reflect total work spent, wherever it happened).
+func (e *Engine) Snapshot() sat.Stats {
+	var out sat.Stats
+	for _, m := range e.members {
+		st := m.Snapshot()
+		out.Decisions += st.Decisions
+		out.Propagations += st.Propagations
+		out.Conflicts += st.Conflicts
+		out.Restarts += st.Restarts
+		out.Learned += st.Learned
+		out.Deleted += st.Deleted
+	}
+	return out
+}
+
+// NumClauses reports the leader's problem clause count.
+func (e *Engine) NumClauses() int { return e.members[0].NumClauses() }
+
+// NumLearnts reports the leader's retained learned clauses.
+func (e *Engine) NumLearnts() int { return e.members[0].NumLearnts() }
+
+// Model returns the satisfying assignment found by the last solve's
+// winning member.
+func (e *Engine) Model() []bool { return e.winner.Model() }
+
+// VerifyModel replays the winning member's model against its own problem
+// clauses (identical to the leader's, modulo level-0 normalization).
+func (e *Engine) VerifyModel() bool { return e.winner.VerifyModel() }
+
+// Core returns the winning member's assumption core after an Unsat.
+func (e *Engine) Core() []sat.Lit { return e.winner.Core() }
+
+// Solve decides the clause set with no assumptions.
+func (e *Engine) Solve() sat.Status { return e.SolveUnder() }
+
+// SolveUnder decides the clause set under assumptions: leader alone below
+// the threshold, full race above it.
+func (e *Engine) SolveUnder(assumptions ...sat.Lit) sat.Status {
+	lead := e.members[0]
+	e.winner = lead
+
+	// Cheap path: the leader alone, capped at the race threshold (or the
+	// caller's budget, whichever is tighter).
+	threshold := e.Threshold
+	if threshold == 0 {
+		threshold = DefaultThreshold
+	}
+	trial := threshold
+	if e.maxConflicts > 0 && e.maxConflicts < trial {
+		trial = e.maxConflicts
+	}
+	if len(e.members) == 1 {
+		trial = e.maxConflicts // nobody to race: give the leader everything
+	}
+	lead.SetLimits(trial, e.stop)
+	before := lead.Snapshot().Conflicts
+	st := lead.SolveUnder(assumptions...)
+	if st != sat.Unknown || len(e.members) == 1 {
+		return st
+	}
+	if e.stop != nil && e.stop() {
+		return sat.Unknown // caller cancelled, not a hard query
+	}
+	spent := lead.Snapshot().Conflicts - before
+	if e.maxConflicts > 0 && spent >= e.maxConflicts {
+		return sat.Unknown // caller's budget exhausted before the threshold
+	}
+
+	// Hard query: bring mirrors up to date and race everyone. Each member
+	// gets the caller's remaining conflict budget (budgets here are
+	// per-strategy heuristics, not a global meter).
+	e.syncMirrors()
+	remaining := uint64(0)
+	if e.maxConflicts > 0 {
+		remaining = e.maxConflicts - spent
+	}
+	e.stats.Races++
+
+	race := cancel.New()
+	callerStop := e.stop
+	raceStop := func() bool {
+		return race.Expired() || (callerStop != nil && callerStop())
+	}
+
+	results := make([]sat.Status, len(e.members))
+	var winIdx atomic.Int32
+	winIdx.Store(-1)
+	var wg sync.WaitGroup
+	for i, m := range e.members {
+		m.SetLimits(remaining, raceStop)
+		wg.Add(1)
+		go func(i int, m *sat.Solver) {
+			defer wg.Done()
+			r := m.SolveUnder(assumptions...)
+			results[i] = r
+			if r != sat.Unknown && winIdx.CompareAndSwap(-1, int32(i)) {
+				race.Cancel() // first decisive answer stops the losers
+			}
+		}(i, m)
+	}
+	wg.Wait()
+
+	w := winIdx.Load()
+	if w < 0 {
+		return sat.Unknown // every member hit the budget or the caller stop
+	}
+	e.winner = e.members[w]
+	if w != 0 {
+		e.stats.MirrorWins++
+		// Flow the winner's freshest short learnts into the leader (the
+		// incumbent for future cheap-path solves). Single-threaded: the
+		// race goroutines are already joined.
+		e.imports = e.winner.RecentLearnts(e.imports[:0], shareMaxLen, shareMax)
+		e.stats.SharedLearnt += uint64(len(e.imports))
+		lead.ImportLearnts(e.imports)
+	}
+	return results[w]
+}
+
+// syncMirrors replays the recorded variable and clause stream into every
+// mirror that is behind.
+func (e *Engine) syncMirrors() {
+	for i := 1; i < len(e.members); i++ {
+		m := e.members[i]
+		for m.NumVars() < e.vars {
+			m.NewVar()
+		}
+		for ; e.synced[i] < len(e.stream); e.synced[i]++ {
+			m.AddClause(e.stream[e.synced[i]]...)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package portfolio
+
+import (
+	"math/rand"
+	"testing"
+
+	"cpr/internal/smt/sat"
+)
+
+func lit(v int) sat.Lit  { return sat.MkLit(v, false) }
+func nlit(v int) sat.Lit { return sat.MkLit(v, true) }
+
+// addPigeonhole encodes PHP(n+1, n) — n+1 pigeons into n holes, unsat and
+// increasingly hard — into any solver-shaped sink.
+type clauseSink interface {
+	NewVar() int
+	AddClause(...sat.Lit) bool
+}
+
+func addPigeonhole(s clauseSink, n int) {
+	vars := make([][]int, n+1)
+	for p := 0; p <= n; p++ {
+		vars[p] = make([]int, n)
+		for h := 0; h < n; h++ {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p <= n; p++ {
+		c := make([]sat.Lit, n)
+		for h := 0; h < n; h++ {
+			c[h] = lit(vars[p][h])
+		}
+		s.AddClause(c...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(nlit(vars[p1][h]), nlit(vars[p2][h]))
+			}
+		}
+	}
+}
+
+// TestRaceUnsat forces the race path (threshold 1) on a hard unsat
+// instance: every configuration must agree on Unsat.
+func TestRaceUnsat(t *testing.T) {
+	for _, k := range []int{2, 3, 4} {
+		e := New(sat.Portfolio(k)...)
+		e.Threshold = 1
+		addPigeonhole(e, 6)
+		if got := e.Solve(); got != sat.Unsat {
+			t.Fatalf("portfolio(%d) PHP(7,6) = %v, want unsat", k, got)
+		}
+		if e.Stats().Races == 0 {
+			t.Fatalf("portfolio(%d): threshold 1 on a hard query should race", k)
+		}
+	}
+}
+
+// TestRaceSatModelVerifies races a satisfiable instance and checks the
+// winning member's model replays against its clauses.
+func TestRaceSatModelVerifies(t *testing.T) {
+	e := New(sat.Portfolio(4)...)
+	e.Threshold = 1
+	// C9 3-coloring: satisfiable with some search required.
+	n, colors := 9, 3
+	v := make([][]int, n)
+	for i := range v {
+		v[i] = make([]int, colors)
+		for c := range v[i] {
+			v[i][c] = e.NewVar()
+		}
+	}
+	for i := range v {
+		cl := make([]sat.Lit, colors)
+		for c := range v[i] {
+			cl[c] = lit(v[i][c])
+		}
+		e.AddClause(cl...)
+		for c := range v[i] {
+			j := (i + 1) % n
+			e.AddClause(nlit(v[i][c]), nlit(v[j][c]))
+		}
+	}
+	if got := e.Solve(); got != sat.Sat {
+		t.Fatalf("C9 3-coloring = %v, want sat", got)
+	}
+	if !e.VerifyModel() {
+		t.Fatal("winning member's model fails verification")
+	}
+}
+
+// TestDifferentialAgainstSingle replays random incremental CNF streams
+// with interleaved assumption solves into a plain solver and a racing
+// portfolio: verdicts must match call by call.
+func TestDifferentialAgainstSingle(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 60; iter++ {
+		single := sat.New()
+		e := New(sat.Portfolio(1 + r.Intn(4))...)
+		e.Threshold = 1 + uint64(r.Intn(8)) // race early and often
+		nVars := 4 + r.Intn(10)
+		for v := 0; v < nVars; v++ {
+			single.NewVar()
+			e.NewVar()
+		}
+		for round := 0; round < 4; round++ {
+			for c := 0; c < 2+r.Intn(4*nVars); c++ {
+				width := 1 + r.Intn(3)
+				cl := make([]sat.Lit, width)
+				for j := range cl {
+					cl[j] = sat.MkLit(r.Intn(nVars), r.Intn(2) == 0)
+				}
+				single.AddClause(cl...)
+				e.AddClause(cl...)
+			}
+			var assumps []sat.Lit
+			for a := 0; a < r.Intn(3); a++ {
+				assumps = append(assumps, sat.MkLit(r.Intn(nVars), r.Intn(2) == 0))
+			}
+			want := single.SolveUnder(assumps...)
+			got := e.SolveUnder(assumps...)
+			if got != want {
+				t.Fatalf("iter %d round %d: portfolio=%v single=%v assumps=%v",
+					iter, round, got, want, assumps)
+			}
+		}
+	}
+}
+
+// TestCoreAfterRace checks assumption cores stay usable when a race
+// answers Unsat-under-assumptions: the core must be a subset of the
+// assumptions sufficient for the conflict.
+func TestCoreAfterRace(t *testing.T) {
+	e := New(sat.Portfolio(3)...)
+	e.Threshold = 1
+	a, b, c := e.NewVar(), e.NewVar(), e.NewVar()
+	// A hard-ish core: pigeonhole guarded behind selector a.
+	addPigeonhole(&guarded{e: e, sel: nlit(a)}, 5)
+	_ = b
+	if got := e.SolveUnder(lit(a), lit(c)); got != sat.Unsat {
+		t.Fatalf("guarded PHP under selector = %v, want unsat", got)
+	}
+	core := e.Core()
+	if len(core) == 0 {
+		t.Fatal("expected a non-empty assumption core")
+	}
+	for _, l := range core {
+		if l != lit(a) && l != lit(c) {
+			t.Fatalf("core literal %v is not an assumption", l)
+		}
+	}
+	seen := false
+	for _, l := range core {
+		if l == lit(a) {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatalf("core %v should include the guarding selector", core)
+	}
+}
+
+// guarded prefixes every clause with an extra disable-literal, the
+// selector-guard encoding the smt layer uses.
+type guarded struct {
+	e   *Engine
+	sel sat.Lit
+}
+
+func (g *guarded) NewVar() int { return g.e.NewVar() }
+func (g *guarded) AddClause(lits ...sat.Lit) bool {
+	return g.e.AddClause(append([]sat.Lit{g.sel}, lits...)...)
+}
+
+// TestCancellation: a caller stop that is already tripped must yield
+// Unknown without hanging, from both the cheap path and the race path.
+func TestCancellation(t *testing.T) {
+	e := New(sat.Portfolio(3)...)
+	e.Threshold = 1
+	addPigeonhole(e, 6)
+	stopped := false
+	e.SetLimits(0, func() bool { return stopped })
+	stopped = true
+	if got := e.Solve(); got != sat.Unknown {
+		t.Fatalf("stopped solve = %v, want unknown", got)
+	}
+	stopped = false
+	if got := e.Solve(); got != sat.Unsat {
+		t.Fatalf("resumed solve = %v, want unsat", got)
+	}
+}
+
+// TestConflictBudget: a conflict budget below the instance's hardness
+// yields Unknown; removing it yields the verdict.
+func TestConflictBudget(t *testing.T) {
+	e := New(sat.Portfolio(2)...)
+	e.Threshold = 1
+	addPigeonhole(e, 7)
+	e.SetLimits(5, nil)
+	if got := e.Solve(); got != sat.Unknown {
+		t.Fatalf("budgeted solve = %v, want unknown", got)
+	}
+	e.SetLimits(0, nil)
+	if got := e.Solve(); got != sat.Unsat {
+		t.Fatalf("unbudgeted solve = %v, want unsat", got)
+	}
+}
+
+// TestLearntSharing runs enough hard races that mirror wins (and the
+// resulting clause imports) are overwhelmingly likely, then asserts the
+// counters stay coherent. The exact winner is timing-dependent; the
+// verdicts never are.
+func TestLearntSharing(t *testing.T) {
+	e := New(sat.Portfolio(4)...)
+	e.Threshold = 1
+	sels := make([]int, 6)
+	for i := range sels {
+		sels[i] = e.NewVar()
+	}
+	for i, n := range []int{5, 6, 5, 6, 5, 6} {
+		addPigeonhole(&guarded{e: e, sel: nlit(sels[i])}, n)
+	}
+	for i := range sels {
+		if got := e.SolveUnder(lit(sels[i])); got != sat.Unsat {
+			t.Fatalf("guarded PHP %d = %v, want unsat", i, got)
+		}
+	}
+	st := e.Stats()
+	if st.Races == 0 {
+		t.Fatal("expected races")
+	}
+	if st.MirrorWins > st.Races {
+		t.Fatalf("mirror wins %d exceed races %d", st.MirrorWins, st.Races)
+	}
+	if st.MirrorWins == 0 && st.SharedLearnt != 0 {
+		t.Fatalf("shared %d clauses without a mirror win", st.SharedLearnt)
+	}
+}
+
+// BenchmarkPortfolio measures racing vs single-strategy on a stream of
+// guarded hard queries (the shape of incremental repair workloads).
+func BenchmarkPortfolio(b *testing.B) {
+	run := func(b *testing.B, k int) {
+		for i := 0; i < b.N; i++ {
+			e := New(sat.Portfolio(k)...)
+			sels := make([]int, 3)
+			for j := range sels {
+				sels[j] = e.NewVar()
+			}
+			for j, n := range []int{6, 6, 6} {
+				addPigeonhole(&guarded{e: e, sel: nlit(sels[j])}, n)
+			}
+			for j := range sels {
+				if got := e.SolveUnder(lit(sels[j])); got != sat.Unsat {
+					b.Fatalf("query %d = %v, want unsat", j, got)
+				}
+			}
+		}
+	}
+	b.Run("single", func(b *testing.B) { run(b, 1) })
+	b.Run("race2", func(b *testing.B) { run(b, 2) })
+	b.Run("race4", func(b *testing.B) { run(b, 4) })
+}

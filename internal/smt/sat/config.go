@@ -1,0 +1,65 @@
+package sat
+
+// Config selects a CDCL search strategy. The zero value means "MiniSat
+// defaults": Luby restarts with base 100, VSIDS variable decay 0.95,
+// clause-activity decay 0.999, and negative-first saved phases. The
+// portfolio layer races solvers built from diverse Configs; any Config
+// yields the same verdicts (strategies only change the order the search
+// space is explored), so racing them is sound.
+type Config struct {
+	// Geometric switches the restart policy from Luby to a geometrically
+	// growing conflict budget (RestartBase * RestartGrow^k for restart k).
+	Geometric bool
+	// RestartBase is the conflict budget of the first restart window.
+	// 0 means 100.
+	RestartBase uint64
+	// RestartGrow is the geometric growth factor (Geometric only).
+	// 0 means 1.5.
+	RestartGrow float64
+	// VarDecay is the VSIDS variable-activity decay per conflict, in
+	// (0,1). 0 means 0.95. Values closer to 1 keep old branching scores
+	// relevant longer; lower values chase the current conflict locality.
+	VarDecay float64
+	// ClaDecay is the learned-clause activity decay per conflict, in
+	// (0,1). 0 means 0.999.
+	ClaDecay float64
+	// PhaseTrue makes fresh variables branch positive-first. MiniSat's
+	// default (false) branches negative-first; an inverted-polarity
+	// member in a portfolio explores the complementary half first.
+	PhaseTrue bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.RestartBase == 0 {
+		c.RestartBase = 100
+	}
+	if c.RestartGrow == 0 {
+		c.RestartGrow = 1.5
+	}
+	if c.VarDecay == 0 {
+		c.VarDecay = 0.95
+	}
+	if c.ClaDecay == 0 {
+		c.ClaDecay = 0.999
+	}
+	return c
+}
+
+// Portfolio returns n diverse configurations for racing, n in 1..4.
+// Index 0 is always the default strategy, so a portfolio's leader
+// behaves exactly like a non-portfolio solver.
+func Portfolio(n int) []Config {
+	all := []Config{
+		{},                                 // MiniSat defaults
+		{Geometric: true, PhaseTrue: true}, // geometric restarts, inverted phase
+		{VarDecay: 0.85, RestartBase: 50},  // aggressive decay, rapid restarts
+		{Geometric: true, VarDecay: 0.99, RestartBase: 400, RestartGrow: 2}, // slow and steady
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}

@@ -76,6 +76,16 @@ type clause struct {
 	activity float64
 }
 
+// watcher is one watch-list entry: the watched clause plus a cached
+// "blocker" literal from it (MiniSat's blocking-literal optimization).
+// When the blocker is already true the clause is satisfied and propagate
+// skips it without touching the clause memory at all — on large retained
+// databases most watch visits end here, before the cache miss.
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
 // Stats counts solver work, exposed for benchmarks and the smt layer.
 type Stats struct {
 	Decisions    uint64
@@ -93,7 +103,7 @@ type Solver struct {
 	ok       bool // false once the clause set is known unsatisfiable
 	clauses  []*clause
 	learnts  []*clause
-	watches  [][]*clause // indexed by literal
+	watches  [][]watcher // indexed by literal
 	assigns  []lbool     // indexed by var
 	level    []int       // indexed by var
 	reason   []*clause   // indexed by var
@@ -101,6 +111,20 @@ type Solver struct {
 	activity []float64   // VSIDS activity, indexed by var
 	varInc   float64
 	claInc   float64
+
+	cfg       Config  // search strategy (defaults applied)
+	varDecayF float64 // per-conflict multiplier on varInc: 1/cfg.VarDecay
+	claDecayF float64 // per-conflict multiplier on claInc: 1/cfg.ClaDecay
+
+	// Arena-style allocation pools for the solve hot loop: clause headers
+	// come from slabs, literal storage from a chunked arena, and clauses
+	// dropped by reduceDB go on a freelist that newClause recycles
+	// (keeping their lit capacity). Profiling shows learned-clause
+	// allocation is the dominant steady-state allocator load.
+	claSlab  []clause
+	freeCla  []*clause
+	litArena []Lit
+	sortBuf  []*clause
 
 	trail    []Lit
 	trailLim []int
@@ -140,9 +164,17 @@ type Solver struct {
 	polls uint64
 }
 
-// New returns an empty solver.
-func New() *Solver {
-	s := &Solver{ok: true, varInc: 1, claInc: 1}
+// New returns an empty solver with the default search strategy.
+func New() *Solver { return NewWith(Config{}) }
+
+// NewWith returns an empty solver using the given search strategy.
+func NewWith(cfg Config) *Solver {
+	cfg = cfg.withDefaults()
+	s := &Solver{ok: true, varInc: 1, claInc: 1,
+		cfg:       cfg,
+		varDecayF: 1 / cfg.VarDecay,
+		claDecayF: 1 / cfg.ClaDecay,
+	}
 	s.heap.act = &s.activity
 	return s
 }
@@ -153,7 +185,7 @@ func (s *Solver) NewVar() int {
 	s.assigns = append(s.assigns, lUndef)
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, nil)
-	s.phase = append(s.phase, false)
+	s.phase = append(s.phase, s.cfg.PhaseTrue)
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, false)
 	s.watches = append(s.watches, nil, nil)
@@ -222,18 +254,59 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		}
 		return true
 	}
-	c := &clause{lits: append([]Lit(nil), out...)} // clause owns its storage
+	c := s.newClause(out, false)
 	s.clauses = append(s.clauses, c)
 	s.watchClause(c)
 	return true
 }
 
+// newClause copies lits into pooled storage: a recycled header from the
+// reduceDB freelist when one fits, otherwise a fresh header from the slab
+// with literal storage carved out of the arena.
+func (s *Solver) newClause(lits []Lit, learnt bool) *clause {
+	var c *clause
+	if n := len(s.freeCla); n > 0 {
+		c = s.freeCla[n-1]
+		s.freeCla = s.freeCla[:n-1]
+		if cap(c.lits) >= len(lits) {
+			c.lits = c.lits[:len(lits)]
+		} else {
+			c.lits = s.allocLits(len(lits))
+		}
+	} else {
+		if len(s.claSlab) == 0 {
+			s.claSlab = make([]clause, 256)
+		}
+		c = &s.claSlab[0]
+		s.claSlab = s.claSlab[1:]
+		c.lits = s.allocLits(len(lits))
+	}
+	copy(c.lits, lits)
+	c.learnt = learnt
+	c.activity = 0
+	return c
+}
+
+func (s *Solver) allocLits(n int) []Lit {
+	if n > len(s.litArena) {
+		sz := 4096
+		if n > sz {
+			sz = n
+		}
+		s.litArena = make([]Lit, sz)
+	}
+	out := s.litArena[:n:n]
+	s.litArena = s.litArena[n:]
+	return out
+}
+
 func (s *Solver) watchClause(c *clause) {
 	// Watch the first two literals; on attach after backtrack to 0 any
 	// two unassigned or satisfied literals work because AddClause
-	// removed level-0 falsified ones.
-	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], c)
-	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
+	// removed level-0 falsified ones. Each watcher's blocker is the
+	// other watched literal.
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, c.lits[0]})
 }
 
 func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
@@ -273,21 +346,26 @@ func (s *Solver) propagate() *clause {
 		p := s.trail[s.qhead]
 		s.qhead++
 		s.Statist.Propagations++
+		np := p.Not()
 		ws := s.watches[p]
 		kept := ws[:0]
 		var conflict *clause
 		for i := 0; i < len(ws); i++ {
-			c := ws[i]
-			if conflict != nil {
-				kept = append(kept, ws[i:]...)
-				break
+			w := ws[i]
+			// Blocker already true: clause satisfied, skip without
+			// touching the clause memory.
+			if s.valueLit(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
 			}
+			c := w.c
 			// Ensure the false literal is lits[1].
-			if c.lits[0] == p.Not() {
+			if c.lits[0] == np {
 				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
 			}
-			if s.valueLit(c.lits[0]) == lTrue {
-				kept = append(kept, c)
+			first := c.lits[0]
+			if first != w.blocker && s.valueLit(first) == lTrue {
+				kept = append(kept, watcher{c, first})
 				continue
 			}
 			// Find a new watch.
@@ -295,7 +373,7 @@ func (s *Solver) propagate() *clause {
 			for k := 2; k < len(c.lits); k++ {
 				if s.valueLit(c.lits[k]) != lFalse {
 					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, first})
 					found = true
 					break
 				}
@@ -304,13 +382,14 @@ func (s *Solver) propagate() *clause {
 				continue
 			}
 			// Clause is unit or conflicting.
-			kept = append(kept, c)
-			if s.valueLit(c.lits[0]) == lFalse {
+			kept = append(kept, watcher{c, first})
+			if s.valueLit(first) == lFalse {
 				conflict = c
 				s.qhead = len(s.trail)
-			} else {
-				s.uncheckedEnqueue(c.lits[0], c)
+				kept = append(kept, ws[i+1:]...)
+				break
 			}
+			s.uncheckedEnqueue(first, c)
 		}
 		s.watches[p] = kept
 		if conflict != nil {
@@ -410,19 +489,15 @@ func (s *Solver) bumpClause(c *clause) {
 	}
 }
 
-const (
-	varDecay = 1 / 0.95
-	claDecay = 1 / 0.999
-)
-
 // reduceDB removes the less active half of the learned clauses that are
-// not reasons for current assignments.
+// not reasons for current assignments. Removed clauses go on the
+// newClause freelist.
 func (s *Solver) reduceDB() {
 	if len(s.learnts) < 2 {
 		return
 	}
 	// Partial selection: simple sort by activity.
-	sorted := append([]*clause(nil), s.learnts...)
+	sorted := append(s.sortBuf[:0], s.learnts...)
 	for i := 1; i < len(sorted); i++ {
 		for j := i; j > 0 && sorted[j].activity < sorted[j-1].activity; j-- {
 			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
@@ -435,6 +510,7 @@ func (s *Solver) reduceDB() {
 			remove[c] = true
 		}
 	}
+	s.sortBuf = sorted[:0]
 	if len(remove) == 0 {
 		return
 	}
@@ -442,6 +518,10 @@ func (s *Solver) reduceDB() {
 	for _, c := range s.learnts {
 		if remove[c] {
 			s.Statist.Deleted++
+			// Recycling is safe: the clause is purged from every watch
+			// list below and was never a reason (excluded above), and
+			// newClause only runs after reduceDB returns.
+			s.freeCla = append(s.freeCla, c)
 			continue
 		}
 		kept = append(kept, c)
@@ -449,9 +529,9 @@ func (s *Solver) reduceDB() {
 	s.learnts = kept
 	for li := range s.watches {
 		ws := s.watches[li][:0]
-		for _, c := range s.watches[li] {
-			if !remove[c] {
-				ws = append(ws, c)
+		for _, w := range s.watches[li] {
+			if !remove[w.c] {
+				ws = append(ws, w)
 			}
 		}
 		s.watches[li] = ws
@@ -506,9 +586,16 @@ func (s *Solver) SolveUnder(assumptions ...Lit) Status {
 	restarts := uint64(0)
 	conflictsAtStart := s.Statist.Conflicts
 	maxLearnts := len(s.clauses)/3 + 100
+	geomBudget := float64(s.cfg.RestartBase)
 	for {
 		restarts++
-		budget := luby(restarts) * 100
+		var budget uint64
+		if s.cfg.Geometric {
+			budget = uint64(geomBudget)
+			geomBudget *= s.cfg.RestartGrow
+		} else {
+			budget = luby(restarts) * s.cfg.RestartBase
+		}
 		st := s.search(budget, &maxLearnts, conflictsAtStart)
 		if st != Unknown {
 			return st
@@ -546,16 +633,16 @@ func (s *Solver) search(budget uint64, maxLearnts *int, conflictsAtStart uint64)
 				s.uncheckedEnqueue(learnt[0], nil)
 			} else {
 				// analyze returns a reusable buffer; the stored clause
-				// needs its own copy.
-				c := &clause{lits: append([]Lit(nil), learnt...), learnt: true}
+				// needs its own (pooled) copy.
+				c := s.newClause(learnt, true)
 				s.learnts = append(s.learnts, c)
 				s.Statist.Learned++
 				s.watchClause(c)
 				s.bumpClause(c)
 				s.uncheckedEnqueue(learnt[0], c)
 			}
-			s.varInc *= varDecay
-			s.claInc *= claDecay
+			s.varInc *= s.varDecayF
+			s.claInc *= s.claDecayF
 			continue
 		}
 		if conflicts >= budget {

@@ -1,0 +1,96 @@
+package sat
+
+// This file is the portfolio-facing surface: budget installation, stats
+// snapshots, and learned-clause export/import. A portfolio races several
+// Solvers over identical clause sets; after a race the winner's freshest
+// short learnt clauses are imported into the surviving incumbent so the
+// race's work compounds with the incremental retention machinery.
+
+// SetLimits installs the conflict budget and the cooperative stop hook in
+// one call (the two fields the SMT layer sets before every query).
+func (s *Solver) SetLimits(maxConflicts uint64, stop func() bool) {
+	s.MaxConflicts = maxConflicts
+	s.Stop = stop
+}
+
+// Snapshot returns the work counters accumulated so far.
+func (s *Solver) Snapshot() Stats { return s.Statist }
+
+// Strategy returns the solver's search configuration (defaults applied).
+func (s *Solver) Strategy() Config { return s.cfg }
+
+// RecentLearnts appends to dst copies of up to max currently retained
+// learned clauses of length ≤ maxLen, preferring the most recently
+// learned, and returns the extended slice. The copies are owned by the
+// caller. Learned clauses are implied by the problem clause set alone
+// (assumptions enter the search as decisions, never as reasons crossing
+// level 0 — see analyzeFinal), so exporting them to any solver with the
+// same problem clauses is sound.
+func (s *Solver) RecentLearnts(dst [][]Lit, maxLen, max int) [][]Lit {
+	for i := len(s.learnts) - 1; i >= 0 && max > 0; i-- {
+		c := s.learnts[i]
+		if len(c.lits) > maxLen {
+			continue
+		}
+		dst = append(dst, append([]Lit(nil), c.lits...))
+		max--
+	}
+	return dst
+}
+
+// ImportLearnts adds foreign learned clauses (e.g. a race winner's
+// exports) as deletable learnt clauses. Clauses mentioning unknown
+// variables are skipped; unit clauses become level-0 implications.
+// Returns false if an import made the clause set unsatisfiable at level 0
+// (only possible if the exporter's clause DB proved more than ours, which
+// with identical problem clauses still yields a correct Unsat).
+func (s *Solver) ImportLearnts(cls [][]Lit) bool {
+	if !s.ok {
+		return false
+	}
+	s.cancelUntil(0)
+outer:
+	for _, lits := range cls {
+		s.addGen++
+		if s.addGen == 0 {
+			clear(s.addMark)
+			s.addGen = 1
+		}
+		out := s.addBuf[:0]
+		for _, l := range lits {
+			if l.Var() >= s.NumVars() {
+				continue outer
+			}
+			switch {
+			case s.addMark[l] == s.addGen:
+				continue
+			case s.addMark[l.Not()] == s.addGen:
+				continue outer // tautology
+			case s.valueLit(l) == lTrue:
+				continue outer // satisfied at level 0
+			case s.valueLit(l) == lFalse:
+				continue // falsified at level 0: drop
+			}
+			s.addMark[l] = s.addGen
+			out = append(out, l)
+		}
+		s.addBuf = out[:0]
+		switch len(out) {
+		case 0:
+			s.ok = false
+			return false
+		case 1:
+			s.uncheckedEnqueue(out[0], nil)
+			if s.propagate() != nil {
+				s.ok = false
+				return false
+			}
+		default:
+			c := s.newClause(out, true)
+			s.learnts = append(s.learnts, c)
+			s.Statist.Learned++
+			s.watchClause(c)
+		}
+	}
+	return true
+}

@@ -92,6 +92,14 @@ type Options struct {
 	// hits return exactly what re-solving would, so sharing does not
 	// change results, only speed.
 	Cache *cache.Cache
+	// Portfolio, when ≥ 2, races that many diverse CDCL configurations
+	// (restart policy, VSIDS decay, phase polarity — see sat.Portfolio)
+	// inside the incremental context, with first-to-answer cancellation
+	// and winner-to-leader learned-clause sharing. Only verdict-tier
+	// queries race; models always come from the deterministic scratch
+	// path, so repair results do not depend on this flag. No effect
+	// without Incremental.
+	Portfolio int
 	// Incremental enables the persistent solving context (see Context):
 	// per-conjunct Tseitin encodings are cached, the CDCL clause database
 	// with its learned clauses is retained across queries, per-query
@@ -101,6 +109,18 @@ type Options struct {
 	// produced by the deterministic scratch path, so repair results do not
 	// depend on this flag — only speed does. Off by default.
 	Incremental bool
+	// MaxContextClauses caps the incremental context's retained clause
+	// database. Every incremental solve decides the variables of the whole
+	// retained database, so dead encodings from a long run (per-patch
+	// renamed conjuncts that will never be queried again, batch groups
+	// from finished partitions) make each query slower than the last. When
+	// the database ends a query above this limit the context is retired
+	// and rebuilt lazily from the next query's conjuncts — a speed-only
+	// policy: retirement changes which learned clauses are available, never
+	// verdicts or models. 0 means the default (1000, the knee of the
+	// end-to-end bench sweep — see EXPERIMENTS.md); negative disables
+	// retirement.
+	MaxContextClauses int
 	// Paranoid forces 100% verdict validation in the guard layer: every
 	// unsat answer is cross-checked by an independent scratch solve (sat
 	// models are replayed on every answer regardless). Equivalent to
@@ -119,6 +139,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxTheoryRounds == 0 {
 		o.MaxTheoryRounds = 10000
+	}
+	if o.MaxContextClauses == 0 {
+		o.MaxContextClauses = 1000
 	}
 	return o
 }
@@ -158,6 +181,30 @@ type Stats struct {
 	// core size.
 	AssumptionCores    uint64
 	AssumptionCoreLits uint64
+	// Wall-time breakdown of solver work: SatTime is spent in CDCL
+	// search (including portfolio races), LIATime in the arithmetic
+	// procedure, ValidateTime in verdict validation (model replays and
+	// sampled unsat cross-checks, including the trusted re-solves they
+	// trigger). Aggregated race-free from atomic nanosecond counters.
+	SatTime      time.Duration
+	LIATime      time.Duration
+	ValidateTime time.Duration
+	// Portfolio counters: PortfolioRaces counts solves that escalated to
+	// a configuration race (hard queries past the leader-alone conflict
+	// threshold), PortfolioMirrorWins races decided by a non-leader
+	// configuration, and PortfolioShared learned clauses imported from
+	// race winners into the leader. All zero when Options.Portfolio < 2.
+	PortfolioRaces      uint64
+	PortfolioMirrorWins uint64
+	PortfolioShared     uint64
+	// Batched-feasibility counters (DecideBatch): BatchQueries counts
+	// group queries issued to the solver (including bisection subgroups),
+	// BatchItems items whose verdict came from a group answer rather than
+	// an individual solve, and BatchBisections mixed-verdict groups split
+	// in half. All zero when batching is off.
+	BatchQueries    uint64
+	BatchItems      uint64
+	BatchBisections uint64
 	// Self-healing health counters (package guard). Validations counts
 	// verdict validations run (model replays + unsat cross-checks);
 	// ValidationFailures counts verdicts they rejected — each such verdict
@@ -192,6 +239,15 @@ func (a Stats) Add(b Stats) Stats {
 	a.ClausesDeleted += b.ClausesDeleted
 	a.AssumptionCores += b.AssumptionCores
 	a.AssumptionCoreLits += b.AssumptionCoreLits
+	a.SatTime += b.SatTime
+	a.LIATime += b.LIATime
+	a.ValidateTime += b.ValidateTime
+	a.PortfolioRaces += b.PortfolioRaces
+	a.PortfolioMirrorWins += b.PortfolioMirrorWins
+	a.PortfolioShared += b.PortfolioShared
+	a.BatchQueries += b.BatchQueries
+	a.BatchItems += b.BatchItems
+	a.BatchBisections += b.BatchBisections
 	a.Validations += b.Validations
 	a.ValidationFailures += b.ValidationFailures
 	a.Quarantines += b.Quarantines
@@ -220,7 +276,25 @@ type solverStats struct {
 	clausesDeleted     atomic.Uint64
 	assumptionCores    atomic.Uint64
 	assumptionCoreLits atomic.Uint64
+
+	satNanos      atomic.Int64
+	liaNanos      atomic.Int64
+	validateNanos atomic.Int64
+
+	portfolioRaces      atomic.Uint64
+	portfolioMirrorWins atomic.Uint64
+	portfolioShared     atomic.Uint64
+
+	batchQueries    atomic.Uint64
+	batchItems      atomic.Uint64
+	batchBisections atomic.Uint64
 }
+
+// timeSat/timeLIA/timeValidate fold an elapsed interval into the wall-time
+// breakdown counters.
+func (st *solverStats) timeSat(from time.Time)      { st.satNanos.Add(int64(time.Since(from))) }
+func (st *solverStats) timeLIA(from time.Time)      { st.liaNanos.Add(int64(time.Since(from))) }
+func (st *solverStats) timeValidate(from time.Time) { st.validateNanos.Add(int64(time.Since(from))) }
 
 // Solver answers satisfiability queries. The zero value is not usable;
 // construct with NewSolver. A Solver is not safe for concurrent Check
@@ -285,6 +359,18 @@ func (s *Solver) Stats() Stats {
 		ClausesDeleted:     s.stats.clausesDeleted.Load(),
 		AssumptionCores:    s.stats.assumptionCores.Load(),
 		AssumptionCoreLits: s.stats.assumptionCoreLits.Load(),
+
+		SatTime:      time.Duration(s.stats.satNanos.Load()),
+		LIATime:      time.Duration(s.stats.liaNanos.Load()),
+		ValidateTime: time.Duration(s.stats.validateNanos.Load()),
+
+		PortfolioRaces:      s.stats.portfolioRaces.Load(),
+		PortfolioMirrorWins: s.stats.portfolioMirrorWins.Load(),
+		PortfolioShared:     s.stats.portfolioShared.Load(),
+
+		BatchQueries:    s.stats.batchQueries.Load(),
+		BatchItems:      s.stats.batchItems.Load(),
+		BatchBisections: s.stats.batchBisections.Load(),
 
 		Validations:        gc.Validations,
 		ValidationFailures: gc.ValidationFailures,
@@ -397,7 +483,7 @@ func (s *Solver) Check(f *expr.Term, bounds map[string]interval.Interval) (res R
 	}
 	if c := s.opts.Cache; c != nil {
 		if v, ok := c.Lookup(f, bounds, s.opts.DefaultBounds); ok {
-			if v.Sat && !s.guard.ValidateModel(f, bounds, s.opts.DefaultBounds, v.Model) {
+			if v.Sat && !s.validateModel(f, bounds, v.Model) {
 				// Poisoned entry: quarantine it (pull the entry and any
 				// subsumption core it contributed) and fall through to
 				// re-solve one rung down.
@@ -502,7 +588,7 @@ func (s *Solver) vet(f *expr.Term, bounds map[string]interval.Interval, res Resu
 	res = s.applyLieResult(res)
 	switch res.Status {
 	case Sat:
-		if s.guard.ValidateModel(f, bounds, s.opts.DefaultBounds, res.Model) {
+		if s.validateModel(f, bounds, res.Model) {
 			return res, nil
 		}
 		// Bottom rung: cache-bypass solve on the trusted scratch solver.
@@ -512,7 +598,7 @@ func (s *Solver) vet(f *expr.Term, bounds map[string]interval.Interval, res Resu
 			s.stats.unknowns.Add(1)
 			return Result{Status: Unknown}, fmt.Errorf("%w (trusted re-solve: %v)", guard.ErrVerdictRejected, terr)
 		}
-		if tres.Status == Sat && !s.guard.ValidateModel(f, bounds, s.opts.DefaultBounds, tres.Model) {
+		if tres.Status == Sat && !s.validateModel(f, bounds, tres.Model) {
 			// Even the reference solver's model fails replay: a genuine
 			// solver bug. Nothing left to fall back to — degrade to Unknown
 			// rather than expose a wrong answer.
@@ -530,6 +616,15 @@ func (s *Solver) vet(f *expr.Term, bounds map[string]interval.Interval, res Resu
 	return res, nil
 }
 
+// validateModel times a guard model replay into the validation wall-time
+// counter.
+func (s *Solver) validateModel(f *expr.Term, bounds map[string]interval.Interval, m expr.Model) bool {
+	start := time.Now()
+	ok := s.guard.ValidateModel(f, bounds, s.opts.DefaultBounds, m)
+	s.stats.timeValidate(start)
+	return ok
+}
+
 // verifyUnsat cross-checks a sampled unsat verdict (and its assumption
 // core, if any) against the trusted scratch solver. It returns ok=false
 // with the trusted result when the verdict itself diverged; a lying core
@@ -539,6 +634,8 @@ func (s *Solver) verifyUnsat(f *expr.Term, bounds map[string]interval.Interval, 
 	if !s.guard.ShouldCrossCheck() {
 		return true, core, Result{}
 	}
+	start := time.Now()
+	defer s.stats.timeValidate(start)
 	s.guard.NoteCrossCheck()
 	tres, terr := s.trustedScratch().Check(f, bounds)
 	if terr != nil || tres.Status == Unknown {
@@ -585,6 +682,7 @@ func (s *Solver) trustedScratch() *Solver {
 	if s.scratch == nil {
 		o := s.opts
 		o.Incremental = false
+		o.Portfolio = 0
 		o.Cache = nil
 		s.scratch = NewSolver(o)
 		s.scratch.trusted = true
@@ -666,7 +764,14 @@ func (s *Solver) storeValue(f *expr.Term, bounds map[string]interval.Interval, v
 }
 
 // incrementalCtx returns the persistent context, creating it on first use.
+// A context whose clause database outgrew Options.MaxContextClauses is
+// retired first: the accumulated encodings are mostly dead (finished
+// patches, spent batch groups), and every solve pays for all of them.
 func (s *Solver) incrementalCtx() *Context {
+	if s.ctx != nil && s.opts.MaxContextClauses > 0 &&
+		s.ctx.enc.sat.NumClauses() > s.opts.MaxContextClauses {
+		s.ctx = nil
+	}
 	if s.ctx == nil {
 		s.ctx = newContext(s.opts, &s.stats)
 	}
@@ -712,25 +817,27 @@ func (s *Solver) check(f *expr.Term, bounds map[string]interval.Interval, qtok *
 
 	enc := newEncoder()
 	defer func() { // scratch solves learn too; only retention is incremental-only
-		s.stats.clausesLearned.Add(enc.sat.Statist.Learned)
-		s.stats.clausesDeleted.Add(enc.sat.Statist.Deleted)
+		st := enc.sat.Snapshot()
+		s.stats.clausesLearned.Add(st.Learned)
+		s.stats.clausesDeleted.Add(st.Deleted)
 	}()
 	root := enc.encode(g)
-	enc.sat.MaxConflicts = s.opts.MaxConflicts
+	var stop func() bool
 	if qtok != nil {
-		enc.sat.Stop = qtok.Expired
+		stop = qtok.Expired
 	}
+	enc.sat.SetLimits(s.opts.MaxConflicts, stop)
 	if !enc.sat.AddClause(root) {
 		return Result{Status: Unsat}, nil
 	}
-	conflictsAtStart := enc.sat.Statist.Conflicts
+	conflictsAtStart := enc.sat.Snapshot().Conflicts
 	budgetErr := func(stage string, round int, detail error) error {
 		s.stats.unknowns.Add(1)
 		return &BudgetError{
 			Stage:        stage,
 			Query:        query,
 			TheoryRounds: round,
-			Conflicts:    enc.sat.Statist.Conflicts - conflictsAtStart,
+			Conflicts:    enc.sat.Snapshot().Conflicts - conflictsAtStart,
 			Clauses:      enc.sat.NumClauses(),
 			Atoms:        len(enc.atomVar),
 			Detail:       detail,
@@ -757,7 +864,10 @@ func (s *Solver) check(f *expr.Term, bounds map[string]interval.Interval, qtok *
 			return Result{Status: Unknown}, budgetErr("deadline", round, qtok.Err())
 		}
 		s.stats.theoryRounds.Add(1)
-		switch enc.sat.Solve() {
+		satStart := time.Now()
+		satStatus := enc.sat.Solve()
+		s.stats.timeSat(satStart)
+		switch satStatus {
 		case sat.Unsat:
 			return Result{Status: Unsat}, nil
 		case sat.Unknown:
@@ -792,7 +902,9 @@ func (s *Solver) check(f *expr.Term, bounds map[string]interval.Interval, qtok *
 			prob.Cons = append(prob.Cons, c)
 			asserted = append(asserted, sat.MkLit(enc.atomVar[sl.atom], !sl.positive))
 		}
+		liaStart := time.Now()
 		res, err := lia.Solve(prob, lopts)
+		s.stats.timeLIA(liaStart)
 		if err != nil {
 			if errors.Is(err, lia.ErrBudget) {
 				stage := "lia"
@@ -869,13 +981,25 @@ func clamp(pref int64, iv interval.Interval) int64 {
 // scratch mode it is Check minus the model; in incremental mode it runs
 // entirely on the persistent context, which is the fast path the repair
 // loop's feasibility checks (IsSat, Valid) ride on.
-func (s *Solver) Decide(f *expr.Term, bounds map[string]interval.Interval) (st Status, err error) {
+func (s *Solver) Decide(f *expr.Term, bounds map[string]interval.Interval) (Status, error) {
+	st, _, err := s.DecideCore(f, bounds)
+	return st, err
+}
+
+// DecideCore is Decide plus the assumption core: on Unsat it also returns
+// the subset of f's top-level conjuncts the incremental context found
+// sufficient for the conflict (already cross-check-vetted exactly like
+// the cores feeding the cache's subsumption index). A nil core carries no
+// information: scratch mode, cache hits, and non-narrowing cores all
+// return nil. The batcher (DecideBatch) uses cores to rule out many batch
+// items per solve.
+func (s *Solver) DecideCore(f *expr.Term, bounds map[string]interval.Interval) (st Status, coreOut []*expr.Term, err error) {
 	if !s.opts.Incremental {
 		res, err := s.Check(f, bounds)
-		return res.Status, err
+		return res.Status, nil, err
 	}
 	if f.Sort != expr.SortBool {
-		return Unknown, fmt.Errorf("smt: Decide: formula has sort %v, want Bool", f.Sort)
+		return Unknown, nil, fmt.Errorf("smt: Decide: formula has sort %v, want Bool", f.Sort)
 	}
 	query := s.stats.queries.Add(1)
 	defer func() {
@@ -888,7 +1012,7 @@ func (s *Solver) Decide(f *expr.Term, bounds map[string]interval.Interval) (st S
 			s.ctx = nil // may be mid-mutation: discard, rebuilt lazily
 			s.stats.panics.Add(1)
 			s.stats.unknowns.Add(1)
-			st = Unknown
+			st, coreOut = Unknown, nil
 			err = fmt.Errorf("%w: %v", ErrSolverPanic, r)
 		}
 	}()
@@ -897,19 +1021,19 @@ func (s *Solver) Decide(f *expr.Term, bounds map[string]interval.Interval) (st S
 		panic(faultinject.PanicMsg)
 	case faultinject.SolverTimeout:
 		s.stats.unknowns.Add(1)
-		return Unknown, &BudgetError{Stage: "fault-injection", Query: query}
+		return Unknown, nil, &BudgetError{Stage: "fault-injection", Query: query}
 	case faultinject.SolverFail:
-		return Unknown, faultinject.ErrInjected
+		return Unknown, nil, faultinject.ErrInjected
 	}
 	if c := s.opts.Cache; c != nil {
 		if isSat, ok := c.LookupVerdict(f, bounds, s.opts.DefaultBounds); ok {
 			s.stats.cacheHits.Add(1)
 			if isSat {
 				s.stats.satAnswers.Add(1)
-				return Sat, nil
+				return Sat, nil, nil
 			}
 			s.stats.unsatAnswers.Add(1)
-			return Unsat, nil
+			return Unsat, nil, nil
 		}
 		s.stats.cacheMisses.Add(1)
 	}
@@ -922,7 +1046,8 @@ func (s *Solver) Decide(f *expr.Term, bounds map[string]interval.Interval) (st S
 		// (with full vetting and cache participation — a breaker-pinned
 		// worker keeps cache benefits, it only loses the retained context).
 		s.guard.NoteFallback()
-		return s.scratchDecide(f, bounds, qtok, query)
+		st, err = s.scratchDecide(f, bounds, qtok, query)
+		return st, nil, err
 	}
 	st, core, err := s.incrementalCtx().decide(f, bounds, qtok, query)
 	st, core = s.applyLieDecide(st, core)
@@ -934,7 +1059,8 @@ func (s *Solver) Decide(f *expr.Term, bounds map[string]interval.Interval) (st S
 			s.guard.NoteFailure()
 			s.quarantineCtx()
 			s.guard.NoteFallback()
-			return s.scratchDecide(f, bounds, qtok, query)
+			st, err = s.scratchDecide(f, bounds, qtok, query)
+			return st, nil, err
 		}
 	case Sat:
 		s.stats.satAnswers.Add(1)
@@ -952,12 +1078,13 @@ func (s *Solver) Decide(f *expr.Term, bounds map[string]interval.Interval) (st S
 			s.quarantineCtx()
 			s.guard.NoteFallback()
 			res, ferr := s.finish(f, bounds, tres, nil)
-			return res.Status, ferr
+			return res.Status, nil, ferr
 		}
 		s.stats.unsatAnswers.Add(1)
 		s.storeUnsat(f, bounds, core2)
+		return st, core2, err
 	}
-	return st, err
+	return st, nil, err
 }
 
 // scratchDecide serves a Decide query from the scratch rung, with full
