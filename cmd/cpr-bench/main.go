@@ -19,6 +19,7 @@ import (
 	"cpr/internal/bench"
 	"cpr/internal/buildinfo"
 	"cpr/internal/core"
+	"cpr/internal/shard"
 )
 
 func main() {
@@ -30,6 +31,8 @@ func main() {
 		budget      = flag.Int("budget", 0, "override per-subject iteration budget (0 = subject defaults)")
 		timeout     = flag.Duration("timeout", 0, "per-subject wall-clock cap (0 = unbounded); hung subjects become timeout rows")
 		workers     = flag.Int("workers", 0, "exploration worker pool size (0 = NumCPU); 1 replays the sequential engine")
+		shards      = flag.Int("shards", 0, "distribute exploration across N local shard worker processes (0 = off); results are identical at any shard count")
+		shardWorker = flag.Bool("shard-worker", false, "internal: serve as a shard worker over stdin/stdout (spawned by -shards)")
 		incremental = flag.Bool("incremental", true, "use incremental solver contexts (persistent encodings, retained learned clauses); results are identical either way")
 		portfolio   = flag.Int("portfolio", 0, "race this many diverse CDCL configurations on hard queries (0 or 1 = off); results are identical either way")
 		batch       = flag.Bool("batch", false, "group per-patch feasibility checks into chunked solver queries; results are identical either way")
@@ -44,6 +47,13 @@ func main() {
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.String("cpr-bench"))
+		return
+	}
+	warnf := func(format string, args ...any) { log.Printf(format, args...) }
+	if *shardWorker {
+		if err := shard.ServeStdio(warnf); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 
@@ -86,6 +96,9 @@ func main() {
 	opts.CEGIS.SMT.Portfolio = *portfolio
 	opts.Baselines.SMT.Portfolio = *portfolio
 	opts.Core.Batch = *batch
+	if *shards > 0 {
+		opts.Core.NewDistributor = shard.SpawnFactory(*shards, []string{"-shard-worker"}, warnf)
+	}
 	if *budget > 0 {
 		opts.Budget = core.Budget{MaxIterations: *budget, ValidationIterations: 8}
 	}

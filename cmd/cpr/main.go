@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -38,37 +39,42 @@ import (
 
 	"cpr"
 	"cpr/internal/buildinfo"
+	"cpr/internal/shard"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cpr: ")
 	var (
-		version   = flag.Bool("version", false, "print version and exit")
-		list      = flag.Bool("list", false, "list benchmark subjects and exit")
-		subject   = flag.String("subject", "", "benchmark subject to repair (Project/BugID)")
-		file      = flag.String("file", "", "mini-C program file to repair")
-		spec      = flag.String("spec", "", "specification at the bug location (s-expression)")
-		failing   = flag.String("failing", "", "failing input, e.g. 'x=7,y=0'")
-		params    = flag.String("params", "a,b", "template parameter names")
-		pLo       = flag.Int64("param-lo", -10, "parameter range lower bound")
-		pHi       = flag.Int64("param-hi", 10, "parameter range upper bound")
-		inLo      = flag.Int64("input-lo", -100, "input bound (lower) for exploration")
-		inHi      = flag.Int64("input-hi", 100, "input bound (upper) for exploration")
-		budget    = flag.Int("budget", 40, "repair-loop iteration budget")
-		timeout   = flag.Duration("timeout", 0, "wall-clock repair budget (0 = unbounded); on expiry the best-so-far pool is printed")
-		workers   = flag.Int("workers", 0, "exploration worker pool size (0 = NumCPU); 1 replays the sequential engine")
-		incr      = flag.Bool("incremental", true, "use incremental solver contexts (persistent encodings, retained learned clauses); results are identical either way")
-		portfolio = flag.Int("portfolio", 0, "race this many diverse CDCL configurations on hard queries (0 or 1 = off); results are identical either way")
-		batch     = flag.Bool("batch", false, "group per-patch feasibility checks into chunked solver queries; results are identical either way")
-		paranoid  = flag.Bool("paranoid", false, "force 100% solver verdict validation (every unsat answer cross-checked by an independent scratch solve); CPR_PARANOID=1 forces it too")
-		ckptDir   = flag.String("checkpoint-dir", "", "directory for crash-safe run snapshots (empty = checkpointing off)")
-		ckptIvl   = flag.Int("checkpoint-interval", 0, "generation barriers between snapshots (0 = default)")
-		resume    = flag.Bool("resume", false, "resume from the latest intact snapshot in -checkpoint-dir")
-		top       = flag.Int("top", 5, "ranked patches to print")
-		cegis     = flag.Bool("cegis", false, "also run the CEGIS baseline for comparison")
-		fuzz      = flag.Bool("fuzz", false, "fuzz for a failing input when -failing is not given")
-		localize  = flag.String("localize", "", "';'-separated inputs: rank suspicious statements instead of repairing")
+		version      = flag.Bool("version", false, "print version and exit")
+		list         = flag.Bool("list", false, "list benchmark subjects and exit")
+		subject      = flag.String("subject", "", "benchmark subject to repair (Project/BugID)")
+		file         = flag.String("file", "", "mini-C program file to repair")
+		spec         = flag.String("spec", "", "specification at the bug location (s-expression)")
+		failing      = flag.String("failing", "", "failing input, e.g. 'x=7,y=0'")
+		params       = flag.String("params", "a,b", "template parameter names")
+		pLo          = flag.Int64("param-lo", -10, "parameter range lower bound")
+		pHi          = flag.Int64("param-hi", 10, "parameter range upper bound")
+		inLo         = flag.Int64("input-lo", -100, "input bound (lower) for exploration")
+		inHi         = flag.Int64("input-hi", 100, "input bound (upper) for exploration")
+		budget       = flag.Int("budget", 40, "repair-loop iteration budget")
+		timeout      = flag.Duration("timeout", 0, "wall-clock repair budget (0 = unbounded); on expiry the best-so-far pool is printed")
+		workers      = flag.Int("workers", 0, "exploration worker pool size (0 = NumCPU); 1 replays the sequential engine")
+		shards       = flag.Int("shards", 0, "distribute exploration across N local shard worker processes (0 = off); results are identical at any shard count")
+		shardConnect = flag.String("shard-connect", "", "comma-separated remote shard worker addresses (host:port); overrides -shards")
+		shardListen  = flag.String("shard-listen", "", "serve as a remote shard worker on this address (never returns)")
+		shardWorker  = flag.Bool("shard-worker", false, "internal: serve as a shard worker over stdin/stdout (spawned by -shards)")
+		incr         = flag.Bool("incremental", true, "use incremental solver contexts (persistent encodings, retained learned clauses); results are identical either way")
+		portfolio    = flag.Int("portfolio", 0, "race this many diverse CDCL configurations on hard queries (0 or 1 = off); results are identical either way")
+		batch        = flag.Bool("batch", false, "group per-patch feasibility checks into chunked solver queries; results are identical either way")
+		paranoid     = flag.Bool("paranoid", false, "force 100% solver verdict validation (every unsat answer cross-checked by an independent scratch solve); CPR_PARANOID=1 forces it too")
+		ckptDir      = flag.String("checkpoint-dir", "", "directory for crash-safe run snapshots (empty = checkpointing off)")
+		ckptIvl      = flag.Int("checkpoint-interval", 0, "generation barriers between snapshots (0 = default)")
+		resume       = flag.Bool("resume", false, "resume from the latest intact snapshot in -checkpoint-dir")
+		top          = flag.Int("top", 5, "ranked patches to print")
+		cegis        = flag.Bool("cegis", false, "also run the CEGIS baseline for comparison")
+		fuzz         = flag.Bool("fuzz", false, "fuzz for a failing input when -failing is not given")
+		localize     = flag.String("localize", "", "';'-separated inputs: rank suspicious statements instead of repairing")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -77,6 +83,21 @@ func main() {
 	if *version {
 		fmt.Println(buildinfo.String("cpr"))
 		return
+	}
+	warnf := func(format string, args ...any) { log.Printf(format, args...) }
+	if *shardWorker {
+		if err := shard.ServeStdio(warnf); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *shardListen != "" {
+		l, err := net.Listen("tcp", *shardListen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("shard worker listening on %s", l.Addr())
+		log.Fatal(shard.Serve(l, warnf))
 	}
 
 	if *cpuProfile != "" {
@@ -124,6 +145,12 @@ func main() {
 		Interval: *ckptIvl,
 		Resume:   *resume,
 		Warn:     func(msg string) { log.Print(msg) },
+	}
+	switch {
+	case *shardConnect != "":
+		opts.NewDistributor = shard.DialFactory(strings.Split(*shardConnect, ","), warnf)
+	case *shards > 0:
+		opts.NewDistributor = shard.SpawnFactory(*shards, []string{"-shard-worker"}, warnf)
 	}
 
 	switch {
@@ -278,6 +305,10 @@ func runJob(job cpr.Job, dev *cpr.Term, top int, withCEGIS bool, opts cpr.Option
 	if st.Validations > 0 {
 		fmt.Printf("self-heal: %d validations (%d failed), %d quarantines, %d fallback solves, %d rebuilds, %d breaker trips\n",
 			st.Validations, st.ValidationFailures, st.Quarantines, st.FallbackSolves, st.RebuildRetries, st.BreakerTrips)
+	}
+	if st.Shards > 0 {
+		fmt.Printf("shards: %d, chunks stolen %d, deaths %d, knowledge imported %d verdicts / %d cores, rejected %d\n",
+			st.Shards, st.ShardSteals, st.ShardDeaths, st.ShardImportedVerdicts, st.ShardImportedCores, st.ShardRejectedImports)
 	}
 	if dev != nil {
 		if rank, ok := cpr.CorrectPatchRank(res, dev, job.InputBounds); ok {

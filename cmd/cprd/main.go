@@ -37,6 +37,7 @@ import (
 
 	"cpr/internal/buildinfo"
 	"cpr/internal/serve"
+	"cpr/internal/shard"
 )
 
 func main() {
@@ -48,8 +49,10 @@ func main() {
 		state   = flag.String("state", "", "state directory: job journal + per-job checkpoints (required)")
 		resume  = flag.Bool("resume", false, "replay the journal in -state and resume unfinished jobs")
 
-		runners = flag.Int("runners", 2, "concurrently running jobs")
-		workers = flag.Int("engine-workers", 1, "exploration workers per job (results identical for any value)")
+		runners     = flag.Int("runners", 2, "concurrently running jobs")
+		workers     = flag.Int("engine-workers", 1, "exploration workers per job (results identical for any value)")
+		shards      = flag.Int("shards", 0, "distribute each job's exploration across N local shard worker processes (0 = off); results are identical at any shard count")
+		shardWorker = flag.Bool("shard-worker", false, "internal: serve as a shard worker over stdin/stdout (spawned by -shards)")
 
 		queueMax  = flag.Int("queue-max", 64, "global queued-job bound; submits beyond it are shed with 503")
 		tenantOut = flag.Int("tenant-max", 8, "per-tenant outstanding-job quota; submits beyond it get 429")
@@ -78,6 +81,13 @@ func main() {
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.String("cprd"))
+		return
+	}
+	warnf := func(format string, args ...any) { log.Printf(format, args...) }
+	if *shardWorker {
+		if err := shard.ServeStdio(warnf); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 	if *state == "" {
@@ -118,7 +128,7 @@ func main() {
 		}
 	}
 
-	srv, err := serve.New(serve.Config{
+	cfg := serve.Config{
 		StateDir:             *state,
 		Resume:               *resume,
 		Runners:              *runners,
@@ -139,7 +149,11 @@ func main() {
 		Portfolio:            *portfolio,
 		Batch:                *batch,
 		Warn:                 func(msg string) { log.Print(msg) },
-	})
+	}
+	if *shards > 0 {
+		cfg.NewDistributor = shard.SpawnFactory(*shards, []string{"-shard-worker"}, warnf)
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -66,6 +66,17 @@ type JSONRow struct {
 	BatchQueries    uint64 `json:"batch_queries,omitempty"`
 	BatchItems      uint64 `json:"batch_items,omitempty"`
 	BatchBisections uint64 `json:"batch_bisections,omitempty"`
+
+	// Sharding counters; omitted on non-distributed runs. Informational
+	// only — result-equality comparisons (e.g. CI's multi-shard
+	// differential) must ignore them, the same as wall time and solver
+	// traffic.
+	Shards                uint64 `json:"shards,omitempty"`
+	ShardSteals           uint64 `json:"shard_steals,omitempty"`
+	ShardDeaths           uint64 `json:"shard_deaths,omitempty"`
+	ShardImportedVerdicts uint64 `json:"shard_imported_verdicts,omitempty"`
+	ShardImportedCores    uint64 `json:"shard_imported_cores,omitempty"`
+	ShardRejectedImports  uint64 `json:"shard_rejected_imports,omitempty"`
 }
 
 // JSONRows converts measured rows for serialization.
@@ -117,6 +128,12 @@ func JSONRows(rows []SubjectResult) []JSONRow {
 			row.BatchQueries = r.CPR.BatchQueries
 			row.BatchItems = r.CPR.BatchItems
 			row.BatchBisections = r.CPR.BatchBisections
+			row.Shards = uint64(r.CPR.Shards)
+			row.ShardSteals = r.CPR.ShardSteals
+			row.ShardDeaths = r.CPR.ShardDeaths
+			row.ShardImportedVerdicts = r.CPR.ShardImportedVerdicts
+			row.ShardImportedCores = r.CPR.ShardImportedCores
+			row.ShardRejectedImports = r.CPR.ShardRejectedImports
 		}
 		out = append(out, row)
 	}

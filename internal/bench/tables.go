@@ -340,10 +340,20 @@ func solverSummary(rows []SubjectResult) string {
 	var validations, valFailures, quarantines, fallbacks, rebuilds, trips uint64
 	var races, mirrorWins, shared uint64
 	var batchQ, batchItems, batchBisect uint64
+	var shardMax int
+	var steals, deaths, impVerdicts, impCores, rejImports uint64
 	for _, r := range rows {
 		if r.NA {
 			continue
 		}
+		if r.CPR.Shards > shardMax {
+			shardMax = r.CPR.Shards
+		}
+		steals += r.CPR.ShardSteals
+		deaths += r.CPR.ShardDeaths
+		impVerdicts += r.CPR.ShardImportedVerdicts
+		impCores += r.CPR.ShardImportedCores
+		rejImports += r.CPR.ShardRejectedImports
 		wall += r.Wall
 		satTime += r.CPR.SatTime
 		liaTime += r.CPR.LIATime
@@ -401,6 +411,10 @@ func solverSummary(rows []SubjectResult) string {
 	if validations > 0 {
 		out += fmt.Sprintf("self-heal: %d validations (%d failed), %d quarantines, %d fallback solves, %d rebuilds, %d breaker trips\n",
 			validations, valFailures, quarantines, fallbacks, rebuilds, trips)
+	}
+	if shardMax > 0 {
+		out += fmt.Sprintf("shards: %d, chunks stolen %d, deaths %d, knowledge imported %d verdicts / %d cores, rejected %d\n",
+			shardMax, steals, deaths, impVerdicts, impCores, rejImports)
 	}
 	return out
 }

@@ -134,6 +134,14 @@ type Options struct {
 	// barriers, and with Resume it continues a killed run to the same
 	// result the uninterrupted run would have produced.
 	Checkpoint CheckpointOptions
+	// NewDistributor, when non-nil, supplies a shard distributor (see
+	// internal/shard): the engine ships its flip-feasibility scans and pool
+	// reductions to shard processes instead of the in-process worker pool,
+	// merging outcomes at the same generation barriers — the plausible-patch
+	// pool is identical for every shard count, exactly as for Workers. The
+	// factory runs after the engine resolves its options; a factory error
+	// aborts the run (a half-connected shard fleet must not half-run).
+	NewDistributor func(job Job, opts Options) (Distributor, error)
 }
 
 // QueuePolicy orders the exploration frontier.
@@ -235,6 +243,19 @@ type Stats struct {
 	// group queries issued, per-patch verdicts answered by a group result
 	// rather than an individual solve, and mixed-verdict bisection splits.
 	BatchQueries, BatchItems, BatchBisections uint64
+	// Sharding counters (all zero without Options.NewDistributor). Shards
+	// is the configured shard count; ShardSteals counts work chunks
+	// executed away from their statically-owning shard (rebalancing),
+	// ShardDeaths shard connections lost mid-run. The import counters
+	// measure cross-shard knowledge sharing: verdict-cache entries and
+	// subsumption cores accepted after guard validation, and entries
+	// rejected by it (a lying or corrupted peer cannot poison a shard).
+	// None of these fields enter any stats-equality fingerprint — like
+	// Workers and the wall-time fields they describe the schedule, not the
+	// repair trajectory.
+	Shards                                                          int
+	ShardSteals, ShardDeaths                                        uint64
+	ShardImportedVerdicts, ShardImportedCores, ShardRejectedImports uint64
 }
 
 // CacheHitRate is CacheHits / (CacheHits + CacheMisses), 0 when no query
@@ -359,6 +380,14 @@ func Repair(job Job, opts Options) (*Result, error) {
 	eng.cacheStart = cacheStart
 	eng.workers = eng.newWorkers(opts.Workers)
 	eng.curBounds = eng.inputBounds()
+	if opts.NewDistributor != nil {
+		dist, err := opts.NewDistributor(job, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: shard distributor: %w", err)
+		}
+		eng.dist = dist
+		defer dist.Close()
+	}
 	stats := &Stats{PoolInit: pool.Size()}
 
 	var ck *checkpointer
@@ -474,6 +503,43 @@ func Repair(job Job, opts Options) (*Result, error) {
 	stats.BatchQueries = agg.BatchQueries
 	stats.BatchItems = agg.BatchItems
 	stats.BatchBisections = agg.BatchBisections
+	if eng.dist != nil {
+		// Shard solvers did the distributed batches' work; their counters
+		// fold into the same aggregate the local workers feed.
+		sagg := agg.Add(eng.dist.SolverStats())
+		stats.SolverQueries = sagg.Queries
+		stats.CacheHits = sagg.CacheHits
+		stats.CacheMisses = sagg.CacheMisses
+		stats.EncodeCacheHits = sagg.EncodeCacheHits
+		stats.EncodeCacheMisses = sagg.EncodeCacheMisses
+		stats.ClausesLearned = sagg.ClausesLearned
+		stats.ClausesKept = sagg.ClausesKept
+		stats.ClausesDeleted = sagg.ClausesDeleted
+		stats.AssumptionCores = sagg.AssumptionCores
+		stats.AssumptionCoreLits = sagg.AssumptionCoreLits
+		stats.Validations = sagg.Validations
+		stats.ValidationFailures = sagg.ValidationFailures
+		stats.Quarantines = sagg.Quarantines
+		stats.FallbackSolves = sagg.FallbackSolves
+		stats.RebuildRetries = sagg.RebuildRetries
+		stats.BreakerTrips = sagg.BreakerTrips
+		stats.SatTime = sagg.SatTime
+		stats.LIATime = sagg.LIATime
+		stats.ValidateTime = sagg.ValidateTime
+		stats.PortfolioRaces = sagg.PortfolioRaces
+		stats.PortfolioMirrorWins = sagg.PortfolioMirrorWins
+		stats.PortfolioShared = sagg.PortfolioShared
+		stats.BatchQueries = sagg.BatchQueries
+		stats.BatchItems = sagg.BatchItems
+		stats.BatchBisections = sagg.BatchBisections
+		dc := eng.dist.Counters()
+		stats.Shards = dc.Shards
+		stats.ShardSteals = dc.Steals
+		stats.ShardDeaths = dc.Deaths
+		stats.ShardImportedVerdicts = dc.ImportedVerdicts
+		stats.ShardImportedCores = dc.ImportedCores
+		stats.ShardRejectedImports = dc.RejectedImports
+	}
 	cacheEnd := opts.SMT.Cache.Stats()
 	stats.CacheEvictions = eng.baseCacheEvict + (cacheEnd.Evictions - cacheStart.Evictions)
 	stats.CacheSubsumed = eng.baseCacheSub + (cacheEnd.Subsumed - cacheStart.Subsumed)
@@ -518,6 +584,9 @@ type engine struct {
 	// workers hold the per-worker solvers; workers[0] aliases
 	// solver/retrySolver. See parallel.go.
 	workers []*workerCtx
+	// dist, when non-nil, ships flip scans and pool reductions to shard
+	// processes (see dist.go); a failed batch falls back to the workers.
+	dist Distributor
 	// curBounds are the input bounds of the explore phase in progress.
 	curBounds map[string]interval.Interval
 
@@ -745,10 +814,12 @@ func (e *engine) explore(seeds []map[string]int64, bounds map[string]interval.In
 			keys = append(keys, key)
 		}
 		verdicts := make([]flipVerdict, len(fresh))
-		e.fanOut(len(fresh), func(w *workerCtx, i int) {
-			child, ok, unknown := e.pickNewInput(fresh[i], bounds, w.solver)
-			verdicts[i] = flipVerdict{child: child, ok: ok, unknown: unknown}
-		})
+		if !e.distributeFlips(fresh, bounds, verdicts) {
+			e.fanOut(len(fresh), func(w *workerCtx, i int) {
+				child, ok, unknown := e.pickNewInput(fresh[i], bounds, w.solver)
+				verdicts[i] = flipVerdict{child: child, ok: ok, unknown: unknown}
+			})
+		}
 		for i, v := range verdicts {
 			if v.unknown {
 				// Solver budget/deadline/panic on this flip: re-queue it
@@ -945,62 +1016,108 @@ func (e *engine) boundsWithParams(bounds map[string]interval.Interval, p *patch.
 // are collected in per-patch slots and committed by the coordinator in
 // pool order, leaving the surviving pool identical for any worker count.
 func (e *engine) reduce(exec *concolic.Execution, stats *Stats, validation bool) {
-	phi := exec.PathConstraint()
-	hitBug := exec.HitBug()
-	sigma := e.instantiateSpec(exec)
-
+	rc := ReduceContext{
+		Phi:        exec.PathConstraint(),
+		Sigma:      e.instantiateSpec(exec),
+		HoleHits:   exec.HoleHits,
+		HitBug:     exec.HitBug(),
+		Validation: validation,
+	}
 	patches := e.pool.Patches
-	removed := make([]bool, len(patches))
-	feas := e.batchFeasibility(phi, exec.HoleHits, patches)
-	e.fanOut(len(patches), func(w *workerCtx, i int) {
-		p := patches[i]
-		w.solver.BeginEpoch() // scope cache-write journaling to this patch
-		psi := e.patchFormula(p, exec.HoleHits)
-		if feas != nil {
-			v := feas[i]
-			if e.noteSolverErr(v.Err) || v.Status != smt.Sat {
-				return // cannot reason about ρ on this path
+	outs := make([]ReduceOutcome, len(patches))
+	if !e.distributeReduce(rc, outs) {
+		feas := e.batchFeasibility(rc.Phi, rc.HoleHits, patches)
+		e.fanOut(len(patches), func(w *workerCtx, i int) {
+			var fv *smt.BatchVerdict
+			if feas != nil {
+				fv = &feas[i]
 			}
-		} else {
-			pi := expr.And(phi, psi, p.ConstraintTerm())
-			b := e.boundsWithParams(e.curBounds, p)
-			sat, err := w.solver.IsSat(pi, b)
-			if e.noteSolverErr(err) || !sat {
-				return // cannot reason about ρ on this path
-			}
-		}
-		if hitBug {
-			ref := &patch.Refiner{Solver: w.solver, InputBounds: e.curBounds}
-			refined, err := ref.Refine(phi, psi, sigma, p, p.Constraint)
-			if e.noteSolverErr(err) {
-				return // refinement budget: leave the patch untouched
-			}
-			if refined.IsEmpty() {
-				removed[i] = true
-				e.removals.Add(1)
-				return
-			}
-			if refined.Count() != p.Constraint.Count() {
-				e.refinements.Add(1)
-			}
-			refined.Mode = e.opts.SplitMode
-			p.Constraint = refined
-		}
-		if !validation {
-			e.updateRanking(p, hitBug, exec, w.solver)
-		}
-	})
-	// patches aliases the pool's backing array and Remove shifts it in
-	// place, so collect the doomed IDs before the first removal.
+			outs[i] = e.reduceOne(rc, patches[i], fv, w.solver)
+		})
+	}
+	// Commit in pool order: patches aliases the pool's backing array and
+	// Remove shifts it in place, so collect the doomed IDs before the
+	// first removal. Outcomes from shards carry absolute patch state (the
+	// replica matched this pool at batch start); outcomes computed locally
+	// re-assign values reduceOne already wrote — both paths land on the
+	// same pool.
 	var doomed []int
-	for i, rm := range removed {
-		if rm {
+	for i, o := range outs {
+		e.solverUnknowns.Add(o.Unknowns)
+		e.solverPanics.Add(o.Panics)
+		if o.Removed {
+			e.removals.Add(1)
 			doomed = append(doomed, patches[i].ID)
+			continue
 		}
+		if !o.Touched {
+			continue
+		}
+		p := patches[i]
+		if o.Refinements > 0 {
+			e.refinements.Add(int64(o.Refinements))
+		}
+		if o.Refined {
+			o.Region.Mode = e.opts.SplitMode
+			p.Constraint = o.Region
+		}
+		p.Score = o.Score
+		p.Deletions = o.Deletions
 	}
 	for _, id := range doomed {
 		e.pool.Remove(id)
 	}
+}
+
+// reduceOne is Algorithm 2's per-patch body: the feasibility test, the
+// specification-driven refinement, and the ranking update, reported as a
+// ReduceOutcome. It mutates p (its own task owns it) but leaves the
+// engine's removal/refinement counters to the coordinator's commit loop,
+// so the same function serves both the local fan-out and a shard replica
+// (which snapshots its own degradation atomics around the call to fill
+// the outcome's Unknowns/Panics; on the local path those stay zero and
+// the commit loop's additions are no-ops).
+func (e *engine) reduceOne(rc ReduceContext, p *patch.Patch, fv *smt.BatchVerdict, solver *smt.Solver) ReduceOutcome {
+	var out ReduceOutcome
+	solver.BeginEpoch() // scope cache-write journaling to this patch
+	psi := e.patchFormula(p, rc.HoleHits)
+	if fv != nil {
+		if e.noteSolverErr(fv.Err) || fv.Status != smt.Sat {
+			return out // cannot reason about ρ on this path
+		}
+	} else {
+		pi := expr.And(rc.Phi, psi, p.ConstraintTerm())
+		b := e.boundsWithParams(e.curBounds, p)
+		sat, err := solver.IsSat(pi, b)
+		if e.noteSolverErr(err) || !sat {
+			return out // cannot reason about ρ on this path
+		}
+	}
+	if rc.HitBug {
+		ref := &patch.Refiner{Solver: solver, InputBounds: e.curBounds}
+		refined, err := ref.Refine(rc.Phi, psi, rc.Sigma, p, p.Constraint)
+		if e.noteSolverErr(err) {
+			return out // refinement budget: leave the patch untouched
+		}
+		if refined.IsEmpty() {
+			out.Removed = true
+			return out
+		}
+		if refined.Count() != p.Constraint.Count() {
+			out.Refinements++
+		}
+		refined.Mode = e.opts.SplitMode
+		p.Constraint = refined
+		out.Refined = true
+		out.Region = refined
+	}
+	if !rc.Validation {
+		e.updateRanking(p, rc, solver)
+	}
+	out.Touched = true
+	out.Score = p.Score
+	out.Deletions = p.Deletions
+	return out
 }
 
 // instantiateSpec conjoins σ over the symbolic snapshots of every bug-
@@ -1034,17 +1151,17 @@ func instantiate(spec *expr.Term, snapshot map[string]*expr.Term) *expr.Term {
 // are deprioritized rather than removed. With ModelCountRanking the
 // evidence is further scaled by the proportion of the partition's inputs
 // the patch fires on (the paper's model-counting fine-tuning).
-func (e *engine) updateRanking(p *patch.Patch, hitBug bool, exec *concolic.Execution, solver *smt.Solver) {
+func (e *engine) updateRanking(p *patch.Patch, rc ReduceContext, solver *smt.Solver) {
 	inc := 1.0
-	if hitBug {
+	if rc.HitBug {
 		inc = 3.0
 	}
 	if e.isDeletionLike(p, solver) {
 		p.Deletions++
 		inc *= 0.25
 	}
-	if e.opts.ModelCountRanking && p.Expr.Sort == expr.SortBool && len(exec.HoleHits) > 0 {
-		inc *= e.firingDamp(p, exec)
+	if e.opts.ModelCountRanking && p.Expr.Sort == expr.SortBool && len(rc.HoleHits) > 0 {
+		inc *= e.firingDamp(p, rc)
 	}
 	p.Score += inc
 }
@@ -1053,7 +1170,7 @@ func (e *engine) updateRanking(p *patch.Patch, hitBug bool, exec *concolic.Execu
 // guard fires (diverting control flow) and damps the ranking evidence
 // toward 0.25 as the fraction approaches 1: a guard that fires everywhere
 // behaves like functionality deletion even if it is not a tautology.
-func (e *engine) firingDamp(p *patch.Patch, exec *concolic.Execution) float64 {
+func (e *engine) firingDamp(p *patch.Patch, rc ReduceContext) float64 {
 	params, ok := p.AnyParams()
 	if !ok {
 		return 1
@@ -1062,8 +1179,8 @@ func (e *engine) firingDamp(p *patch.Patch, exec *concolic.Execution) float64 {
 	for name, v := range params {
 		sub[name] = expr.Int(v)
 	}
-	fire := expr.Subst(p.Formula(expr.Bool(true), exec.HoleHits[0].Snapshot), sub)
-	frac, err := mc.Fraction(expr.And(exec.PathConstraint(), fire), e.mcBounds(exec), mc.Options{Seed: 1, Samples: 400})
+	fire := expr.Subst(p.Formula(expr.Bool(true), rc.HoleHits[0].Snapshot), sub)
+	frac, err := mc.Fraction(expr.And(rc.Phi, fire), e.mcBounds(rc.HoleHits), mc.Options{Seed: 1, Samples: 400})
 	if err != nil {
 		return 1
 	}
@@ -1072,12 +1189,12 @@ func (e *engine) firingDamp(p *patch.Patch, exec *concolic.Execution) float64 {
 
 // mcBounds supplies sampling bounds for the model counter: the inputs'
 // exploration bounds plus boolean patch outputs.
-func (e *engine) mcBounds(exec *concolic.Execution) map[string]interval.Interval {
-	b := make(map[string]interval.Interval, len(e.curBounds)+len(exec.HoleHits))
+func (e *engine) mcBounds(hits []concolic.HoleHit) map[string]interval.Interval {
+	b := make(map[string]interval.Interval, len(e.curBounds)+len(hits))
 	for k, v := range e.curBounds {
 		b[k] = v
 	}
-	for _, h := range exec.HoleHits {
+	for _, h := range hits {
 		b[h.Out.Name] = interval.New(0, 1)
 	}
 	return b

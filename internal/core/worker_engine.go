@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+
+	"cpr/internal/concolic"
+	"cpr/internal/expr"
+	"cpr/internal/interval"
+	"cpr/internal/patch"
+	"cpr/internal/smt"
+	"cpr/internal/smt/cache"
+	"cpr/internal/synth"
+)
+
+// WorkerEngine is the shard-worker side of distribution: a full engine
+// replica (same job, same deterministically re-synthesized pool) that
+// executes flip and reduce chunks on request and never owns the frontier.
+// The coordinator re-syncs the replica's pool state at every batch, so a
+// chunk's outcomes equal what the coordinator's own worker pool would
+// compute for the same indices — the distribution determinism contract.
+//
+// A WorkerEngine is single-goroutine: chunks arrive sequentially over one
+// connection, which is what makes the degradation-counter deltas around
+// each item exact.
+type WorkerEngine struct {
+	eng   *engine
+	cache *cache.Cache
+	fp    uint64
+}
+
+// NewWorkerEngine builds a replica engine for the job. It mirrors
+// Repair's setup through engine construction — synthesis, pool build,
+// split-mode stamping — but runs no exploration itself: no checkpointing,
+// no distributor, and a private verdict cache (with invalidation tracking
+// on, so withdrawn verdicts can be retracted to peers).
+func NewWorkerEngine(job Job, opts Options) (*WorkerEngine, error) {
+	opts = opts.withDefaults()
+	job.Budget = job.Budget.withDefaults()
+	if job.Program == nil || job.Program.HolePos == nil {
+		return nil, ErrNoHole
+	}
+	if job.Spec == nil {
+		job.Spec = expr.True()
+	}
+	// One worker: the shard's parallelism is the shard count, and chunk
+	// execution must stay sequential for exact per-item counter deltas.
+	opts.Workers = 1
+	opts.Checkpoint = CheckpointOptions{}
+	opts.NewDistributor = nil
+	opts.Cancel = nil
+	opts.SMT.Cancel = nil
+	own := cache.New(cache.Options{})
+	own.TrackInvalidations()
+	opts.SMT.Cache = own
+
+	job.Components.Cancel = nil
+	templates := synth.Synthesize(job.Components, job.Program.HoleType)
+	pool := synth.BuildPool(templates, job.Components)
+	for _, p := range pool.Patches {
+		p.Constraint.Mode = opts.SplitMode
+	}
+	eng := &engine{
+		job:         job,
+		opts:        opts,
+		solver:      smt.NewSolver(opts.SMT),
+		retrySolver: smt.NewSolver(reducedSMT(opts.SMT)),
+		pool:        pool,
+		tok:         nil,
+	}
+	eng.workers = eng.newWorkers(1)
+	eng.curBounds = eng.inputBounds()
+	return &WorkerEngine{eng: eng, cache: own, fp: fingerprintRun(job, opts)}, nil
+}
+
+// Fingerprint is the replica's run fingerprint. The worker refuses chunks
+// from a coordinator whose RunFingerprint differs (see RunFingerprint).
+//
+// Worker-forced fields (Workers, Checkpoint, cancellation) are not part
+// of the fingerprint, so a coordinator running 8 local workers still
+// matches a replica running 1.
+func (we *WorkerEngine) Fingerprint() uint64 { return we.fp }
+
+// Cache is the replica's private verdict cache — the source of the
+// knowledge deltas the shard layer exchanges.
+func (we *WorkerEngine) Cache() *cache.Cache { return we.cache }
+
+// SolverStats aggregates the replica's solver counters.
+func (we *WorkerEngine) SolverStats() smt.Stats {
+	var agg smt.Stats
+	for _, w := range we.eng.workers {
+		agg = agg.Add(w.solver.Stats()).Add(w.retrySolver.Stats())
+	}
+	return agg
+}
+
+// SetBounds installs the batch's input bounds (the coordinator's
+// curBounds: phase bounds, or pinned bounds during validation phases).
+func (we *WorkerEngine) SetBounds(b map[string]interval.Interval) {
+	we.eng.curBounds = b
+}
+
+// ApplyPool re-syncs the replica pool to the coordinator's batch-start
+// state: the same order-preserving intersect a checkpoint resume uses.
+// The listed IDs must be a subsequence of the replica's current pool
+// (pools only shrink, in synthesis order); an unknown ID means the
+// replica is not a replica of this run and the chunk must not run.
+func (we *WorkerEngine) ApplyPool(ps []PatchState) error {
+	e := we.eng
+	byID := make(map[int]*patch.Patch, len(e.pool.Patches))
+	for _, p := range e.pool.Patches {
+		byID[p.ID] = p
+	}
+	kept := make([]*patch.Patch, 0, len(ps))
+	for _, s := range ps {
+		p, ok := byID[s.ID]
+		if !ok {
+			return fmt.Errorf("core: pool sync: patch #%d not in replica pool", s.ID)
+		}
+		p.Score = s.Score
+		p.Deletions = s.Deletions
+		p.Constraint = s.Region
+		p.Constraint.Mode = e.opts.SplitMode
+		kept = append(kept, p)
+	}
+	e.pool.Patches = kept
+	return nil
+}
+
+// RunFlips executes a flip chunk: pickNewInput per flip under the current
+// bounds and pool, with each outcome carrying the exact degradation
+// counts its solve produced.
+func (we *WorkerEngine) RunFlips(flips []concolic.Flip) []FlipOutcome {
+	e := we.eng
+	outs := make([]FlipOutcome, len(flips))
+	for i := range flips {
+		u0, p0 := e.solverUnknowns.Load(), e.solverPanics.Load()
+		child, ok, unknown := e.pickNewInput(flips[i], e.curBounds, e.solver)
+		o := FlipOutcome{
+			OK:       ok,
+			Unknown:  unknown,
+			Unknowns: e.solverUnknowns.Load() - u0,
+			Panics:   e.solverPanics.Load() - p0,
+		}
+		if ok {
+			o.Input = child.input
+			o.PatchID = child.patchID
+			o.Params = child.params
+			o.Score = child.score
+			o.Bound = child.bound
+		}
+		outs[i] = o
+	}
+	return outs
+}
+
+// RunReduce executes a reduce chunk: reduceOne for pool indices [lo, hi)
+// under the already-synced pool. With Options.Batch the chunk's
+// feasibility tests are grouped exactly like the local engine's — chunk
+// boundaries differ between a sharded and a local run, but per-patch
+// verdicts are batching-invariant, so outcomes do not.
+func (we *WorkerEngine) RunReduce(rc ReduceContext, lo, hi int) []ReduceOutcome {
+	e := we.eng
+	if lo < 0 || hi > len(e.pool.Patches) || lo > hi {
+		return nil
+	}
+	chunk := e.pool.Patches[lo:hi]
+	feas := e.batchFeasibility(rc.Phi, rc.HoleHits, chunk)
+	outs := make([]ReduceOutcome, len(chunk))
+	for i, p := range chunk {
+		u0, p0 := e.solverUnknowns.Load(), e.solverPanics.Load()
+		var fv *smt.BatchVerdict
+		if feas != nil {
+			fv = &feas[i]
+		}
+		out := e.reduceOne(rc, p, fv, e.solver)
+		out.Unknowns = e.solverUnknowns.Load() - u0
+		out.Panics = e.solverPanics.Load() - p0
+		outs[i] = out
+	}
+	return outs
+}

@@ -1,0 +1,82 @@
+// Lying-peer faults for distributed exploration: a shard worker corrupts
+// every piece of knowledge it exports — flipped models, spurious unsat
+// verdicts, truncated assumption cores — while answering its own chunks
+// honestly. The coordinator's validation ladder must reject the poison
+// (or, for truncated cores, prove it harmless) so the repair result stays
+// bit-identical to a 1-process run. This is the cross-process analogue of
+// the adversarial solver tests above.
+package faultinject_test
+
+import (
+	"testing"
+
+	"cpr/internal/core"
+	"cpr/internal/faultinject"
+	"cpr/internal/shard"
+)
+
+// cleanShardBaseline is the trusted reference for the lying-peer tests:
+// the same options the shard runs use, no distribution, no faults.
+func cleanShardBaseline(t *testing.T) string {
+	t.Helper()
+	faultinject.Deactivate()
+	res, err := core.Repair(divZeroJob(), core.Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("baseline Repair: %v", err)
+	}
+	return repairFingerprint(res)
+}
+
+func runLyingShards(t *testing.T, kind faultinject.Fault) *core.Result {
+	t.Helper()
+	faultinject.Activate(&faultinject.Plan{ShardLieEvery: 1, ShardLieKind: kind})
+	defer faultinject.Deactivate()
+	opts := core.Options{Workers: 1}
+	opts.NewDistributor = shard.PipesFactory(2, nil)
+	res, err := core.Repair(divZeroJob(), opts)
+	if err != nil {
+		t.Fatalf("Repair with lying shard (kind=%d): %v", kind, err)
+	}
+	return res
+}
+
+// TestShardLieFlipModel: every exported sat model has a variable
+// corrupted. ValidateModel replays each model against its formula, so
+// every poisoned entry must be rejected and the result unchanged.
+func TestShardLieFlipModel(t *testing.T) {
+	want := cleanShardBaseline(t)
+	res := runLyingShards(t, faultinject.SolverFlipModel)
+	if got := repairFingerprint(res); got != want {
+		t.Fatalf("flipped-model poison changed the result:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+	if res.Stats.ShardRejectedImports == 0 {
+		t.Error("no poisoned imports rejected; the validation ladder did not fire")
+	}
+}
+
+// TestShardLieSpuriousUnsat: sat verdicts are flipped to unsat with the
+// model dropped. A believed spurious unsat would prune feasible patches,
+// so the trusted re-solve must catch every one.
+func TestShardLieSpuriousUnsat(t *testing.T) {
+	want := cleanShardBaseline(t)
+	res := runLyingShards(t, faultinject.SolverSpuriousUnsat)
+	if got := repairFingerprint(res); got != want {
+		t.Fatalf("spurious-unsat poison changed the result:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+	if res.Stats.ShardRejectedImports == 0 {
+		t.Error("no poisoned imports rejected; the validation ladder did not fire")
+	}
+}
+
+// TestShardLieTruncateCore: unsat formulas lose their last conjunct. A
+// truncated formula is either still genuinely unsat (accepting it is
+// sound — unsat cores are minimization hints, not ground truth) or the
+// re-solve finds it sat and rejects the mismatch. Either way the result
+// must not move; no rejection count is guaranteed.
+func TestShardLieTruncateCore(t *testing.T) {
+	want := cleanShardBaseline(t)
+	res := runLyingShards(t, faultinject.SolverTruncateCore)
+	if got := repairFingerprint(res); got != want {
+		t.Fatalf("truncated-core poison changed the result:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+}

@@ -1,0 +1,92 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// The wire stream carries the record-log frame layout over a network or
+// pipe connection: the shard protocol (internal/shard) exchanges engine
+// state in exactly the encoding snapshots use on disk. Unlike the on-disk
+// log, a stream has no recoverable tail — any short read, bad length, or
+// checksum mismatch is a hard error and the connection must be dropped.
+//
+// Stream layout:
+//
+//	8-byte header: "CPRWIRE" + version byte
+//	frames:        u32 length (kind byte + payload, little-endian)
+//	               u8  kind
+//	               ... payload
+//	               u32 crc32/IEEE over kind+payload
+const (
+	wireMagic = "CPRWIRE" // 7 bytes + 1 version byte
+	// WireVersion is the shard wire-format version; bump on any framing or
+	// message-schema change. Peers from other versions are rejected at the
+	// handshake.
+	WireVersion = 1
+)
+
+// WriteWireHeader writes the stream header; each side sends it once before
+// its first frame.
+func WriteWireHeader(w io.Writer) error {
+	_, err := w.Write(append([]byte(wireMagic), WireVersion))
+	return err
+}
+
+// ReadWireHeader consumes and validates the peer's stream header.
+func ReadWireHeader(r io.Reader) error {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("%w: short wire header: %v", ErrCorrupt, err)
+	}
+	if string(hdr[:7]) != wireMagic {
+		return fmt.Errorf("%w: bad wire magic", ErrCorrupt)
+	}
+	if hdr[7] != WireVersion {
+		return fmt.Errorf("%w: wire version %d, want %d", ErrVersion, hdr[7], WireVersion)
+	}
+	return nil
+}
+
+// WriteFrame frames and writes one record to the stream.
+func WriteFrame(w io.Writer, kind uint8, payload []byte) error {
+	if 1+len(payload) > maxRecord {
+		return fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrCorrupt, len(payload))
+	}
+	frame := make([]byte, 0, 4+1+len(payload)+4)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(1+len(payload)))
+	frame = append(frame, kind)
+	frame = append(frame, payload...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(frame[4:]))
+	_, err := w.Write(frame)
+	return err
+}
+
+// ReadFrame reads one record from the stream. Every failure mode — short
+// read, impossible length, checksum mismatch — fails closed with an error;
+// a frame is never partially delivered or misattributed.
+func ReadFrame(r io.Reader) (Record, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("%w: short frame length: %v", ErrCorrupt, err)
+	}
+	n := int(binary.LittleEndian.Uint32(lenBuf[:]))
+	if n < 1 || n > maxRecord {
+		return Record{}, fmt.Errorf("%w: frame length %d", ErrCorrupt, n)
+	}
+	body := make([]byte, n+4)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Record{}, fmt.Errorf("%w: short frame body: %v", ErrCorrupt, err)
+	}
+	sum := binary.LittleEndian.Uint32(body[n:])
+	body = body[:n]
+	if crc32.ChecksumIEEE(body) != sum {
+		return Record{}, fmt.Errorf("%w: frame checksum mismatch", ErrCorrupt)
+	}
+	return Record{Kind: body[0], Payload: body[1:]}, nil
+}

@@ -1,0 +1,78 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestWireRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWireHeader(&buf); err != nil {
+		t.Fatal(err)
+	}
+	payloads := [][]byte{nil, {}, {1}, bytes.Repeat([]byte{0xab}, 1000)}
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, uint8(i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	if err := ReadWireHeader(r); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range payloads {
+		rec, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if rec.Kind != uint8(i) || !bytes.Equal(rec.Payload, p) {
+			t.Fatalf("frame %d: got kind %d, %d bytes", i, rec.Kind, len(rec.Payload))
+		}
+	}
+	if _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("want io.EOF at stream end, got %v", err)
+	}
+}
+
+func TestWireHeaderRejectsBadMagicAndVersion(t *testing.T) {
+	if err := ReadWireHeader(bytes.NewReader([]byte("NOTWIRE\x01"))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: want ErrCorrupt, got %v", err)
+	}
+	if err := ReadWireHeader(bytes.NewReader([]byte(wireMagic + "\x63"))); !errors.Is(err, ErrVersion) {
+		t.Fatalf("bad version: want ErrVersion, got %v", err)
+	}
+	if err := ReadWireHeader(bytes.NewReader([]byte("CPR"))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short header: want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestWireFrameFailsClosed(t *testing.T) {
+	frame := func(mut func([]byte)) []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, 5, []byte("payload-bytes")); err != nil {
+			t.Fatal(err)
+		}
+		b := buf.Bytes()
+		if mut != nil {
+			mut(b)
+		}
+		return b
+	}
+
+	cases := map[string][]byte{
+		"truncated length": frame(nil)[:2],
+		"truncated body":   frame(nil)[:8],
+		"flipped payload":  frame(func(b []byte) { b[7] ^= 0x10 }),
+		"flipped kind":     frame(func(b []byte) { b[4] ^= 0x01 }),
+		"flipped crc":      frame(func(b []byte) { b[len(b)-1] ^= 0x01 }),
+		"zero length":      {0, 0, 0, 0},
+		"huge length":      {0xff, 0xff, 0xff, 0xff},
+	}
+	for name, data := range cases {
+		if _, err := ReadFrame(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: want ErrCorrupt, got %v", name, err)
+		}
+	}
+}

@@ -102,6 +102,13 @@ type Config struct {
 	Portfolio int
 	Batch     bool
 
+	// NewDistributor, when set, gives every job attempt a distributed
+	// exploration backend (cmd/cprd wires shard.SpawnFactory here for
+	// -shards N). Each attempt gets a fresh fleet; results are
+	// bit-identical with or without it, so it is purely a wall-clock
+	// lever, like EngineWorkers.
+	NewDistributor func(core.Job, core.Options) (core.Distributor, error)
+
 	// Seed seeds the retry jitter (0 = seeded from the clock).
 	Seed int64
 	// RetryAfterHint is the Retry-After value for quota and queue-full
@@ -715,6 +722,7 @@ func (s *Server) attempt(j *job, tok *cancel.Token, resume bool) (res *core.Resu
 		cj.Budget.MaxDuration = time.Duration(j.spec.TimeoutMS) * time.Millisecond
 	}
 	opts := core.Options{Workers: s.cfg.EngineWorkers, Cancel: tok, Batch: s.cfg.Batch}
+	opts.NewDistributor = s.cfg.NewDistributor
 	opts.SMT.Incremental = s.cfg.Incremental
 	opts.SMT.Paranoid = s.cfg.Paranoid
 	opts.SMT.Portfolio = s.cfg.Portfolio
@@ -866,4 +874,14 @@ func aggStats(dst *core.Stats, s core.Stats) {
 	dst.BatchQueries += s.BatchQueries
 	dst.BatchItems += s.BatchItems
 	dst.BatchBisections += s.BatchBisections
+	// Shard fleet size is a configuration, not a tally: report the widest
+	// fleet any attempt ran with, and sum the event counters.
+	if s.Shards > dst.Shards {
+		dst.Shards = s.Shards
+	}
+	dst.ShardSteals += s.ShardSteals
+	dst.ShardDeaths += s.ShardDeaths
+	dst.ShardImportedVerdicts += s.ShardImportedVerdicts
+	dst.ShardImportedCores += s.ShardImportedCores
+	dst.ShardRejectedImports += s.ShardRejectedImports
 }

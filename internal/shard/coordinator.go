@@ -1,0 +1,463 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"cpr/internal/cancel"
+	"cpr/internal/core"
+	"cpr/internal/journal"
+	"cpr/internal/smt"
+	"cpr/internal/smt/cache"
+)
+
+// Coordinator is the core.Distributor that drives a fleet of shard
+// workers. It owns nothing the engine doesn't already own — every batch
+// carries the authoritative bounds and pool — so its only jobs are
+// scheduling (static chunk ownership plus work-stealing), merging replies
+// into per-index outcome slots, and brokering validated knowledge between
+// shards.
+type Coordinator struct {
+	shards []*shardConn
+	warn   func(format string, args ...any)
+
+	steals atomic.Uint64
+	deaths atomic.Uint64
+
+	// kmu serializes knowledge handling: validation, import into the
+	// coordinator cache, and the per-shard relay queues.
+	kmu      sync.Mutex
+	val      *validator
+	cache    *cache.Cache
+	relay    []knowledge // pending validated knowledge per shard
+	imported struct {
+		verdicts, cores uint64
+	}
+}
+
+// shardConn is one worker connection. A shard is driven by exactly one
+// goroutine per batch, so conn access needs no lock; live flips to false
+// at most once (kill) and is read concurrently by peers relaying
+// knowledge, hence atomic.
+type shardConn struct {
+	conn io.ReadWriteCloser
+	live atomic.Bool
+	// stats is the shard's cumulative solver aggregate from its latest
+	// reply; kept coordinator-side so a shard's work is still accounted
+	// for after it dies.
+	stats workerStats
+}
+
+// New performs the handshake with every connection and returns a
+// coordinator over the shards that completed it. Workers that fail the
+// handshake (version skew, fingerprint mismatch, dead transport) are
+// dropped with a warning; if none survive, New fails — a sharded run that
+// would silently execute on zero shards is a misconfiguration.
+//
+// cacheRef is the coordinator engine's verdict cache (opts.SMT.Cache; may
+// be nil), the destination for validated peer knowledge. tok is the run's
+// cancellation token, bounding trusted re-solves during validation.
+func New(job core.Job, opts core.Options, conns []io.ReadWriteCloser, tok *cancel.Token, warn func(format string, args ...any)) (*Coordinator, error) {
+	if warn == nil {
+		warn = func(string, ...any) {}
+	}
+	fp := core.RunFingerprint(job, opts)
+	hello := encodeHello(fp, job, opts)
+	c := &Coordinator{
+		warn:  warn,
+		val:   newValidator(tok),
+		cache: opts.SMT.Cache,
+		relay: make([]knowledge, len(conns)),
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(conns))
+	shards := make([]*shardConn, len(conns))
+	for i, conn := range conns {
+		shards[i] = &shardConn{conn: conn}
+		wg.Add(1)
+		go func(i int, conn io.ReadWriteCloser) {
+			defer wg.Done()
+			errs[i] = handshake(conn, hello, fp)
+		}(i, conn)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			warn("shard %d handshake failed: %v", i, err)
+			shards[i].conn.Close()
+			continue
+		}
+		shards[i].live.Store(true)
+	}
+	c.shards = shards
+	alive := 0
+	for _, s := range shards {
+		if s.live.Load() {
+			alive++
+		}
+	}
+	if alive == 0 {
+		return nil, fmt.Errorf("shard: no worker completed the handshake")
+	}
+	return c, nil
+}
+
+func handshake(conn io.ReadWriter, hello []byte, fp uint64) error {
+	if err := journal.WriteWireHeader(conn); err != nil {
+		return err
+	}
+	if err := writeMsg(conn, kHello, hello); err != nil {
+		return err
+	}
+	if err := journal.ReadWireHeader(conn); err != nil {
+		return err
+	}
+	rec, err := readMsg(conn)
+	if err != nil {
+		return err
+	}
+	if rec.Kind != kReady {
+		return fmt.Errorf("shard: expected ready, got frame kind %d", rec.Kind)
+	}
+	wfp, err := decodeReady(rec.Payload)
+	if err != nil {
+		return err
+	}
+	if wfp != fp {
+		return fmt.Errorf("shard: worker fingerprint %x, want %x", wfp, fp)
+	}
+	return nil
+}
+
+// chunk is a contiguous batch slice with a static owner; a chunk executed
+// by another shard is a steal.
+type chunk struct {
+	lo, hi, owner int
+}
+
+// chunkQueue is the shared work queue for one batch. Executors prefer
+// their own chunks and steal otherwise; a dying shard requeues its chunk,
+// and waiters block until every chunk is done or stranded (no live
+// executor left to wake them — the batch loop detects that and bails).
+type chunkQueue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  []chunk
+	inflight int
+}
+
+func newChunkQueue(chunks []chunk) *chunkQueue {
+	q := &chunkQueue{pending: chunks}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// pop claims a chunk for shard me, preferring owned chunks. It blocks
+// while other shards hold chunks in flight (one may die and requeue) and
+// returns false once the batch has fully drained.
+func (q *chunkQueue) pop(me int) (chunk, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if len(q.pending) > 0 {
+			at := 0
+			for i, c := range q.pending {
+				if c.owner == me {
+					at = i
+					break
+				}
+			}
+			c := q.pending[at]
+			q.pending = append(q.pending[:at], q.pending[at+1:]...)
+			q.inflight++
+			return c, true
+		}
+		if q.inflight == 0 {
+			return chunk{}, false
+		}
+		q.cond.Wait()
+	}
+}
+
+func (q *chunkQueue) done() {
+	q.mu.Lock()
+	q.inflight--
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+func (q *chunkQueue) requeue(c chunk) {
+	q.mu.Lock()
+	q.pending = append(q.pending, c)
+	q.inflight--
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// stranded reports chunks nobody executed (every shard died mid-batch).
+func (q *chunkQueue) stranded() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending) > 0 || q.inflight > 0
+}
+
+// plan splits n items into contiguous chunks, several per shard, so a
+// fast shard has something to steal once its own are done. Chunk
+// boundaries never affect outcomes — items are independent and per-index
+// — so the split is a pure scheduling choice.
+func plan(n, nshards int) []chunk {
+	if n == 0 {
+		return nil
+	}
+	per := n / (nshards * 2)
+	if per < 1 {
+		per = 1
+	}
+	var chunks []chunk
+	for lo, i := 0, 0; lo < n; i++ {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		chunks = append(chunks, chunk{lo: lo, hi: hi, owner: i % nshards})
+		lo = hi
+	}
+	return chunks
+}
+
+// RunFlips distributes one path-reduction scan. A nil return (all shards
+// dead before the batch drained) tells the engine to recompute the whole
+// batch locally.
+func (c *Coordinator) RunFlips(b core.FlipBatch) []core.FlipOutcome {
+	outs := make([]core.FlipOutcome, len(b.Flips))
+	ok := c.runBatch(len(b.Flips), kFlipStart, batchStart{bounds: b.Bounds, pool: b.Pool},
+		func(s *shardConn, ck chunk) error {
+			if err := writeMsg(s.conn, kFlipChunk, encodeFlipChunk(ck.lo, b.Flips[ck.lo:ck.hi])); err != nil {
+				return err
+			}
+			rec, err := readMsg(s.conn)
+			if err != nil {
+				return err
+			}
+			if rec.Kind != kFlipReply {
+				return fmt.Errorf("shard: expected flip reply, got kind %d", rec.Kind)
+			}
+			base, res, k, ws, err := decodeFlipReply(rec.Payload)
+			if err != nil {
+				return err
+			}
+			if base != ck.lo || len(res) != ck.hi-ck.lo {
+				return fmt.Errorf("shard: flip reply [%d,+%d), want [%d,%d)", base, len(res), ck.lo, ck.hi)
+			}
+			copy(outs[ck.lo:ck.hi], res)
+			c.record(s, ws, k)
+			return nil
+		})
+	if !ok {
+		return nil
+	}
+	return outs
+}
+
+// RunReduce distributes one pool reduction.
+func (c *Coordinator) RunReduce(b core.ReduceBatch) []core.ReduceOutcome {
+	outs := make([]core.ReduceOutcome, len(b.Pool))
+	ok := c.runBatch(len(b.Pool), kReduceStart, batchStart{bounds: b.Bounds, pool: b.Pool, isRed: true, rc: b.Ctx},
+		func(s *shardConn, ck chunk) error {
+			if err := writeMsg(s.conn, kReduceChunk, encodeReduceChunk(ck.lo, ck.hi)); err != nil {
+				return err
+			}
+			rec, err := readMsg(s.conn)
+			if err != nil {
+				return err
+			}
+			if rec.Kind != kReduceReply {
+				return fmt.Errorf("shard: expected reduce reply, got kind %d", rec.Kind)
+			}
+			lo, res, k, ws, err := decodeReduceReply(rec.Payload)
+			if err != nil {
+				return err
+			}
+			if lo != ck.lo || len(res) != ck.hi-ck.lo {
+				return fmt.Errorf("shard: reduce reply [%d,+%d), want [%d,%d)", lo, len(res), ck.lo, ck.hi)
+			}
+			copy(outs[ck.lo:ck.hi], res)
+			c.record(s, ws, k)
+			return nil
+		})
+	if !ok {
+		return nil
+	}
+	return outs
+}
+
+// runBatch drives one batch: the start frame (with each shard's pending
+// relayed knowledge) to every live shard, then per-shard executor
+// goroutines self-scheduling from the chunk queue. Any connection error
+// kills that shard for the rest of the run — its chunk is requeued and
+// its pending relay dropped. Returns false if chunks were stranded.
+func (c *Coordinator) runBatch(n int, startKind uint8, bs batchStart, exec func(*shardConn, chunk) error) bool {
+	live := 0
+	for _, s := range c.shards {
+		if s.live.Load() {
+			live++
+		}
+	}
+	if live == 0 || n == 0 {
+		return false
+	}
+	q := newChunkQueue(plan(n, live))
+	var wg sync.WaitGroup
+	for i, s := range c.shards {
+		if !s.live.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, s *shardConn) {
+			defer wg.Done()
+			bs := bs
+			bs.relay = c.takeRelay(i)
+			if err := writeMsg(s.conn, startKind, encodeStart(startKind, bs)); err != nil {
+				c.kill(i, s, err)
+				return
+			}
+			for {
+				ck, ok := q.pop(i)
+				if !ok {
+					return
+				}
+				if ck.owner != i {
+					c.steals.Add(1)
+				}
+				if err := exec(s, ck); err != nil {
+					c.kill(i, s, err)
+					q.requeue(ck)
+					return
+				}
+				q.done()
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	return !q.stranded()
+}
+
+func (c *Coordinator) kill(i int, s *shardConn, err error) {
+	c.warn("shard %d died: %v", i, err)
+	s.live.Store(false)
+	s.conn.Close()
+	c.deaths.Add(1)
+}
+
+// takeRelay drains shard i's pending relayed knowledge.
+func (c *Coordinator) takeRelay(i int) knowledge {
+	c.kmu.Lock()
+	defer c.kmu.Unlock()
+	k := c.relay[i]
+	c.relay[i] = knowledge{}
+	return k
+}
+
+// record stores a reply's cumulative solver aggregate (under kmu — shard
+// goroutines race each other and Stats readers here) and absorbs its
+// knowledge delta.
+func (c *Coordinator) record(s *shardConn, ws workerStats, k knowledge) {
+	c.kmu.Lock()
+	s.stats = ws
+	c.kmu.Unlock()
+	c.absorb(s, k)
+}
+
+// absorb handles one reply's knowledge delta: every entry passes the
+// validation ladder exactly once, here at the coordinator's trust
+// boundary; what survives enters the coordinator's own cache and the
+// other shards' relay queues (workers import relays without revalidating
+// — the coordinator is already their root of trust for the job itself).
+// Rejected entries are dropped and counted, and their cores die with
+// them.
+func (c *Coordinator) absorb(from *shardConn, k knowledge) {
+	if k.empty() {
+		return
+	}
+	c.kmu.Lock()
+	defer c.kmu.Unlock()
+	var vetted cache.Export
+	okEntries := make(map[cache.Key]bool, len(k.ex.Entries))
+	for _, e := range k.ex.Entries {
+		v, ok := c.val.vet(e)
+		if !ok {
+			continue
+		}
+		okEntries[cache.EntryKey(e.F, e.Bounds)] = true
+		vetted.Entries = append(vetted.Entries, cache.ExportedEntry{F: e.F, Bounds: e.Bounds, Value: v})
+	}
+	for _, co := range k.ex.Cores {
+		if okEntries[cache.EntryKey(co.F, co.Bounds)] {
+			vetted.Cores = append(vetted.Cores, co)
+		}
+	}
+	c.imported.verdicts += uint64(len(vetted.Entries))
+	c.imported.cores += uint64(len(vetted.Cores))
+	if c.cache != nil {
+		if err := c.cache.Import(vetted); err != nil {
+			c.warn("shard knowledge import: %v", err)
+			return
+		}
+		for _, r := range k.retract {
+			c.cache.InvalidateKey(cache.EntryKey(r.f, r.bounds))
+		}
+	}
+	if len(vetted.Entries) == 0 && len(vetted.Cores) == 0 && len(k.retract) == 0 {
+		return
+	}
+	for i, s := range c.shards {
+		if !s.live.Load() || s == from {
+			continue
+		}
+		c.relay[i].ex.Entries = append(c.relay[i].ex.Entries, vetted.Entries...)
+		c.relay[i].ex.Cores = append(c.relay[i].ex.Cores, vetted.Cores...)
+		c.relay[i].retract = append(c.relay[i].retract, k.retract...)
+	}
+}
+
+// Counters implements core.Distributor.
+func (c *Coordinator) Counters() core.DistCounters {
+	c.kmu.Lock()
+	defer c.kmu.Unlock()
+	return core.DistCounters{
+		Shards:           len(c.shards),
+		Steals:           c.steals.Load(),
+		Deaths:           c.deaths.Load(),
+		ImportedVerdicts: c.imported.verdicts,
+		ImportedCores:    c.imported.cores,
+		RejectedImports:  c.val.rejected,
+	}
+}
+
+// SolverStats sums every shard's latest cumulative aggregate (dead shards
+// keep their last report) plus the validator's own solve work.
+func (c *Coordinator) SolverStats() smt.Stats {
+	c.kmu.Lock()
+	defer c.kmu.Unlock()
+	agg := c.val.stats()
+	for _, s := range c.shards {
+		agg = agg.Add(s.stats)
+	}
+	return agg
+}
+
+// Close shuts the fleet down: a best-effort shutdown frame, then the
+// connections.
+func (c *Coordinator) Close() error {
+	for _, s := range c.shards {
+		if !s.live.Load() {
+			continue
+		}
+		writeMsg(s.conn, kShutdown, nil)
+		s.conn.Close()
+		s.live.Store(false)
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+// Differential tests for distributed exploration: the repair result —
+// pool, ranking, headline stats — must be bit-identical between a
+// 1-process run and any shard count, including under shard death
+// mid-run (work-stealing recovery) and with every shard dead (local
+// fallback). This is the same determinism contract the in-process worker
+// pool proves in core's parallel tests, extended across process
+// boundaries.
+package shard_test
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cpr/internal/core"
+	"cpr/internal/expr"
+	"cpr/internal/interval"
+	"cpr/internal/lang"
+	"cpr/internal/shard"
+	"cpr/internal/synth"
+)
+
+// workerEnv marks a re-exec of this test binary as a shard worker
+// subprocess (see TestMain and the SIGKILL test).
+const workerEnv = "CPR_SHARD_TEST_WORKER"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(workerEnv) == "1" {
+		if err := shard.ServeStdio(nil); err != nil {
+			fmt.Fprintln(os.Stderr, "shard worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+const divZeroSubject = `
+void main(int x, int y) {
+    if (__HOLE__) {
+        return;
+    }
+    __BUG__;
+    int c = 100 / x;
+    int d = c / y;
+}
+`
+
+func divZeroJob() core.Job {
+	prog := lang.MustParse(divZeroSubject)
+	return core.Job{
+		Program: prog,
+		Spec: expr.And(
+			expr.Ne(expr.IntVar("x"), expr.Int(0)),
+			expr.Ne(expr.IntVar("y"), expr.Int(0)),
+		),
+		FailingInputs: []map[string]int64{{"x": 7, "y": 0}},
+		Components: synth.Components{
+			Vars:         map[string]lang.Type{"x": lang.TypeInt, "y": lang.TypeInt},
+			Params:       []string{"a", "b"},
+			ParamRange:   interval.New(-10, 10),
+			Cmp:          []expr.Op{expr.OpEq, expr.OpGe, expr.OpLt},
+			Bool:         []expr.Op{expr.OpOr},
+			Arith:        []expr.Op{},
+			MaxTemplates: 40,
+		},
+		InputBounds: map[string]interval.Interval{
+			"x": interval.New(-100, 100),
+			"y": interval.New(-100, 100),
+		},
+		Budget: core.Budget{MaxIterations: 25, ValidationIterations: 8},
+	}
+}
+
+// fingerprint renders what the distribution contract promises to be
+// shard-count-independent (shard counters and cache traffic excluded).
+func fingerprint(res *core.Result) string {
+	var b strings.Builder
+	st := res.Stats
+	fmt.Fprintf(&b, "stats P %d->%d pool %d->%d phiE=%d phiS=%d gen=%d patchHits=%d bugHits=%d ref=%d rem=%d\n",
+		st.PInit, st.PFinal, st.PoolInit, st.PoolFinal, st.PathsExplored, st.PathsSkipped,
+		st.InputsGenerated, st.PatchLocHits, st.BugLocHits, st.Refinements, st.Removals)
+	for _, p := range res.Pool.Patches {
+		fmt.Fprintf(&b, "pool %d %s count=%d\n", p.ID, p, p.Constraint.Count())
+	}
+	for i, p := range res.Ranked {
+		fmt.Fprintf(&b, "rank %d: id=%d score=%.6f\n", i+1, p.ID, p.Score)
+	}
+	return b.String()
+}
+
+func baseline(t *testing.T) string {
+	t.Helper()
+	res, err := core.Repair(divZeroJob(), core.Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("baseline Repair: %v", err)
+	}
+	return fingerprint(res)
+}
+
+// TestShardDifferential is the tentpole contract: 1, 2, and 4 shards all
+// reproduce the 1-process result bit-identically, and multi-shard runs
+// actually exchange knowledge.
+func TestShardDifferential(t *testing.T) {
+	want := baseline(t)
+	for _, n := range []int{1, 2, 4} {
+		opts := core.Options{Workers: 1}
+		opts.NewDistributor = shard.PipesFactory(n, nil)
+		res, err := core.Repair(divZeroJob(), opts)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", n, err)
+		}
+		if got := fingerprint(res); got != want {
+			t.Fatalf("shards=%d diverged from 1-process run:\n--- want ---\n%s--- got ---\n%s", n, want, got)
+		}
+		if res.Stats.Shards != n {
+			t.Errorf("shards=%d: Stats.Shards = %d", n, res.Stats.Shards)
+		}
+		if n > 1 {
+			if res.Stats.ShardImportedVerdicts == 0 {
+				t.Errorf("shards=%d: no knowledge imported across shards", n)
+			}
+			if res.Stats.ShardRejectedImports != 0 {
+				t.Errorf("shards=%d: %d honest imports rejected", n, res.Stats.ShardRejectedImports)
+			}
+		}
+		if res.Stats.ShardDeaths != 0 {
+			t.Errorf("shards=%d: %d shard deaths on healthy transports", n, res.Stats.ShardDeaths)
+		}
+	}
+}
+
+// dyingConn passes frames through until budget reads, then snaps the
+// connection — a deterministic stand-in for a shard crash mid-run.
+type dyingConn struct {
+	io.ReadWriteCloser
+	mu     sync.Mutex
+	budget int
+}
+
+func (d *dyingConn) Read(p []byte) (int, error) {
+	d.mu.Lock()
+	d.budget--
+	dead := d.budget < 0
+	d.mu.Unlock()
+	if dead {
+		d.ReadWriteCloser.Close()
+		return 0, fmt.Errorf("dyingConn: injected connection loss")
+	}
+	return d.ReadWriteCloser.Read(p)
+}
+
+// TestShardDeathRecovery kills one of two shards mid-run: the survivor
+// must steal the dead shard's chunks and the result must not change.
+func TestShardDeathRecovery(t *testing.T) {
+	want := baseline(t)
+	opts := core.Options{Workers: 1}
+	opts.NewDistributor = shard.Factory(func() ([]io.ReadWriteCloser, error) {
+		conns := shard.Pipes(2, nil)
+		// Budget 8 outlives the handshake (header + ready, ~4 reads) and
+		// the first reply or two, then shard 0 drops mid-generation. It
+		// must be small: how many replies shard 0 serves before the run
+		// ends depends on work-stealing balance, so a large budget may
+		// never trip on a fast (warmed-up) run.
+		conns[0] = &dyingConn{ReadWriteCloser: conns[0], budget: 8}
+		return conns, nil
+	}, t.Logf)
+	res, err := core.Repair(divZeroJob(), opts)
+	if err != nil {
+		t.Fatalf("Repair with dying shard: %v", err)
+	}
+	if got := fingerprint(res); got != want {
+		t.Fatalf("death recovery diverged:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+	if res.Stats.ShardDeaths != 1 {
+		t.Errorf("ShardDeaths = %d, want 1", res.Stats.ShardDeaths)
+	}
+	if res.Stats.ShardSteals == 0 {
+		t.Error("survivor stole no chunks from the dead shard")
+	}
+}
+
+// TestShardAllDeadFallsBack: with every shard dead the engine must finish
+// the run locally, bit-identically.
+func TestShardAllDeadFallsBack(t *testing.T) {
+	want := baseline(t)
+	opts := core.Options{Workers: 1}
+	opts.NewDistributor = shard.Factory(func() ([]io.ReadWriteCloser, error) {
+		conns := shard.Pipes(2, nil)
+		for i := range conns {
+			conns[i] = &dyingConn{ReadWriteCloser: conns[i], budget: 8 + 4*i}
+		}
+		return conns, nil
+	}, t.Logf)
+	res, err := core.Repair(divZeroJob(), opts)
+	if err != nil {
+		t.Fatalf("Repair with all shards dying: %v", err)
+	}
+	if got := fingerprint(res); got != want {
+		t.Fatalf("local fallback diverged:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+	if res.Stats.ShardDeaths != 2 {
+		t.Errorf("ShardDeaths = %d, want 2", res.Stats.ShardDeaths)
+	}
+}
+
+// TestShardSubprocessSIGKILL runs real worker subprocesses (re-execs of
+// this test binary) and SIGKILLs one after the fleet handshake: the run
+// must finish on the survivor with the 1-process result.
+func TestShardSubprocessSIGKILL(t *testing.T) {
+	want := baseline(t)
+	job := divZeroJob()
+	opts := core.Options{Workers: 1}
+
+	os.Setenv(workerEnv, "1")
+	conns, err := shard.Spawn(2, nil)
+	os.Unsetenv(workerEnv)
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	coord, err := shard.New(job, opts, conns, nil, t.Logf)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	proc, ok := conns[0].(interface{ Proc() *os.Process })
+	if !ok {
+		t.Fatal("spawned connection does not expose its process")
+	}
+	if err := proc.Proc().Kill(); err != nil {
+		t.Fatalf("SIGKILL shard 0: %v", err)
+	}
+	// Give the kernel a moment to tear the pipes down so the coordinator
+	// sees the death rather than buffering into the void.
+	time.Sleep(50 * time.Millisecond)
+
+	opts.NewDistributor = func(core.Job, core.Options) (core.Distributor, error) { return coord, nil }
+	res, err := core.Repair(job, opts)
+	if err != nil {
+		t.Fatalf("Repair after SIGKILL: %v", err)
+	}
+	if got := fingerprint(res); got != want {
+		t.Fatalf("SIGKILL recovery diverged:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+	if res.Stats.ShardDeaths != 1 {
+		t.Errorf("ShardDeaths = %d, want 1", res.Stats.ShardDeaths)
+	}
+	if res.Stats.ShardSteals == 0 {
+		t.Error("survivor stole no chunks from the killed shard")
+	}
+}

@@ -1,0 +1,178 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+
+	"cpr/internal/core"
+)
+
+// Transports. A shard connection is any io.ReadWriteCloser with reliable,
+// ordered delivery; the protocol's CRC framing catches corruption on top.
+// Three are provided:
+//
+//   - Pipes: in-process workers over net.Pipe — the differential-testing
+//     and single-binary topology (no process isolation, no extra cores).
+//   - Spawn: local worker subprocesses re-execing this binary with a
+//     worker flag, speaking the protocol over stdin/stdout. This is what
+//     `cpr -shards N` uses: one OS process per shard, so the kernel
+//     schedules them across cores.
+//   - Dial/Serve: remote workers over TCP (`cpr -shard-listen` on the
+//     worker host, `-shard-connect` on the coordinator).
+
+// Pipes starts n in-process workers and returns the coordinator ends of
+// their connections. Worker errors after a completed handshake surface
+// through warn; the coordinator sees the closed pipe and treats the shard
+// as dead.
+func Pipes(n int, warn func(format string, args ...any)) []io.ReadWriteCloser {
+	conns := make([]io.ReadWriteCloser, n)
+	for i := 0; i < n; i++ {
+		coord, work := net.Pipe()
+		conns[i] = coord
+		go func(i int, work net.Conn) {
+			defer work.Close()
+			if err := ServeConn(work, warn); err != nil && warn != nil {
+				warn("pipe shard %d: %v", i, err)
+			}
+		}(i, work)
+	}
+	return conns
+}
+
+// procConn is a subprocess worker connection: frames go down its stdin
+// and come back up its stdout. Close releases the pipes and reaps the
+// process (workers exit on stdin EOF or a shutdown frame).
+type procConn struct {
+	io.Reader
+	io.WriteCloser
+	cmd *exec.Cmd
+}
+
+func (p *procConn) Close() error {
+	p.WriteCloser.Close()
+	return p.cmd.Wait()
+}
+
+// Proc exposes the worker subprocess, for fault-injection harnesses that
+// kill shards for real.
+func (p *procConn) Proc() *os.Process { return p.cmd.Process }
+
+// Spawn starts n local worker subprocesses by re-execing this binary with
+// args (e.g. ["-shard-worker"]); stderr passes through. The returned
+// connections are handed to New; Close (or coordinator shutdown) reaps
+// the processes.
+func Spawn(n int, args []string) ([]io.ReadWriteCloser, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("shard: locate executable: %w", err)
+	}
+	conns := make([]io.ReadWriteCloser, 0, n)
+	fail := func(err error) ([]io.ReadWriteCloser, error) {
+		for _, c := range conns {
+			c.Close()
+		}
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(self, args...)
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return fail(err)
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return fail(err)
+		}
+		if err := cmd.Start(); err != nil {
+			return fail(fmt.Errorf("shard: spawn worker: %w", err))
+		}
+		conns = append(conns, &procConn{Reader: stdout, WriteCloser: stdin, cmd: cmd})
+	}
+	return conns, nil
+}
+
+// Dial connects to remote workers (one per address).
+func Dial(addrs []string) ([]io.ReadWriteCloser, error) {
+	conns := make([]io.ReadWriteCloser, 0, len(addrs))
+	for _, a := range addrs {
+		conn, err := net.Dial("tcp", a)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, fmt.Errorf("shard: dial %s: %w", a, err)
+		}
+		conns = append(conns, conn)
+	}
+	return conns, nil
+}
+
+// Serve accepts coordinator connections on l and serves each with a fresh
+// worker until l closes. Each connection gets its own replica; a worker
+// host can serve several runs over its lifetime.
+func Serve(l net.Listener, warn func(format string, args ...any)) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func(conn net.Conn) {
+			defer conn.Close()
+			if err := ServeConn(conn, warn); err != nil && warn != nil {
+				warn("shard worker: %v", err)
+			}
+		}(conn)
+	}
+}
+
+// stdioConn adapts the process's stdin/stdout to a connection for
+// subprocess worker mode.
+type stdioConn struct{}
+
+func (stdioConn) Read(p []byte) (int, error)  { return os.Stdin.Read(p) }
+func (stdioConn) Write(p []byte) (int, error) { return os.Stdout.Write(p) }
+
+// ServeStdio runs one worker over the process's stdin/stdout — the body
+// of a CLI's -shard-worker mode.
+func ServeStdio(warn func(format string, args ...any)) error {
+	return ServeConn(stdioConn{}, warn)
+}
+
+// Factory adapts a connection source to core.Options.NewDistributor: the
+// connections are established (and the fleet handshaken) lazily, when the
+// engine actually starts a run.
+func Factory(connect func() ([]io.ReadWriteCloser, error), warn func(format string, args ...any)) func(core.Job, core.Options) (core.Distributor, error) {
+	return func(job core.Job, opts core.Options) (core.Distributor, error) {
+		conns, err := connect()
+		if err != nil {
+			return nil, err
+		}
+		c, err := New(job, opts, conns, opts.Cancel, warn)
+		if err != nil {
+			for _, conn := range conns {
+				conn.Close()
+			}
+			return nil, err
+		}
+		return c, nil
+	}
+}
+
+// SpawnFactory is Factory over n spawned subprocess workers.
+func SpawnFactory(n int, args []string, warn func(format string, args ...any)) func(core.Job, core.Options) (core.Distributor, error) {
+	return Factory(func() ([]io.ReadWriteCloser, error) { return Spawn(n, args) }, warn)
+}
+
+// PipesFactory is Factory over n in-process workers.
+func PipesFactory(n int, warn func(format string, args ...any)) func(core.Job, core.Options) (core.Distributor, error) {
+	return Factory(func() ([]io.ReadWriteCloser, error) { return Pipes(n, warn), nil }, warn)
+}
+
+// DialFactory is Factory over remote workers at addrs.
+func DialFactory(addrs []string, warn func(format string, args ...any)) func(core.Job, core.Options) (core.Distributor, error) {
+	return Factory(func() ([]io.ReadWriteCloser, error) { return Dial(addrs) }, warn)
+}

@@ -1,0 +1,211 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cpr/internal/core"
+	"cpr/internal/expr"
+	"cpr/internal/faultinject"
+	"cpr/internal/journal"
+	"cpr/internal/smt/cache"
+)
+
+// workerState is one shard worker serving one coordinator connection: an
+// engine replica plus the bookkeeping that makes knowledge exchange a
+// delta protocol (what was already shipped, what the coordinator relayed
+// from peers).
+type workerState struct {
+	we *core.WorkerEngine
+	rc core.ReduceContext
+	// sent marks cache entries already shipped to (or relayed from) the
+	// coordinator, so each reply carries only new knowledge and a relayed
+	// entry never echoes back. A retraction clears the mark, so a
+	// re-learned verdict ships again.
+	sent map[cache.Key]bool
+}
+
+// ServeConn runs the worker side of the shard protocol on one connection
+// until the coordinator shuts it down or the connection drops. warn (may
+// be nil) receives human-readable notes about degraded operation.
+//
+// The handshake is strictly ordered for unbuffered transports: the
+// coordinator speaks first (wire header, then hello), the worker answers
+// (wire header, then ready). The worker recomputes the run fingerprint
+// from the hello it decoded and refuses to serve on mismatch — a replica
+// that would diverge must fail closed before it computes anything.
+func ServeConn(rw io.ReadWriter, warn func(format string, args ...any)) error {
+	if warn == nil {
+		warn = func(string, ...any) {}
+	}
+	if err := journal.ReadWireHeader(rw); err != nil {
+		return err
+	}
+	rec, err := readMsg(rw)
+	if err != nil {
+		return err
+	}
+	if rec.Kind != kHello {
+		return fmt.Errorf("shard: expected hello, got frame kind %d", rec.Kind)
+	}
+	fp, job, opts, err := decodeHello(rec.Payload)
+	if err != nil {
+		return err
+	}
+	we, err := core.NewWorkerEngine(job, opts)
+	if err != nil {
+		return fmt.Errorf("shard: replica build: %w", err)
+	}
+	if we.Fingerprint() != fp {
+		return fmt.Errorf("shard: replica fingerprint %x, coordinator sent %x", we.Fingerprint(), fp)
+	}
+	if err := journal.WriteWireHeader(rw); err != nil {
+		return err
+	}
+	if err := writeMsg(rw, kReady, encodeReady(we.Fingerprint())); err != nil {
+		return err
+	}
+
+	w := &workerState{we: we, sent: make(map[cache.Key]bool)}
+	for {
+		rec, err := readMsg(rw)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch rec.Kind {
+		case kFlipStart, kReduceStart:
+			bs, err := decodeStart(rec.Kind, rec.Payload)
+			if err != nil {
+				return err
+			}
+			if err := w.applyStart(bs); err != nil {
+				return err
+			}
+		case kFlipChunk:
+			base, flips, err := decodeFlipChunk(rec.Payload)
+			if err != nil {
+				return err
+			}
+			outs := we.RunFlips(flips)
+			reply := encodeFlipReply(base, outs, w.collectDelta(), we.SolverStats())
+			if err := writeMsg(rw, kFlipReply, reply); err != nil {
+				return err
+			}
+		case kReduceChunk:
+			lo, hi, err := decodeReduceChunk(rec.Payload)
+			if err != nil {
+				return err
+			}
+			outs := we.RunReduce(w.rc, lo, hi)
+			if outs == nil {
+				return fmt.Errorf("shard: reduce chunk [%d,%d) out of range", lo, hi)
+			}
+			reply := encodeReduceReply(lo, outs, w.collectDelta(), we.SolverStats())
+			if err := writeMsg(rw, kReduceReply, reply); err != nil {
+				return err
+			}
+		case kShutdown:
+			return nil
+		default:
+			return fmt.Errorf("shard: unexpected frame kind %d", rec.Kind)
+		}
+	}
+}
+
+// applyStart re-syncs the replica to a batch's start state. Relayed
+// knowledge is imported without revalidation: the coordinator validated it
+// once at its own trust boundary, and the coordinator already supplies the
+// job, the options, and the pool — a worker that distrusts it has nothing
+// left to compute with. Relayed entries are marked sent so they never echo
+// back in this worker's deltas.
+func (w *workerState) applyStart(bs batchStart) error {
+	w.we.SetBounds(bs.bounds)
+	if err := w.we.ApplyPool(bs.pool); err != nil {
+		return err
+	}
+	if !bs.relay.empty() {
+		if err := w.we.Cache().Import(bs.relay.ex); err != nil {
+			return err
+		}
+		for _, e := range bs.relay.ex.Entries {
+			w.sent[cache.EntryKey(e.F, e.Bounds)] = true
+		}
+		for _, r := range bs.relay.retract {
+			k := cache.EntryKey(r.f, r.bounds)
+			w.we.Cache().InvalidateKey(k)
+			delete(w.sent, k)
+		}
+		// The relay's own invalidation echoes are not knowledge this
+		// worker learned; drop them so the next delta stays clean.
+		w.we.Cache().DrainInvalidations()
+	}
+	if bs.isRed {
+		w.rc = bs.rc
+	}
+	return nil
+}
+
+// collectDelta gathers the knowledge learned since the previous reply:
+// new cache entries (with cores only for entries in the same delta) and
+// retractions of entries shipped earlier. Under an active faultinject
+// plan, outgoing copies are corrupted per the lie schedule — the worker's
+// own cache stays truthful, modeling a peer that lies on the wire.
+func (w *workerState) collectDelta() knowledge {
+	full := w.we.Cache().Export()
+	var k knowledge
+	inDelta := make(map[cache.Key]bool)
+	for _, e := range full.Entries {
+		ek := cache.EntryKey(e.F, e.Bounds)
+		if w.sent[ek] {
+			continue
+		}
+		w.sent[ek] = true
+		inDelta[ek] = true
+		k.ex.Entries = append(k.ex.Entries, corruptEntry(e))
+	}
+	for _, c := range full.Cores {
+		if inDelta[cache.EntryKey(c.F, c.Bounds)] {
+			k.ex.Cores = append(k.ex.Cores, c)
+		}
+	}
+	for _, key := range w.we.Cache().DrainInvalidations() {
+		if !w.sent[key] {
+			continue
+		}
+		delete(w.sent, key)
+		f, b := key.Fields()
+		k.retract = append(k.retract, retraction{f: f, bounds: b})
+	}
+	return k
+}
+
+// corruptEntry applies the active fault plan's lie (if any) to an
+// outgoing entry copy. The mutation is on the export's clone — the
+// worker's own cache is untouched.
+func corruptEntry(e cache.ExportedEntry) cache.ExportedEntry {
+	switch faultinject.ShardLie() {
+	case faultinject.SolverFlipModel:
+		if e.Value.Sat && e.Value.Model != nil {
+			names := make([]string, 0, len(e.Value.Model))
+			for n := range e.Value.Model {
+				names = append(names, n)
+			}
+			if len(names) > 0 {
+				sort.Strings(names)
+				e.Value.Model[names[0]] ^= 1 << 40
+			}
+		}
+	case faultinject.SolverSpuriousUnsat:
+		e.Value.Sat = !e.Value.Sat
+		e.Value.Model = nil
+	case faultinject.SolverTruncateCore:
+		if e.Value.Sat == false && e.F.Op == expr.OpAnd && len(e.F.Args) > 1 {
+			e.F = expr.And(e.F.Args[:len(e.F.Args)-1]...)
+		}
+	}
+	return e
+}

@@ -104,6 +104,12 @@ type Cache struct {
 	cores     *list.List // of *unsatCore; front = most recently added/hit
 	coreByKey map[key]*list.Element
 	stats     Stats
+	// trackInv/retract record withdrawn entries for shard knowledge
+	// sharing: a peer that imported an entry must hear about its
+	// invalidation, or the withdrawn verdict would outlive its source.
+	// See TrackInvalidations/DrainInvalidations in delta.go.
+	trackInv bool
+	retract  []Key
 }
 
 // New returns an empty cache.
@@ -247,13 +253,19 @@ func (c *Cache) InvalidateKey(k Key) {
 	ik := key{f: k.f, bounds: k.bounds}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	removed := false
 	if el, ok := c.entries[ik]; ok {
 		c.lru.Remove(el)
 		delete(c.entries, ik)
+		removed = true
 	}
 	if el, ok := c.coreByKey[ik]; ok {
 		c.cores.Remove(el)
 		delete(c.coreByKey, ik)
+		removed = true
+	}
+	if removed && c.trackInv {
+		c.retract = append(c.retract, k)
 	}
 }
 

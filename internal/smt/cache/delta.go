@@ -1,0 +1,62 @@
+package cache
+
+import (
+	"cpr/internal/expr"
+	"cpr/internal/interval"
+)
+
+// Delta support for cross-shard knowledge sharing (internal/shard): a
+// shard periodically exports the verdicts it learned since the last
+// exchange, and peers import them after validating each one. Two pieces
+// make the exchange sound across time:
+//
+//   - EntryKey/Key let the exporter remember which entries it already
+//     shipped, so each exchange carries only the delta.
+//   - TrackInvalidations/DrainInvalidations record withdrawn entries, so a
+//     peer that imported an entry in an earlier exchange also withdraws it
+//     — an invalidated verdict must never be resurrected by a stale import.
+
+// EntryKey returns the exact-entry Key for an exported entry's fields (the
+// interned formula plus its canonical bounds-key rendering). It is the
+// same key KeyOf computes from the live bounds map.
+func EntryKey(f *expr.Term, boundsKey string) Key {
+	return Key{f: f, bounds: boundsKey}
+}
+
+// Fields returns the key's formula and canonical bounds rendering — the
+// inverse of EntryKey, for serializing retractions.
+func (k Key) Fields() (*expr.Term, string) { return k.f, k.bounds }
+
+// ParseBoundsKey validates and inverts a canonical bounds-key rendering
+// (BoundsKey): the default domain plus the per-variable bounds map.
+// Importers use it to re-derive the domains an exported verdict was
+// decided under.
+func ParseBoundsKey(s string) (def interval.Interval, bounds map[string]interval.Interval, err error) {
+	return parseBoundsKey(s)
+}
+
+// TrackInvalidations starts recording withdrawn entries (InvalidateKey /
+// Invalidate calls that removed an entry or a subsumption core) for
+// DrainInvalidations. Safe on a nil cache.
+func (c *Cache) TrackInvalidations() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.trackInv = true
+}
+
+// DrainInvalidations returns the keys invalidated since the previous
+// drain and clears the record. Returns nil unless TrackInvalidations was
+// called. Safe on a nil cache.
+func (c *Cache) DrainInvalidations() []Key {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.retract
+	c.retract = nil
+	return out
+}

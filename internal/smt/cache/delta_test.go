@@ -1,0 +1,198 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cpr/internal/expr"
+	"cpr/internal/interval"
+)
+
+// TestExportImportDeltaRoundtripConcurrent drives Export/Import the way
+// the shard layer does — repeated delta exchanges while other goroutines
+// keep writing — and checks that every verdict that made it into an export
+// lands intact in the importing cache, with models preserved.
+func TestExportImportDeltaRoundtripConcurrent(t *testing.T) {
+	src := New(Options{})
+	dst := New(Options{})
+	b := map[string]interval.Interval{"x": interval.New(0, 1000)}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f := expr.Gt(expr.IntVar(fmt.Sprintf("x%d_%d", w, i%64)), expr.Int(int64(i%32)))
+				if i%3 == 0 {
+					src.Store(f, b, def, Value{Sat: false})
+				} else {
+					src.Store(f, b, def, Value{Sat: true, Model: expr.Model{"x": int64(i)}})
+				}
+			}
+		}(w)
+	}
+
+	// Delta exchanges under fire: each round exports whatever is retained,
+	// filters against what was already shipped, and imports the remainder.
+	sent := make(map[Key]bool)
+	for round := 0; round < 20; round++ {
+		ex := src.Export()
+		var delta Export
+		for _, e := range ex.Entries {
+			k := EntryKey(e.F, e.Bounds)
+			if sent[k] {
+				continue
+			}
+			sent[k] = true
+			delta.Entries = append(delta.Entries, e)
+		}
+		present := make(map[Key]bool, len(delta.Entries))
+		for _, e := range delta.Entries {
+			present[EntryKey(e.F, e.Bounds)] = true
+		}
+		for _, c := range ex.Cores {
+			if present[EntryKey(c.F, c.Bounds)] {
+				delta.Cores = append(delta.Cores, c)
+			}
+		}
+		if err := dst.Import(delta); err != nil {
+			t.Fatalf("round %d: import: %v", round, err)
+		}
+		// Everything in this delta must now answer from dst (unless its
+		// own volume evicted it — bounded caches may drop oldest-first).
+		for _, e := range delta.Entries {
+			def2, bounds2, err := ParseBoundsKey(e.Bounds)
+			if err != nil {
+				t.Fatalf("exported bounds key unparseable: %v", err)
+			}
+			sat, ok := dst.LookupVerdict(e.F, bounds2, def2)
+			if ok && sat != e.Value.Sat {
+				t.Fatalf("round %d: imported verdict flipped: want sat=%v", round, e.Value.Sat)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// A final quiescent roundtrip into a fresh cache must be faithful
+	// entry-for-entry.
+	final := src.Export()
+	fresh := New(Options{})
+	if err := fresh.Import(final); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range final.Entries {
+		def2, bounds2, err := ParseBoundsKey(e.Bounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sat, ok := fresh.LookupVerdict(e.F, bounds2, def2)
+		if !ok || sat != e.Value.Sat {
+			t.Fatalf("quiescent roundtrip lost or flipped an entry (ok=%v sat=%v want %v)", ok, sat, e.Value.Sat)
+		}
+		if e.Value.Model != nil {
+			v, ok := fresh.Lookup(e.F, bounds2, def2)
+			if !ok || v.Model == nil {
+				t.Fatal("quiescent roundtrip dropped a model")
+			}
+		}
+	}
+}
+
+// TestImportDoesNotResurrectInvalidatedCore models the cross-shard race
+// the retraction protocol exists for: shard A exports an unsat entry, then
+// invalidates it (the guard caught its solver lying); an export taken
+// before the invalidation must not let shard B keep — or re-send — the
+// withdrawn verdict once the retraction arrives.
+func TestImportDoesNotResurrectInvalidatedCore(t *testing.T) {
+	b := map[string]interval.Interval{"x": interval.New(0, 10)}
+	f := expr.And(expr.Gt(x(), expr.Int(5)), expr.Lt(x(), expr.Int(3)))
+
+	src := New(Options{})
+	src.TrackInvalidations()
+	src.Store(f, b, def, Value{Sat: false})
+	stale := src.Export() // delta shipped before the invalidation
+
+	dst := New(Options{})
+	if err := dst.Import(stale); err != nil {
+		t.Fatal(err)
+	}
+	if sat, ok := dst.LookupVerdict(f, b, def); !ok || sat {
+		t.Fatal("import did not deliver the unsat entry")
+	}
+	// The core generalizes on dst, as it did on src.
+	super := expr.And(expr.Gt(x(), expr.Int(5)), expr.Lt(x(), expr.Int(3)), expr.Gt(y(), expr.Int(0)))
+	if sat, ok := dst.LookupVerdict(super, b, def); !ok || sat {
+		t.Fatal("imported core does not subsume")
+	}
+
+	// Source withdraws the verdict; the recorded retraction reaches dst.
+	src.Invalidate(f, b, def)
+	retractions := src.DrainInvalidations()
+	if len(retractions) != 1 {
+		t.Fatalf("want 1 recorded invalidation, got %d", len(retractions))
+	}
+	for _, k := range retractions {
+		dst.InvalidateKey(k)
+	}
+	if _, ok := dst.LookupVerdict(f, b, def); ok {
+		t.Fatal("withdrawn entry still answers on the importer")
+	}
+	if _, ok := dst.LookupVerdict(super, b, def); ok {
+		t.Fatal("withdrawn core still subsumes on the importer")
+	}
+
+	// Re-importing the stale export replays the entry — that is the
+	// exporter's sent-set's job to prevent — but a second retraction pass
+	// must still withdraw it; retraction application is idempotent.
+	if err := dst.Import(stale); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range retractions {
+		dst.InvalidateKey(k)
+	}
+	if _, ok := dst.LookupVerdict(f, b, def); ok {
+		t.Fatal("stale re-import resurrected the withdrawn verdict past a retraction")
+	}
+
+	// A post-invalidation export no longer carries the entry or its core:
+	// fresh importers never see the withdrawn verdict at all.
+	clean := src.Export()
+	for _, e := range clean.Entries {
+		if EntryKey(e.F, e.Bounds) == EntryKey(f, BoundsKey(b, def)) {
+			t.Fatal("export still carries the invalidated entry")
+		}
+	}
+	if len(clean.Cores) != 0 {
+		t.Fatalf("export still carries %d cores after invalidation", len(clean.Cores))
+	}
+	drained := src.DrainInvalidations()
+	if len(drained) != 0 {
+		t.Fatalf("drain not cleared: %d", len(drained))
+	}
+}
+
+// TestDrainInvalidationsOnlyRecordsRemovals checks that no-op
+// invalidations (unknown keys) do not generate retraction traffic.
+func TestDrainInvalidationsOnlyRecordsRemovals(t *testing.T) {
+	c := New(Options{})
+	c.TrackInvalidations()
+	c.Invalidate(expr.Gt(x(), expr.Int(1)), nil, def) // never stored
+	if got := c.DrainInvalidations(); len(got) != 0 {
+		t.Fatalf("no-op invalidation recorded: %d", len(got))
+	}
+	f := expr.Gt(x(), expr.Int(2))
+	c.Store(f, nil, def, Value{Sat: true, Model: expr.Model{"x": 3}})
+	c.Invalidate(f, nil, def)
+	if got := c.DrainInvalidations(); len(got) != 1 {
+		t.Fatalf("removal not recorded: %d", len(got))
+	}
+}
