@@ -64,6 +64,9 @@ func main() {
 		shardConnect = flag.String("shard-connect", "", "comma-separated remote shard worker addresses (host:port); overrides -shards")
 		shardListen  = flag.String("shard-listen", "", "serve as a remote shard worker on this address (never returns)")
 		shardWorker  = flag.Bool("shard-worker", false, "internal: serve as a shard worker over stdin/stdout (spawned by -shards)")
+		shardHB      = flag.Duration("shard-heartbeat", time.Second, "shard liveness heartbeat interval (0 disables heartbeats)")
+		shardTimeout = flag.Duration("shard-timeout", 10*time.Second, "declare a shard dead after this long without any frame (0 disables the watchdog)")
+		shardHedge   = flag.Duration("shard-hedge", 500*time.Millisecond, "age floor before a straggling chunk is speculatively re-issued to an idle shard (0 disables hedging)")
 		incr         = flag.Bool("incremental", true, "use incremental solver contexts (persistent encodings, retained learned clauses); results are identical either way")
 		portfolio    = flag.Int("portfolio", 0, "race this many diverse CDCL configurations on hard queries (0 or 1 = off); results are identical either way")
 		batch        = flag.Bool("batch", false, "group per-patch feasibility checks into chunked solver queries; results are identical either way")
@@ -146,11 +149,12 @@ func main() {
 		Resume:   *resume,
 		Warn:     func(msg string) { log.Print(msg) },
 	}
+	shardCfg := shard.Config{Heartbeat: *shardHB, Timeout: *shardTimeout, Hedge: *shardHedge}
 	switch {
 	case *shardConnect != "":
-		opts.NewDistributor = shard.DialFactory(strings.Split(*shardConnect, ","), warnf)
+		opts.NewDistributor = shard.DialFactory(strings.Split(*shardConnect, ","), shardCfg, warnf)
 	case *shards > 0:
-		opts.NewDistributor = shard.SpawnFactory(*shards, []string{"-shard-worker"}, warnf)
+		opts.NewDistributor = shard.SpawnFactory(*shards, []string{"-shard-worker"}, shardCfg, warnf)
 	}
 
 	switch {
@@ -309,6 +313,11 @@ func runJob(job cpr.Job, dev *cpr.Term, top int, withCEGIS bool, opts cpr.Option
 	if st.Shards > 0 {
 		fmt.Printf("shards: %d, chunks stolen %d, deaths %d, knowledge imported %d verdicts / %d cores, rejected %d\n",
 			st.Shards, st.ShardSteals, st.ShardDeaths, st.ShardImportedVerdicts, st.ShardImportedCores, st.ShardRejectedImports)
+		if n := st.ShardHeartbeatsMissed + st.ShardHedges + st.ShardReconnects + st.ShardDegradedStarts; n > 0 {
+			fmt.Printf("resilience: heartbeats missed %d, hedges %d (%d won / %d lost), reconnects %d (%d late joins), degraded starts %d\n",
+				st.ShardHeartbeatsMissed, st.ShardHedges, st.ShardHedgeWins, st.ShardHedgeLosses,
+				st.ShardReconnects, st.ShardLateJoins, st.ShardDegradedStarts)
+		}
 	}
 	if dev != nil {
 		if rank, ok := cpr.CorrectPatchRank(res, dev, job.InputBounds); ok {

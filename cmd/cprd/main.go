@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"cpr/internal/buildinfo"
+	"cpr/internal/core"
 	"cpr/internal/serve"
 	"cpr/internal/shard"
 )
@@ -49,10 +50,14 @@ func main() {
 		state   = flag.String("state", "", "state directory: job journal + per-job checkpoints (required)")
 		resume  = flag.Bool("resume", false, "replay the journal in -state and resume unfinished jobs")
 
-		runners     = flag.Int("runners", 2, "concurrently running jobs")
-		workers     = flag.Int("engine-workers", 1, "exploration workers per job (results identical for any value)")
-		shards      = flag.Int("shards", 0, "distribute each job's exploration across N local shard worker processes (0 = off); results are identical at any shard count")
-		shardWorker = flag.Bool("shard-worker", false, "internal: serve as a shard worker over stdin/stdout (spawned by -shards)")
+		runners      = flag.Int("runners", 2, "concurrently running jobs")
+		workers      = flag.Int("engine-workers", 1, "exploration workers per job (results identical for any value)")
+		shards       = flag.Int("shards", 0, "distribute each job's exploration across N local shard worker processes (0 = off); results are identical at any shard count")
+		shardBudget  = flag.Int("shard-budget", 0, "daemon-wide cap on shard worker processes across all running jobs (0 = unlimited); a job that cannot get slots runs with fewer shards or locally, results unchanged")
+		shardWorker  = flag.Bool("shard-worker", false, "internal: serve as a shard worker over stdin/stdout (spawned by -shards)")
+		shardHB      = flag.Duration("shard-heartbeat", time.Second, "shard liveness heartbeat interval (0 disables heartbeats)")
+		shardTimeout = flag.Duration("shard-timeout", 10*time.Second, "declare a shard dead after this long without any frame (0 disables the watchdog)")
+		shardHedge   = flag.Duration("shard-hedge", 500*time.Millisecond, "age floor before a straggling chunk is speculatively re-issued to an idle shard (0 disables hedging)")
 
 		queueMax  = flag.Int("queue-max", 64, "global queued-job bound; submits beyond it are shed with 503")
 		tenantOut = flag.Int("tenant-max", 8, "per-tenant outstanding-job quota; submits beyond it get 429")
@@ -151,7 +156,12 @@ func main() {
 		Warn:                 func(msg string) { log.Print(msg) },
 	}
 	if *shards > 0 {
-		cfg.NewDistributor = shard.SpawnFactory(*shards, []string{"-shard-worker"}, warnf)
+		shardCfg := shard.Config{Heartbeat: *shardHB, Timeout: *shardTimeout, Hedge: *shardHedge}
+		cfg.Shards = *shards
+		cfg.ShardBudget = *shardBudget
+		cfg.MakeDistributor = func(n int) func(core.Job, core.Options) (core.Distributor, error) {
+			return shard.SpawnFactory(n, []string{"-shard-worker"}, shardCfg, warnf)
+		}
 	}
 	srv, err := serve.New(cfg)
 	if err != nil {

@@ -77,6 +77,17 @@ type JSONRow struct {
 	ShardImportedVerdicts uint64 `json:"shard_imported_verdicts,omitempty"`
 	ShardImportedCores    uint64 `json:"shard_imported_cores,omitempty"`
 	ShardRejectedImports  uint64 `json:"shard_rejected_imports,omitempty"`
+
+	// Fleet-resilience counters; omitted on non-distributed or fault-free
+	// runs. Excluded from equality comparisons like the rest of the shard
+	// block: liveness kills, hedges, and reconnects move wall time only.
+	ShardHeartbeatsMissed uint64 `json:"shard_heartbeats_missed,omitempty"`
+	ShardHedges           uint64 `json:"shard_hedges,omitempty"`
+	ShardHedgeWins        uint64 `json:"shard_hedge_wins,omitempty"`
+	ShardHedgeLosses      uint64 `json:"shard_hedge_losses,omitempty"`
+	ShardReconnects       uint64 `json:"shard_reconnects,omitempty"`
+	ShardLateJoins        uint64 `json:"shard_late_joins,omitempty"`
+	ShardDegradedStarts   uint64 `json:"shard_degraded_starts,omitempty"`
 }
 
 // JSONRows converts measured rows for serialization.
@@ -134,6 +145,13 @@ func JSONRows(rows []SubjectResult) []JSONRow {
 			row.ShardImportedVerdicts = r.CPR.ShardImportedVerdicts
 			row.ShardImportedCores = r.CPR.ShardImportedCores
 			row.ShardRejectedImports = r.CPR.ShardRejectedImports
+			row.ShardHeartbeatsMissed = r.CPR.ShardHeartbeatsMissed
+			row.ShardHedges = r.CPR.ShardHedges
+			row.ShardHedgeWins = r.CPR.ShardHedgeWins
+			row.ShardHedgeLosses = r.CPR.ShardHedgeLosses
+			row.ShardReconnects = r.CPR.ShardReconnects
+			row.ShardLateJoins = r.CPR.ShardLateJoins
+			row.ShardDegradedStarts = r.CPR.ShardDegradedStarts
 		}
 		out = append(out, row)
 	}

@@ -342,6 +342,7 @@ func solverSummary(rows []SubjectResult) string {
 	var batchQ, batchItems, batchBisect uint64
 	var shardMax int
 	var steals, deaths, impVerdicts, impCores, rejImports uint64
+	var hbMissed, hedges, hedgeWins, hedgeLosses, reconnects, lateJoins, degraded uint64
 	for _, r := range rows {
 		if r.NA {
 			continue
@@ -354,6 +355,13 @@ func solverSummary(rows []SubjectResult) string {
 		impVerdicts += r.CPR.ShardImportedVerdicts
 		impCores += r.CPR.ShardImportedCores
 		rejImports += r.CPR.ShardRejectedImports
+		hbMissed += r.CPR.ShardHeartbeatsMissed
+		hedges += r.CPR.ShardHedges
+		hedgeWins += r.CPR.ShardHedgeWins
+		hedgeLosses += r.CPR.ShardHedgeLosses
+		reconnects += r.CPR.ShardReconnects
+		lateJoins += r.CPR.ShardLateJoins
+		degraded += r.CPR.ShardDegradedStarts
 		wall += r.Wall
 		satTime += r.CPR.SatTime
 		liaTime += r.CPR.LIATime
@@ -415,6 +423,10 @@ func solverSummary(rows []SubjectResult) string {
 	if shardMax > 0 {
 		out += fmt.Sprintf("shards: %d, chunks stolen %d, deaths %d, knowledge imported %d verdicts / %d cores, rejected %d\n",
 			shardMax, steals, deaths, impVerdicts, impCores, rejImports)
+	}
+	if n := hbMissed + hedges + reconnects + degraded; n > 0 {
+		out += fmt.Sprintf("resilience: heartbeats missed %d, hedges %d (%d won / %d lost), reconnects %d (%d late joins), degraded starts %d\n",
+			hbMissed, hedges, hedgeWins, hedgeLosses, reconnects, lateJoins, degraded)
 	}
 	return out
 }

@@ -140,7 +140,9 @@ type Options struct {
 	// merging outcomes at the same generation barriers — the plausible-patch
 	// pool is identical for every shard count, exactly as for Workers. The
 	// factory runs after the engine resolves its options; a factory error
-	// aborts the run (a half-connected shard fleet must not half-run).
+	// aborts the run (a half-connected shard fleet must not half-run), but
+	// a (nil, nil) return means "run locally this time" — the escape hatch
+	// for callers whose shard capacity is a shared budget.
 	NewDistributor func(job Job, opts Options) (Distributor, error)
 }
 
@@ -250,12 +252,19 @@ type Stats struct {
 	// measure cross-shard knowledge sharing: verdict-cache entries and
 	// subsumption cores accepted after guard validation, and entries
 	// rejected by it (a lying or corrupted peer cannot poison a shard).
+	// The resilience counters measure fleet self-healing under gray
+	// failures: liveness deadlines tripped, stragglers hedged (with the
+	// win/loss split), dead slots re-admitted (late joiners re-sync at the
+	// next batch start), and whether the fleet started degraded.
 	// None of these fields enter any stats-equality fingerprint — like
 	// Workers and the wall-time fields they describe the schedule, not the
 	// repair trajectory.
 	Shards                                                          int
 	ShardSteals, ShardDeaths                                        uint64
 	ShardImportedVerdicts, ShardImportedCores, ShardRejectedImports uint64
+	ShardHeartbeatsMissed                                           uint64
+	ShardHedges, ShardHedgeWins, ShardHedgeLosses                   uint64
+	ShardReconnects, ShardLateJoins, ShardDegradedStarts            uint64
 }
 
 // CacheHitRate is CacheHits / (CacheHits + CacheMisses), 0 when no query
@@ -385,8 +394,13 @@ func Repair(job Job, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: shard distributor: %w", err)
 		}
-		eng.dist = dist
-		defer dist.Close()
+		if dist != nil {
+			// A (nil, nil) return means "run locally this time" — e.g. a
+			// daemon whose global shard budget is exhausted; results are
+			// identical either way.
+			eng.dist = dist
+			defer dist.Close()
+		}
 	}
 	stats := &Stats{PoolInit: pool.Size()}
 
@@ -539,6 +553,13 @@ func Repair(job Job, opts Options) (*Result, error) {
 		stats.ShardImportedVerdicts = dc.ImportedVerdicts
 		stats.ShardImportedCores = dc.ImportedCores
 		stats.ShardRejectedImports = dc.RejectedImports
+		stats.ShardHeartbeatsMissed = dc.HeartbeatsMissed
+		stats.ShardHedges = dc.Hedges
+		stats.ShardHedgeWins = dc.HedgeWins
+		stats.ShardHedgeLosses = dc.HedgeLosses
+		stats.ShardReconnects = dc.Reconnects
+		stats.ShardLateJoins = dc.LateJoins
+		stats.ShardDegradedStarts = dc.DegradedStarts
 	}
 	cacheEnd := opts.SMT.Cache.Stats()
 	stats.CacheEvictions = eng.baseCacheEvict + (cacheEnd.Evictions - cacheStart.Evictions)

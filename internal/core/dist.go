@@ -46,6 +46,21 @@ type DistCounters struct {
 	// after guard validation; RejectedImports counts entries that failed
 	// it (lying or corrupted peers) or could not be revalidated in budget.
 	ImportedVerdicts, ImportedCores, RejectedImports uint64
+	// HeartbeatsMissed counts liveness-deadline expiries: a shard that
+	// produced no frame (data or heartbeat) within the timeout and was
+	// declared dead without a transport error.
+	HeartbeatsMissed uint64
+	// Hedges counts chunks speculatively re-issued to an idle shard after
+	// their inflight time passed the straggler threshold; HedgeWins and
+	// HedgeLosses split hedged chunks by whether the hedge copy or the
+	// original committed first (duplicates are discarded either way).
+	Hedges, HedgeWins, HedgeLosses uint64
+	// Reconnects counts dead shard slots re-admitted after a successful
+	// redial and handshake; LateJoins are re-admissions after the first
+	// batch (the joiner re-synced via the next batch-start frame).
+	// DegradedStarts is 1 when the fleet started with unreachable members
+	// instead of aborting.
+	Reconnects, LateJoins, DegradedStarts uint64
 }
 
 // PatchState is one pool patch's replicated state: everything a shard

@@ -1,0 +1,133 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"time"
+)
+
+// Chaos is a deterministic network-fault proxy for one shard connection:
+// it wraps an io.ReadWriteCloser and injects the failure modes a real
+// fleet sees — slow links, mid-frame stalls, silent blackholes, one-way
+// partitions — without any randomness, so a chaotic run is exactly
+// reproducible. The zero knobs inject nothing; tests set the fields they
+// mean before the connection is used.
+//
+// Close unblocks every injected sleep and block, so a liveness watchdog
+// that tears the connection down (internal/shard's deadlineConn closes
+// the wrapped conn on timeout) is never itself wedged by the chaos.
+type Chaos struct {
+	// ReadDelay and WriteDelay are added to every Read/Write call — a
+	// uniformly slow link. Asymmetric delays across a fleet's connections
+	// reorder replies between shards (each stream stays ordered, as TCP
+	// guarantees).
+	ReadDelay  time.Duration
+	WriteDelay time.Duration
+
+	// StallAfterBytes arms a one-shot stall: once the cumulative bytes
+	// read crosses it (0 = disarmed), delivery pauses for StallFor. The
+	// threshold lands mid-frame for any frame spanning it, which is the
+	// case per-connection idle timeouts miss and per-read deadlines catch.
+	StallAfterBytes int
+	StallFor        time.Duration
+
+	// BlackholeAfterReads blocks every Read call after the first N
+	// forever (until Close): the peer is gone but the connection never
+	// errors — the pure liveness-timeout case. Negative = off.
+	BlackholeAfterReads int
+
+	// DropWritesAfter silently discards every Write call after the first
+	// N — a one-way partition: our frames vanish, the peer's still
+	// arrive. 0 drops everything from the start (an unreachable peer that
+	// accepts connections). Negative = off.
+	DropWritesAfter int
+
+	rwc       io.ReadWriteCloser
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	mu        sync.Mutex
+	reads     int
+	writes    int
+	readBytes int
+	stalled   bool
+}
+
+// NewChaos wraps rwc with all faults disarmed.
+func NewChaos(rwc io.ReadWriteCloser) *Chaos {
+	return &Chaos{
+		rwc:                 rwc,
+		BlackholeAfterReads: -1,
+		DropWritesAfter:     -1,
+		closed:              make(chan struct{}),
+	}
+}
+
+var errChaosClosed = errors.New("faultinject: chaos connection closed")
+
+// sleep pauses for d, interruptible by Close.
+func (c *Chaos) sleep(d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-c.closed:
+		return errChaosClosed
+	}
+}
+
+func (c *Chaos) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	blackholed := c.BlackholeAfterReads >= 0 && c.reads >= c.BlackholeAfterReads
+	c.reads++
+	c.mu.Unlock()
+	if blackholed {
+		<-c.closed
+		return 0, errChaosClosed
+	}
+	if err := c.sleep(c.ReadDelay); err != nil {
+		return 0, err
+	}
+	n, err := c.rwc.Read(p)
+	c.mu.Lock()
+	c.readBytes += n
+	stall := !c.stalled && c.StallAfterBytes > 0 && c.readBytes >= c.StallAfterBytes
+	if stall {
+		c.stalled = true
+	}
+	c.mu.Unlock()
+	if stall {
+		// Deliver the bytes that crossed the threshold only after the
+		// stall: the reader is left mid-frame for its whole duration.
+		if serr := c.sleep(c.StallFor); serr != nil {
+			return 0, serr
+		}
+	}
+	return n, err
+}
+
+func (c *Chaos) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	dropped := c.DropWritesAfter >= 0 && c.writes >= c.DropWritesAfter
+	c.writes++
+	c.mu.Unlock()
+	if dropped {
+		// A silent discard, as a partitioned network gives: the caller
+		// sees success and waits for a reply that never comes.
+		return len(p), nil
+	}
+	if err := c.sleep(c.WriteDelay); err != nil {
+		return 0, err
+	}
+	return c.rwc.Write(p)
+}
+
+func (c *Chaos) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.rwc.Close()
+}

@@ -32,7 +32,7 @@ func runLyingShards(t *testing.T, kind faultinject.Fault) *core.Result {
 	faultinject.Activate(&faultinject.Plan{ShardLieEvery: 1, ShardLieKind: kind})
 	defer faultinject.Deactivate()
 	opts := core.Options{Workers: 1}
-	opts.NewDistributor = shard.PipesFactory(2, nil)
+	opts.NewDistributor = shard.PipesFactory(2, shard.Config{}, nil)
 	res, err := core.Repair(divZeroJob(), opts)
 	if err != nil {
 		t.Fatalf("Repair with lying shard (kind=%d): %v", kind, err)

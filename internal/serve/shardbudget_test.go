@@ -1,0 +1,169 @@
+// Shard-budget tests: concurrent job attempts share a daemon-wide
+// semaphore of shard worker processes. An attempt takes what is free,
+// runs narrower (or fully local) under contention, returns its slots when
+// its fleet closes — and the repair result never depends on what it got.
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"cpr/internal/core"
+	"cpr/internal/shard"
+	"cpr/internal/smt"
+)
+
+type fakeDist struct{ closed int }
+
+func (f *fakeDist) RunFlips(core.FlipBatch) []core.FlipOutcome      { return nil }
+func (f *fakeDist) RunReduce(core.ReduceBatch) []core.ReduceOutcome { return nil }
+func (f *fakeDist) Counters() core.DistCounters                     { return core.DistCounters{} }
+func (f *fakeDist) SolverStats() smt.Stats                          { return smt.Stats{} }
+func (f *fakeDist) Close() error                                    { f.closed++; return nil }
+
+// TestShardBudgetAccounting: the semaphore grants min(want, free), counts
+// sharded and degraded attempts, and release restores capacity.
+func TestShardBudgetAccounting(t *testing.T) {
+	s := newTestServer(t, Config{Runners: -1, Shards: 4, ShardBudget: 6})
+	if got := s.acquireShards(4); got != 4 {
+		t.Fatalf("first acquire = %d, want 4", got)
+	}
+	if got := s.acquireShards(4); got != 2 {
+		t.Fatalf("second acquire = %d, want 2 (budget 6, 4 held)", got)
+	}
+	if got := s.acquireShards(4); got != 0 {
+		t.Fatalf("third acquire = %d, want 0 (budget exhausted)", got)
+	}
+	sv := s.Stats()
+	if sv.ShardSlotsInUse != 6 || sv.ShardBudget != 6 {
+		t.Errorf("stats slots %d/%d, want 6/6", sv.ShardSlotsInUse, sv.ShardBudget)
+	}
+	if sv.Jobs.ShardedAttempts != 2 {
+		t.Errorf("ShardedAttempts = %d, want 2 (the zero-grant attempt ran local)", sv.Jobs.ShardedAttempts)
+	}
+	if sv.Jobs.ShardDegradedAttempts != 2 {
+		t.Errorf("ShardDegradedAttempts = %d, want 2 (one partial, one zero grant)", sv.Jobs.ShardDegradedAttempts)
+	}
+	s.releaseShards(4)
+	s.releaseShards(2)
+	if sv := s.Stats(); sv.ShardSlotsInUse != 0 {
+		t.Errorf("slots in use after release = %d, want 0", sv.ShardSlotsInUse)
+	}
+	if got := s.acquireShards(4); got != 4 {
+		t.Errorf("acquire after release = %d, want 4", got)
+	}
+}
+
+// TestShardFactoryLazyAcquireAndRelease: slots are taken only when the
+// engine actually builds the fleet, a nil-distributor return means "run
+// locally", and Close returns the slots exactly once.
+func TestShardFactoryLazyAcquireAndRelease(t *testing.T) {
+	fake := &fakeDist{}
+	s := newTestServer(t, Config{
+		Runners: -1, Shards: 2, ShardBudget: 2,
+		MakeDistributor: func(n int) func(core.Job, core.Options) (core.Distributor, error) {
+			if n != 2 {
+				t.Errorf("MakeDistributor got %d, want the full grant of 2", n)
+			}
+			return func(core.Job, core.Options) (core.Distributor, error) { return fake, nil }
+		},
+	})
+	f := s.shardFactory()
+	if s.Stats().ShardSlotsInUse != 0 {
+		t.Fatal("building the factory already took slots; acquisition must be lazy")
+	}
+	d, err := f(core.Job{}, core.Options{})
+	if err != nil || d == nil {
+		t.Fatalf("factory: d=%v err=%v", d, err)
+	}
+	if got := s.Stats().ShardSlotsInUse; got != 2 {
+		t.Fatalf("slots in use = %d, want 2", got)
+	}
+
+	// Budget exhausted: the next attempt must degrade to local (nil, nil),
+	// never error or block.
+	d2, err := f(core.Job{}, core.Options{})
+	if err != nil || d2 != nil {
+		t.Fatalf("exhausted budget: d=%v err=%v, want nil, nil", d2, err)
+	}
+
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := s.Stats().ShardSlotsInUse; got != 0 {
+		t.Fatalf("slots in use after Close = %d, want 0", got)
+	}
+	if err := d.Close(); err != nil { // idempotent: no double release
+		t.Fatalf("second Close: %v", err)
+	}
+	if got := s.Stats().ShardSlotsInUse; got != 0 {
+		t.Errorf("double Close released twice: slots = %d", got)
+	}
+	if fake.closed != 2 {
+		t.Errorf("inner Close called %d times, want 2", fake.closed)
+	}
+}
+
+// TestShardFactoryStartFailureDegrades: a fleet that fails to start
+// returns its slots and the attempt runs locally.
+func TestShardFactoryStartFailureDegrades(t *testing.T) {
+	s := newTestServer(t, Config{
+		Runners: -1, Shards: 2, ShardBudget: 4,
+		MakeDistributor: func(n int) func(core.Job, core.Options) (core.Distributor, error) {
+			return func(core.Job, core.Options) (core.Distributor, error) {
+				return nil, errTestFleet
+			}
+		},
+	})
+	d, err := s.shardFactory()(core.Job{}, core.Options{})
+	if err != nil || d != nil {
+		t.Fatalf("failed fleet start: d=%v err=%v, want nil, nil (run locally)", d, err)
+	}
+	if got := s.Stats().ShardSlotsInUse; got != 0 {
+		t.Errorf("slots leaked by failed fleet start: %d in use", got)
+	}
+}
+
+var errTestFleet = &AdmissionError{Msg: "injected fleet failure"}
+
+// TestShardBudgetEndToEnd runs the same job through a budgeted sharded
+// daemon and a plain one: identical results, budget fully returned, and
+// the sharded attempt visible in the global stats.
+func TestShardBudgetEndToEnd(t *testing.T) {
+	plain := newTestServer(t, Config{Runners: 1})
+	plain.Start()
+	defer plain.Drain(10 * time.Second)
+	pv := mustSubmit(t, plain, divZeroSpec("alice", "plain"))
+	pDone := waitTerminal(t, plain, pv.ID, 60*time.Second)
+	if pDone.State != StateDone {
+		t.Fatalf("plain job ended %s: %s", pDone.State, pDone.Error)
+	}
+
+	sharded := newTestServer(t, Config{
+		Runners: 1, Shards: 2, ShardBudget: 2,
+		MakeDistributor: func(n int) func(core.Job, core.Options) (core.Distributor, error) {
+			return shard.PipesFactory(n, shard.Config{}, nil)
+		},
+	})
+	sharded.Start()
+	defer sharded.Drain(10 * time.Second)
+	sv := mustSubmit(t, sharded, divZeroSpec("alice", "sharded"))
+	sDone := waitTerminal(t, sharded, sv.ID, 60*time.Second)
+	if sDone.State != StateDone {
+		t.Fatalf("sharded job ended %s: %s", sDone.State, sDone.Error)
+	}
+
+	if got, want := stableFingerprint(sDone.Result), stableFingerprint(pDone.Result); got != want {
+		t.Errorf("budgeted sharded run diverged from plain run:\n--- plain ---\n%s\n--- sharded ---\n%s", want, got)
+	}
+	stats := sharded.Stats()
+	if stats.Jobs.ShardedAttempts != 1 {
+		t.Errorf("ShardedAttempts = %d, want 1", stats.Jobs.ShardedAttempts)
+	}
+	if stats.ShardSlotsInUse != 0 {
+		t.Errorf("slots still held after the job finished: %d", stats.ShardSlotsInUse)
+	}
+	if stats.Engine.Shards != 2 {
+		t.Errorf("Engine.Shards = %d, want 2", stats.Engine.Shards)
+	}
+}

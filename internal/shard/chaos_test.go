@@ -1,0 +1,261 @@
+// Network-chaos differential tests: the repair result must stay
+// bit-identical to a clean 1-process run while the shard fleet's
+// connections suffer injected delays, reply reordering, mid-frame stalls,
+// silent blackholes, and one-way partitions (internal/faultinject.Chaos).
+// Where the chaos kills a shard for real, the liveness watchdog must
+// declare it dead within the configured timeout and the survivors must
+// absorb its chunks — slower, never different.
+package shard_test
+
+import (
+	"io"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cpr/internal/core"
+	"cpr/internal/faultinject"
+	"cpr/internal/shard"
+)
+
+// chaosCfg is the fast-failure-detection config the chaos tests run
+// under: aggressive enough that injected hangs resolve in test time.
+func chaosCfg() shard.Config {
+	return shard.Config{Heartbeat: 50 * time.Millisecond, Timeout: 500 * time.Millisecond}
+}
+
+// chaosFactory builds a pipes fleet with each connection wrapped in a
+// Chaos proxy configured by rig(i, c).
+func chaosFactory(n int, cfg shard.Config, rig func(i int, c *faultinject.Chaos), warn func(string, ...any)) func(core.Job, core.Options) (core.Distributor, error) {
+	return shard.Factory(func() ([]io.ReadWriteCloser, error) {
+		conns := shard.Pipes(n, warn)
+		for i := range conns {
+			c := faultinject.NewChaos(conns[i])
+			rig(i, c)
+			conns[i] = c
+		}
+		return conns, nil
+	}, cfg, warn)
+}
+
+// TestChaosSlowLinks: uniform injected latency on every connection, at 2
+// and 4 shards. Slow links move wall time only.
+func TestChaosSlowLinks(t *testing.T) {
+	want := baseline(t)
+	for _, n := range []int{2, 4} {
+		opts := core.Options{Workers: 1}
+		opts.NewDistributor = chaosFactory(n, chaosCfg(), func(i int, c *faultinject.Chaos) {
+			c.ReadDelay = time.Millisecond
+			c.WriteDelay = time.Millisecond
+		}, t.Logf)
+		res, err := core.Repair(divZeroJob(), opts)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", n, err)
+		}
+		if got := fingerprint(res); got != want {
+			t.Fatalf("shards=%d slow links diverged:\n--- want ---\n%s--- got ---\n%s", n, want, got)
+		}
+		if res.Stats.ShardDeaths != 0 {
+			t.Errorf("shards=%d: %d deaths on merely slow links", n, res.Stats.ShardDeaths)
+		}
+	}
+}
+
+// TestChaosReplyReorder: asymmetric latency across 4 shards makes replies
+// arrive in a different interleaving than they were computed. Each stream
+// stays ordered (as TCP guarantees); the cross-shard arrival order is the
+// thing being scrambled.
+func TestChaosReplyReorder(t *testing.T) {
+	want := baseline(t)
+	delays := []time.Duration{0, 3 * time.Millisecond, time.Millisecond, 2 * time.Millisecond}
+	opts := core.Options{Workers: 1}
+	opts.NewDistributor = chaosFactory(4, chaosCfg(), func(i int, c *faultinject.Chaos) {
+		c.ReadDelay = delays[i]
+	}, t.Logf)
+	res, err := core.Repair(divZeroJob(), opts)
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if got := fingerprint(res); got != want {
+		t.Fatalf("reply reordering diverged:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+}
+
+// countingConn tallies bytes read, to calibrate byte-offset faults
+// against the run's real traffic instead of magic numbers.
+type countingConn struct {
+	io.ReadWriteCloser
+	n *int64
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.ReadWriteCloser.Read(p)
+	atomic.AddInt64(c.n, int64(n))
+	return n, err
+}
+
+// measureShardBytes runs a clean 2-shard repair and reports the bytes the
+// coordinator read from shard 0 — the calibration for mid-stream faults.
+func measureShardBytes(t *testing.T) int64 {
+	t.Helper()
+	var bytes int64
+	opts := core.Options{Workers: 1}
+	opts.NewDistributor = shard.Factory(func() ([]io.ReadWriteCloser, error) {
+		conns := shard.Pipes(2, t.Logf)
+		conns[0] = countingConn{ReadWriteCloser: conns[0], n: &bytes}
+		return conns, nil
+	}, shard.Config{}, t.Logf)
+	if _, err := core.Repair(divZeroJob(), opts); err != nil {
+		t.Fatalf("calibration Repair: %v", err)
+	}
+	if bytes == 0 {
+		t.Fatal("calibration run read no bytes from shard 0")
+	}
+	return bytes
+}
+
+// TestChaosMidFrameStall stalls shard 0's reply stream mid-run — and, for
+// any frame spanning the byte threshold, mid-frame, the case idle
+// timeouts miss. A stall shorter than the liveness deadline must be
+// absorbed; one longer must kill the shard, whose chunks the survivor
+// then recomputes. Both end bit-identical.
+func TestChaosMidFrameStall(t *testing.T) {
+	want := baseline(t)
+	half := measureShardBytes(t) / 2
+	run := func(stall time.Duration) *core.Result {
+		t.Helper()
+		opts := core.Options{Workers: 1}
+		opts.NewDistributor = chaosFactory(2, chaosCfg(), func(i int, c *faultinject.Chaos) {
+			if i == 0 {
+				c.StallAfterBytes = int(half)
+				c.StallFor = stall
+			}
+		}, t.Logf)
+		res, err := core.Repair(divZeroJob(), opts)
+		if err != nil {
+			t.Fatalf("Repair (stall %v): %v", stall, err)
+		}
+		if got := fingerprint(res); got != want {
+			t.Fatalf("stall %v diverged:\n--- want ---\n%s--- got ---\n%s", stall, want, got)
+		}
+		return res
+	}
+	t.Run("absorbed", func(t *testing.T) {
+		res := run(150 * time.Millisecond) // < Timeout: survives
+		if res.Stats.ShardDeaths != 0 {
+			t.Errorf("ShardDeaths = %d for a stall within the deadline", res.Stats.ShardDeaths)
+		}
+	})
+	t.Run("fatal", func(t *testing.T) {
+		res := run(10 * time.Second) // > Timeout: watchdog kills the shard
+		if res.Stats.ShardDeaths != 1 {
+			t.Errorf("ShardDeaths = %d, want 1", res.Stats.ShardDeaths)
+		}
+		if res.Stats.ShardHeartbeatsMissed != 1 {
+			t.Errorf("ShardHeartbeatsMissed = %d, want 1", res.Stats.ShardHeartbeatsMissed)
+		}
+	})
+}
+
+// TestChaosBlackhole: shard 0's connection goes silent shortly after the
+// handshake — no error, no data, the pure liveness-timeout case. The
+// watchdog must declare it dead within Config.Timeout and the run must
+// finish promptly on the survivor, bit-identically.
+func TestChaosBlackhole(t *testing.T) {
+	want := baseline(t)
+
+	cleanStart := time.Now()
+	baseline(t) // time a healthy reference run on this machine
+	cleanDur := time.Since(cleanStart)
+
+	cfg := chaosCfg()
+	opts := core.Options{Workers: 1}
+	opts.NewDistributor = chaosFactory(2, cfg, func(i int, c *faultinject.Chaos) {
+		if i == 0 {
+			// Past the handshake (ready frame, ~2 reads) and the first
+			// reply or two, then silence.
+			c.BlackholeAfterReads = 6
+		}
+	}, t.Logf)
+	start := time.Now()
+	res, err := core.Repair(divZeroJob(), opts)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if got := fingerprint(res); got != want {
+		t.Fatalf("blackhole diverged:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+	if res.Stats.ShardDeaths != 1 {
+		t.Errorf("ShardDeaths = %d, want 1", res.Stats.ShardDeaths)
+	}
+	if res.Stats.ShardHeartbeatsMissed != 1 {
+		t.Errorf("ShardHeartbeatsMissed = %d, want 1", res.Stats.ShardHeartbeatsMissed)
+	}
+	// A hung shard must cost at most the liveness deadline, not a hang:
+	// generous multipliers absorb loaded CI machines, but a watchdog
+	// regression (minutes of stall) still fails loudly.
+	if bound := 4*cleanDur + cfg.Timeout + 5*time.Second; elapsed > bound {
+		t.Errorf("blackholed run took %v, bound %v (clean run %v, timeout %v)", elapsed, bound, cleanDur, cfg.Timeout)
+	}
+}
+
+// TestChaosOneWayPartition: shard 0 accepts the connection but every
+// coordinator frame vanishes (writes dropped from the start). The fleet
+// must start degraded on the survivor instead of aborting.
+func TestChaosOneWayPartition(t *testing.T) {
+	want := baseline(t)
+	opts := core.Options{Workers: 1}
+	opts.NewDistributor = chaosFactory(2, chaosCfg(), func(i int, c *faultinject.Chaos) {
+		if i == 0 {
+			c.DropWritesAfter = 0
+		}
+	}, t.Logf)
+	res, err := core.Repair(divZeroJob(), opts)
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if got := fingerprint(res); got != want {
+		t.Fatalf("one-way partition diverged:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+	if res.Stats.ShardDegradedStarts != 1 {
+		t.Errorf("ShardDegradedStarts = %d, want 1", res.Stats.ShardDegradedStarts)
+	}
+}
+
+// TestChaosHedgeRescue: a one-shot stall makes shard 0 a straggler while
+// the hedge floor is low; the idle survivor must speculatively re-run the
+// straggling chunk (first reply wins, duplicates discarded) and the
+// result must not move.
+func TestChaosHedgeRescue(t *testing.T) {
+	want := baseline(t)
+	half := measureShardBytes(t) / 2
+	cfg := shard.Config{
+		Heartbeat: 50 * time.Millisecond,
+		Timeout:   10 * time.Second, // the straggler must survive: hedging, not death
+		Hedge:     30 * time.Millisecond,
+	}
+	opts := core.Options{Workers: 1}
+	opts.NewDistributor = chaosFactory(2, cfg, func(i int, c *faultinject.Chaos) {
+		if i == 0 {
+			c.StallAfterBytes = int(half)
+			c.StallFor = 400 * time.Millisecond
+		}
+	}, t.Logf)
+	res, err := core.Repair(divZeroJob(), opts)
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if got := fingerprint(res); got != want {
+		t.Fatalf("hedged run diverged:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+	if res.Stats.ShardHedges == 0 {
+		t.Error("no chunk was hedged despite a straggling shard and an idle survivor")
+	}
+	if res.Stats.ShardDeaths != 0 {
+		t.Errorf("ShardDeaths = %d; the straggler should have been hedged, not killed", res.Stats.ShardDeaths)
+	}
+	if got := res.Stats.ShardHedgeWins + res.Stats.ShardHedgeLosses; got != res.Stats.ShardHedges {
+		t.Errorf("hedge wins (%d) + losses (%d) != hedges (%d)", res.Stats.ShardHedgeWins, res.Stats.ShardHedgeLosses, res.Stats.ShardHedges)
+	}
+}

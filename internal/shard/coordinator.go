@@ -1,10 +1,13 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cpr/internal/cancel"
 	"cpr/internal/core"
@@ -16,15 +19,39 @@ import (
 // Coordinator is the core.Distributor that drives a fleet of shard
 // workers. It owns nothing the engine doesn't already own — every batch
 // carries the authoritative bounds and pool — so its only jobs are
-// scheduling (static chunk ownership plus work-stealing), merging replies
-// into per-index outcome slots, and brokering validated knowledge between
-// shards.
+// scheduling (static chunk ownership plus work-stealing and straggler
+// hedging), merging replies into per-index outcome slots, and brokering
+// validated knowledge between shards.
 type Coordinator struct {
 	shards []*shardConn
 	warn   func(format string, args ...any)
+	cfg    Config
 
-	steals atomic.Uint64
-	deaths atomic.Uint64
+	// hello and fp are kept for mid-run re-admission: a reconnecting
+	// worker re-enters through the same handshake the fleet started with.
+	hello []byte
+	fp    uint64
+
+	steals  atomic.Uint64
+	deaths  atomic.Uint64
+	batches atomic.Uint64
+
+	// Resilience counters (see core.DistCounters).
+	heartbeatsMissed atomic.Uint64
+	hedges           atomic.Uint64
+	hedgeWins        atomic.Uint64
+	hedgeLosses      atomic.Uint64
+	reconnects       atomic.Uint64
+	lateJoins        atomic.Uint64
+	degradedStart    bool
+
+	// admitMu serializes Admit against Close; done stops reconnect loops.
+	admitMu sync.Mutex
+	closed  atomic.Bool
+	done    chan struct{}
+	// onDeath, when set (before the first batch), is invoked with the
+	// slot index of every shard declared dead — the reconnect hook.
+	onDeath func(i int)
 
 	// kmu serializes knowledge handling: validation, import into the
 	// coordinator cache, and the per-shard relay queues.
@@ -35,15 +62,22 @@ type Coordinator struct {
 	imported struct {
 		verdicts, cores uint64
 	}
+	// retired accumulates the final solver aggregate of connections that
+	// were replaced by a re-admission, so a dead worker's work stays
+	// accounted for after its slot is reused.
+	retired smt.Stats
 }
 
 // shardConn is one worker connection. A shard is driven by exactly one
-// goroutine per batch, so conn access needs no lock; live flips to false
-// at most once (kill) and is read concurrently by peers relaying
-// knowledge, hence atomic.
+// goroutine per batch, so conn access needs no lock; live is read
+// concurrently by peers relaying knowledge, hence atomic. conn is only
+// swapped (by Admit) while live is false and no batch goroutine holds
+// the slot, with live.Store(true) publishing the swap.
 type shardConn struct {
 	conn io.ReadWriteCloser
 	live atomic.Bool
+	// reconnecting guards the slot's single redial loop.
+	reconnecting atomic.Bool
 	// stats is the shard's cumulative solver aggregate from its latest
 	// reply; kept coordinator-side so a shard's work is still accounted
 	// for after it dies.
@@ -53,40 +87,54 @@ type shardConn struct {
 // New performs the handshake with every connection and returns a
 // coordinator over the shards that completed it. Workers that fail the
 // handshake (version skew, fingerprint mismatch, dead transport) are
-// dropped with a warning; if none survive, New fails — a sharded run that
-// would silently execute on zero shards is a misconfiguration.
+// dropped with a warning, as are nil connections (a dial that failed
+// after retries — see Dial): the fleet starts degraded rather than
+// aborting the run, and dead slots can be re-admitted later (Admit). If
+// no shard survives, New fails — a sharded run that would silently
+// execute on zero shards is a misconfiguration.
 //
 // cacheRef is the coordinator engine's verdict cache (opts.SMT.Cache; may
 // be nil), the destination for validated peer knowledge. tok is the run's
 // cancellation token, bounding trusted re-solves during validation.
-func New(job core.Job, opts core.Options, conns []io.ReadWriteCloser, tok *cancel.Token, warn func(format string, args ...any)) (*Coordinator, error) {
+func New(job core.Job, opts core.Options, conns []io.ReadWriteCloser, cfg Config, tok *cancel.Token, warn func(format string, args ...any)) (*Coordinator, error) {
 	if warn == nil {
 		warn = func(string, ...any) {}
 	}
+	cfg = cfg.withDefaults()
 	fp := core.RunFingerprint(job, opts)
-	hello := encodeHello(fp, job, opts)
+	hello := encodeHello(fp, job, opts, cfg.heartbeat())
 	c := &Coordinator{
 		warn:  warn,
+		cfg:   cfg,
+		hello: hello,
+		fp:    fp,
 		val:   newValidator(tok),
 		cache: opts.SMT.Cache,
 		relay: make([]knowledge, len(conns)),
+		done:  make(chan struct{}),
 	}
 	var wg sync.WaitGroup
 	errs := make([]error, len(conns))
 	shards := make([]*shardConn, len(conns))
 	for i, conn := range conns {
-		shards[i] = &shardConn{conn: conn}
+		shards[i] = &shardConn{conn: wrapDeadline(conn, cfg.Timeout)}
+		if shards[i].conn == nil {
+			errs[i] = fmt.Errorf("shard: unreachable at start")
+			continue
+		}
 		wg.Add(1)
 		go func(i int, conn io.ReadWriteCloser) {
 			defer wg.Done()
 			errs[i] = handshake(conn, hello, fp)
-		}(i, conn)
+		}(i, shards[i].conn)
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
 			warn("shard %d handshake failed: %v", i, err)
-			shards[i].conn.Close()
+			if shards[i].conn != nil {
+				shards[i].conn.Close()
+			}
 			continue
 		}
 		shards[i].live.Store(true)
@@ -100,6 +148,10 @@ func New(job core.Job, opts core.Options, conns []io.ReadWriteCloser, tok *cance
 	}
 	if alive == 0 {
 		return nil, fmt.Errorf("shard: no worker completed the handshake")
+	}
+	if alive < len(conns) {
+		c.degradedStart = true
+		warn("shard fleet starting degraded: %d of %d workers reachable", alive, len(conns))
 	}
 	return c, nil
 }
@@ -131,76 +183,247 @@ func handshake(conn io.ReadWriter, hello []byte, fp uint64) error {
 	return nil
 }
 
+var errCoordinatorClosed = errors.New("shard: coordinator closed")
+
+// Admit re-admits a dead shard slot with a fresh connection: the same
+// hello/fingerprint handshake the fleet started with, then the slot goes
+// live and receives the next batch's start frame like any other shard —
+// the batch-start re-sync (bounds, full pool, relayed knowledge) is what
+// makes a late joiner's replica authoritative-state-free and therefore
+// safe. The old connection's pending relay is dropped (the newcomer
+// imports nothing stale) and its cumulative solver stats are retired
+// into the coordinator's aggregate.
+func (c *Coordinator) Admit(i int, conn io.ReadWriteCloser) error {
+	if i < 0 || i >= len(c.shards) {
+		conn.Close()
+		return fmt.Errorf("shard: no slot %d", i)
+	}
+	wrapped := wrapDeadline(conn, c.cfg.Timeout)
+	if err := handshake(wrapped, c.hello, c.fp); err != nil {
+		wrapped.Close()
+		return err
+	}
+	c.admitMu.Lock()
+	defer c.admitMu.Unlock()
+	if c.closed.Load() {
+		wrapped.Close()
+		return errCoordinatorClosed
+	}
+	s := c.shards[i]
+	if s.live.Load() {
+		wrapped.Close()
+		return fmt.Errorf("shard: slot %d is already live", i)
+	}
+	c.kmu.Lock()
+	c.relay[i] = knowledge{}
+	c.retired = c.retired.Add(s.stats)
+	s.stats = workerStats{}
+	c.kmu.Unlock()
+	s.conn = wrapped
+	s.live.Store(true)
+	c.reconnects.Add(1)
+	if c.batches.Load() > 0 {
+		c.lateJoins.Add(1)
+	}
+	c.warn("shard %d re-admitted", i)
+	return nil
+}
+
+// Done exposes the coordinator's shutdown signal (reconnect loops and
+// tests select on it).
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
 // chunk is a contiguous batch slice with a static owner; a chunk executed
 // by another shard is a steal.
 type chunk struct {
 	lo, hi, owner int
 }
 
-// chunkQueue is the shared work queue for one batch. Executors prefer
-// their own chunks and steal otherwise; a dying shard requeues its chunk,
-// and waiters block until every chunk is done or stranded (no live
-// executor left to wake them — the batch loop detects that and bails).
-type chunkQueue struct {
-	mu       sync.Mutex
-	cond     *sync.Cond
-	pending  []chunk
-	inflight int
+// chunkState tracks one chunk through a batch: how many executors hold
+// it (1 normally, 2 while hedged), whether its result committed, and
+// when its current attempt started (the hedging clock).
+type chunkState struct {
+	c      chunk
+	claims int
+	done   bool
+	hedged bool
+	start  time.Time
 }
 
-func newChunkQueue(chunks []chunk) *chunkQueue {
-	q := &chunkQueue{pending: chunks}
+// chunkQueue is the shared work queue for one batch. Executors prefer
+// their own chunks and steal otherwise; a dying shard's chunk is
+// requeued; and with hedging enabled an idle executor re-issues the
+// oldest inflight chunk once its age passes the straggler threshold —
+// first reply wins, the duplicate is discarded (chunks are pure
+// functions, so both replies are identical anyway). Waiters block until
+// every chunk committed or the batch strands (no live executor left).
+type chunkQueue struct {
+	mu         sync.Mutex
+	cond       *sync.Cond
+	states     []chunkState
+	pending    []int // indices into states
+	open       int   // chunks not yet committed
+	hedgeFloor time.Duration
+	durs       []time.Duration // committed-chunk durations (threshold input)
+
+	hedges, hedgeWins, hedgeLosses uint64
+}
+
+func newChunkQueue(chunks []chunk, hedgeFloor time.Duration) *chunkQueue {
+	q := &chunkQueue{
+		states:     make([]chunkState, len(chunks)),
+		pending:    make([]int, len(chunks)),
+		open:       len(chunks),
+		hedgeFloor: hedgeFloor,
+	}
+	for i, ck := range chunks {
+		q.states[i] = chunkState{c: ck}
+		q.pending[i] = i
+	}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
 
-// pop claims a chunk for shard me, preferring owned chunks. It blocks
-// while other shards hold chunks in flight (one may die and requeue) and
-// returns false once the batch has fully drained.
-func (q *chunkQueue) pop(me int) (chunk, bool) {
+// next claims work for shard me: a pending chunk (preferring owned ones)
+// or, when none are pending and hedging is on, a straggling inflight
+// chunk to duplicate. It blocks while other shards hold chunks (one may
+// die or straggle) and returns ok=false once every chunk committed.
+func (q *chunkQueue) next(me int) (ck chunk, idx int, hedge, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for {
 		if len(q.pending) > 0 {
 			at := 0
-			for i, c := range q.pending {
-				if c.owner == me {
+			for i, id := range q.pending {
+				if q.states[id].c.owner == me {
 					at = i
 					break
 				}
 			}
-			c := q.pending[at]
+			idx = q.pending[at]
 			q.pending = append(q.pending[:at], q.pending[at+1:]...)
-			q.inflight++
-			return c, true
+			st := &q.states[idx]
+			st.claims++
+			st.start = time.Now()
+			return st.c, idx, false, true
 		}
-		if q.inflight == 0 {
-			return chunk{}, false
+		if q.open == 0 {
+			return chunk{}, 0, false, false
+		}
+		if q.hedgeFloor > 0 {
+			if idx, wait := q.straggler(); idx >= 0 {
+				st := &q.states[idx]
+				st.hedged = true
+				st.claims++
+				q.hedges++
+				return st.c, idx, true, true
+			} else if wait > 0 {
+				q.waitAtMost(wait)
+				continue
+			}
 		}
 		q.cond.Wait()
 	}
 }
 
-func (q *chunkQueue) done() {
+// straggler picks the oldest unhedged inflight chunk if its age passed
+// the threshold; otherwise it returns the wait until the oldest one
+// would. (-1, 0) means nothing is hedgeable — every inflight chunk is
+// already duplicated.
+func (q *chunkQueue) straggler() (int, time.Duration) {
+	th := q.threshold()
+	best := -1
+	var oldest time.Time
+	for i := range q.states {
+		st := &q.states[i]
+		if st.done || st.hedged || st.claims == 0 {
+			continue
+		}
+		if best == -1 || st.start.Before(oldest) {
+			best, oldest = i, st.start
+		}
+	}
+	if best == -1 {
+		return -1, 0
+	}
+	if age := time.Since(oldest); age < th {
+		return -1, th - age
+	}
+	return best, 0
+}
+
+// threshold is the straggler cutoff: max(configured floor, 2×p90 of the
+// chunks committed so far this batch). The percentile keeps a tight
+// floor from hedging everything on a uniformly slow batch; the floor
+// keeps an empty sample from hedging instantly.
+func (q *chunkQueue) threshold() time.Duration {
+	th := q.hedgeFloor
+	if len(q.durs) >= 4 {
+		s := make([]time.Duration, len(q.durs))
+		copy(s, q.durs)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		if p90 := 2 * s[len(s)*9/10]; p90 > th {
+			th = p90
+		}
+	}
+	return th
+}
+
+// waitAtMost is a condvar wait with a deadline, for hedging executors
+// that must wake when the straggler threshold passes even if nobody
+// broadcasts.
+func (q *chunkQueue) waitAtMost(d time.Duration) {
+	t := time.AfterFunc(d, q.cond.Broadcast)
+	q.cond.Wait()
+	t.Stop()
+}
+
+// finish reports a computed chunk; the first finisher wins and must
+// commit the result, a later duplicate discards it. Hedge outcome
+// counters are decided by the winner.
+func (q *chunkQueue) finish(idx int, dur time.Duration, hedge bool) bool {
 	q.mu.Lock()
-	q.inflight--
-	q.mu.Unlock()
+	defer q.mu.Unlock()
+	st := &q.states[idx]
+	st.claims--
+	if st.done {
+		q.cond.Broadcast()
+		return false
+	}
+	st.done = true
+	q.open--
+	q.durs = append(q.durs, dur)
+	if st.hedged {
+		if hedge {
+			q.hedgeWins++
+		} else {
+			q.hedgeLosses++
+		}
+	}
+	q.cond.Broadcast()
+	return true
+}
+
+// abandon releases a dying executor's claim. The chunk requeues only
+// when no other copy is still inflight (a hedged twin may yet commit
+// it); a requeued chunk hedges from scratch.
+func (q *chunkQueue) abandon(idx int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st := &q.states[idx]
+	st.claims--
+	if !st.done && st.claims == 0 {
+		st.hedged = false
+		q.pending = append(q.pending, idx)
+	}
 	q.cond.Broadcast()
 }
 
-func (q *chunkQueue) requeue(c chunk) {
-	q.mu.Lock()
-	q.pending = append(q.pending, c)
-	q.inflight--
-	q.mu.Unlock()
-	q.cond.Broadcast()
-}
-
-// stranded reports chunks nobody executed (every shard died mid-batch).
+// stranded reports chunks nobody committed (every shard died mid-batch).
 func (q *chunkQueue) stranded() bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.pending) > 0 || q.inflight > 0
+	return q.open > 0
 }
 
 // plan splits n items into contiguous chunks, several per shard, so a
@@ -227,33 +450,51 @@ func plan(n, nshards int) []chunk {
 	return chunks
 }
 
+// readReply reads the next data frame from a shard, skipping the
+// heartbeat frames a worker interleaves while computing. Each underlying
+// read carries its own liveness deadline, so a heartbeating shard can
+// compute far past Config.Timeout while a hung one still trips it.
+func (c *Coordinator) readReply(s *shardConn) (journal.Record, error) {
+	for {
+		rec, err := readMsg(s.conn)
+		if err != nil {
+			return rec, err
+		}
+		if rec.Kind == kHeartbeat {
+			continue
+		}
+		return rec, nil
+	}
+}
+
 // RunFlips distributes one path-reduction scan. A nil return (all shards
 // dead before the batch drained) tells the engine to recompute the whole
 // batch locally.
 func (c *Coordinator) RunFlips(b core.FlipBatch) []core.FlipOutcome {
 	outs := make([]core.FlipOutcome, len(b.Flips))
 	ok := c.runBatch(len(b.Flips), kFlipStart, batchStart{bounds: b.Bounds, pool: b.Pool},
-		func(s *shardConn, ck chunk) error {
+		func(s *shardConn, ck chunk) (func(), error) {
 			if err := writeMsg(s.conn, kFlipChunk, encodeFlipChunk(ck.lo, b.Flips[ck.lo:ck.hi])); err != nil {
-				return err
+				return nil, err
 			}
-			rec, err := readMsg(s.conn)
+			rec, err := c.readReply(s)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if rec.Kind != kFlipReply {
-				return fmt.Errorf("shard: expected flip reply, got kind %d", rec.Kind)
+				return nil, fmt.Errorf("shard: expected flip reply, got kind %d", rec.Kind)
 			}
 			base, res, k, ws, err := decodeFlipReply(rec.Payload)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if base != ck.lo || len(res) != ck.hi-ck.lo {
-				return fmt.Errorf("shard: flip reply [%d,+%d), want [%d,%d)", base, len(res), ck.lo, ck.hi)
+				return nil, fmt.Errorf("shard: flip reply [%d,+%d), want [%d,%d)", base, len(res), ck.lo, ck.hi)
 			}
-			copy(outs[ck.lo:ck.hi], res)
-			c.record(s, ws, k)
-			return nil
+			return func() {
+				copy(outs[ck.lo:ck.hi], res)
+				c.record(s, ws, k)
+			}, nil
 		})
 	if !ok {
 		return nil
@@ -265,27 +506,28 @@ func (c *Coordinator) RunFlips(b core.FlipBatch) []core.FlipOutcome {
 func (c *Coordinator) RunReduce(b core.ReduceBatch) []core.ReduceOutcome {
 	outs := make([]core.ReduceOutcome, len(b.Pool))
 	ok := c.runBatch(len(b.Pool), kReduceStart, batchStart{bounds: b.Bounds, pool: b.Pool, isRed: true, rc: b.Ctx},
-		func(s *shardConn, ck chunk) error {
+		func(s *shardConn, ck chunk) (func(), error) {
 			if err := writeMsg(s.conn, kReduceChunk, encodeReduceChunk(ck.lo, ck.hi)); err != nil {
-				return err
+				return nil, err
 			}
-			rec, err := readMsg(s.conn)
+			rec, err := c.readReply(s)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if rec.Kind != kReduceReply {
-				return fmt.Errorf("shard: expected reduce reply, got kind %d", rec.Kind)
+				return nil, fmt.Errorf("shard: expected reduce reply, got kind %d", rec.Kind)
 			}
 			lo, res, k, ws, err := decodeReduceReply(rec.Payload)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if lo != ck.lo || len(res) != ck.hi-ck.lo {
-				return fmt.Errorf("shard: reduce reply [%d,+%d), want [%d,%d)", lo, len(res), ck.lo, ck.hi)
+				return nil, fmt.Errorf("shard: reduce reply [%d,+%d), want [%d,%d)", lo, len(res), ck.lo, ck.hi)
 			}
-			copy(outs[ck.lo:ck.hi], res)
-			c.record(s, ws, k)
-			return nil
+			return func() {
+				copy(outs[ck.lo:ck.hi], res)
+				c.record(s, ws, k)
+			}, nil
 		})
 	if !ok {
 		return nil
@@ -295,10 +537,15 @@ func (c *Coordinator) RunReduce(b core.ReduceBatch) []core.ReduceOutcome {
 
 // runBatch drives one batch: the start frame (with each shard's pending
 // relayed knowledge) to every live shard, then per-shard executor
-// goroutines self-scheduling from the chunk queue. Any connection error
-// kills that shard for the rest of the run — its chunk is requeued and
-// its pending relay dropped. Returns false if chunks were stranded.
-func (c *Coordinator) runBatch(n int, startKind uint8, bs batchStart, exec func(*shardConn, chunk) error) bool {
+// goroutines self-scheduling from the chunk queue. exec returns a commit
+// closure instead of committing directly: with hedging, two executors
+// can compute the same chunk, and only the queue's first finisher may
+// touch the shared outcome slots (the loser's closure is dropped
+// unexecuted, so duplicate results are discarded without a data race).
+// Any connection error kills that shard for the rest of the run — its
+// chunk is requeued (unless a hedged twin commits it) and its pending
+// relay dropped. Returns false if chunks were stranded.
+func (c *Coordinator) runBatch(n int, startKind uint8, bs batchStart, exec func(*shardConn, chunk) (func(), error)) bool {
 	live := 0
 	for _, s := range c.shards {
 		if s.live.Load() {
@@ -308,7 +555,8 @@ func (c *Coordinator) runBatch(n int, startKind uint8, bs batchStart, exec func(
 	if live == 0 || n == 0 {
 		return false
 	}
-	q := newChunkQueue(plan(n, live))
+	q := newChunkQueue(plan(n, live), c.cfg.Hedge)
+	c.batches.Add(1)
 	var wg sync.WaitGroup
 	for i, s := range c.shards {
 		if !s.live.Load() {
@@ -324,31 +572,55 @@ func (c *Coordinator) runBatch(n int, startKind uint8, bs batchStart, exec func(
 				return
 			}
 			for {
-				ck, ok := q.pop(i)
+				ck, idx, hedge, ok := q.next(i)
 				if !ok {
 					return
 				}
-				if ck.owner != i {
+				if !hedge && ck.owner != i {
 					c.steals.Add(1)
 				}
-				if err := exec(s, ck); err != nil {
+				t0 := time.Now()
+				commit, err := exec(s, ck)
+				if err != nil {
 					c.kill(i, s, err)
-					q.requeue(ck)
+					q.abandon(idx)
 					return
 				}
-				q.done()
+				if q.finish(idx, time.Since(t0), hedge) {
+					commit()
+				}
 			}
 		}(i, s)
 	}
 	wg.Wait()
+	q.mu.Lock()
+	c.hedges.Add(q.hedges)
+	c.hedgeWins.Add(q.hedgeWins)
+	c.hedgeLosses.Add(q.hedgeLosses)
+	q.mu.Unlock()
 	return !q.stranded()
 }
 
 func (c *Coordinator) kill(i int, s *shardConn, err error) {
-	c.warn("shard %d died: %v", i, err)
+	// The codec layer may wrap the transport error opaquely (journal wraps
+	// read failures into its own corruption errors), so ask the watchdog
+	// conn itself in addition to the error chain.
+	timedOut := errors.Is(err, ErrShardTimeout)
+	if dc, ok := s.conn.(*deadlineConn); ok && dc.timedOut.Load() {
+		timedOut = true
+	}
+	if timedOut {
+		c.heartbeatsMissed.Add(1)
+		c.warn("shard %d unresponsive, declared dead: %v", i, err)
+	} else {
+		c.warn("shard %d died: %v", i, err)
+	}
 	s.live.Store(false)
 	s.conn.Close()
 	c.deaths.Add(1)
+	if f := c.onDeath; f != nil {
+		go f(i)
+	}
 }
 
 // takeRelay drains shard i's pending relayed knowledge.
@@ -426,31 +698,48 @@ func (c *Coordinator) absorb(from *shardConn, k knowledge) {
 func (c *Coordinator) Counters() core.DistCounters {
 	c.kmu.Lock()
 	defer c.kmu.Unlock()
-	return core.DistCounters{
+	dc := core.DistCounters{
 		Shards:           len(c.shards),
 		Steals:           c.steals.Load(),
 		Deaths:           c.deaths.Load(),
+		HeartbeatsMissed: c.heartbeatsMissed.Load(),
+		Hedges:           c.hedges.Load(),
+		HedgeWins:        c.hedgeWins.Load(),
+		HedgeLosses:      c.hedgeLosses.Load(),
+		Reconnects:       c.reconnects.Load(),
+		LateJoins:        c.lateJoins.Load(),
 		ImportedVerdicts: c.imported.verdicts,
 		ImportedCores:    c.imported.cores,
 		RejectedImports:  c.val.rejected,
 	}
+	if c.degradedStart {
+		dc.DegradedStarts = 1
+	}
+	return dc
 }
 
 // SolverStats sums every shard's latest cumulative aggregate (dead shards
-// keep their last report) plus the validator's own solve work.
+// keep their last report, replaced connections their retired one) plus
+// the validator's own solve work.
 func (c *Coordinator) SolverStats() smt.Stats {
 	c.kmu.Lock()
 	defer c.kmu.Unlock()
-	agg := c.val.stats()
+	agg := c.val.stats().Add(c.retired)
 	for _, s := range c.shards {
 		agg = agg.Add(s.stats)
 	}
 	return agg
 }
 
-// Close shuts the fleet down: a best-effort shutdown frame, then the
-// connections.
+// Close shuts the fleet down: reconnect loops stop, then a best-effort
+// shutdown frame and the connections.
 func (c *Coordinator) Close() error {
+	c.admitMu.Lock()
+	defer c.admitMu.Unlock()
+	if c.closed.Swap(true) {
+		return nil
+	}
+	close(c.done)
 	for _, s := range c.shards {
 		if !s.live.Load() {
 			continue

@@ -19,6 +19,7 @@ package shard
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"cpr/internal/concolic"
 	"cpr/internal/core"
@@ -30,11 +31,14 @@ import (
 )
 
 // protoVersion is the shard protocol version; both ends refuse a peer
-// speaking another one.
-const protoVersion = 1
+// speaking another one. Version 2 added the heartbeat interval to the
+// hello and the kHeartbeat frame.
+const protoVersion = 2
 
 // Frame kinds. Start frames carry batch-wide state and have no reply;
-// chunk frames are strict request/reply on one connection.
+// chunk frames are strict request/reply on one connection — except
+// kHeartbeat, which a worker may interleave before its reply while
+// computing a chunk to prove liveness; the coordinator skips them.
 const (
 	kHello uint8 = iota + 1
 	kReady
@@ -45,6 +49,7 @@ const (
 	kReduceChunk
 	kReduceReply
 	kShutdown
+	kHeartbeat
 )
 
 // maxCount bounds every decoded collection length: orders of magnitude
@@ -228,9 +233,15 @@ func decReduceCtx(d *journal.Decoder, td *journal.TermDecoder) (core.ReduceConte
 // data; the worker recomputes it from what it decoded and refuses to
 // serve on mismatch (a drifted replica must fail closed, not return
 // plausible garbage).
-func encodeHello(fp uint64, job core.Job, opts core.Options) []byte {
+//
+// hb is the heartbeat interval the worker must use while computing a
+// chunk (0 = no heartbeats). It rides in the hello, not the options: it
+// is transport pacing, owned by the coordinator's Config, and never
+// enters the run fingerprint.
+func encodeHello(fp uint64, job core.Job, opts core.Options, hb time.Duration) []byte {
 	return buildPayload(func(m *journal.Encoder, te *journal.TermEncoder) {
 		m.U64(protoVersion)
+		m.Dur(hb)
 		m.U64(fp)
 		m.Str(lang.Format(job.Program, "__HOLE__"))
 		m.U64(te.ID(job.Spec))
@@ -250,59 +261,63 @@ func encodeHello(fp uint64, job core.Job, opts core.Options) []byte {
 	})
 }
 
-func decodeHello(p []byte) (fp uint64, job core.Job, opts core.Options, err error) {
+func decodeHello(p []byte) (fp uint64, job core.Job, opts core.Options, hb time.Duration, err error) {
 	d, td, err := openPayload(p)
 	if err != nil {
-		return 0, job, opts, err
+		return 0, job, opts, 0, err
 	}
 	if v := d.U64(); d.Err() == nil && v != protoVersion {
-		return 0, job, opts, fmt.Errorf("%w: shard protocol %d, want %d", journal.ErrVersion, v, protoVersion)
+		return 0, job, opts, 0, fmt.Errorf("%w: shard protocol %d, want %d", journal.ErrVersion, v, protoVersion)
+	}
+	hb = d.Dur()
+	if hb < 0 {
+		return 0, job, opts, 0, fmt.Errorf("%w: negative heartbeat interval", journal.ErrCorrupt)
 	}
 	fp = d.U64()
 	src := d.Str()
 	if err := d.Err(); err != nil {
-		return 0, job, opts, err
+		return 0, job, opts, 0, err
 	}
 	if job.Program, err = lang.Parse(src); err != nil {
-		return 0, job, opts, fmt.Errorf("shard: hello program: %w", err)
+		return 0, job, opts, 0, fmt.Errorf("shard: hello program: %w", err)
 	}
 	if job.Spec, err = td.Term(d.U64()); err != nil {
-		return 0, job, opts, err
+		return 0, job, opts, 0, err
 	}
 	job.Budget.MaxIterations = d.Int()
 	job.Budget.ValidationIterations = d.Int()
 	nf := d.U64()
 	if err := countCheck(nf, "failing inputs"); err != nil {
-		return 0, job, opts, err
+		return 0, job, opts, 0, err
 	}
 	for i := uint64(0); i < nf; i++ {
 		in, err := core.DecodeI64Map(d)
 		if err != nil {
-			return 0, job, opts, err
+			return 0, job, opts, 0, err
 		}
 		job.FailingInputs = append(job.FailingInputs, in)
 	}
 	np := d.U64()
 	if err := countCheck(np, "passing inputs"); err != nil {
-		return 0, job, opts, err
+		return 0, job, opts, 0, err
 	}
 	for i := uint64(0); i < np; i++ {
 		in, err := core.DecodeI64Map(d)
 		if err != nil {
-			return 0, job, opts, err
+			return 0, job, opts, 0, err
 		}
 		job.PassingInputs = append(job.PassingInputs, in)
 	}
 	if job.InputBounds, err = decBounds(d); err != nil {
-		return 0, job, opts, err
+		return 0, job, opts, 0, err
 	}
 	if job.Components, err = decComponents(d); err != nil {
-		return 0, job, opts, err
+		return 0, job, opts, 0, err
 	}
 	if opts, err = decOptions(d); err != nil {
-		return 0, job, opts, err
+		return 0, job, opts, 0, err
 	}
-	return fp, job, opts, d.Err()
+	return fp, job, opts, hb, d.Err()
 }
 
 func encodeReady(fp uint64) []byte {

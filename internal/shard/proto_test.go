@@ -57,10 +57,13 @@ void main(int x) {
 func TestHelloRoundTrip(t *testing.T) {
 	job, opts := helloJob()
 	fp := core.RunFingerprint(job, opts)
-	p := encodeHello(fp, job, opts)
-	gotFP, gotJob, gotOpts, err := decodeHello(p)
+	p := encodeHello(fp, job, opts, 250*time.Millisecond)
+	gotFP, gotJob, gotOpts, gotHB, err := decodeHello(p)
 	if err != nil {
 		t.Fatalf("decodeHello: %v", err)
+	}
+	if gotHB != 250*time.Millisecond {
+		t.Errorf("heartbeat interval %v != 250ms", gotHB)
 	}
 	if gotFP != fp {
 		t.Errorf("fingerprint %d != %d", gotFP, fp)
@@ -122,10 +125,10 @@ func TestWorkerStatsRoundTrip(t *testing.T) {
 func TestHelloDecodeFailsClosed(t *testing.T) {
 	job, opts := helloJob()
 	fp := core.RunFingerprint(job, opts)
-	p := encodeHello(fp, job, opts)
+	p := encodeHello(fp, job, opts, time.Second)
 
 	for cut := 0; cut < len(p); cut += 7 {
-		if _, _, _, err := decodeHello(p[:cut]); err == nil {
+		if _, _, _, _, err := decodeHello(p[:cut]); err == nil {
 			t.Fatalf("truncation at %d/%d accepted", cut, len(p))
 		}
 	}
@@ -139,7 +142,7 @@ func TestHelloDecodeFailsClosed(t *testing.T) {
 		mut := make([]byte, len(p))
 		copy(mut, p)
 		mut[off] ^= 0x40
-		gfp, gjob, gopts, err := decodeHello(mut)
+		gfp, gjob, gopts, _, err := decodeHello(mut)
 		if err != nil {
 			continue
 		}
@@ -154,14 +157,14 @@ func TestHelloDecodeFailsClosed(t *testing.T) {
 
 func TestDecodeHelloRejectsWrongVersion(t *testing.T) {
 	job, opts := helloJob()
-	p := encodeHello(1, job, opts)
+	p := encodeHello(1, job, opts, 0)
 	// Re-encode with a bumped version by patching the first varint-free
 	// field; easier: build a payload with a wrong leading version.
 	bad := buildPayload(func(m *journal.Encoder, te *journal.TermEncoder) { m.U64(protoVersion + 1) })
-	if _, _, _, err := decodeHello(bad); err == nil || !strings.Contains(err.Error(), "shard protocol") {
+	if _, _, _, _, err := decodeHello(bad); err == nil || !strings.Contains(err.Error(), "shard protocol") {
 		t.Errorf("wrong version accepted (err=%v)", err)
 	}
-	if _, _, _, err := decodeHello(p); err != nil {
+	if _, _, _, _, err := decodeHello(p); err != nil {
 		t.Errorf("control: valid hello rejected: %v", err)
 	}
 }

@@ -1,0 +1,185 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// Fleet resilience. PR 8's coordinator only survived *clean* failures —
+// a closed connection errors the next read and the shard is declared
+// dead. A hung, slow, or partitioned shard produced no error at all, so
+// one gray failure could stall a generation for the whole budget. This
+// file adds the liveness machinery: per-frame deadlines (deadlineConn),
+// the knobs that tune them (Config), and the jittered-backoff reconnect
+// loop that re-admits a shard slot after its connection died.
+
+// Config tunes the fleet's failure detection and recovery. The zero
+// value means "defaults"; negative durations disable the corresponding
+// mechanism. None of these knobs can change repair results — they decide
+// only when work moves between shards, and chunks are pure functions of
+// their input.
+type Config struct {
+	// Heartbeat is the interval at which a worker emits heartbeat frames
+	// while computing a chunk, proving liveness between data frames
+	// (default 1s; negative disables). Workers are idle-silent: between
+	// chunks the coordinator is not reading, so an idle heartbeat could
+	// block forever on an unbuffered transport.
+	Heartbeat time.Duration
+	// Timeout is the per-frame read/write deadline on every coordinator-
+	// side connection (default 10s; negative disables). A shard that
+	// produces no frame — data or heartbeat — for this long is declared
+	// dead and its chunks are requeued to survivors.
+	Timeout time.Duration
+	// Hedge enables straggler hedging: a chunk in flight longer than
+	// max(Hedge, 2×p90 of this batch's completed chunks) is speculatively
+	// re-issued to an idle shard, first reply wins (0 disables). Duplicate
+	// results are identical by construction, so hedging is purely a tail-
+	// latency lever.
+	Hedge time.Duration
+
+	// DialAttempts, DialBackoff, and DialBackoffMax shape the jittered
+	// exponential backoff of initial TCP dials (defaults 3, 100ms, 2s).
+	DialAttempts   int
+	DialBackoff    time.Duration
+	DialBackoffMax time.Duration
+	// NoReconnect disables mid-run redialing of dead TCP shard slots
+	// (DialFactory re-admits by default).
+	NoReconnect bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Heartbeat == 0 {
+		c.Heartbeat = time.Second
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.DialAttempts == 0 {
+		c.DialAttempts = 3
+	}
+	if c.DialBackoff == 0 {
+		c.DialBackoff = 100 * time.Millisecond
+	}
+	if c.DialBackoffMax == 0 {
+		c.DialBackoffMax = 2 * time.Second
+	}
+	return c
+}
+
+// heartbeat is the interval shipped to workers in the hello (0 = none).
+func (c Config) heartbeat() time.Duration {
+	if c.Heartbeat < 0 {
+		return 0
+	}
+	return c.Heartbeat
+}
+
+// ErrShardTimeout marks a connection killed by the liveness deadline;
+// the coordinator counts it as a missed heartbeat rather than a plain
+// transport death.
+var ErrShardTimeout = errors.New("shard: liveness deadline exceeded")
+
+// deadlineConn enforces a per-call deadline on Read and Write with a
+// watchdog that closes the underlying connection when it fires. Closing
+// is the one interruption that works uniformly across every transport we
+// run on — net.Pipe, subprocess pipes, and TCP — and it is not
+// destructive here: a deadline expiry declares the shard dead anyway.
+type deadlineConn struct {
+	rwc      io.ReadWriteCloser
+	timeout  time.Duration
+	timedOut atomic.Bool
+	closed   atomic.Bool
+}
+
+// wrapDeadline applies the Config timeout to a connection (pass-through
+// when disabled or conn is nil).
+func wrapDeadline(conn io.ReadWriteCloser, timeout time.Duration) io.ReadWriteCloser {
+	if conn == nil || timeout <= 0 {
+		return conn
+	}
+	return &deadlineConn{rwc: conn, timeout: timeout}
+}
+
+func (d *deadlineConn) guard(op func([]byte) (int, error), p []byte) (int, error) {
+	t := time.AfterFunc(d.timeout, func() {
+		d.timedOut.Store(true)
+		d.rwc.Close()
+	})
+	n, err := op(p)
+	t.Stop()
+	if err != nil && d.timedOut.Load() {
+		err = fmt.Errorf("%w (%v without a frame)", ErrShardTimeout, d.timeout)
+	}
+	return n, err
+}
+
+func (d *deadlineConn) Read(p []byte) (int, error)  { return d.guard(d.rwc.Read, p) }
+func (d *deadlineConn) Write(p []byte) (int, error) { return d.guard(d.rwc.Write, p) }
+
+func (d *deadlineConn) Close() error {
+	if d.closed.Swap(true) {
+		return nil
+	}
+	return d.rwc.Close()
+}
+
+// jitter spreads a backoff delay over [d/2, 3d/2) so a fleet of
+// reconnecting workers does not retry in lockstep. Reconnect timing can
+// never move results, so true randomness is fine here.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// enableReconnect arms mid-run re-admission: every currently-dead slot
+// gets a redial loop now, and every future death starts one. Loops stop
+// when the coordinator closes.
+func (c *Coordinator) enableReconnect(dial func(i int) (io.ReadWriteCloser, error), cfg Config) {
+	cfg = cfg.withDefaults()
+	c.onDeath = func(i int) { c.reconnectLoop(i, dial, cfg) }
+	for i, s := range c.shards {
+		if !s.live.Load() {
+			go c.onDeath(i)
+		}
+	}
+}
+
+// reconnectLoop redials one dead shard slot with jittered exponential
+// backoff until the slot is re-admitted or the coordinator closes. At
+// most one loop runs per slot.
+func (c *Coordinator) reconnectLoop(i int, dial func(i int) (io.ReadWriteCloser, error), cfg Config) {
+	s := c.shards[i]
+	if !s.reconnecting.CompareAndSwap(false, true) {
+		return
+	}
+	defer s.reconnecting.Store(false)
+	backoff := cfg.DialBackoff
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-time.After(jitter(backoff)):
+		}
+		if backoff *= 2; backoff > cfg.DialBackoffMax {
+			backoff = cfg.DialBackoffMax
+		}
+		conn, err := dial(i)
+		if err != nil {
+			continue
+		}
+		if err := c.Admit(i, conn); err != nil {
+			if errors.Is(err, errCoordinatorClosed) {
+				return
+			}
+			c.warn("shard %d re-admission failed: %v", i, err)
+			continue
+		}
+		return
+	}
+}

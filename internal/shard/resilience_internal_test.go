@@ -1,0 +1,306 @@
+// White-box tests for the fleet-resilience machinery: the per-frame
+// liveness deadline (deadlineConn), the hedged chunk queue's
+// first-reply-wins discipline, subprocess reaping of wedged workers, and
+// transport error paths (mid-loop spawn failure, partially-reachable
+// dials). The differential chaos suite (chaos_test.go) proves these keep
+// results bit-identical; here the mechanisms are pinned down in
+// isolation.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// TestDeadlineConnTimesOut: a read with no incoming frame must fail with
+// ErrShardTimeout once the watchdog fires — not hang.
+func TestDeadlineConnTimesOut(t *testing.T) {
+	coord, work := net.Pipe()
+	defer work.Close()
+	dc := wrapDeadline(coord, 100*time.Millisecond)
+	start := time.Now()
+	buf := make([]byte, 1)
+	_, err := dc.Read(buf)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrShardTimeout) {
+		t.Fatalf("Read error = %v, want ErrShardTimeout", err)
+	}
+	if elapsed < 80*time.Millisecond || elapsed > 3*time.Second {
+		t.Errorf("deadline fired after %v, want ~100ms", elapsed)
+	}
+}
+
+// TestDeadlineConnBlockedWrite: the deadline guards writes too — a peer
+// that stops draining (net.Pipe writes block without a reader) must not
+// wedge the coordinator's dispatch.
+func TestDeadlineConnBlockedWrite(t *testing.T) {
+	coord, work := net.Pipe()
+	defer work.Close()
+	dc := wrapDeadline(coord, 100*time.Millisecond)
+	if _, err := dc.Write(make([]byte, 64)); !errors.Is(err, ErrShardTimeout) {
+		t.Fatalf("Write error = %v, want ErrShardTimeout", err)
+	}
+}
+
+// TestDeadlineConnResetsPerCall: the deadline is per Read call, not per
+// connection lifetime — steady traffic slower than the total-elapsed
+// clock but faster than the per-frame deadline must never trip it.
+func TestDeadlineConnResetsPerCall(t *testing.T) {
+	coord, work := net.Pipe()
+	defer work.Close()
+	dc := wrapDeadline(coord, 200*time.Millisecond)
+	go func() {
+		for i := 0; i < 5; i++ {
+			time.Sleep(80 * time.Millisecond) // under the deadline each time…
+			work.Write([]byte{byte(i)})
+		}
+	}()
+	buf := make([]byte, 1)
+	for i := 0; i < 5; i++ { // …but 400ms in total
+		if _, err := dc.Read(buf); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+}
+
+// TestDeadlineConnPassThrough: nil connections and disabled timeouts wrap
+// to themselves, so the zero-overhead path stays zero-overhead.
+func TestDeadlineConnPassThrough(t *testing.T) {
+	if wrapDeadline(nil, time.Second) != nil {
+		t.Error("nil conn did not pass through")
+	}
+	coord, work := net.Pipe()
+	defer coord.Close()
+	defer work.Close()
+	if wrapDeadline(coord, 0) != coord {
+		t.Error("zero timeout did not pass through")
+	}
+	if wrapDeadline(coord, -1) != coord {
+		t.Error("negative timeout did not pass through")
+	}
+	dc := wrapDeadline(coord, time.Second)
+	if err := dc.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := dc.Close(); err != nil {
+		t.Fatalf("second Close not idempotent: %v", err)
+	}
+}
+
+// TestChunkQueueHedgeFirstReplyWins exercises the hedging discipline on
+// the bare queue: an idle executor duplicates a straggler after the
+// floor, exactly one finisher commits, and the win/loss tally follows
+// which copy came back first.
+func TestChunkQueueHedgeFirstReplyWins(t *testing.T) {
+	q := newChunkQueue(plan(8, 2), 10*time.Millisecond)
+	type claim struct {
+		idx   int
+		hedge bool
+	}
+	var claims []claim
+	for {
+		_, idx, hedge, ok := q.next(0)
+		if !ok || hedge {
+			t.Fatalf("draining pending: hedge=%v ok=%v", hedge, ok)
+		}
+		claims = append(claims, claim{idx, hedge})
+		if len(claims) == len(q.states) {
+			break
+		}
+	}
+
+	// Every chunk inflight, none done: an idle executor must hedge the
+	// oldest straggler once the 10ms floor passes.
+	_, hidx, hedge, ok := q.next(1)
+	if !ok || !hedge {
+		t.Fatalf("idle executor got hedge=%v ok=%v, want a hedged chunk", hedge, ok)
+	}
+
+	// Hedge copy replies first: it commits (wins), the original's late
+	// duplicate is discarded.
+	if !q.finish(hidx, time.Millisecond, true) {
+		t.Error("hedge copy was not the committing finisher")
+	}
+	if q.finish(hidx, time.Millisecond, false) {
+		t.Error("original's duplicate reply was not discarded")
+	}
+
+	// Hedge another; this time the original replies first (a loss for the
+	// hedge copy).
+	_, hidx2, hedge, ok := q.next(1)
+	if !ok || !hedge {
+		t.Fatalf("second hedge: hedge=%v ok=%v", hedge, ok)
+	}
+	if !q.finish(hidx2, time.Millisecond, false) {
+		t.Error("original was not the committing finisher")
+	}
+	if q.finish(hidx2, time.Millisecond, true) {
+		t.Error("hedge copy's duplicate reply was not discarded")
+	}
+
+	if q.hedges != 2 || q.hedgeWins != 1 || q.hedgeLosses != 1 {
+		t.Errorf("hedges/wins/losses = %d/%d/%d, want 2/1/1", q.hedges, q.hedgeWins, q.hedgeLosses)
+	}
+
+	// Finish the rest; the queue must then report completion, not block.
+	for _, cl := range claims {
+		if cl.idx == hidx || cl.idx == hidx2 {
+			continue
+		}
+		q.finish(cl.idx, time.Millisecond, false)
+	}
+	if _, _, _, ok := q.next(0); ok {
+		t.Error("next returned work after every chunk committed")
+	}
+	if q.stranded() {
+		t.Error("completed queue reports stranded chunks")
+	}
+}
+
+// TestChunkQueueAbandonRequeues: a dying executor's unhedged chunk must
+// requeue for survivors; a hedged one must not double-requeue while its
+// twin is still inflight.
+func TestChunkQueueAbandonRequeues(t *testing.T) {
+	q := newChunkQueue(plan(2, 2), 0) // one chunk per shard, no hedging
+	_, idx, _, ok := q.next(0)
+	if !ok {
+		t.Fatal("no chunk for shard 0")
+	}
+	q.abandon(idx)
+	_, idx2, hedge, ok := q.next(1)
+	if !ok || hedge {
+		t.Fatalf("requeued chunk: hedge=%v ok=%v", hedge, ok)
+	}
+	if idx2 != idx {
+		// Shard 1 may get its own chunk first; the abandoned one must
+		// still be claimable.
+		_, idx3, _, ok := q.next(1)
+		if !ok || idx3 != idx {
+			t.Fatalf("abandoned chunk %d never requeued (got %d, ok=%v)", idx, idx3, ok)
+		}
+	}
+}
+
+// TestProcConnKillsWedgedWorker: Close must reap a worker that ignores
+// stdin EOF — after the grace period it is killed, never waited on
+// forever.
+func TestProcConnKillsWedgedWorker(t *testing.T) {
+	oldGrace := procExitGrace
+	procExitGrace = 100 * time.Millisecond
+	defer func() { procExitGrace = oldGrace }()
+
+	os.Setenv("CPR_SHARD_TEST_HANG", "1")
+	conns, err := Spawn(1, nil)
+	os.Unsetenv("CPR_SHARD_TEST_HANG")
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	pc := conns[0].(*procConn)
+	start := time.Now()
+	cerr := pc.Close()
+	elapsed := time.Since(start)
+	if cerr == nil {
+		t.Error("Close returned nil for a killed worker; want its non-zero exit")
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("Close took %v; the grace period is 100ms", elapsed)
+	}
+	if pc.cmd.ProcessState == nil || pc.cmd.ProcessState.Success() {
+		t.Errorf("worker not reaped as killed: %v", pc.cmd.ProcessState)
+	}
+	if pc.Close() != cerr {
+		t.Error("Close not idempotent")
+	}
+}
+
+// TestSpawnMidLoopCleanup: when worker k fails to start, workers 0..k-1
+// must be closed and reaped, not leaked.
+func TestSpawnMidLoopCleanup(t *testing.T) {
+	oldStart := startCmd
+	defer func() { startCmd = oldStart }()
+	var first *exec.Cmd
+	calls := 0
+	startCmd = func(cmd *exec.Cmd) error {
+		calls++
+		if calls == 2 {
+			return fmt.Errorf("injected spawn failure")
+		}
+		first = cmd
+		return cmd.Start()
+	}
+
+	os.Setenv("CPR_SHARD_TEST_WORKER", "1")
+	conns, err := Spawn(2, nil)
+	os.Unsetenv("CPR_SHARD_TEST_WORKER")
+	if err == nil {
+		for _, c := range conns {
+			c.Close()
+		}
+		t.Fatal("Spawn succeeded despite injected mid-loop failure")
+	}
+	if conns != nil {
+		t.Errorf("failed Spawn returned %d connections, want nil", len(conns))
+	}
+	if first == nil {
+		t.Fatal("first worker never started")
+	}
+	if first.ProcessState == nil {
+		t.Error("first worker not reaped after mid-loop failure")
+	}
+}
+
+// TestDialPartialFailure: a fleet with one unreachable address must come
+// up degraded on the reachable ones; only a fully unreachable fleet is an
+// error.
+func TestDialPartialFailure(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	go Serve(l, nil)
+
+	cfg := Config{DialAttempts: 1, DialBackoff: 10 * time.Millisecond, Timeout: 2 * time.Second}
+	// Port 1 on loopback refuses immediately on any sane test machine.
+	conns, err := Dial([]string{l.Addr().String(), "127.0.0.1:1"}, cfg, t.Logf)
+	if err != nil {
+		t.Fatalf("Dial with one reachable address: %v", err)
+	}
+	if conns[0] == nil {
+		t.Error("reachable address produced a nil connection")
+	}
+	if conns[1] != nil {
+		t.Error("unreachable address produced a live connection")
+		conns[1].Close()
+	}
+	if conns[0] != nil {
+		conns[0].Close()
+	}
+
+	if _, err := Dial([]string{"127.0.0.1:1"}, cfg, t.Logf); err == nil {
+		t.Error("Dial with no reachable address did not fail")
+	}
+}
+
+// TestConfigDefaults pins the documented zero-value defaults and the
+// negative-disables convention.
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Heartbeat != time.Second || c.Timeout != 10*time.Second {
+		t.Errorf("liveness defaults = %v/%v, want 1s/10s", c.Heartbeat, c.Timeout)
+	}
+	if c.DialAttempts != 3 || c.DialBackoff != 100*time.Millisecond || c.DialBackoffMax != 2*time.Second {
+		t.Errorf("dial defaults = %d/%v/%v, want 3/100ms/2s", c.DialAttempts, c.DialBackoff, c.DialBackoffMax)
+	}
+	if c.Hedge != 0 {
+		t.Errorf("hedging defaulted on (%v); it must be opt-in", c.Hedge)
+	}
+	if hb := (Config{Heartbeat: -1}).withDefaults().heartbeat(); hb != 0 {
+		t.Errorf("negative heartbeat shipped as %v, want 0 (disabled)", hb)
+	}
+}

@@ -1,0 +1,125 @@
+// Black-box reconnection tests over real TCP: a shard whose connection
+// dies mid-run must be redialed with backoff and re-admitted through the
+// normal handshake as a late joiner — and the repair result must stay
+// bit-identical to the 1-process run throughout.
+package shard_test
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cpr/internal/core"
+	"cpr/internal/shard"
+)
+
+// failFirstListener passes accepted connections through, except the
+// first, which dies server-side after a read budget — a worker host that
+// drops its first coordinator mid-run but accepts the redial.
+type failFirstListener struct {
+	net.Listener
+	mu    sync.Mutex
+	first bool
+}
+
+func (l *failFirstListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.first {
+		l.first = true
+		return &dyingNetConn{Conn: conn, budget: 30}, nil
+	}
+	return conn, nil
+}
+
+// dyingNetConn is dyingConn's net.Conn twin, for the server side of a
+// TCP worker.
+type dyingNetConn struct {
+	net.Conn
+	mu     sync.Mutex
+	budget int
+}
+
+func (d *dyingNetConn) Read(p []byte) (int, error) {
+	d.mu.Lock()
+	d.budget--
+	dead := d.budget < 0
+	d.mu.Unlock()
+	if dead {
+		d.Conn.Close()
+		return 0, net.ErrClosed
+	}
+	return d.Conn.Read(p)
+}
+
+// TestShardTCPReconnectLateJoin: a two-shard TCP fleet loses shard 0
+// mid-run; the coordinator must redial it (jittered backoff), re-admit it
+// through the hello/fingerprint handshake, and re-sync it at the next
+// batch start — with the result unchanged.
+func TestShardTCPReconnectLateJoin(t *testing.T) {
+	want := baseline(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	go shard.Serve(&failFirstListener{Listener: l}, nil)
+
+	addr := l.Addr().String()
+	cfg := shard.Config{
+		Heartbeat:      50 * time.Millisecond,
+		Timeout:        5 * time.Second,
+		DialBackoff:    10 * time.Millisecond,
+		DialBackoffMax: 50 * time.Millisecond,
+	}
+	opts := core.Options{Workers: 1}
+	opts.NewDistributor = shard.DialFactory([]string{addr, addr}, cfg, t.Logf)
+	res, err := core.Repair(divZeroJob(), opts)
+	if err != nil {
+		t.Fatalf("Repair over TCP with a dying shard: %v", err)
+	}
+	if got := fingerprint(res); got != want {
+		t.Fatalf("TCP reconnect run diverged:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+	if res.Stats.ShardDeaths == 0 {
+		t.Error("the injected connection loss killed no shard")
+	}
+	if res.Stats.ShardReconnects == 0 {
+		t.Error("the dead shard slot was never re-admitted")
+	}
+}
+
+// TestShardNoReconnect: with reconnection disabled the dead slot stays
+// dead — the survivor finishes alone, still bit-identically.
+func TestShardNoReconnect(t *testing.T) {
+	want := baseline(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	go shard.Serve(&failFirstListener{Listener: l}, nil)
+
+	cfg := shard.Config{Heartbeat: 50 * time.Millisecond, Timeout: 5 * time.Second, NoReconnect: true}
+	addr := l.Addr().String()
+	opts := core.Options{Workers: 1}
+	opts.NewDistributor = shard.DialFactory([]string{addr, addr}, cfg, t.Logf)
+	res, err := core.Repair(divZeroJob(), opts)
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if got := fingerprint(res); got != want {
+		t.Fatalf("no-reconnect run diverged:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+	if res.Stats.ShardDeaths == 0 {
+		t.Error("the injected connection loss killed no shard")
+	}
+	if res.Stats.ShardReconnects != 0 {
+		t.Errorf("ShardReconnects = %d with NoReconnect set", res.Stats.ShardReconnects)
+	}
+}

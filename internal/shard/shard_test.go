@@ -25,10 +25,18 @@ import (
 )
 
 // workerEnv marks a re-exec of this test binary as a shard worker
-// subprocess (see TestMain and the SIGKILL test).
-const workerEnv = "CPR_SHARD_TEST_WORKER"
+// subprocess (see TestMain and the SIGKILL test); hangEnv marks one as a
+// wedged worker that ignores stdin EOF forever (the procConn force-kill
+// test).
+const (
+	workerEnv = "CPR_SHARD_TEST_WORKER"
+	hangEnv   = "CPR_SHARD_TEST_HANG"
+)
 
 func TestMain(m *testing.M) {
+	if os.Getenv(hangEnv) == "1" {
+		select {} // wedge: never exit on EOF, must be killed
+	}
 	if os.Getenv(workerEnv) == "1" {
 		if err := shard.ServeStdio(nil); err != nil {
 			fmt.Fprintln(os.Stderr, "shard worker:", err)
@@ -109,7 +117,7 @@ func TestShardDifferential(t *testing.T) {
 	want := baseline(t)
 	for _, n := range []int{1, 2, 4} {
 		opts := core.Options{Workers: 1}
-		opts.NewDistributor = shard.PipesFactory(n, nil)
+		opts.NewDistributor = shard.PipesFactory(n, shard.Config{}, nil)
 		res, err := core.Repair(divZeroJob(), opts)
 		if err != nil {
 			t.Fatalf("shards=%d: %v", n, err)
@@ -168,7 +176,7 @@ func TestShardDeathRecovery(t *testing.T) {
 		// never trip on a fast (warmed-up) run.
 		conns[0] = &dyingConn{ReadWriteCloser: conns[0], budget: 8}
 		return conns, nil
-	}, t.Logf)
+	}, shard.Config{}, t.Logf)
 	res, err := core.Repair(divZeroJob(), opts)
 	if err != nil {
 		t.Fatalf("Repair with dying shard: %v", err)
@@ -195,7 +203,7 @@ func TestShardAllDeadFallsBack(t *testing.T) {
 			conns[i] = &dyingConn{ReadWriteCloser: conns[i], budget: 8 + 4*i}
 		}
 		return conns, nil
-	}, t.Logf)
+	}, shard.Config{}, t.Logf)
 	res, err := core.Repair(divZeroJob(), opts)
 	if err != nil {
 		t.Fatalf("Repair with all shards dying: %v", err)
@@ -222,7 +230,7 @@ func TestShardSubprocessSIGKILL(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Spawn: %v", err)
 	}
-	coord, err := shard.New(job, opts, conns, nil, t.Logf)
+	coord, err := shard.New(job, opts, conns, shard.Config{}, nil, t.Logf)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}

@@ -6,6 +6,8 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"sync"
+	"time"
 
 	"cpr/internal/core"
 )
@@ -21,7 +23,8 @@ import (
 //     `cpr -shards N` uses: one OS process per shard, so the kernel
 //     schedules them across cores.
 //   - Dial/Serve: remote workers over TCP (`cpr -shard-listen` on the
-//     worker host, `-shard-connect` on the coordinator).
+//     worker host, `-shard-connect` on the coordinator), with kernel
+//     keepalives, dial retries, and mid-run reconnection.
 
 // Pipes starts n in-process workers and returns the coordinator ends of
 // their connections. Worker errors after a completed handshake surface
@@ -42,28 +45,53 @@ func Pipes(n int, warn func(format string, args ...any)) []io.ReadWriteCloser {
 	return conns
 }
 
+// procExitGrace is how long Close waits for a worker subprocess to exit
+// on its own (stdin EOF or shutdown frame) before killing it. A var so
+// tests can shrink it.
+var procExitGrace = 3 * time.Second
+
 // procConn is a subprocess worker connection: frames go down its stdin
 // and come back up its stdout. Close releases the pipes and reaps the
-// process (workers exit on stdin EOF or a shutdown frame).
+// process (workers exit on stdin EOF or a shutdown frame); a wedged
+// worker that ignores EOF is killed after a grace period rather than
+// blocking Close forever. Close is idempotent — the liveness watchdog
+// and the coordinator can both reach it.
 type procConn struct {
 	io.Reader
 	io.WriteCloser
-	cmd *exec.Cmd
+	cmd  *exec.Cmd
+	once sync.Once
+	err  error
 }
 
 func (p *procConn) Close() error {
-	p.WriteCloser.Close()
-	return p.cmd.Wait()
+	p.once.Do(func() {
+		p.WriteCloser.Close()
+		done := make(chan error, 1)
+		go func() { done <- p.cmd.Wait() }()
+		select {
+		case p.err = <-done:
+		case <-time.After(procExitGrace):
+			p.cmd.Process.Kill()
+			p.err = <-done
+		}
+	})
+	return p.err
 }
 
 // Proc exposes the worker subprocess, for fault-injection harnesses that
 // kill shards for real.
 func (p *procConn) Proc() *os.Process { return p.cmd.Process }
 
+// startCmd launches a worker subprocess; a var so transport tests can
+// inject mid-loop spawn failures.
+var startCmd = func(cmd *exec.Cmd) error { return cmd.Start() }
+
 // Spawn starts n local worker subprocesses by re-execing this binary with
 // args (e.g. ["-shard-worker"]); stderr passes through. The returned
 // connections are handed to New; Close (or coordinator shutdown) reaps
-// the processes.
+// the processes. A mid-loop failure closes (and reaps) the workers
+// already started.
 func Spawn(n int, args []string) ([]io.ReadWriteCloser, error) {
 	self, err := os.Executable()
 	if err != nil {
@@ -87,7 +115,7 @@ func Spawn(n int, args []string) ([]io.ReadWriteCloser, error) {
 		if err != nil {
 			return fail(err)
 		}
-		if err := cmd.Start(); err != nil {
+		if err := startCmd(cmd); err != nil {
 			return fail(fmt.Errorf("shard: spawn worker: %w", err))
 		}
 		conns = append(conns, &procConn{Reader: stdout, WriteCloser: stdin, cmd: cmd})
@@ -95,30 +123,84 @@ func Spawn(n int, args []string) ([]io.ReadWriteCloser, error) {
 	return conns, nil
 }
 
-// Dial connects to remote workers (one per address).
-func Dial(addrs []string) ([]io.ReadWriteCloser, error) {
-	conns := make([]io.ReadWriteCloser, 0, len(addrs))
-	for _, a := range addrs {
-		conn, err := net.Dial("tcp", a)
-		if err != nil {
-			for _, c := range conns {
-				c.Close()
+// keepalivePeriod is the TCP keepalive interval on both ends, so the
+// kernel notices a silently dead peer (host crash, cable pull) even on a
+// connection that is idle between heartbeats.
+const keepalivePeriod = 15 * time.Second
+
+// dialShard dials one worker address with a connect timeout and
+// keepalives armed.
+func dialShard(addr string, cfg Config) (net.Conn, error) {
+	d := net.Dialer{Timeout: cfg.Timeout, KeepAlive: keepalivePeriod}
+	if d.Timeout <= 0 {
+		d.Timeout = 10 * time.Second
+	}
+	return d.Dial("tcp", addr)
+}
+
+// dialRetry dials one address with jittered exponential backoff, per
+// Config's DialAttempts/DialBackoff/DialBackoffMax.
+func dialRetry(addr string, cfg Config, warn func(format string, args ...any)) (net.Conn, error) {
+	backoff := cfg.DialBackoff
+	var lastErr error
+	for i := 0; i < cfg.DialAttempts; i++ {
+		if i > 0 {
+			if warn != nil {
+				warn("shard: dial %s: %v; retrying in ~%v", addr, lastErr, backoff)
 			}
-			return nil, fmt.Errorf("shard: dial %s: %w", a, err)
+			time.Sleep(jitter(backoff))
+			if backoff *= 2; backoff > cfg.DialBackoffMax {
+				backoff = cfg.DialBackoffMax
+			}
 		}
-		conns = append(conns, conn)
+		conn, err := dialShard(addr, cfg)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// Dial connects to remote workers (one per address), retrying each with
+// jittered exponential backoff. An address that stays unreachable
+// becomes a nil connection — a degraded fleet slot the coordinator
+// starts without and the reconnect loop keeps redialing — rather than
+// aborting the run; Dial fails only when no address is reachable.
+func Dial(addrs []string, cfg Config, warn func(format string, args ...any)) ([]io.ReadWriteCloser, error) {
+	cfg = cfg.withDefaults()
+	conns := make([]io.ReadWriteCloser, len(addrs))
+	reachable := 0
+	for i, a := range addrs {
+		conn, err := dialRetry(a, cfg, warn)
+		if err != nil {
+			if warn != nil {
+				warn("shard: %s unreachable after %d attempts: %v", a, cfg.DialAttempts, err)
+			}
+			continue
+		}
+		conns[i] = conn
+		reachable++
+	}
+	if reachable == 0 {
+		return nil, fmt.Errorf("shard: no worker address reachable")
 	}
 	return conns, nil
 }
 
 // Serve accepts coordinator connections on l and serves each with a fresh
 // worker until l closes. Each connection gets its own replica; a worker
-// host can serve several runs over its lifetime.
+// host can serve several runs over its lifetime. Keepalives are armed so
+// a silently dead coordinator releases the worker.
 func Serve(l net.Listener, warn func(format string, args ...any)) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			return err
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetKeepAlive(true)
+			tc.SetKeepAlivePeriod(keepalivePeriod)
 		}
 		go func(conn net.Conn) {
 			defer conn.Close()
@@ -145,16 +227,18 @@ func ServeStdio(warn func(format string, args ...any)) error {
 // Factory adapts a connection source to core.Options.NewDistributor: the
 // connections are established (and the fleet handshaken) lazily, when the
 // engine actually starts a run.
-func Factory(connect func() ([]io.ReadWriteCloser, error), warn func(format string, args ...any)) func(core.Job, core.Options) (core.Distributor, error) {
+func Factory(connect func() ([]io.ReadWriteCloser, error), cfg Config, warn func(format string, args ...any)) func(core.Job, core.Options) (core.Distributor, error) {
 	return func(job core.Job, opts core.Options) (core.Distributor, error) {
 		conns, err := connect()
 		if err != nil {
 			return nil, err
 		}
-		c, err := New(job, opts, conns, opts.Cancel, warn)
+		c, err := New(job, opts, conns, cfg, opts.Cancel, warn)
 		if err != nil {
 			for _, conn := range conns {
-				conn.Close()
+				if conn != nil {
+					conn.Close()
+				}
 			}
 			return nil, err
 		}
@@ -163,16 +247,30 @@ func Factory(connect func() ([]io.ReadWriteCloser, error), warn func(format stri
 }
 
 // SpawnFactory is Factory over n spawned subprocess workers.
-func SpawnFactory(n int, args []string, warn func(format string, args ...any)) func(core.Job, core.Options) (core.Distributor, error) {
-	return Factory(func() ([]io.ReadWriteCloser, error) { return Spawn(n, args) }, warn)
+func SpawnFactory(n int, args []string, cfg Config, warn func(format string, args ...any)) func(core.Job, core.Options) (core.Distributor, error) {
+	return Factory(func() ([]io.ReadWriteCloser, error) { return Spawn(n, args) }, cfg, warn)
 }
 
 // PipesFactory is Factory over n in-process workers.
-func PipesFactory(n int, warn func(format string, args ...any)) func(core.Job, core.Options) (core.Distributor, error) {
-	return Factory(func() ([]io.ReadWriteCloser, error) { return Pipes(n, warn), nil }, warn)
+func PipesFactory(n int, cfg Config, warn func(format string, args ...any)) func(core.Job, core.Options) (core.Distributor, error) {
+	return Factory(func() ([]io.ReadWriteCloser, error) { return Pipes(n, warn), nil }, cfg, warn)
 }
 
-// DialFactory is Factory over remote workers at addrs.
-func DialFactory(addrs []string, warn func(format string, args ...any)) func(core.Job, core.Options) (core.Distributor, error) {
-	return Factory(func() ([]io.ReadWriteCloser, error) { return Dial(addrs) }, warn)
+// DialFactory is Factory over remote workers at addrs, plus reconnection
+// (unless Config.NoReconnect): a slot that starts unreachable or dies
+// mid-run is redialed with jittered exponential backoff and re-admitted
+// through the normal handshake as a late joiner.
+func DialFactory(addrs []string, cfg Config, warn func(format string, args ...any)) func(core.Job, core.Options) (core.Distributor, error) {
+	inner := Factory(func() ([]io.ReadWriteCloser, error) { return Dial(addrs, cfg, warn) }, cfg, warn)
+	return func(job core.Job, opts core.Options) (core.Distributor, error) {
+		d, err := inner(job, opts)
+		if err != nil {
+			return nil, err
+		}
+		c := d.(*Coordinator)
+		if !cfg.NoReconnect {
+			c.enableReconnect(func(i int) (io.ReadWriteCloser, error) { return dialShard(addrs[i], cfg.withDefaults()) }, cfg)
+		}
+		return c, nil
+	}
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
+	"time"
 
 	"cpr/internal/core"
 	"cpr/internal/expr"
@@ -24,6 +26,49 @@ type workerState struct {
 	// entry never echoes back. A retraction clears the mark, so a
 	// re-learned verdict ships again.
 	sent map[cache.Key]bool
+	// hb is the heartbeat interval from the hello (0 = none); wmu
+	// serializes replies with the heartbeat goroutine's frames so the two
+	// never interleave mid-frame on the wire.
+	hb  time.Duration
+	wmu sync.Mutex
+}
+
+// send writes one frame under the write mutex.
+func (w *workerState) send(rw io.Writer, kind uint8, payload []byte) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return writeMsg(rw, kind, payload)
+}
+
+// startBeats emits heartbeat frames every hb while a chunk computes, so
+// the coordinator's per-frame deadline distinguishes "slow but alive"
+// from "hung". The returned stop function waits for the goroutine, which
+// keeps ordering simple: every heartbeat precedes the chunk's reply.
+// Workers heartbeat only while computing — the coordinator is guaranteed
+// to be reading then; an idle heartbeat could block forever on an
+// unbuffered transport whose coordinator is between batches.
+func (w *workerState) startBeats(rw io.Writer) func() {
+	if w.hb <= 0 {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(w.hb)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if err := w.send(rw, kHeartbeat, nil); err != nil {
+					return // conn is dead; the main loop will hit it too
+				}
+			}
+		}
+	}()
+	return func() { close(stop); <-done }
 }
 
 // ServeConn runs the worker side of the shard protocol on one connection
@@ -49,7 +94,7 @@ func ServeConn(rw io.ReadWriter, warn func(format string, args ...any)) error {
 	if rec.Kind != kHello {
 		return fmt.Errorf("shard: expected hello, got frame kind %d", rec.Kind)
 	}
-	fp, job, opts, err := decodeHello(rec.Payload)
+	fp, job, opts, hb, err := decodeHello(rec.Payload)
 	if err != nil {
 		return err
 	}
@@ -67,7 +112,7 @@ func ServeConn(rw io.ReadWriter, warn func(format string, args ...any)) error {
 		return err
 	}
 
-	w := &workerState{we: we, sent: make(map[cache.Key]bool)}
+	w := &workerState{we: we, sent: make(map[cache.Key]bool), hb: hb}
 	for {
 		rec, err := readMsg(rw)
 		if err == io.EOF {
@@ -90,9 +135,11 @@ func ServeConn(rw io.ReadWriter, warn func(format string, args ...any)) error {
 			if err != nil {
 				return err
 			}
+			beatStop := w.startBeats(rw)
 			outs := we.RunFlips(flips)
+			beatStop()
 			reply := encodeFlipReply(base, outs, w.collectDelta(), we.SolverStats())
-			if err := writeMsg(rw, kFlipReply, reply); err != nil {
+			if err := w.send(rw, kFlipReply, reply); err != nil {
 				return err
 			}
 		case kReduceChunk:
@@ -100,12 +147,14 @@ func ServeConn(rw io.ReadWriter, warn func(format string, args ...any)) error {
 			if err != nil {
 				return err
 			}
+			beatStop := w.startBeats(rw)
 			outs := we.RunReduce(w.rc, lo, hi)
+			beatStop()
 			if outs == nil {
 				return fmt.Errorf("shard: reduce chunk [%d,%d) out of range", lo, hi)
 			}
 			reply := encodeReduceReply(lo, outs, w.collectDelta(), we.SolverStats())
-			if err := writeMsg(rw, kReduceReply, reply); err != nil {
+			if err := w.send(rw, kReduceReply, reply); err != nil {
 				return err
 			}
 		case kShutdown:
