@@ -20,6 +20,7 @@ import (
 	"cpr/internal/bench"
 	"cpr/internal/buildinfo"
 	"cpr/internal/core"
+	"cpr/internal/govern"
 	"cpr/internal/shard"
 )
 
@@ -41,6 +42,9 @@ func main() {
 		portfolio    = flag.Int("portfolio", 0, "race this many diverse CDCL configurations on hard queries (0 or 1 = off); results are identical either way")
 		batch        = flag.Bool("batch", false, "group per-patch feasibility checks into chunked solver queries; results are identical either way")
 		paranoid     = flag.Bool("paranoid", false, "force 100% solver verdict validation (every unsat answer cross-checked by an independent scratch solve); CPR_PARANOID=1 forces it too")
+		memSoft      = flag.String("mem-soft", "", "soft memory watermark (e.g. 512M): shrink caches and retire idle solver contexts above it; measured tables are identical either way")
+		memHigh      = flag.String("mem-high", "", "high memory watermark: additionally spill frontier cold tails to disk; measured tables are identical either way")
+		memLimit     = flag.String("mem-limit", "", "process memory ceiling: sets the Go runtime soft limit (GOMEMLIMIT) and derives unset watermarks (50/70/85%)")
 		jsonOut      = flag.String("json", "", "write per-subject measurements (wall time, iterations, solver queries, cache hit rate) to this JSON file (committed atomically)")
 		ckptDir      = flag.String("checkpoint-dir", "", "directory for crash-safe suite journals and per-subject engine snapshots (empty = off)")
 		resume       = flag.Bool("resume", false, "resume a killed suite run: completed subjects replay from the journal, the interrupted one continues from its snapshot")
@@ -89,6 +93,11 @@ func main() {
 	}
 
 	opts := bench.RunOptions{SubjectTimeout: *timeout}
+	gov, err := govern.Setup(*memSoft, *memHigh, *memLimit, warnf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts.Core.Govern = gov
 	opts.Core.Workers = *workers
 	opts.Core.SMT.Incremental = *incremental
 	opts.CEGIS.SMT.Incremental = *incremental

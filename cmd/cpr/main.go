@@ -39,6 +39,7 @@ import (
 
 	"cpr"
 	"cpr/internal/buildinfo"
+	"cpr/internal/govern"
 	"cpr/internal/shard"
 )
 
@@ -71,6 +72,10 @@ func main() {
 		portfolio    = flag.Int("portfolio", 0, "race this many diverse CDCL configurations on hard queries (0 or 1 = off); results are identical either way")
 		batch        = flag.Bool("batch", false, "group per-patch feasibility checks into chunked solver queries; results are identical either way")
 		paranoid     = flag.Bool("paranoid", false, "force 100% solver verdict validation (every unsat answer cross-checked by an independent scratch solve); CPR_PARANOID=1 forces it too")
+		memSoft      = flag.String("mem-soft", "", "soft memory watermark (e.g. 512M): shrink the verdict cache and retire idle solver contexts above it; results are identical either way")
+		memHigh      = flag.String("mem-high", "", "high memory watermark: additionally spill the frontier's cold tail to disk (see -spill-dir); results are identical either way")
+		memLimit     = flag.String("mem-limit", "", "process memory ceiling: sets the Go runtime soft limit (GOMEMLIMIT) and derives unset watermarks (50/70/85%); sustained critical pressure ends the run with its best-so-far (anytime) pool")
+		spillDir     = flag.String("spill-dir", "", "directory for frontier spill files (default: a temp dir, removed at exit)")
 		ckptDir      = flag.String("checkpoint-dir", "", "directory for crash-safe run snapshots (empty = checkpointing off)")
 		ckptIvl      = flag.Int("checkpoint-interval", 0, "generation barriers between snapshots (0 = default)")
 		resume       = flag.Bool("resume", false, "resume from the latest intact snapshot in -checkpoint-dir")
@@ -140,6 +145,12 @@ func main() {
 	tok, stopSignals := cpr.WithSignalCancel(nil, os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 	opts := cpr.Options{Workers: *workers, Cancel: tok, Batch: *batch}
+	gov, err := govern.Setup(*memSoft, *memHigh, *memLimit, func(format string, args ...any) { log.Printf(format, args...) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts.Govern = gov
+	opts.SpillDir = *spillDir
 	opts.SMT.Incremental = *incr
 	opts.SMT.Paranoid = *paranoid
 	opts.SMT.Portfolio = *portfolio
@@ -273,9 +284,12 @@ func runJob(job cpr.Job, dev *cpr.Term, top int, withCEGIS bool, opts cpr.Option
 	}
 	st := res.Stats
 	if st.TimedOut {
-		if opts.Cancel.Err() == cpr.ErrCancelled {
+		switch {
+		case st.MemStopped:
+			fmt.Println("memory pressure stayed critical: showing the best-so-far (anytime) pool; raise -mem-limit or narrow the job to finish it")
+		case opts.Cancel.Err() == cpr.ErrCancelled:
 			fmt.Println("interrupted: showing the best-so-far (anytime) pool; with -checkpoint-dir the run is resumable with -resume")
-		} else {
+		default:
 			fmt.Println("wall-clock budget expired: showing the best-so-far (anytime) pool")
 		}
 	}
@@ -309,6 +323,19 @@ func runJob(job cpr.Job, dev *cpr.Term, top int, withCEGIS bool, opts cpr.Option
 	if st.Validations > 0 {
 		fmt.Printf("self-heal: %d validations (%d failed), %d quarantines, %d fallback solves, %d rebuilds, %d breaker trips\n",
 			st.Validations, st.ValidationFailures, st.Quarantines, st.FallbackSolves, st.RebuildRetries, st.BreakerTrips)
+	}
+	if st.GovernPolls > 0 {
+		fmt.Printf("memory: %d governor polls (%d soft / %d high / %d critical), cache shrinks %d (%s freed), contexts retired %d (%s)\n",
+			st.GovernPolls, st.MemRungSoft, st.MemRungHigh, st.MemRungCritical,
+			st.MemCacheShrinks, fmtBytes(st.MemCacheShrinkBytes),
+			st.MemContextRetires, fmtBytes(st.MemContextRetireBytes))
+		if st.MemSpills > 0 {
+			fmt.Printf("spill: %d batches (%d items) to disk, %d reloads, %d load failures\n",
+				st.MemSpills, st.MemSpilledItems, st.MemReloads, st.MemSpillLoadFailures)
+		}
+		fmt.Printf("peaks: frontier %d items (%s), seen %d (%s), pool %s\n",
+			st.FrontierPeak, fmtBytes(st.FrontierPeakBytes),
+			st.SeenPeak, fmtBytes(st.SeenPeakBytes), fmtBytes(st.PoolPeakBytes))
 	}
 	if st.Shards > 0 {
 		fmt.Printf("shards: %d, chunks stolen %d, deaths %d, knowledge imported %d verdicts / %d cores, rejected %d\n",
@@ -372,6 +399,19 @@ func localizeFile(prog *cpr.Program, spec string) {
 		}
 		fmt.Printf("  %2d. line %3d col %2d  score %.3f\n", i+1, r.Pos.Line, r.Pos.Col, r.Score)
 	}
+}
+
+// fmtBytes renders a byte count at a human scale (KiB/MiB/GiB).
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
 }
 
 func parseInput(s string) (map[string]int64, error) {

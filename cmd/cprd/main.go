@@ -37,6 +37,7 @@ import (
 
 	"cpr/internal/buildinfo"
 	"cpr/internal/core"
+	"cpr/internal/govern"
 	"cpr/internal/serve"
 	"cpr/internal/shard"
 )
@@ -71,6 +72,10 @@ func main() {
 
 		queueTO = flag.Duration("queue-timeout", 0, "expire jobs queued longer than this (0 = never)")
 		runTO   = flag.Duration("run-timeout", 0, "wall-clock bound per attempt (0 = none)")
+
+		memSoft  = flag.String("mem-soft", "", "soft memory watermark (e.g. 512M): jobs shrink caches and retire idle solver contexts above it; results are identical either way")
+		memHigh  = flag.String("mem-high", "", "high memory watermark: jobs additionally spill frontier cold tails under -state, new submits shed while a retry backlog drains, and new shard fleets are halved")
+		memLimit = flag.String("mem-limit", "", "process memory ceiling: sets the Go runtime soft limit (GOMEMLIMIT) and derives unset watermarks (50/70/85%); at critical pressure new submits shed with 503 + Retry-After and new shard fleets are skipped")
 
 		ckptIvl   = flag.Int("checkpoint-interval", 4, "generation barriers between job checkpoints")
 		incr      = flag.Bool("incremental", true, "incremental solver contexts per job")
@@ -155,6 +160,11 @@ func main() {
 		Batch:                *batch,
 		Warn:                 func(msg string) { log.Print(msg) },
 	}
+	gov, err := govern.Setup(*memSoft, *memHigh, *memLimit, warnf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Govern = gov
 	if *shards > 0 {
 		shardCfg := shard.Config{Heartbeat: *shardHB, Timeout: *shardTimeout, Hedge: *shardHedge}
 		cfg.Shards = *shards

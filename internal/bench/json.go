@@ -88,6 +88,32 @@ type JSONRow struct {
 	ShardReconnects       uint64 `json:"shard_reconnects,omitempty"`
 	ShardLateJoins        uint64 `json:"shard_late_joins,omitempty"`
 	ShardDegradedStarts   uint64 `json:"shard_degraded_starts,omitempty"`
+
+	// Memory-governance counters; omitted on ungoverned runs. Like the
+	// shard block these describe scheduling, not results: equality
+	// comparisons (e.g. CI's constrained-vs-unconstrained differential)
+	// must ignore them.
+	GovernPolls          uint64 `json:"govern_polls,omitempty"`
+	MemRungSoft          uint64 `json:"mem_rung_soft,omitempty"`
+	MemRungHigh          uint64 `json:"mem_rung_high,omitempty"`
+	MemRungCritical      uint64 `json:"mem_rung_critical,omitempty"`
+	MemCacheShrinks      uint64 `json:"mem_cache_shrinks,omitempty"`
+	MemCacheShrinkBytes  uint64 `json:"mem_cache_shrink_bytes,omitempty"`
+	MemContextRetires    uint64 `json:"mem_context_retires,omitempty"`
+	MemSpills            uint64 `json:"mem_spills,omitempty"`
+	MemSpilledItems      uint64 `json:"mem_spilled_items,omitempty"`
+	MemReloads           uint64 `json:"mem_reloads,omitempty"`
+	MemSpillLoadFailures uint64 `json:"mem_spill_load_failures,omitempty"`
+	MemStopped           bool   `json:"mem_stopped,omitempty"`
+
+	// Peak structure sizes, tracked on every run (governed or not);
+	// informational, excluded from equality comparisons with the rest of
+	// this block.
+	FrontierPeak      int    `json:"frontier_peak,omitempty"`
+	SeenPeak          int    `json:"seen_peak,omitempty"`
+	FrontierPeakBytes uint64 `json:"frontier_peak_bytes,omitempty"`
+	SeenPeakBytes     uint64 `json:"seen_peak_bytes,omitempty"`
+	PoolPeakBytes     uint64 `json:"pool_peak_bytes,omitempty"`
 }
 
 // JSONRows converts measured rows for serialization.
@@ -152,6 +178,23 @@ func JSONRows(rows []SubjectResult) []JSONRow {
 			row.ShardReconnects = r.CPR.ShardReconnects
 			row.ShardLateJoins = r.CPR.ShardLateJoins
 			row.ShardDegradedStarts = r.CPR.ShardDegradedStarts
+			row.GovernPolls = r.CPR.GovernPolls
+			row.MemRungSoft = r.CPR.MemRungSoft
+			row.MemRungHigh = r.CPR.MemRungHigh
+			row.MemRungCritical = r.CPR.MemRungCritical
+			row.MemCacheShrinks = r.CPR.MemCacheShrinks
+			row.MemCacheShrinkBytes = r.CPR.MemCacheShrinkBytes
+			row.MemContextRetires = r.CPR.MemContextRetires
+			row.MemSpills = r.CPR.MemSpills
+			row.MemSpilledItems = r.CPR.MemSpilledItems
+			row.MemReloads = r.CPR.MemReloads
+			row.MemSpillLoadFailures = r.CPR.MemSpillLoadFailures
+			row.MemStopped = r.CPR.MemStopped
+			row.FrontierPeak = r.CPR.FrontierPeak
+			row.SeenPeak = r.CPR.SeenPeak
+			row.FrontierPeakBytes = r.CPR.FrontierPeakBytes
+			row.SeenPeakBytes = r.CPR.SeenPeakBytes
+			row.PoolPeakBytes = r.CPR.PoolPeakBytes
 		}
 		out = append(out, row)
 	}

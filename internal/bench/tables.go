@@ -343,6 +343,11 @@ func solverSummary(rows []SubjectResult) string {
 	var shardMax int
 	var steals, deaths, impVerdicts, impCores, rejImports uint64
 	var hbMissed, hedges, hedgeWins, hedgeLosses, reconnects, lateJoins, degraded uint64
+	var governPolls, rungSoft, rungHigh, rungCritical uint64
+	var shrinks, shrinkBytes, retires, retireBytes uint64
+	var spills, spilledItems, reloads, spillFails, memStopped uint64
+	var frontierPeak, seenPeak int
+	var frontierPeakB, seenPeakB, poolPeakB uint64
 	for _, r := range rows {
 		if r.NA {
 			continue
@@ -388,6 +393,36 @@ func solverSummary(rows []SubjectResult) string {
 		batchQ += r.CPR.BatchQueries
 		batchItems += r.CPR.BatchItems
 		batchBisect += r.CPR.BatchBisections
+		governPolls += r.CPR.GovernPolls
+		rungSoft += r.CPR.MemRungSoft
+		rungHigh += r.CPR.MemRungHigh
+		rungCritical += r.CPR.MemRungCritical
+		shrinks += r.CPR.MemCacheShrinks
+		shrinkBytes += r.CPR.MemCacheShrinkBytes
+		retires += r.CPR.MemContextRetires
+		retireBytes += r.CPR.MemContextRetireBytes
+		spills += r.CPR.MemSpills
+		spilledItems += r.CPR.MemSpilledItems
+		reloads += r.CPR.MemReloads
+		spillFails += r.CPR.MemSpillLoadFailures
+		if r.CPR.MemStopped {
+			memStopped++
+		}
+		if r.CPR.FrontierPeak > frontierPeak {
+			frontierPeak = r.CPR.FrontierPeak
+		}
+		if r.CPR.SeenPeak > seenPeak {
+			seenPeak = r.CPR.SeenPeak
+		}
+		if r.CPR.FrontierPeakBytes > frontierPeakB {
+			frontierPeakB = r.CPR.FrontierPeakBytes
+		}
+		if r.CPR.SeenPeakBytes > seenPeakB {
+			seenPeakB = r.CPR.SeenPeakBytes
+		}
+		if r.CPR.PoolPeakBytes > poolPeakB {
+			poolPeakB = r.CPR.PoolPeakBytes
+		}
 	}
 	rate := 0.0
 	if hits+misses > 0 {
@@ -427,6 +462,19 @@ func solverSummary(rows []SubjectResult) string {
 	if n := hbMissed + hedges + reconnects + degraded; n > 0 {
 		out += fmt.Sprintf("resilience: heartbeats missed %d, hedges %d (%d won / %d lost), reconnects %d (%d late joins), degraded starts %d\n",
 			hbMissed, hedges, hedgeWins, hedgeLosses, reconnects, lateJoins, degraded)
+	}
+	if governPolls > 0 { // a memory governor was in play
+		out += fmt.Sprintf("memory: %d governor polls (%d soft / %d high / %d critical), cache shrinks %d (%d B freed), contexts retired %d (%d B), spills %d (%d items, %d reloads, %d failures)\n",
+			governPolls, rungSoft, rungHigh, rungCritical,
+			shrinks, shrinkBytes, retires, retireBytes,
+			spills, spilledItems, reloads, spillFails)
+		if memStopped > 0 {
+			out += fmt.Sprintf("memory-stopped runs: %d (each returned its best-so-far anytime pool)\n", memStopped)
+		}
+	}
+	if frontierPeak > 0 {
+		out += fmt.Sprintf("peaks: frontier %d items (%d B), seen set %d entries (%d B), pool %d B\n",
+			frontierPeak, frontierPeakB, seenPeak, seenPeakB, poolPeakB)
 	}
 	return out
 }

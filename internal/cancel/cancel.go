@@ -43,6 +43,12 @@ type Token struct {
 // parent's expiry once derived from).
 func New() *Token { return &Token{} }
 
+// WithParent derives a token with no deadline of its own: it expires only
+// via its own Cancel or the parent chain's expiry. The repair engine uses
+// it to obtain a cancel point it owns (the memory governor's sustained-
+// critical stop) without cancelling the caller's token.
+func WithParent(parent *Token) *Token { return &Token{parent: parent} }
+
 // WithDeadline derives a token that expires at t (or when parent expires,
 // whichever is first). A nil parent is allowed.
 func WithDeadline(parent *Token, t time.Time) *Token {

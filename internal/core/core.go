@@ -12,7 +12,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,6 +21,7 @@ import (
 	"cpr/internal/concolic"
 	"cpr/internal/expr"
 	"cpr/internal/faultinject"
+	"cpr/internal/govern"
 	"cpr/internal/interval"
 	"cpr/internal/lang"
 	"cpr/internal/lang/interp"
@@ -134,6 +135,16 @@ type Options struct {
 	// barriers, and with Resume it continues a killed run to the same
 	// result the uninterrupted run would have produced.
 	Checkpoint CheckpointOptions
+	// Govern, when non-nil, is the memory governor (internal/govern): the
+	// engine polls it at every generation barrier and applies its rung's
+	// degradation actions — cache shrinks, context retirement, frontier
+	// spill, and (under sustained critical pressure) the anytime stop. Nil
+	// means no governance; a daemon shares one governor across jobs.
+	Govern *govern.Governor
+	// SpillDir is where the high rung's frontier spill batches go. Empty
+	// means a per-run temp directory created on first spill and removed at
+	// the end of the run.
+	SpillDir string
 	// NewDistributor, when non-nil, supplies a shard distributor (see
 	// internal/shard): the engine ships its flip-feasibility scans and pool
 	// reductions to shard processes instead of the in-process worker pool,
@@ -265,6 +276,29 @@ type Stats struct {
 	ShardHeartbeatsMissed                                           uint64
 	ShardHedges, ShardHedgeWins, ShardHedgeLosses                   uint64
 	ShardReconnects, ShardLateJoins, ShardDegradedStarts            uint64
+	// Memory-governor counters (all zero without Options.Govern): barrier
+	// polls classified at each rung, verdict-cache shrinks (count and bytes
+	// freed), incremental solver contexts retired (count and approximate
+	// bytes), frontier cold-tail spills (batches, items, reloads, and
+	// unreadable batches), and whether sustained critical pressure stopped
+	// the run (MemStopped implies TimedOut: the stop IS the budget-expiry
+	// path). GovernPolls/GovernTransitions count this run's own barrier
+	// polls and the rung changes they observed. Like the shard counters,
+	// none of these enter snapshot codecs or stats-equality fingerprints —
+	// they describe memory scheduling, not the repair trajectory.
+	MemRungSoft, MemRungHigh, MemRungCritical uint64
+	MemCacheShrinks, MemCacheShrinkBytes      uint64
+	MemContextRetires, MemContextRetireBytes  uint64
+	MemSpills, MemSpilledItems, MemReloads    uint64
+	MemSpillLoadFailures                      uint64
+	MemStopped                                bool
+	GovernPolls, GovernTransitions            uint64
+	// Structure-size gauges, tracked at every generation barrier whether or
+	// not a governor is configured: peak frontier length (in-memory plus
+	// spilled) and approximate bytes, peak seen-set size, and peak pool
+	// bytes. Also excluded from snapshots and fingerprints.
+	FrontierPeak, SeenPeak                          int
+	FrontierPeakBytes, SeenPeakBytes, PoolPeakBytes uint64
 }
 
 // CacheHitRate is CacheHits / (CacheHits + CacheMisses), 0 when no query
@@ -345,6 +379,11 @@ func Repair(job Job, opts Options) (*Result, error) {
 	if !job.Budget.Deadline.IsZero() {
 		tok = cancel.WithDeadline(tok, job.Budget.Deadline)
 	}
+	if opts.Govern != nil {
+		// The governor's sustained-critical stop cancels the run's token;
+		// derive one the engine owns so the caller's token is untouched.
+		tok = cancel.WithParent(tok)
+	}
 	// The run-level token also bounds every solver query, so a single
 	// hard query cannot overrun the deadline.
 	opts.SMT.Cancel = tok
@@ -389,6 +428,12 @@ func Repair(job Job, opts Options) (*Result, error) {
 	eng.cacheStart = cacheStart
 	eng.workers = eng.newWorkers(opts.Workers)
 	eng.curBounds = eng.inputBounds()
+	defer eng.registerGovernSources()()
+	defer func() {
+		if eng.ownSpillDir {
+			os.RemoveAll(eng.spillDir)
+		}
+	}()
 	if opts.NewDistributor != nil {
 		dist, err := opts.NewDistributor(job, opts)
 		if err != nil {
@@ -564,6 +609,7 @@ func Repair(job Job, opts Options) (*Result, error) {
 	cacheEnd := opts.SMT.Cache.Stats()
 	stats.CacheEvictions = eng.baseCacheEvict + (cacheEnd.Evictions - cacheStart.Evictions)
 	stats.CacheSubsumed = eng.baseCacheSub + (cacheEnd.Subsumed - cacheStart.Subsumed)
+	eng.copyMemStats(stats)
 	return &Result{Pool: pool, Ranked: pool.Ranked(), Stats: *stats}, nil
 }
 
@@ -638,6 +684,26 @@ type engine struct {
 	baseAgg        smt.Stats
 	baseCacheEvict uint64
 	baseCacheSub   uint64
+
+	// Memory-governor state (see govern.go and spill.go). The plain fields
+	// are coordinator-only; the atomic gauges are read by governor source
+	// callbacks, possibly from a daemon's ticker goroutine.
+	spillDir                         string // resolved spill directory; "\x00unavailable" after a failure
+	ownSpillDir                      bool
+	spillSeq                         int
+	lastRung                         govern.Rung
+	memStopped                       bool
+	memSoft, memHigh, memCritical    uint64
+	memShrinks, memShrinkBytes       uint64
+	memRetires, memRetireBytes       uint64
+	memSpills, memSpilledItems       uint64
+	memReloads, memSpillLoadFailures uint64
+	governPolls, governTransitions   uint64
+	frontierPeak, seenPeak           int
+	frontierPeakBytes, seenPeakBytes uint64
+	poolPeakBytes                    uint64
+	gFrontierBytes, gSeenBytes       atomic.Uint64
+	gPoolBytes, gSolverBytes         atomic.Uint64
 }
 
 // noteSolverErr classifies and counts a degraded solver answer; it
@@ -708,16 +774,13 @@ type workItem struct {
 // seeds entirely.
 func (e *engine) explore(seeds []map[string]int64, bounds map[string]interval.Interval, maxIter int, stats *Stats, validation bool, st *exploreState) {
 	e.curBounds = bounds
+	// The phase's spilled frontier tail (if the governor's high rung ever
+	// fires) is scratch state discarded with the phase's queue.
+	defer st.dropSpill()
+	// push appends to the logical frontier — in-memory queue plus spilled
+	// tail — evicting the logical worst at the MaxQueue cap (spill.go).
 	push := func(it workItem) {
-		if len(st.queue) >= e.opts.MaxQueue {
-			// Drop the worst item to make room.
-			sort.SliceStable(st.queue, func(i, j int) bool { return less(st.queue[i], st.queue[j]) })
-			if !less(it, st.queue[len(st.queue)-1]) {
-				return
-			}
-			st.queue = st.queue[:len(st.queue)-1]
-		}
-		st.queue = append(st.queue, it)
+		e.pushFrontier(st, it)
 	}
 	if st.seen == nil {
 		st.seen = make(map[uint64]bool) // explored path prefixes in this phase
@@ -740,7 +803,7 @@ func (e *engine) explore(seeds []map[string]int64, bounds map[string]interval.In
 	if e.opts.Queue == QueueFIFO {
 		cmp = lessFIFO
 	}
-	for ; st.iter < maxIter && len(st.queue) > 0 && e.pool.Size() > 0; st.iter++ {
+	for ; st.iter < maxIter && st.frontierLen() > 0 && e.pool.Size() > 0; st.iter++ {
 		if e.tok.Expired() {
 			// Anytime: keep the pool reduced so far. Deliberately NO snapshot
 			// is written here: the cancellation raced the generation that just
@@ -757,7 +820,14 @@ func (e *engine) explore(seeds []map[string]int64, bounds map[string]interval.In
 		// count. Checkpoints are written (and crash faults injected) only
 		// at this point.
 		e.atBarrier(st, stats)
-		// Pop the best item under the queue policy.
+		// Pop the best item under the queue policy, first making sure the
+		// logical best is in memory when part of the frontier is spilled.
+		e.reloadForPop(st)
+		if len(st.queue) == 0 {
+			// Every remaining frontier item sat in an unreadable spill batch
+			// (warned and counted by reloadBatch); nothing to pop.
+			continue
+		}
 		best := 0
 		for i := 1; i < len(st.queue); i++ {
 			if cmp(st.queue[i], st.queue[best]) {

@@ -120,6 +120,27 @@ type Plan struct {
 	// entry's model, SolverSpuriousUnsat flips the verdict bit, and
 	// SolverTruncateCore drops a conjunct from the entry's formula.
 	ShardLieKind Fault
+	// MemRungEvery makes every Nth memory-governor poll report the forced
+	// rung MemRung regardless of real heap usage (0 disables). Because the
+	// governor polls at generation barriers — which are deterministic for a
+	// deterministic workload — this addresses individual barriers by
+	// ordinal, so a test can force exactly the soft/high/critical rung
+	// actions and then diff the run against an unpressured one.
+	MemRungEvery int
+	// MemRung is the rung value reported when MemRungEvery matches:
+	// 1 = soft, 2 = high, 3 = critical (package govern's Rung values).
+	MemRung int
+	// MemRungSustain, when > 0, keeps reporting MemRung for that many
+	// consecutive polls after each MemRungEvery match instead of a single
+	// poll — it exercises the governor's sustained-critical stop, which
+	// only fires after several critical polls in a row.
+	MemRungSustain int
+	// MemSpikeBytes inflates every MemSpikeEvery'th heap sample seen by the
+	// governor by this many synthetic bytes (0 disables). Unlike MemRung
+	// forcing, which bypasses the watermark comparison, a spike exercises
+	// the real ladder arithmetic against configured watermarks.
+	MemSpikeBytes uint64
+	MemSpikeEvery int
 
 	mu           sync.Mutex
 	solverCalls  int
@@ -128,6 +149,9 @@ type Plan struct {
 	barrierCalls int
 	jobStarts    int
 	shardLies    int
+	memPolls     int
+	memSustain   int
+	memSamples   int
 }
 
 var active atomic.Pointer[Plan]
@@ -244,6 +268,47 @@ func JobStart(key string) bool {
 	defer p.mu.Unlock()
 	p.jobStarts++
 	return p.jobStarts%p.JobPanicEvery == 0
+}
+
+// MemRung is called by the memory governor on every poll; it returns the
+// forced watermark rung for this poll (0 almost always, meaning "use the
+// real heap figures"). The counter advances on every call, so forced
+// rungs are addressable by poll ordinal across a deterministic run.
+func MemRung() (rung int, forced bool) {
+	p := active.Load()
+	if p == nil || p.MemRungEvery <= 0 {
+		return 0, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.memPolls++
+	if p.memPolls%p.MemRungEvery == 0 {
+		if p.MemRungSustain > 1 {
+			p.memSustain = p.MemRungSustain - 1
+		}
+		return p.MemRung, true
+	}
+	if p.memSustain > 0 {
+		p.memSustain--
+		return p.MemRung, true
+	}
+	return 0, false
+}
+
+// MemSpike is called by the memory governor after sampling the real heap
+// size; it returns synthetic bytes to add to the sample (0 almost always).
+func MemSpike() uint64 {
+	p := active.Load()
+	if p == nil || p.MemSpikeEvery <= 0 || p.MemSpikeBytes == 0 {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.memSamples++
+	if p.memSamples%p.MemSpikeEvery == 0 {
+		return p.MemSpikeBytes
+	}
+	return 0
 }
 
 // RankDelta is called by the explorer when scoring a flip; it returns a

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzJobSpec fuzzes the daemon's untrusted input path: the JSON body of
+// POST /jobs through decoding and buildJob's validation. The contract is
+// the admission boundary's — arbitrary bytes either yield a 400-shaped
+// error or a well-formed core.Job, and never panic the daemon (panics
+// inside a running attempt are recovered; panics at admission would not
+// be). A spec that validates must survive a marshal/decode round trip to
+// the same outcome, since accepted specs are journaled as JSON and
+// rebuilt on resume.
+func FuzzJobSpec(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"subject":"Rival/div-zero"}`,
+		`{"subject":"no-slash"}`,
+		`{"program":"void main(int x) { if (__HOLE__) { return; } __BUG__; int c = 1 / x; }","failing":[{"x":0}]}`,
+		`{"program":"void main(int x) { }","failing":[{"x":0}]}`,
+		`{"program":"int x = ;","failing":[{"x":0}]}`,
+		`{"tenant":"acme","label":"l","program":"void main(int x) { if (__HOLE__) { return; } __BUG__; int c = 1 / x; }",
+		  "spec":"(distinct x 0)","failing":[{"x":0}],"passing":[{"x":3}],
+		  "params":["a"],"param_lo":-3,"param_hi":3,"input_lo":-5,"input_hi":5,
+		  "arith_ops":["+"],"cmp_ops":["="],"bool_ops":[],"budget":4,"top":2}`,
+		`{"spec":"(((","program":"void main(int x) { if (__HOLE__) { return; } __BUG__; int c = 1 / x; }","failing":[{"x":0}]}`,
+		`{"cmp_ops":["<=>"],"program":"void main(int x) { if (__HOLE__) { return; } __BUG__; int c = 1 / x; }","failing":[{"x":0}]}`,
+		`{"failing":[{"x":9223372036854775807}],"program":"void main(int x) { if (__HOLE__) { return; } __BUG__; int c = 1 / x; }"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec JobSpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return
+		}
+		if _, err := buildJob(spec); err != nil {
+			return
+		}
+		// The accepted path: the journal stores the spec as JSON and
+		// rebuilds it on replay; that round trip must stay accepted.
+		b, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v", err)
+		}
+		var again JobSpec
+		if err := json.Unmarshal(b, &again); err != nil {
+			t.Fatalf("journaled spec does not decode: %v", err)
+		}
+		if _, err := buildJob(again); err != nil {
+			t.Fatalf("accepted spec rejected after journal round trip: %v", err)
+		}
+	})
+}

@@ -16,7 +16,8 @@ const maxSpecBytes = 1 << 20
 //
 //	POST   /jobs              submit a JobSpec  → 202 StatusView,
 //	                          400 invalid, 429 rate/quota (Retry-After),
-//	                          503 queue full or draining (Retry-After)
+//	                          503 queue full, draining, or memory
+//	                          pressure (Retry-After)
 //	GET    /jobs[?tenant=t]   list job views in submit order
 //	GET    /jobs/{id}         one job's view
 //	DELETE /jobs/{id}         cancel a job

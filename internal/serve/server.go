@@ -35,6 +35,7 @@ import (
 	"cpr/internal/cancel"
 	"cpr/internal/core"
 	"cpr/internal/faultinject"
+	"cpr/internal/govern"
 )
 
 // Config tunes the daemon. The zero value of every field gets a sane
@@ -124,6 +125,22 @@ type Config struct {
 	// granted shard count (cmd/cprd wires shard.SpawnFactory here).
 	MakeDistributor func(n int) func(core.Job, core.Options) (core.Distributor, error)
 
+	// Govern, when non-nil, makes the daemon memory-aware: submits are
+	// shed with 503 + Retry-After under pressure (every submit at the
+	// critical rung; at the high rung while a retry backlog is still
+	// draining — finishing accepted work beats admitting new work), new
+	// shard fleets are narrowed or skipped, and every job attempt runs
+	// governed (core.Options.Govern) with its frontier spill directory
+	// under StateDir. cmd/cprd builds one from its -mem-* flags. All
+	// degradation is result-neutral: a shed client retries later to the
+	// same answer an unpressured daemon would have produced.
+	Govern *govern.Governor
+	// GovernTick is the governor's background polling interval, keeping
+	// admission decisions fresh even when no engine barrier has polled
+	// recently (default 250ms when Govern is set; negative disables the
+	// ticker — tests poll deterministically instead).
+	GovernTick time.Duration
+
 	// Seed seeds the retry jitter (0 = seeded from the clock).
 	Seed int64
 	// RetryAfterHint is the Retry-After value for quota and queue-full
@@ -175,6 +192,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfterHint == 0 {
 		c.RetryAfterHint = time.Second
 	}
+	if c.Govern != nil && c.GovernTick == 0 {
+		c.GovernTick = 250 * time.Millisecond
+	}
 	if c.Now == nil {
 		c.Now = time.Now
 	}
@@ -208,6 +228,13 @@ type GlobalStats struct {
 	// locally). Results are identical either way; these measure contention.
 	ShardedAttempts       uint64 `json:"sharded_attempts,omitempty"`
 	ShardDegradedAttempts uint64 `json:"shard_degraded_attempts,omitempty"`
+	// RejectedMemory counts submits shed under memory pressure (503 +
+	// Retry-After); MemNarrowedFleets counts attempts whose shard fleet
+	// was narrowed or zeroed by pressure; MemStoppedRuns counts attempts
+	// the governor stopped into their anytime best-so-far result.
+	RejectedMemory    uint64 `json:"rejected_memory,omitempty"`
+	MemNarrowedFleets uint64 `json:"mem_narrowed_fleets,omitempty"`
+	MemStoppedRuns    uint64 `json:"mem_stopped_runs,omitempty"`
 }
 
 // StatsView is the GET /stats payload.
@@ -227,6 +254,12 @@ type StatsView struct {
 	// Engine sums the core.Stats of every completed attempt: the
 	// smt.Stats → core.Stats counters, surfaced at the service level.
 	Engine core.Stats `json:"engine"`
+	// Memory governance (present only when a governor is configured): the
+	// last polled rung, the governor's poll/transition counters, and the
+	// per-structure byte-accounting sources currently registered.
+	MemRung    string            `json:"mem_rung,omitempty"`
+	Mem        *govern.Counters  `json:"mem,omitempty"`
+	MemSources map[string]uint64 `json:"mem_sources,omitempty"`
 }
 
 // AdmissionError is a rejected submit: an HTTP status, an optional
@@ -352,6 +385,9 @@ func (s *Server) restoreJob(rj *replayedJob) {
 // can finish wiring (HTTP listener, signal handlers) before jobs move, and
 // so tests can submit a deterministic backlog first.
 func (s *Server) Start() {
+	if s.cfg.GovernTick > 0 {
+		s.cfg.Govern.StartTicker(s.cfg.GovernTick)
+	}
 	for i := 0; i < s.cfg.Runners; i++ {
 		s.wg.Add(1)
 		go s.runner()
@@ -384,6 +420,17 @@ func (s *Server) Submit(spec JobSpec) (StatusView, *AdmissionError) {
 		ts.stats.RejectedDraining++
 		s.global.RejectedDraining++
 		return StatusView{}, &AdmissionError{Status: 503, RetryAfter: s.cfg.RetryAfterHint, Msg: "draining"}
+	}
+	// Memory shed: at the critical rung every new submit is refused; at
+	// the high rung new submits are refused while a retry backlog exists —
+	// the daemon prefers draining work it already owes over taking on
+	// more. 503 + Retry-After, like queue-full: the condition is the
+	// daemon's, not the client's.
+	if rung := s.cfg.Govern.Rung(); rung == govern.RungCritical ||
+		(rung == govern.RungHigh && s.retryBacklogLocked() > 0) {
+		ts.stats.RejectedMemory++
+		s.global.RejectedMemory++
+		return StatusView{}, &AdmissionError{Status: 503, RetryAfter: s.cfg.RetryAfterHint, Msg: "memory pressure"}
 	}
 	if ok, wait := ts.bucket.take(s.cfg.Now()); !ok {
 		ts.stats.RejectedRate++
@@ -536,7 +583,24 @@ func (s *Server) Stats() StatsView {
 		sv.Running += ts.running
 		sv.RetryWaiting += ts.retrying
 	}
+	if g := s.cfg.Govern; g != nil {
+		c := g.Snapshot()
+		sv.MemRung = g.Rung().String()
+		sv.Mem = &c
+		sv.MemSources = g.Sources()
+	}
 	return sv
+}
+
+// retryBacklogLocked is the count of jobs parked in retry-wait across all
+// tenants — the "work the daemon still owes" that memory-pressure
+// admission prefers to drain before accepting new jobs.
+func (s *Server) retryBacklogLocked() int {
+	n := 0
+	for _, ts := range s.tenants {
+		n += ts.retrying
+	}
+	return n
 }
 
 // Drain is the graceful shutdown: stop admitting, cooperatively cancel
@@ -576,6 +640,7 @@ func (s *Server) Drain(timeout time.Duration) error {
 	} else {
 		<-done
 	}
+	s.cfg.Govern.StopTicker()
 	return s.jl.close()
 }
 
@@ -693,6 +758,9 @@ func (s *Server) runJob(j *job) {
 		if res.Stats.TimedOut {
 			ts.stats.TimedOutRuns++
 		}
+		if res.Stats.MemStopped {
+			s.global.MemStoppedRuns++
+		}
 		s.finishLocked(j, ts, StateDone, "")
 	}
 }
@@ -732,6 +800,9 @@ func (s *Server) finishLocked(j *job, ts *tenantState, state State, msg string) 
 	if err := os.RemoveAll(s.ckptDir(j.id)); err != nil {
 		s.cfg.warnf("serve: checkpoint cleanup for %s: %v", j.id, err)
 	}
+	if err := os.RemoveAll(s.spillDir(j.id)); err != nil {
+		s.cfg.warnf("serve: spill cleanup for %s: %v", j.id, err)
+	}
 	s.notifyLocked(j)
 }
 
@@ -759,6 +830,13 @@ func (s *Server) attempt(j *job, tok *cancel.Token, resume bool) (res *core.Resu
 	opts.SMT.Incremental = s.cfg.Incremental
 	opts.SMT.Paranoid = s.cfg.Paranoid
 	opts.SMT.Portfolio = s.cfg.Portfolio
+	// Governed attempts spill their frontier cold tail under StateDir
+	// (beside the checkpoints) rather than a process temp dir, so the
+	// operator's disk budget and the daemon's durable state live together.
+	opts.Govern = s.cfg.Govern
+	if s.cfg.Govern != nil {
+		opts.SpillDir = s.spillDir(j.id)
+	}
 	opts.Checkpoint = core.CheckpointOptions{
 		Dir:      s.ckptDir(j.id),
 		Interval: s.cfg.CheckpointInterval,
@@ -770,6 +848,10 @@ func (s *Server) attempt(j *job, tok *cancel.Token, resume bool) (res *core.Resu
 
 func (s *Server) ckptDir(id string) string {
 	return filepath.Join(s.cfg.StateDir, "ckpt", id)
+}
+
+func (s *Server) spillDir(id string) string {
+	return filepath.Join(s.cfg.StateDir, "spill", id)
 }
 
 // --- shard budgeting ---
@@ -830,9 +912,32 @@ func (b *budgetedDist) Close() error {
 // never leaks budget. A (nil, nil) return tells the engine to run this
 // attempt locally (budget exhausted); a fleet that fails to start returns
 // its slots immediately and degrades to local the same way.
+// memNarrowShards shrinks a fleet request under memory pressure: halved
+// at the high rung, zeroed at critical. A new fleet of worker processes
+// is the most expensive thing the daemon can start, and a narrower (or
+// local) attempt is bit-identical anyway — only wall time moves.
+func (s *Server) memNarrowShards(want int) int {
+	switch s.cfg.Govern.Rung() {
+	case govern.RungHigh:
+		return (want + 1) / 2
+	case govern.RungCritical:
+		return 0
+	}
+	return want
+}
+
 func (s *Server) shardFactory() func(core.Job, core.Options) (core.Distributor, error) {
 	return func(job core.Job, opts core.Options) (core.Distributor, error) {
-		granted := s.acquireShards(s.cfg.Shards)
+		want := s.memNarrowShards(s.cfg.Shards)
+		if want < s.cfg.Shards {
+			s.mu.Lock()
+			s.global.MemNarrowedFleets++
+			s.mu.Unlock()
+		}
+		if want == 0 {
+			return nil, nil
+		}
+		granted := s.acquireShards(want)
 		if granted == 0 {
 			return nil, nil
 		}
@@ -998,4 +1103,36 @@ func aggStats(dst *core.Stats, s core.Stats) {
 	dst.ShardReconnects += s.ShardReconnects
 	dst.ShardLateJoins += s.ShardLateJoins
 	dst.ShardDegradedStarts += s.ShardDegradedStarts
+	// Memory governance: event counters sum; peak gauges report the
+	// largest any attempt reached; MemStopped means "some attempt was
+	// memory-stopped" at the aggregate level.
+	dst.MemRungSoft += s.MemRungSoft
+	dst.MemRungHigh += s.MemRungHigh
+	dst.MemRungCritical += s.MemRungCritical
+	dst.MemCacheShrinks += s.MemCacheShrinks
+	dst.MemCacheShrinkBytes += s.MemCacheShrinkBytes
+	dst.MemContextRetires += s.MemContextRetires
+	dst.MemContextRetireBytes += s.MemContextRetireBytes
+	dst.MemSpills += s.MemSpills
+	dst.MemSpilledItems += s.MemSpilledItems
+	dst.MemReloads += s.MemReloads
+	dst.MemSpillLoadFailures += s.MemSpillLoadFailures
+	dst.MemStopped = dst.MemStopped || s.MemStopped
+	dst.GovernPolls += s.GovernPolls
+	dst.GovernTransitions += s.GovernTransitions
+	if s.FrontierPeak > dst.FrontierPeak {
+		dst.FrontierPeak = s.FrontierPeak
+	}
+	if s.SeenPeak > dst.SeenPeak {
+		dst.SeenPeak = s.SeenPeak
+	}
+	if s.FrontierPeakBytes > dst.FrontierPeakBytes {
+		dst.FrontierPeakBytes = s.FrontierPeakBytes
+	}
+	if s.SeenPeakBytes > dst.SeenPeakBytes {
+		dst.SeenPeakBytes = s.SeenPeakBytes
+	}
+	if s.PoolPeakBytes > dst.PoolPeakBytes {
+		dst.PoolPeakBytes = s.PoolPeakBytes
+	}
 }

@@ -43,6 +43,7 @@ type TenantStats struct {
 	RejectedQuota     uint64 `json:"rejected_quota"`
 	RejectedQueueFull uint64 `json:"rejected_queue_full"`
 	RejectedDraining  uint64 `json:"rejected_draining"`
+	RejectedMemory    uint64 `json:"rejected_memory"`
 	// Lifecycle outcomes.
 	Done       uint64 `json:"done"`
 	Cancelled  uint64 `json:"cancelled"`

@@ -1,0 +1,49 @@
+package shard_test
+
+import (
+	"testing"
+
+	"cpr/internal/core"
+	"cpr/internal/faultinject"
+	"cpr/internal/govern"
+	"cpr/internal/shard"
+)
+
+// TestGovernForcedRungWithShards extends the memory governor's
+// differential contract across process-shaped boundaries: with the high
+// rung forced at every barrier (cache shrinks, context retirement, and
+// frontier spill all firing) a sharded run still reproduces the
+// unpressured 1-process result bit-identically.
+func TestGovernForcedRungWithShards(t *testing.T) {
+	want := baseline(t)
+	for _, rung := range []govern.Rung{govern.RungHigh, govern.RungCritical} {
+		rung := rung
+		t.Run("rung="+rung.String(), func(t *testing.T) {
+			faultinject.Activate(&faultinject.Plan{MemRungEvery: 1, MemRung: int(rung)})
+			defer faultinject.Deactivate()
+			g := govern.New(govern.Config{CriticalStopPolls: 1 << 30})
+			opts := core.Options{Workers: 1, Govern: g, SpillDir: t.TempDir()}
+			opts.NewDistributor = shard.PipesFactory(2, shard.Config{}, nil)
+			res, err := core.Repair(divZeroJob(), opts)
+			if err != nil {
+				t.Fatalf("governed sharded Repair: %v", err)
+			}
+			if got := fingerprint(res); got != want {
+				t.Fatalf("rung %s with shards diverged:\n--- want ---\n%s--- got ---\n%s", rung, want, got)
+			}
+			st := res.Stats
+			if st.Shards != 2 {
+				t.Errorf("Stats.Shards = %d, want 2", st.Shards)
+			}
+			if st.GovernPolls == 0 || st.MemRungHigh+st.MemRungCritical == 0 {
+				t.Fatalf("forced rung never classified: %+v", st)
+			}
+			if st.MemCacheShrinks == 0 {
+				t.Error("no verdict-cache shrink under pressure")
+			}
+			if st.MemStopped || st.TimedOut {
+				t.Errorf("transient pressure stopped the run: %+v", st)
+			}
+		})
+	}
+}

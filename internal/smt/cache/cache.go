@@ -41,6 +41,10 @@ type Options struct {
 	// MaxUnsatCores caps the subsumption index (LRU eviction). Zero
 	// means 256.
 	MaxUnsatCores int
+	// MaxBytes caps the cache's approximate byte footprint (entries +
+	// cores, see ApproxBytes); Store evicts LRU entries past it. Zero
+	// means no byte cap — the entry-count caps still apply.
+	MaxBytes uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -54,12 +58,16 @@ func (o Options) withDefaults() Options {
 }
 
 // Stats counts cache traffic. Subsumed is the subset of Hits answered by
-// the unsat-subsumption index rather than an exact entry.
+// the unsat-subsumption index rather than an exact entry. Shrinks counts
+// explicit Shrink calls that evicted anything; ShrinkEvictions the
+// entries they removed (also included in Evictions).
 type Stats struct {
-	Hits      uint64
-	Misses    uint64
-	Evictions uint64
-	Subsumed  uint64
+	Hits            uint64
+	Misses          uint64
+	Evictions       uint64
+	Subsumed        uint64
+	Shrinks         uint64
+	ShrinkEvictions uint64
 }
 
 // Value is a cached verdict: Sat with its model, or unsat. A Sat value
@@ -104,6 +112,10 @@ type Cache struct {
 	cores     *list.List // of *unsatCore; front = most recently added/hit
 	coreByKey map[key]*list.Element
 	stats     Stats
+	// bytes is the running approximate footprint of entries + cores,
+	// maintained on every insert/evict/invalidate (see entryBytes and
+	// coreBytes). It is what ApproxBytes reports and Shrink targets.
+	bytes uint64
 	// trackInv/retract record withdrawn entries for shard knowledge
 	// sharing: a peer that imported an entry must hear about its
 	// invalidation, or the withdrawn verdict would outlive its source.
@@ -212,21 +224,109 @@ func (c *Cache) Store(f *expr.Term, bounds map[string]interval.Interval, def int
 		// that a verdict-only value must not downgrade an entry that
 		// already carries a model.
 		if old := el.Value.(*entry).value; !(v.verdictOnly() && !old.verdictOnly()) {
+			c.bytes += entryBytes(k, v) - entryBytes(k, old)
 			el.Value.(*entry).value = v
 		}
 		c.lru.MoveToFront(el)
 		return
 	}
 	c.entries[k] = c.lru.PushFront(&entry{key: k, value: v})
-	for len(c.entries) > c.opts.MaxEntries {
-		oldest := c.lru.Back()
-		c.lru.Remove(oldest)
-		delete(c.entries, oldest.Value.(*entry).key)
-		c.stats.Evictions++
+	c.bytes += entryBytes(k, v)
+	for len(c.entries) > c.opts.MaxEntries ||
+		(c.opts.MaxBytes > 0 && c.bytes > c.opts.MaxBytes && len(c.entries) > 1) {
+		c.evictOldestLocked()
 	}
 	if !v.Sat {
 		c.addCore(f, bounds, def, k)
 	}
+}
+
+// evictOldestLocked removes the LRU entry. Caller holds c.mu and
+// guarantees the cache is non-empty.
+func (c *Cache) evictOldestLocked() {
+	oldest := c.lru.Back()
+	c.lru.Remove(oldest)
+	e := oldest.Value.(*entry)
+	delete(c.entries, e.key)
+	c.bytes -= entryBytes(e.key, e.value)
+	c.stats.Evictions++
+}
+
+// Approximate per-item overheads: struct headers, the list element, and a
+// share of the map bucket. The goal is a cheap, monotone estimate the
+// governor can act on — not malloc-exact truth.
+const (
+	entryOverheadBytes = 160
+	coreOverheadBytes  = 112
+	modelEntryBytes    = 48 // map bucket share + name header; name length added separately
+	boundEntryBytes    = 56 // name header + interval + bucket share
+	conjunctBytes      = 16 // one interned pointer + set bucket share
+)
+
+// entryBytes approximates the heap footprint of one exact entry.
+func entryBytes(k key, v Value) uint64 {
+	n := uint64(entryOverheadBytes + len(k.bounds))
+	for name := range v.Model {
+		n += modelEntryBytes + uint64(len(name))
+	}
+	return n
+}
+
+// coreBytes approximates the heap footprint of one subsumption core.
+func coreBytes(core *unsatCore) uint64 {
+	n := uint64(coreOverheadBytes + len(core.src.bounds))
+	n += uint64(len(core.conjuncts)) * conjunctBytes
+	for name := range core.bounds {
+		n += boundEntryBytes + uint64(len(name))
+	}
+	return n
+}
+
+// ApproxBytes reports the cache's approximate byte footprint (exact
+// entries plus subsumption cores). Zero on a nil cache. This is the size
+// callback the memory governor polls, so it must stay cheap: the figure
+// is maintained incrementally, never recomputed.
+func (c *Cache) ApproxBytes() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Shrink evicts least-recently-used entries (and, if entries alone do not
+// suffice, oldest subsumption cores) until the approximate footprint is
+// at or below targetBytes. A target of 0 empties the cache. It returns
+// the number of items evicted and the approximate bytes freed. Safe on a
+// nil cache and safe to race with concurrent Lookup/Store traffic — the
+// cache is pure memoization, so shrinking never changes results, only
+// hit rates.
+func (c *Cache) Shrink(targetBytes uint64) (evicted int, freed uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	before := c.bytes
+	for c.bytes > targetBytes && len(c.entries) > 0 {
+		c.evictOldestLocked()
+		c.stats.ShrinkEvictions++
+		evicted++
+	}
+	for c.bytes > targetBytes && c.cores.Len() > 0 {
+		oldest := c.cores.Back()
+		c.cores.Remove(oldest)
+		core := oldest.Value.(*unsatCore)
+		delete(c.coreByKey, core.src)
+		c.bytes -= coreBytes(core)
+		c.stats.ShrinkEvictions++
+		evicted++
+	}
+	if evicted > 0 {
+		c.stats.Shrinks++
+	}
+	return evicted, before - c.bytes
 }
 
 // Key identifies an exact cache entry; obtained from KeyOf before a Store
@@ -256,11 +356,14 @@ func (c *Cache) InvalidateKey(k Key) {
 	removed := false
 	if el, ok := c.entries[ik]; ok {
 		c.lru.Remove(el)
+		e := el.Value.(*entry)
 		delete(c.entries, ik)
+		c.bytes -= entryBytes(e.key, e.value)
 		removed = true
 	}
 	if el, ok := c.coreByKey[ik]; ok {
 		c.cores.Remove(el)
+		c.bytes -= coreBytes(el.Value.(*unsatCore))
 		delete(c.coreByKey, ik)
 		removed = true
 	}
@@ -305,11 +408,14 @@ func (c *Cache) addCore(f *expr.Term, bounds map[string]interval.Interval, def i
 	}
 	if old, ok := c.coreByKey[k]; ok {
 		c.cores.Remove(old)
+		c.bytes -= coreBytes(old.Value.(*unsatCore))
 	}
 	c.coreByKey[k] = c.cores.PushFront(core)
+	c.bytes += coreBytes(core)
 	for c.cores.Len() > c.opts.MaxUnsatCores {
 		oldest := c.cores.Back()
 		c.cores.Remove(oldest)
+		c.bytes -= coreBytes(oldest.Value.(*unsatCore))
 		delete(c.coreByKey, oldest.Value.(*unsatCore).src)
 	}
 }

@@ -1,0 +1,174 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cpr/internal/expr"
+	"cpr/internal/interval"
+)
+
+// fill stores n distinct sat entries (distinct formulas over x).
+func fill(c *Cache, n int) {
+	for i := 0; i < n; i++ {
+		f := expr.Gt(x(), expr.Int(int64(i)))
+		c.Store(f, nil, def, Value{Sat: true, Model: expr.Model{"x": int64(i) + 1}})
+	}
+}
+
+func TestApproxBytesTracksInserts(t *testing.T) {
+	c := New(Options{})
+	if got := c.ApproxBytes(); got != 0 {
+		t.Fatalf("empty cache ApproxBytes = %d", got)
+	}
+	fill(c, 10)
+	got := c.ApproxBytes()
+	if got == 0 {
+		t.Fatal("ApproxBytes stayed 0 after stores")
+	}
+	// Per-entry floor: overhead + bounds string + one model var.
+	if min := uint64(10 * entryOverheadBytes); got < min {
+		t.Fatalf("ApproxBytes = %d, want >= %d", got, min)
+	}
+	var nilCache *Cache
+	if nilCache.ApproxBytes() != 0 {
+		t.Fatal("nil ApproxBytes non-zero")
+	}
+}
+
+func TestApproxBytesReturnsToZero(t *testing.T) {
+	c := New(Options{})
+	// Mix sat entries, verdict-only upgrades, and unsat entries (which add
+	// subsumption cores) so every accounting path runs.
+	f1 := expr.Gt(x(), expr.Int(1))
+	c.Store(f1, nil, def, Value{Sat: true})                            // verdict-only
+	c.Store(f1, nil, def, Value{Sat: true, Model: expr.Model{"x": 2}}) // upgrade
+	f2 := expr.And(expr.Gt(x(), expr.Int(5)), expr.Lt(x(), expr.Int(0)))
+	b := map[string]interval.Interval{"x": interval.New(0, 10)}
+	c.Store(f2, b, def, Value{Sat: false}) // unsat: entry + core
+	c.Invalidate(f1, nil, def)
+	c.Invalidate(f2, b, def)
+	if got := c.ApproxBytes(); got != 0 {
+		t.Fatalf("ApproxBytes = %d after invalidating everything, want 0", got)
+	}
+}
+
+func TestShrinkToTarget(t *testing.T) {
+	c := New(Options{})
+	fill(c, 100)
+	before := c.ApproxBytes()
+	target := before / 2
+	evicted, freed := c.Shrink(target)
+	if evicted == 0 || freed == 0 {
+		t.Fatalf("Shrink(%d) evicted=%d freed=%d", target, evicted, freed)
+	}
+	if got := c.ApproxBytes(); got > target {
+		t.Fatalf("ApproxBytes = %d after Shrink(%d)", got, target)
+	}
+	if before-c.ApproxBytes() != freed {
+		t.Fatalf("freed %d but footprint dropped %d", freed, before-c.ApproxBytes())
+	}
+	st := c.Stats()
+	if st.Shrinks != 1 || st.ShrinkEvictions != uint64(evicted) {
+		t.Fatalf("stats %+v, want 1 shrink / %d evictions", st, evicted)
+	}
+	// Shrinking keeps the MRU end: the newest entry must survive.
+	f := expr.Gt(x(), expr.Int(99))
+	if _, ok := c.Lookup(f, nil, def); !ok {
+		t.Fatal("Shrink evicted the most-recently-used entry")
+	}
+}
+
+func TestShrinkToZeroEmptiesEverything(t *testing.T) {
+	c := New(Options{})
+	fill(c, 20)
+	// Add unsat entries so cores exist too.
+	for i := 0; i < 5; i++ {
+		f := expr.And(expr.Gt(x(), expr.Int(int64(10+i))), expr.Lt(x(), expr.Int(0)))
+		c.Store(f, nil, def, Value{Sat: false})
+	}
+	c.Shrink(0)
+	if c.Len() != 0 || c.ApproxBytes() != 0 {
+		t.Fatalf("Shrink(0) left len=%d bytes=%d", c.Len(), c.ApproxBytes())
+	}
+	if c.cores.Len() != 0 || len(c.coreByKey) != 0 {
+		t.Fatalf("Shrink(0) left %d cores", c.cores.Len())
+	}
+	var nilCache *Cache
+	if e, f := nilCache.Shrink(0); e != 0 || f != 0 {
+		t.Fatal("nil Shrink did something")
+	}
+}
+
+func TestMaxBytesCapEnforcedOnStore(t *testing.T) {
+	c := New(Options{MaxBytes: 2048})
+	fill(c, 1000)
+	if got := c.ApproxBytes(); got > 2048 {
+		t.Fatalf("ApproxBytes = %d, cap 2048", got)
+	}
+	if c.Len() == 0 {
+		t.Fatal("cap evicted everything including the newest entry")
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("no evictions counted under byte cap")
+	}
+}
+
+// TestShrinkRacesConcurrentWriters is the satellite's shrink race test:
+// hammer Store/Lookup from several goroutines while another goroutine
+// repeatedly shrinks. Run under -race this proves the locking; the final
+// consistency check proves the byte accounting survives interleaving.
+func TestShrinkRacesConcurrentWriters(t *testing.T) {
+	c := New(Options{MaxEntries: 512})
+	var writers, shrinker sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		w := w
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 2000; i++ {
+				f := expr.Gt(expr.IntVar(fmt.Sprintf("v%d", w)), expr.Int(int64(i%257)))
+				if i%3 == 0 {
+					c.Store(f, nil, def, Value{Sat: false}) // entry + core
+				} else {
+					c.Store(f, nil, def, Value{Sat: true, Model: expr.Model{"x": int64(i)}})
+				}
+				c.Lookup(f, nil, def)
+			}
+		}()
+	}
+	shrinker.Add(1)
+	go func() {
+		defer shrinker.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Shrink(c.ApproxBytes() / 2)
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	shrinker.Wait()
+
+	// Consistency: recompute the footprint from scratch and compare with
+	// the running figure.
+	c.mu.Lock()
+	var want uint64
+	for _, el := range c.entries {
+		e := el.Value.(*entry)
+		want += entryBytes(e.key, e.value)
+	}
+	for el := c.cores.Front(); el != nil; el = el.Next() {
+		want += coreBytes(el.Value.(*unsatCore))
+	}
+	got := c.bytes
+	c.mu.Unlock()
+	if got != want {
+		t.Fatalf("running bytes %d != recomputed %d after concurrent shrink", got, want)
+	}
+}
